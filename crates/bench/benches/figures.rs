@@ -1,0 +1,64 @@
+//! One Criterion bench per paper table/figure.
+//!
+//! Each bench regenerates its figure over a category-balanced workload
+//! subset at reduced run length (the full-suite numbers are produced by
+//! `cargo run --release -p experiments -- <id>`), printing the table it
+//! produced so `cargo bench` output doubles as a miniature reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{run_figure, RunLength};
+use std::time::Duration;
+
+/// Tiny run length so every bench iteration terminates quickly.
+const BENCH_LEN: RunLength = RunLength(6_000);
+const SUBSET: usize = 3;
+
+fn bench_figure(c: &mut Criterion, id: &'static str) {
+    let specs = sim_workload::suite_subset(SUBSET);
+    let mut shown = false;
+    c.bench_function(&format!("figure/{id}"), |b| {
+        b.iter(|| {
+            let out = run_figure(id, &specs, BENCH_LEN);
+            if !shown {
+                println!("\n{out}");
+                shown = true;
+            }
+            std::hint::black_box(out.len())
+        })
+    });
+}
+
+fn figures(c: &mut Criterion) {
+    for id in [
+        "fig3", "fig6", "fig7", "fig9a", "fig9b", "fig11", "fig13", "fig15", "fig16", "fig18",
+        "fig19", "fig21", "fig22", "fig23", "table1", "table3", "amt-granularity",
+    ] {
+        bench_figure(c, id);
+    }
+    // SMT (fig14) and the sweeps (fig20a/b) are the slowest; run them at an
+    // even smaller subset so the harness stays terminable.
+    let specs = sim_workload::suite_subset(2);
+    for id in ["fig14", "fig20a", "fig20b", "fig12", "fig17", "xprf"] {
+        let mut shown = false;
+        c.bench_function(&format!("figure/{id}"), |b| {
+            b.iter(|| {
+                let out = run_figure(id, &specs, RunLength(5_000));
+                if !shown {
+                    println!("\n{out}");
+                    shown = true;
+                }
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    targets = figures
+}
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the individual hardware-structure models: the
+//! per-access cost of Constable's SLD/RMT/AMT path, the predictors, and the
+//! end-to-end simulator throughput (instructions simulated per second).
+
+use constable::{Constable, ConstableConfig, LoadRename, StackState};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sim_core::{Core, CoreConfig};
+use sim_isa::MemRef;
+use std::time::Duration;
+
+fn constable_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("constable");
+    g.throughput(Throughput::Elements(1));
+
+    // Steady-state elimination: the common case on the rename path.
+    g.bench_function("rename_load/eliminated", |b| {
+        let mut engine = Constable::new(ConstableConfig::paper());
+        let mem = MemRef::rip(0x60_0000);
+        let st = StackState::default();
+        for _ in 0..40 {
+            engine.on_load_writeback(0x400, &mem, 0x60_0000, 7, false, st);
+        }
+        let _ = engine.rename_load(0x400, &mem, st);
+        engine.on_load_writeback(0x400, &mem, 0x60_0000, 7, true, st);
+        b.iter(|| match engine.rename_load(0x400, &mem, st) {
+            LoadRename::Eliminated { slot, .. } => engine.free_xprf(slot),
+            _ => {}
+        })
+    });
+
+    g.bench_function("rename_load/miss", |b| {
+        let mut engine = Constable::new(ConstableConfig::paper());
+        let mem = MemRef::rip(0x61_0000);
+        let st = StackState::default();
+        b.iter(|| std::hint::black_box(engine.rename_load(0x999, &mem, st)))
+    });
+
+    g.bench_function("writeback/train", |b| {
+        let mut engine = Constable::new(ConstableConfig::paper());
+        let mem = MemRef::rip(0x62_0000);
+        let st = StackState::default();
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0x7f_fffc | 0x40_0000;
+            engine.on_load_writeback(pc, &mem, 0x62_0000, 1, false, st)
+        })
+    });
+
+    g.bench_function("store_probe", |b| {
+        let mut engine = Constable::new(ConstableConfig::paper());
+        let mem = MemRef::rip(0x63_0000);
+        let st = StackState::default();
+        for _ in 0..40 {
+            engine.on_load_writeback(0x500, &mem, 0x63_0000, 3, false, st);
+        }
+        let _ = engine.rename_load(0x500, &mem, st);
+        engine.on_load_writeback(0x500, &mem, 0x63_0000, 3, true, st);
+        b.iter(|| engine.on_store_addr(std::hint::black_box(0x63_0000)))
+    });
+    g.finish();
+}
+
+fn predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("tage/predict_update", |b| {
+        let mut t = sim_predictors::Tage::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let taken = i % 7 != 0;
+            let p = t.predict(0x400 + (i % 64) * 4);
+            t.update(0x400 + (i % 64) * 4, taken);
+            std::hint::black_box(p)
+        })
+    });
+
+    g.bench_function("eves/predict_train", |b| {
+        let mut e = sim_predictors::Eves::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let p = e.predict(0x800, i, 0);
+            e.train(0x800, i, i * 8);
+            std::hint::black_box(p)
+        })
+    });
+    g.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let spec = &sim_workload::suite_subset(1)[0];
+    let program = spec.build();
+    const N: u64 = 8_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("baseline/8k_instructions", |b| {
+        b.iter(|| {
+            let mut core = Core::new(&program, CoreConfig::golden_cove_like());
+            std::hint::black_box(core.run(N).stats.cycles)
+        })
+    });
+    g.bench_function("constable/8k_instructions", |b| {
+        b.iter(|| {
+            let mut core = Core::new(&program, CoreConfig::golden_cove_like().with_constable());
+            std::hint::black_box(core.run(N).stats.cycles)
+        })
+    });
+    g.bench_function("functional/8k_instructions", |b| {
+        b.iter(|| {
+            let mut m = sim_workload::Machine::new(&program);
+            for _ in 0..N {
+                std::hint::black_box(m.step());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    targets = constable_structures, predictors, simulator_throughput
+}
+criterion_main!(benches);

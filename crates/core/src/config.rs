@@ -1,0 +1,101 @@
+//! Constable configuration (paper §6, Table 1).
+
+use sim_isa::AddrMode;
+
+/// Configuration of the Constable mechanism.
+///
+/// Defaults reproduce the paper's evaluated design point: a 512-entry SLD
+/// (32 sets × 16 ways, 5-bit confidence, threshold 30, 3R/2W ports), an RMT
+/// with 16-deep PC lists for the stack registers and 8-deep for the rest, a
+/// 256-entry AMT (32 sets × 8 ways, 4 load PCs per entry) indexed at
+/// cacheline granularity, a 32-entry xPRF, and CV-bit pinning enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstableConfig {
+    /// SLD sets × ways (512 entries in the paper).
+    pub sld_sets: usize,
+    pub sld_ways: usize,
+    /// Stability confidence threshold (30 in the paper; 5-bit counter).
+    pub confidence_threshold: u8,
+    /// Maximum confidence value (31 for a 5-bit counter).
+    pub confidence_max: u8,
+    /// SLD read ports available to a rename group (§6.7.1).
+    pub sld_read_ports: u32,
+    /// SLD write ports available for rename-stage resets (§6.7.1).
+    pub sld_write_ports: u32,
+    /// RMT list depth for RSP/RBP.
+    pub rmt_stack_depth: usize,
+    /// RMT list depth for the remaining registers.
+    pub rmt_other_depth: usize,
+    /// AMT sets × ways (256 entries in the paper).
+    pub amt_sets: usize,
+    pub amt_ways: usize,
+    /// Load PCs tracked per AMT entry.
+    pub amt_pcs_per_entry: usize,
+    /// Index/match the AMT at full-address granularity instead of cacheline
+    /// (§6.6 reports the delta is only 0.4%).
+    pub amt_full_address: bool,
+    /// Invalidate AMT entries on every L1-D eviction instead of pinning the
+    /// CV bit — the Constable-AMT-I variant of Appendix A.3.
+    pub amt_invalidate_on_l1_evict: bool,
+    /// xPRF capacity (32 entries; §6.3).
+    pub xprf_entries: usize,
+    /// Restrict elimination to one addressing mode (Fig 13 ablation).
+    pub mode_filter: Option<AddrMode>,
+    /// Apply rename-stage structure updates from wrong-path instructions
+    /// (§6.7.2; `false` is the fig9b "correct-path only" study).
+    pub wrong_path_updates: bool,
+}
+
+impl ConstableConfig {
+    /// The paper's evaluated configuration (Table 1).
+    pub fn paper() -> Self {
+        ConstableConfig {
+            sld_sets: 32,
+            sld_ways: 16,
+            confidence_threshold: 30,
+            confidence_max: 31,
+            sld_read_ports: 3,
+            sld_write_ports: 2,
+            rmt_stack_depth: 16,
+            rmt_other_depth: 8,
+            amt_sets: 32,
+            amt_ways: 8,
+            amt_pcs_per_entry: 4,
+            amt_full_address: false,
+            amt_invalidate_on_l1_evict: false,
+            xprf_entries: 32,
+            mode_filter: None,
+            wrong_path_updates: true,
+        }
+    }
+
+    /// Total SLD entries.
+    pub fn sld_entries(&self) -> usize {
+        self.sld_sets * self.sld_ways
+    }
+
+    /// Total AMT entries.
+    pub fn amt_entries(&self) -> usize {
+        self.amt_sets * self.amt_ways
+    }
+}
+
+impl Default for ConstableConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_table1() {
+        let c = ConstableConfig::paper();
+        assert_eq!(c.sld_entries(), 512);
+        assert_eq!(c.amt_entries(), 256);
+        assert_eq!(c.confidence_threshold, 30);
+        assert_eq!(c.xprf_entries, 32);
+    }
+}

@@ -1,0 +1,47 @@
+//! # constable — safely eliminating load instruction execution
+//!
+//! From-scratch implementation of **Constable** (Bera, Ranganathan, et al.,
+//! ISCA 2024): a purely-microarchitectural technique that identifies
+//! *likely-stable* loads — loads that repeatedly fetch the same value from
+//! the same address — and eliminates their entire execution (address
+//! generation *and* data fetch), relieving both load data dependence and
+//! load resource dependence.
+//!
+//! The mechanism rests on two safety conditions (§5): between two dynamic
+//! instances of a load, (1) none of its source registers was written, and
+//! (2) no store or snoop touched its address. Three structures enforce them:
+//!
+//! * [`Sld`] — the Stable Load Detector: PC-indexed, confidence-driven
+//!   (threshold 30 of 31), holds the last (address, value) and the
+//!   `can_eliminate` flag;
+//! * [`Rmt`] — the Register Monitor Table: register-indexed lists of armed
+//!   load PCs, drained on register writes (Condition 1);
+//! * [`Amt`] — the Address Monitor Table: cacheline-indexed lists of armed
+//!   load PCs, probed by store addresses and snoops (Condition 2);
+//!
+//! plus the [`Xprf`], a 32-entry register file carrying eliminated-load
+//! values, so elimination needs no extra main-PRF write ports (§6.3).
+//!
+//! [`Constable`] is the façade a core model drives; see its example.
+//! Total cost of the paper configuration: 12.4 KB ([`StorageBreakdown`]).
+
+mod amt;
+mod config;
+mod engine;
+mod ideal;
+mod rmt;
+mod sld;
+mod storage;
+mod xprf;
+
+pub use amt::Amt;
+pub use config::ConstableConfig;
+pub use engine::{Constable, ConstableStats, LoadRename, ResetReason};
+pub use ideal::{IdealConfig, IdealOracle};
+pub use rmt::Rmt;
+pub use sld::{Sld, SldDecision, StackState};
+pub use storage::{
+    StorageBreakdown, AMT_PC_BITS, AMT_TAG_BITS, RMT_PC_BITS, SLD_ADDR_BITS, SLD_CONF_BITS,
+    SLD_FLAG_BITS, SLD_TAG_BITS, SLD_VALUE_BITS,
+};
+pub use xprf::{Xprf, XprfSlot};

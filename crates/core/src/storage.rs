@@ -1,0 +1,93 @@
+//! Storage-overhead accounting (paper Table 1).
+//!
+//! The paper's design costs 12.4 KB per core: SLD 7.9 KB + RMT 0.4 KB +
+//! AMT 4.0 KB. This module computes the same arithmetic from a
+//! [`ConstableConfig`], so configuration sweeps report their true cost.
+
+use crate::config::ConstableConfig;
+
+/// Bit widths from Table 1 (48-bit physical address space baseline).
+pub const SLD_TAG_BITS: u64 = 24;
+pub const SLD_ADDR_BITS: u64 = 32;
+pub const SLD_VALUE_BITS: u64 = 64;
+pub const SLD_CONF_BITS: u64 = 5;
+pub const SLD_FLAG_BITS: u64 = 1;
+pub const RMT_PC_BITS: u64 = 24;
+pub const AMT_TAG_BITS: u64 = 32;
+pub const AMT_PC_BITS: u64 = 24;
+/// Stack registers with deep RMT lists (RSP, RBP).
+pub const STACK_REGS: u64 = 2;
+/// Remaining x86-64 architectural registers.
+pub const OTHER_REGS: u64 = 14;
+
+/// Per-structure storage breakdown in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    pub sld_bits: u64,
+    pub rmt_bits: u64,
+    pub amt_bits: u64,
+}
+
+impl StorageBreakdown {
+    /// Computes the breakdown for `cfg`.
+    pub fn for_config(cfg: &ConstableConfig) -> Self {
+        let sld_entry =
+            SLD_TAG_BITS + SLD_ADDR_BITS + SLD_VALUE_BITS + SLD_CONF_BITS + SLD_FLAG_BITS;
+        let sld_bits = cfg.sld_entries() as u64 * sld_entry;
+        let rmt_bits = (STACK_REGS * cfg.rmt_stack_depth as u64
+            + OTHER_REGS * cfg.rmt_other_depth as u64)
+            * RMT_PC_BITS;
+        let amt_entry = AMT_TAG_BITS + cfg.amt_pcs_per_entry as u64 * AMT_PC_BITS;
+        let amt_bits = cfg.amt_entries() as u64 * amt_entry;
+        StorageBreakdown { sld_bits, rmt_bits, amt_bits }
+    }
+
+    /// SLD size in KiB.
+    pub fn sld_kb(&self) -> f64 {
+        self.sld_bits as f64 / 8.0 / 1024.0
+    }
+
+    /// RMT size in KiB.
+    pub fn rmt_kb(&self) -> f64 {
+        self.rmt_bits as f64 / 8.0 / 1024.0
+    }
+
+    /// AMT size in KiB.
+    pub fn amt_kb(&self) -> f64 {
+        self.amt_bits as f64 / 8.0 / 1024.0
+    }
+
+    /// Total size in KiB.
+    pub fn total_kb(&self) -> f64 {
+        self.sld_kb() + self.rmt_kb() + self.amt_kb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_costs_12_4_kb() {
+        let s = StorageBreakdown::for_config(&ConstableConfig::paper());
+        assert!((s.sld_kb() - 7.875).abs() < 0.01, "SLD ≈ 7.9 KB, got {}", s.sld_kb());
+        assert!((s.rmt_kb() - 0.42).abs() < 0.02, "RMT ≈ 0.4 KB, got {}", s.rmt_kb());
+        assert!((s.amt_kb() - 4.0).abs() < 0.01, "AMT = 4.0 KB, got {}", s.amt_kb());
+        assert!(
+            (s.total_kb() - 12.4).abs() < 0.15,
+            "total ≈ 12.4 KB, got {:.2}",
+            s.total_kb()
+        );
+    }
+
+    #[test]
+    fn doubling_sld_roughly_doubles_its_cost() {
+        let base = StorageBreakdown::for_config(&ConstableConfig::paper());
+        let big = StorageBreakdown::for_config(&ConstableConfig {
+            sld_sets: 64,
+            ..ConstableConfig::paper()
+        });
+        assert!((big.sld_kb() / base.sld_kb() - 2.0).abs() < 1e-9);
+        assert_eq!(big.amt_bits, base.amt_bits);
+    }
+}

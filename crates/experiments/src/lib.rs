@@ -1,0 +1,65 @@
+//! # experiments — the paper's evaluation, regenerated
+//!
+//! One runner per table/figure of *Constable* (ISCA 2024). Each function in
+//! [`figures`] prints the same rows/series the paper reports; the
+//! `experiments` binary dispatches on a figure id:
+//!
+//! ```text
+//! cargo run --release -p experiments -- fig11          # full suite
+//! cargo run --release -p experiments -- fig11 --quick  # reduced run length
+//! cargo run --release -p experiments -- all            # everything
+//! ```
+//!
+//! Every simulation in the harness asserts the §8.5 golden functional check
+//! (zero mismatches) — an incorrect run can never feed a figure.
+
+pub mod configs;
+pub mod figures;
+pub mod runner;
+
+pub use configs::MachineKind;
+pub use runner::{run_one, run_suite, run_suite_smt2, RunLength, RunOutcome};
+
+use sim_workload::WorkloadSpec;
+
+/// The figure ids the harness understands, with their runners.
+pub const FIGURES: &[&str] = &[
+    "fig3", "fig6", "fig7", "fig9a", "fig9b", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b", "fig21", "fig22", "fig23", "fig24",
+    "table1", "table3", "amt-granularity", "xprf", "verify",
+];
+
+/// Runs the figure named `id` over `specs` and returns its report.
+///
+/// # Panics
+/// Panics on an unknown id (the binary validates first) or if any
+/// simulation fails its golden check.
+pub fn run_figure(id: &str, specs: &[WorkloadSpec], n: RunLength) -> String {
+    match id {
+        "fig3" => figures::fig3(specs, n),
+        "fig6" => figures::fig6(specs, n),
+        "fig7" => figures::fig7(specs, n),
+        "fig9a" => figures::fig9a(specs, n),
+        "fig9b" => figures::fig9b(specs, n),
+        "fig11" => figures::fig11(specs, n),
+        "fig12" => figures::fig12(specs, n),
+        "fig13" => figures::fig13(specs, n),
+        "fig14" => figures::fig14(specs, n),
+        "fig15" => figures::fig15(specs, n),
+        "fig16" => figures::fig16(specs, n),
+        "fig17" => figures::fig17(specs, n),
+        "fig18" => figures::fig18(specs, n),
+        "fig19" => figures::fig19(specs, n),
+        "fig20a" => figures::fig20a(specs, n),
+        "fig20b" => figures::fig20b(specs, n),
+        "fig21" => figures::fig21(specs, n),
+        "fig22" => figures::fig22(specs, n),
+        "fig23" | "fig24" => figures::fig23_24(specs, n),
+        "table1" => figures::table1(),
+        "table3" => figures::table3(),
+        "amt-granularity" => figures::amt_granularity(specs, n),
+        "xprf" => figures::xprf(specs, n),
+        "verify" => figures::verify(specs, n),
+        other => panic!("unknown figure id {other:?}; known: {FIGURES:?}"),
+    }
+}

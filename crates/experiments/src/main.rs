@@ -1,0 +1,55 @@
+//! The `experiments` binary: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! experiments -- <figure-id> [--quick] [--subset N]
+//! experiments -- all [--quick]
+//! experiments -- list
+//! ```
+
+use experiments::{run_figure, RunLength, FIGURES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut n = RunLength::full();
+    let mut subset: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => n = RunLength::quick(),
+            "--subset" => {
+                i += 1;
+                subset = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--subset requires a count"),
+                );
+            }
+            "list" => {
+                for f in FIGURES {
+                    println!("{f}");
+                }
+                return;
+            }
+            "all" => ids.extend(FIGURES.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments -- <figure-id>|all [--quick] [--subset N]");
+        eprintln!("known figure ids: {FIGURES:?}");
+        std::process::exit(2);
+    }
+    let specs = match subset {
+        Some(k) => sim_workload::suite_subset(k),
+        None => sim_workload::suite(),
+    };
+    for id in ids {
+        let started = std::time::Instant::now();
+        let report = run_figure(&id, &specs, n);
+        println!("================ {id} ================");
+        println!("{report}");
+        eprintln!("[{id} took {:.1}s]", started.elapsed().as_secs_f64());
+    }
+}

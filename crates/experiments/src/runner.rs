@@ -1,0 +1,178 @@
+//! Parallel suite execution.
+
+use constable::IdealOracle;
+use sim_core::{Core, CoreConfig, SimResult};
+use sim_workload::{Category, WorkloadSpec};
+
+/// How long each run is, in retired instructions per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLength(pub u64);
+
+impl RunLength {
+    /// Full-length run used for the published numbers.
+    pub fn full() -> Self {
+        RunLength(150_000)
+    }
+
+    /// Short run for smoke tests and `cargo bench`.
+    pub fn quick() -> Self {
+        RunLength(40_000)
+    }
+}
+
+/// Outcome of one (workload, configuration) simulation.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    pub workload: String,
+    pub category: Category,
+    pub result: SimResult,
+}
+
+impl RunOutcome {
+    /// IPC of this run.
+    pub fn ipc(&self) -> f64 {
+        self.result.ipc()
+    }
+}
+
+/// Runs `specs` under the configuration produced by `mk` (which may use the
+/// workload's global-stable oracle), in parallel across CPU cores.
+///
+/// # Panics
+/// Panics if any run fails the golden functional check or trips the cycle
+/// guard — an incorrect simulation must never silently feed a figure.
+pub fn run_suite<F>(specs: &[WorkloadSpec], n: RunLength, with_oracle: bool, mk: F) -> Vec<RunOutcome>
+where
+    F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(specs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<RunOutcome>> = vec![None; specs.len()];
+    let slots = std::sync::Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let spec = &specs[i];
+                let outcome = run_one(spec, n, with_oracle, &mk);
+                slots.lock().expect("no poisoned runs")[i] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Runs a single workload under `mk`'s configuration.
+pub fn run_one<F>(spec: &WorkloadSpec, n: RunLength, with_oracle: bool, mk: &F) -> RunOutcome
+where
+    F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig,
+{
+    let program = spec.build();
+    let oracle = if with_oracle {
+        let report = load_inspector::analyze(&program, n.0);
+        IdealOracle::new(report.stable_pcs.iter().copied())
+    } else {
+        IdealOracle::default()
+    };
+    let cfg = mk(spec, oracle);
+    let mut core = Core::new(&program, cfg);
+    let result = core.run(n.0);
+    assert!(
+        !result.hit_cycle_guard,
+        "{}: cycle guard tripped",
+        spec.name
+    );
+    assert_eq!(
+        result.stats.golden_mismatches, 0,
+        "{}: golden functional check failed",
+        spec.name
+    );
+    RunOutcome {
+        workload: spec.name.clone(),
+        category: spec.category,
+        result,
+    }
+}
+
+/// Runs an SMT2 pairing: each workload paired with one from a different
+/// point of the suite (i ↔ i + len/2), both threads simulated together.
+pub fn run_suite_smt2<F>(specs: &[WorkloadSpec], n: RunLength, mk: F) -> Vec<RunOutcome>
+where
+    F: Fn(&WorkloadSpec) -> CoreConfig + Sync,
+{
+    let half = specs.len() / 2;
+    let pairs: Vec<(WorkloadSpec, WorkloadSpec)> = (0..half)
+        .map(|i| (specs[i].clone(), specs[i + half].clone()))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(pairs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<RunOutcome>> = vec![None; pairs.len()];
+    let slots = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= pairs.len() {
+                    break;
+                }
+                let (a, b) = &pairs[i];
+                let pa = a.build();
+                let pb = b.build();
+                let cfg = mk(a);
+                let mut core = Core::new_multi(vec![&pa, &pb], cfg);
+                let result = core.run(n.0 / 2);
+                assert!(!result.hit_cycle_guard, "{}+{}: guard", a.name, b.name);
+                assert_eq!(result.stats.golden_mismatches, 0, "{}: golden", a.name);
+                slots.lock().expect("no poisoned runs")[i] = Some(RunOutcome {
+                    workload: format!("{}+{}", a.name, b.name),
+                    category: a.category,
+                    result,
+                });
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Geomean speedup of `opt` over `base`, matching runs by workload name.
+pub fn geomean_speedup(base: &[RunOutcome], opt: &[RunOutcome]) -> f64 {
+    let speedups = opt.iter().zip(base).map(|(o, b)| {
+        debug_assert_eq!(o.workload, b.workload);
+        o.ipc() / b.ipc()
+    });
+    sim_stats::geomean(speedups)
+}
+
+/// Geomean speedup per category plus overall, in the paper's category order.
+pub fn category_speedups(base: &[RunOutcome], opt: &[RunOutcome]) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for cat in Category::ALL {
+        let pairs: Vec<f64> = opt
+            .iter()
+            .zip(base)
+            .filter(|(o, _)| o.category == cat)
+            .map(|(o, b)| o.ipc() / b.ipc())
+            .collect();
+        if !pairs.is_empty() {
+            rows.push((cat.label().to_string(), sim_stats::geomean(pairs)));
+        }
+    }
+    rows.push(("GEOMEAN".to_string(), geomean_speedup(base, opt)));
+    rows
+}

@@ -1,0 +1,260 @@
+//! # load-inspector — global-stable load analysis
+//!
+//! The Rust equivalent of the paper's open-sourced binary-instrumentation
+//! tool (§4.1–4.2, <https://github.com/CMU-SAFARI/Load-Inspector>): it runs
+//! a workload functionally and identifies **global-stable loads** — static
+//! load instructions whose every dynamic instance fetches the same value
+//! from the same address across the whole trace — plus their addressing-mode
+//! and inter-occurrence-distance distributions (Fig 3), and the APX
+//! (32-register) study of Appendix B (Figs 23–24).
+//!
+//! ```
+//! use load_inspector::analyze;
+//! use sim_workload::suite_subset;
+//!
+//! let spec = &suite_subset(1)[0];
+//! let program = spec.build();
+//! let report = analyze(&program, 50_000);
+//! assert!(report.stable_dynamic_frac() > 0.0);
+//! ```
+
+use sim_isa::AddrMode;
+use sim_workload::{Machine, Program};
+use std::collections::HashMap;
+
+/// Inter-occurrence distance buckets used by the paper (Fig 3c/d).
+pub const DISTANCE_BUCKETS: [u64; 3] = [50, 100, 250];
+
+#[derive(Debug, Clone)]
+struct PcRecord {
+    pc: u64,
+    mode: AddrMode,
+    count: u64,
+    addr: u64,
+    value: u64,
+    stable: bool,
+    last_seq: u64,
+    /// Distances between successive instances, bucketed per the paper.
+    dist_counts: [u64; 4],
+}
+
+/// Analysis result over one workload trace.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Dynamic instructions analyzed.
+    pub total_instructions: u64,
+    /// Dynamic loads observed.
+    pub total_loads: u64,
+    /// Dynamic instances of global-stable static loads.
+    pub stable_dynamic: u64,
+    /// Dynamic global-stable instances per addressing mode
+    /// (PC-relative, stack-relative, register-relative).
+    pub stable_by_mode: [u64; 3],
+    /// Inter-occurrence distance histogram of global-stable instances,
+    /// bucketed `[0,50) [50,100) [100,250) 250+`.
+    pub stable_distance: [u64; 4],
+    /// Distance histogram per addressing mode (Fig 3d).
+    pub distance_by_mode: [[u64; 4]; 3],
+    /// The global-stable static load PCs (feeds [`constable::IdealOracle`]).
+    pub stable_pcs: Vec<u64>,
+    /// Static loads observed at least once.
+    pub static_loads: u64,
+    /// Per-PC detail: (pc, mode, dynamic count, global-stable).
+    pub pc_details: Vec<(u64, AddrMode, u64, bool)>,
+}
+
+impl LoadReport {
+    /// Fraction of all dynamic loads that are global-stable (Fig 3a).
+    pub fn stable_dynamic_frac(&self) -> f64 {
+        if self.total_loads == 0 {
+            0.0
+        } else {
+            self.stable_dynamic as f64 / self.total_loads as f64
+        }
+    }
+
+    /// Dynamic loads per kilo-instruction (the APX study's load-reduction
+    /// metric, Fig 23).
+    pub fn loads_per_kinst(&self) -> f64 {
+        if self.total_instructions == 0 {
+            0.0
+        } else {
+            self.total_loads as f64 * 1000.0 / self.total_instructions as f64
+        }
+    }
+
+    /// Fraction of global-stable instances using each addressing mode
+    /// (Fig 3b): `[PC-relative, stack-relative, register-relative]`.
+    pub fn mode_fracs(&self) -> [f64; 3] {
+        let t = self.stable_dynamic.max(1) as f64;
+        self.stable_by_mode.map(|c| c as f64 / t)
+    }
+
+    /// Fraction of global-stable instances per distance bucket (Fig 3c).
+    pub fn distance_fracs(&self) -> [f64; 4] {
+        let t: u64 = self.stable_distance.iter().sum();
+        self.stable_distance.map(|c| c as f64 / t.max(1) as f64)
+    }
+
+    /// Distance-bucket fractions for one addressing mode (Fig 3d).
+    pub fn distance_fracs_for_mode(&self, mode: AddrMode) -> [f64; 4] {
+        let i = AddrMode::ALL.iter().position(|&m| m == mode).expect("known mode");
+        let t: u64 = self.distance_by_mode[i].iter().sum();
+        self.distance_by_mode[i].map(|c| c as f64 / t.max(1) as f64)
+    }
+}
+
+fn bucket_of(distance: u64) -> usize {
+    DISTANCE_BUCKETS.partition_point(|&b| b <= distance)
+}
+
+/// Runs `program` functionally for `n` instructions and reports its
+/// global-stable load characteristics.
+pub fn analyze(program: &Program, n: u64) -> LoadReport {
+    let mut machine = Machine::new(program);
+    let mut per_pc: HashMap<u32, PcRecord> = HashMap::new();
+    let mut total_loads = 0u64;
+
+    for _ in 0..n {
+        let rec = machine.step();
+        let inst = program.inst(rec.sidx);
+        if !inst.is_load() {
+            continue;
+        }
+        total_loads += 1;
+        let acc = rec.mem.expect("loads access memory");
+        let entry = per_pc.entry(rec.sidx).or_insert_with(|| PcRecord {
+            pc: inst.pc.0,
+            mode: inst.addr_mode().expect("loads have an addressing mode"),
+            count: 0,
+            addr: acc.addr,
+            value: acc.value,
+            stable: true,
+            last_seq: rec.seq,
+            dist_counts: [0; 4],
+        });
+        if entry.count > 0 {
+            if entry.addr != acc.addr || entry.value != acc.value {
+                entry.stable = false;
+            }
+            let dist = rec.seq - entry.last_seq;
+            entry.dist_counts[bucket_of(dist)] += 1;
+        }
+        entry.count += 1;
+        entry.last_seq = rec.seq;
+    }
+
+    let mut report = LoadReport {
+        total_instructions: n,
+        total_loads,
+        stable_dynamic: 0,
+        stable_by_mode: [0; 3],
+        stable_distance: [0; 4],
+        distance_by_mode: [[0; 4]; 3],
+        stable_pcs: Vec::new(),
+        static_loads: per_pc.len() as u64,
+        pc_details: Vec::new(),
+    };
+    for rec in per_pc.values() {
+        let qualifies = rec.stable && rec.count >= 2;
+        report.pc_details.push((rec.pc, rec.mode, rec.count, qualifies));
+        // "Repeatedly fetch": a single execution does not qualify.
+        if !qualifies {
+            continue;
+        }
+        report.stable_dynamic += rec.count;
+        let mode_idx = AddrMode::ALL
+            .iter()
+            .position(|&m| m == rec.mode)
+            .expect("known mode");
+        report.stable_by_mode[mode_idx] += rec.count;
+        for (b, &c) in rec.dist_counts.iter().enumerate() {
+            report.stable_distance[b] += c;
+            report.distance_by_mode[mode_idx][b] += c;
+        }
+        report.stable_pcs.push(rec.pc);
+    }
+    report.stable_pcs.sort_unstable();
+    report.pc_details.sort_unstable_by_key(|d| d.0);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::{AluOp, ArchReg, CondCode, MemRef};
+    use sim_workload::ProgramBuilder;
+
+    /// A program with one provably stable load and one provably unstable.
+    fn two_load_program() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        let g = b.alloc_global(7);
+        let arr = b.alloc_region(16);
+        for i in 0..16 {
+            b.init_u64(arr + i * 8, i);
+        }
+        b.set_entry();
+        b.movi(ArchReg::RCX, 0);
+        let top = b.bind_new_label();
+        b.load_rip(ArchReg::RAX, g); // stable: same addr, same value forever
+        b.alui(AluOp::And, ArchReg::RDX, ArchReg::RCX, 15);
+        b.lea(ArchReg::R8, MemRef::rip(arr));
+        b.load(ArchReg::R9, MemRef::base_index(ArchReg::R8, ArchReg::RDX, 8, 0)); // unstable
+        b.alui(AluOp::Add, ArchReg::RCX, ArchReg::RCX, 1);
+        b.br_imm(CondCode::Lt, ArchReg::RCX, 1 << 30, top);
+        b.build()
+    }
+
+    #[test]
+    fn identifies_stable_and_unstable_loads() {
+        let p = two_load_program();
+        let r = analyze(&p, 6_000);
+        assert_eq!(r.static_loads, 2);
+        assert_eq!(r.stable_pcs.len(), 1, "exactly one global-stable load");
+        // Both loads execute once per iteration: stable fraction ≈ 50%.
+        let f = r.stable_dynamic_frac();
+        assert!((0.45..0.55).contains(&f), "stable frac {f}");
+    }
+
+    #[test]
+    fn stable_load_mode_attribution() {
+        let p = two_load_program();
+        let r = analyze(&p, 6_000);
+        let fracs = r.mode_fracs();
+        assert!(fracs[0] > 0.99, "the stable load is PC-relative: {fracs:?}");
+    }
+
+    #[test]
+    fn distance_buckets_match_loop_length() {
+        let p = two_load_program();
+        let r = analyze(&p, 6_000);
+        let d = r.distance_fracs();
+        assert!(d[0] > 0.99, "6-instruction loop → all distances in [0,50): {d:?}");
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(49), 0);
+        assert_eq!(bucket_of(50), 1);
+        assert_eq!(bucket_of(100), 2);
+        assert_eq!(bucket_of(249), 2);
+        assert_eq!(bucket_of(250), 3);
+        assert_eq!(bucket_of(100_000), 3);
+    }
+
+    #[test]
+    fn suite_traces_have_paper_shaped_stable_fractions() {
+        // Spot-check one workload per category at modest length.
+        for spec in sim_workload::suite_subset(5) {
+            let p = spec.build();
+            let r = analyze(&p, 60_000);
+            let f = r.stable_dynamic_frac();
+            assert!(
+                (0.05..0.90).contains(&f),
+                "{}: stable fraction {f:.3} out of plausible range",
+                spec.name
+            );
+        }
+    }
+}

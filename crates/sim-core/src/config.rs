@@ -1,0 +1,169 @@
+//! Core configuration (paper Table 2, plus the optional units of §8.4).
+
+use constable::{ConstableConfig, IdealConfig, IdealOracle};
+use sim_mem::MemConfig;
+
+/// Full machine configuration.
+///
+/// [`CoreConfig::golden_cove_like`] reproduces the paper's baseline: a
+/// 6-wide out-of-order x86-64-class core at 3.2 GHz with Memory Renaming and
+/// the rename-stage dynamic optimizations (zero/move elimination, constant
+/// and branch folding) **enabled in the baseline**, per §8.1.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    // Widths.
+    pub fetch_width: u32,
+    pub decode_width: u32,
+    pub rename_width: u32,
+    pub issue_width: u32,
+    pub retire_width: u32,
+    // Window sizes.
+    pub idq_size: usize,
+    pub rob_size: usize,
+    pub rs_size: usize,
+    pub lb_size: usize,
+    pub sb_size: usize,
+    // Execution ports (Table 2: 5 ALU, 3 AGU+load, 2 store-address,
+    // 2 store-data).
+    pub alu_ports: u32,
+    pub load_ports: u32,
+    pub sta_ports: u32,
+    pub std_ports: u32,
+    // Latencies (cycles).
+    pub alu_latency: u64,
+    pub mul_latency: u64,
+    pub div_latency: u64,
+    pub agu_latency: u64,
+    /// Front-end redirect bubbles after a resolved misprediction (the
+    /// end-to-end penalty including refill ≈ 20 cycles, Table 2).
+    pub redirect_bubbles: u64,
+    // Memory hierarchy.
+    pub mem: MemConfig,
+    // Baseline rename optimizations (§8.1).
+    pub mrn: bool,
+    pub move_zero_elimination: bool,
+    pub constant_folding: bool,
+    pub branch_folding: bool,
+    // Optional units (§8.4).
+    pub eves: bool,
+    pub elar: bool,
+    pub rfp: bool,
+    pub constable: Option<ConstableConfig>,
+    /// Oracle-driven ideal configuration (Fig 7); requires `oracle`.
+    pub ideal: Option<IdealConfig>,
+    /// Global-stable PC oracle for ideal configurations and Fig 6 port
+    /// attribution.
+    pub oracle: IdealOracle,
+    // Environment.
+    /// Synthetic cross-core snoop rate (per 10k retired instructions).
+    pub snoop_rate_per_10k: u32,
+    /// Model wrong-path fetch/rename after mispredictions.
+    pub wrong_path_fetch: bool,
+    /// Deterministic seed for the snoop injector.
+    pub seed: u64,
+    /// Track per-PC load/elimination counts (Fig 17 coverage breakdown);
+    /// off by default to keep runs lean.
+    pub track_per_pc: bool,
+}
+
+impl CoreConfig {
+    /// The paper's baseline machine (Table 2).
+    pub fn golden_cove_like() -> Self {
+        CoreConfig {
+            fetch_width: 8,
+            decode_width: 6,
+            rename_width: 6,
+            issue_width: 6,
+            retire_width: 6,
+            idq_size: 144,
+            rob_size: 512,
+            rs_size: 248,
+            lb_size: 240,
+            sb_size: 112,
+            alu_ports: 5,
+            load_ports: 3,
+            sta_ports: 2,
+            std_ports: 2,
+            alu_latency: 1,
+            mul_latency: 4,
+            div_latency: 18,
+            agu_latency: 1,
+            redirect_bubbles: 10,
+            mem: MemConfig::golden_cove_like(),
+            mrn: true,
+            move_zero_elimination: true,
+            constant_folding: true,
+            branch_folding: true,
+            eves: false,
+            elar: false,
+            rfp: false,
+            constable: None,
+            ideal: None,
+            oracle: IdealOracle::default(),
+            snoop_rate_per_10k: 2,
+            wrong_path_fetch: true,
+            seed: 0xC0FFEE,
+            track_per_pc: false,
+        }
+    }
+
+    /// Baseline + Constable (the paper's headline configuration).
+    pub fn with_constable(mut self) -> Self {
+        self.constable = Some(ConstableConfig::paper());
+        self
+    }
+
+    /// Baseline + the EVES load value predictor.
+    pub fn with_eves(mut self) -> Self {
+        self.eves = true;
+        self
+    }
+
+    /// Scales the load execution width (Fig 20a sweep; both AGU and load
+    /// ports in the paper's terms).
+    pub fn with_load_ports(mut self, ports: u32) -> Self {
+        self.load_ports = ports;
+        self
+    }
+
+    /// Scales pipeline depth resources: ROB, RS, LB, SB (Fig 20b sweep).
+    pub fn with_depth_scale(mut self, factor: f64) -> Self {
+        let scale = |v: usize| ((v as f64 * factor) as usize).max(16);
+        self.rob_size = scale(self.rob_size);
+        self.rs_size = scale(self.rs_size);
+        self.lb_size = scale(self.lb_size);
+        self.sb_size = scale(self.sb_size);
+        self
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::golden_cove_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = CoreConfig::golden_cove_like();
+        assert_eq!(c.rename_width, 6);
+        assert_eq!(c.rob_size, 512);
+        assert_eq!(c.rs_size, 248);
+        assert_eq!(c.lb_size, 240);
+        assert_eq!(c.sb_size, 112);
+        assert_eq!(c.load_ports, 3);
+        assert!(c.mrn, "MRN is part of the baseline");
+        assert!(c.constable.is_none(), "Constable is optional");
+    }
+
+    #[test]
+    fn depth_scaling_multiplies_window_resources() {
+        let c = CoreConfig::golden_cove_like().with_depth_scale(2.0);
+        assert_eq!(c.rob_size, 1024);
+        assert_eq!(c.rs_size, 496);
+    }
+}

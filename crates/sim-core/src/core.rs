@@ -1,0 +1,1351 @@
+//! The cycle-accurate out-of-order core.
+//!
+//! A trace-driven nine-stage model (Fig 1 of the paper: Fetch, Decode,
+//! Allocate, Rename, Issue, Execute, Memory, Writeback, Retire) built around
+//! a unified in-flight window:
+//!
+//! * **Fetch** follows the functional trace through a TAGE branch predictor
+//!   and return-address stack; mispredictions switch fetch onto the *wrong
+//!   path* (real static instructions from the predicted target), whose µops
+//!   consume pipeline resources and pollute Constable's structures (§6.7.2)
+//!   until the branch resolves.
+//! * **Rename** applies the baseline dynamic optimizations (move/zero
+//!   elimination, constant and branch folding, Memory Renaming), the
+//!   optional EVES value predictor, ELAR, RFP, and — the paper's
+//!   contribution — Constable's SLD lookup, elimination, and RMT updates,
+//!   including SLD read/write port stalls (§6.7.1).
+//! * **Issue/Execute/Memory** model 12 execution ports (5 ALU, 3 AGU+load,
+//!   2 STA, 2 STD), store-to-load forwarding, store-set memory dependence
+//!   prediction, and the full cache/DRAM hierarchy.
+//! * **Writeback** trains the SLD, arms elimination (steps 4–6 of Fig 8),
+//!   verifies value/MRN speculation, resolves branches, and performs the
+//!   store-vs-load disambiguation probe that catches incorrectly eliminated
+//!   loads (§6.5).
+//! * **Retire** performs the golden functional check of §8.5 on every load —
+//!   including eliminated ones — against the functional execution.
+
+use crate::config::CoreConfig;
+use crate::stats::CoreStats;
+use crate::uop::{Fetched, Tag, Uop, UopState};
+use constable::{Constable, IdealConfig, LoadRename, StackState};
+use sim_isa::{AluOp, ArchReg, BranchKind, DynInst, InstClass, OpKind, Pc};
+use sim_mem::{line_addr, MemoryHierarchy, SnoopInjector};
+use sim_predictors::{Elar, Eves, Mrn, ReturnStack, StoreSets, Tage};
+use sim_workload::{Machine, Program};
+use std::collections::VecDeque;
+
+/// Address-space tag shift for SMT threads (thread 1's physical addresses
+/// and predictor-visible PCs are offset to model distinct address spaces).
+const THREAD_TAG_SHIFT: u32 = 46;
+
+#[derive(Debug)]
+struct WrongPath {
+    next_sidx: u32,
+    cause_seq: u64,
+}
+
+#[derive(Debug)]
+struct Thread<'p> {
+    id: usize,
+    program: &'p Program,
+    machine: Machine<'p>,
+    /// Fetched-ahead functional records; front = oldest unretired.
+    pending: VecDeque<DynInst>,
+    /// Index into `pending` of the next record to fetch.
+    cursor: usize,
+    rob: VecDeque<Tag>,
+    rob_cap: usize,
+    idq: VecDeque<Fetched>,
+    ras: ReturnStack,
+    wrong_path: Option<WrongPath>,
+    wp_seq_counter: u64,
+    fetch_stall_until: u64,
+    stack_rename: StackState,
+    stack_retired: StackState,
+    last_writer: [Option<(Tag, u64)>; 32],
+    retired: u64,
+    /// Speculative branch history for the value predictor (updated at
+    /// rename of conditional branches with the trace outcome).
+    vp_history: u64,
+}
+
+impl<'p> Thread<'p> {
+    fn new(id: usize, program: &'p Program, rob_cap: usize) -> Self {
+        Thread {
+            id,
+            program,
+            machine: Machine::new(program),
+            pending: VecDeque::new(),
+            cursor: 0,
+            rob: VecDeque::new(),
+            rob_cap,
+            idq: VecDeque::new(),
+            ras: ReturnStack::new(),
+            wrong_path: None,
+            wp_seq_counter: 0,
+            fetch_stall_until: 0,
+            stack_rename: StackState::default(),
+            stack_retired: StackState::default(),
+            last_writer: [None; 32],
+            retired: 0,
+            vp_history: 0,
+        }
+    }
+
+    fn tag_addr(&self, addr: u64) -> u64 {
+        addr + ((self.id as u64) << THREAD_TAG_SHIFT)
+    }
+
+    fn tag_pc(&self, pc: u64) -> u64 {
+        pc + ((self.id as u64) << THREAD_TAG_SHIFT)
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// All counters.
+    pub stats: CoreStats,
+    /// Retired instructions per thread.
+    pub retired_per_thread: Vec<u64>,
+    /// Hit the cycle guard before reaching the target (indicates a model
+    /// problem; tests assert this is false).
+    pub hit_cycle_guard: bool,
+}
+
+impl SimResult {
+    /// Instructions per cycle (aggregate across threads).
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// The core model. See the module docs for the stage breakdown.
+pub struct Core<'p> {
+    cfg: CoreConfig,
+    threads: Vec<Thread<'p>>,
+    window: Vec<Uop>,
+    free_slots: Vec<Tag>,
+    rs_used: usize,
+    lb_used: usize,
+    sb_used: usize,
+    mem: MemoryHierarchy,
+    /// One TAGE per hardware thread: branch history must not interleave
+    /// across SMT threads (it would make direction prediction depend on
+    /// scheduling timing).
+    tage: Vec<Tage>,
+    eves: Option<Eves>,
+    mrn: Option<Mrn>,
+    storesets: StoreSets,
+    cons: Option<Constable>,
+    elar: Option<Elar>,
+    rfp: Option<Rfp2>,
+    injector: SnoopInjector,
+    stats: CoreStats,
+    now: u64,
+    next_uid: u64,
+    rename_block_until: u64,
+    /// In-flight (renamed, unretired) correct-path instances per load PC;
+    /// feeds the EVES stride component's run-ahead distance.
+    inflight_loads: std::collections::HashMap<u64, u32>,
+}
+
+// Thin alias so the field reads naturally.
+type Rfp2 = sim_predictors::Rfp;
+
+impl<'p> Core<'p> {
+    /// Creates a single-threaded core running `program`.
+    pub fn new(program: &'p Program, cfg: CoreConfig) -> Self {
+        Self::new_multi(vec![program], cfg)
+    }
+
+    /// Creates a core running one program per hardware thread (SMT2 when
+    /// two programs are given; §9.1.2). The ROB is statically partitioned;
+    /// RS/LB/SB and all predictors are shared.
+    ///
+    /// # Panics
+    /// Panics unless 1 or 2 programs are supplied.
+    pub fn new_multi(programs: Vec<&'p Program>, cfg: CoreConfig) -> Self {
+        assert!(
+            (1..=2).contains(&programs.len()),
+            "1 (noSMT) or 2 (SMT2) threads supported"
+        );
+        let rob_cap = cfg.rob_size / programs.len();
+        let threads: Vec<Thread<'p>> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Thread::new(i, p, rob_cap))
+            .collect();
+        let window_cap = cfg.rob_size + 8;
+        let nthreads = threads.len();
+        Core {
+            mem: MemoryHierarchy::new(cfg.mem),
+            tage: (0..nthreads).map(|_| Tage::new()).collect(),
+            eves: cfg.eves.then(Eves::new),
+            mrn: cfg.mrn.then(Mrn::new),
+            storesets: StoreSets::new(),
+            cons: cfg.constable.clone().map(Constable::new),
+            elar: cfg.elar.then(Elar::new),
+            rfp: cfg.rfp.then(Rfp2::new),
+            injector: SnoopInjector::new(cfg.snoop_rate_per_10k, cfg.seed),
+            threads,
+            window: (0..window_cap).map(|_| Uop::empty()).collect(),
+            free_slots: (0..window_cap).rev().collect(),
+            rs_used: 0,
+            lb_used: 0,
+            sb_used: 0,
+            stats: CoreStats::default(),
+            now: 0,
+            next_uid: 1,
+            rename_block_until: 0,
+            inflight_loads: std::collections::HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Runs until every thread has retired `target_per_thread` instructions
+    /// (or a generous cycle guard trips).
+    pub fn run(&mut self, target_per_thread: u64) -> SimResult {
+        let guard = 400 * target_per_thread + 2_000_000;
+        let mut hit_guard = false;
+        while self.threads.iter().any(|t| t.retired < target_per_thread) {
+            self.complete_phase();
+            self.retire_phase();
+            self.issue_phase();
+            self.rename_phase();
+            self.fetch_phase();
+            self.now += 1;
+            if self.now >= guard {
+                hit_guard = true;
+                break;
+            }
+        }
+        self.stats.cycles = self.now;
+        // Fold hierarchy counters into the core stats.
+        let h = self.mem.stats();
+        self.stats.l1d_accesses = h.loads.get() + h.stores.get();
+        self.stats.dtlb_accesses = self.stats.l1d_accesses;
+        let (_, l2, _) = self.mem.cache_stats();
+        self.stats.l2_accesses = l2.accesses.get();
+        self.stats.dram_accesses = h.dram_accesses.get();
+        self.stats.snoops_delivered = h.snoops.get();
+        if let Some(c) = &self.cons {
+            let cs = c.stats();
+            self.stats.sld_reads = cs.loads_renamed;
+            self.stats.sld_writes =
+                cs.resets_reg_write + cs.resets_store + cs.resets_snoop + cs.armed;
+            self.stats.amt_probes = cs.resets_store + cs.resets_snoop + cs.armed;
+            self.stats.cv_pins = cs.cv_pins_requested;
+        }
+        SimResult {
+            stats: self.stats.clone(),
+            retired_per_thread: self.threads.iter().map(|t| t.retired).collect(),
+            hit_cycle_guard: hit_guard,
+        }
+    }
+
+    /// Statistics so far (valid after [`Core::run`]).
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The Constable engine, when configured (for tests/analysis).
+    pub fn constable(&self) -> Option<&Constable> {
+        self.cons.as_ref()
+    }
+
+    // ----------------------------------------------------------------- fetch
+
+    fn fetch_phase(&mut self) {
+        let nthreads = self.threads.len();
+        // Round-robin priority, but never waste the slot on a stalled or
+        // full thread when the other can make progress (ICOUNT-lite).
+        let Some(tid) = (0..nthreads)
+            .map(|off| (self.now as usize + off) % nthreads)
+            .find(|&t| {
+                self.now >= self.threads[t].fetch_stall_until
+                    && self.threads[t].idq.len() < self.cfg.idq_size
+            })
+        else {
+            return;
+        };
+        let mut budget = self.cfg.fetch_width.min(self.cfg.decode_width);
+        while budget > 0 && self.threads[tid].idq.len() < self.cfg.idq_size {
+            let th = &mut self.threads[tid];
+            if th.wrong_path.is_some() {
+                // Wrong-path fetch: real static instructions from the
+                // predicted (wrong) target, following further predictions.
+                let wp_sidx = th.wrong_path.as_ref().expect("checked").next_sidx;
+                let sidx = wp_sidx % th.program.len() as u32;
+                let inst = *th.program.inst(sidx);
+                let pred_pc = th.tag_pc(inst.pc.0);
+                let wp = th.wrong_path.as_mut().expect("checked");
+                wp.next_sidx = match inst.kind {
+                    OpKind::Branch(BranchKind::Jump { target })
+                    | OpKind::Branch(BranchKind::Call { target }) => target,
+                    OpKind::Branch(BranchKind::Cond { target, .. }) => {
+                        if self.tage[tid].predict(pred_pc) {
+                            target
+                        } else {
+                            sidx + 1
+                        }
+                    }
+                    _ => sidx + 1,
+                };
+                th.idq.push_back(Fetched {
+                    thread: tid,
+                    sidx,
+                    wrong_path: true,
+                    rec: None,
+                    mispredicted: false,
+                });
+                self.stats.fetched_wrong_path += 1;
+                budget -= 1;
+                continue;
+            }
+            // Correct path: pull the next functional record.
+            while th.pending.len() <= th.cursor {
+                let rec = th.machine.step();
+                th.pending.push_back(rec);
+            }
+            let rec = th.pending[th.cursor];
+            let inst = *th.program.inst(rec.sidx);
+            let ppc = th.tag_pc(inst.pc.0);
+            let mut mispredicted = false;
+            let mut wrong_target = 0u32;
+            let mut pred_taken = false;
+            if let OpKind::Branch(kind) = inst.kind {
+                match kind {
+                    BranchKind::Cond { target, .. } => {
+                        pred_taken = self.tage[tid].predict(ppc);
+                        self.tage[tid].update(ppc, rec.taken);
+                        mispredicted = pred_taken != rec.taken;
+                        wrong_target = if pred_taken { target } else { rec.sidx + 1 };
+                    }
+                    BranchKind::Jump { .. } => pred_taken = true,
+                    BranchKind::Call { .. } => {
+                        th.ras.push(inst.pc.fallthrough().0);
+                        pred_taken = true;
+                    }
+                    BranchKind::Ret => {
+                        pred_taken = true;
+                        let predicted = th.ras.pop();
+                        if predicted != Some(rec.next_pc.0) {
+                            mispredicted = true;
+                            wrong_target = predicted
+                                .map(|p| Pc(p).index())
+                                .unwrap_or(rec.sidx + 1);
+                        }
+                    }
+                    BranchKind::Indirect => {
+                        // Not emitted by the generator; treat as mispredicted.
+                        mispredicted = true;
+                        wrong_target = rec.sidx + 1;
+                    }
+                }
+            }
+            th.cursor += 1;
+            th.idq.push_back(Fetched {
+                thread: tid,
+                sidx: rec.sidx,
+                wrong_path: false,
+                rec: Some(rec),
+                mispredicted,
+            });
+            self.stats.fetched += 1;
+            budget -= 1;
+            if mispredicted {
+                self.stats.branch_mispredicts += 1;
+                if self.cfg.wrong_path_fetch {
+                    th.wrong_path = Some(WrongPath {
+                        next_sidx: wrong_target,
+                        cause_seq: rec.seq,
+                    });
+                } else {
+                    // No wrong-path modeling: stall fetch until resolution
+                    // (handled by the redirect at branch completion).
+                    th.fetch_stall_until = u64::MAX;
+                }
+                break;
+            }
+            if inst.is_branch() && (rec.taken || pred_taken) {
+                break; // fetch break after a taken branch
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- rename
+
+    /// Registers `consumer`'s dependence on the last writer of `reg`.
+    fn add_reg_dep(&mut self, tid: usize, reg: ArchReg, consumer: Tag) {
+        let Some((ptag, puid)) = self.threads[tid].last_writer[reg.index()] else {
+            return;
+        };
+        let cuid = self.window[consumer].uid;
+        let p = &mut self.window[ptag];
+        if p.valid && p.uid == puid && !p.value_available() {
+            p.consumers.push((consumer, cuid));
+            self.window[consumer].pending_deps += 1;
+        }
+    }
+
+    fn rename_phase(&mut self) {
+        if self.now < self.rename_block_until {
+            return;
+        }
+        let nthreads = self.threads.len();
+        let Some(tid) = (0..nthreads)
+            .map(|off| (self.now as usize + 1 + off) % nthreads)
+            .find(|&t| !self.threads[t].idq.is_empty())
+        else {
+            return;
+        };
+        let mut budget = self.cfg.rename_width;
+        let mut loads_this_cycle = 0u32;
+        while budget > 0 {
+            let th = &self.threads[tid];
+            let Some(f) = th.idq.front() else { break };
+            let inst = *th.program.inst(f.sidx);
+            // Structural hazards.
+            if th.rob.len() >= th.rob_cap {
+                break;
+            }
+            if inst.is_load() && self.lb_used >= self.cfg.lb_size {
+                break;
+            }
+            if inst.is_store() && self.sb_used >= self.cfg.sb_size {
+                break;
+            }
+            if self.rs_used >= self.cfg.rs_size {
+                break;
+            }
+            if self.cons.is_some() && inst.is_load() && loads_this_cycle >= self.cfg.rename_width.min(self.sld_read_ports()) {
+                self.stats.rename_stalls_sld_read += 1;
+                break;
+            }
+            let f = self.threads[tid].idq.pop_front().expect("checked above");
+            if inst.is_load() {
+                loads_this_cycle += 1;
+            }
+            self.rename_one(tid, f, inst);
+            budget -= 1;
+        }
+        // SLD write-port pressure (§6.7.1): more rename-stage SLD updates
+        // than ports stall rename for the overflow cycles.
+        if let Some(c) = &mut self.cons {
+            let (_, writes) = c.end_cycle();
+            self.stats.sld_updates_per_cycle.record(u64::from(writes));
+            let ports = self.cfg_sld_write_ports();
+            if writes > ports {
+                let extra = u64::from(writes - ports).div_ceil(u64::from(ports.max(1)));
+                self.rename_block_until = self.now + 1 + extra;
+                self.stats.rename_stalls_sld_write += extra;
+            }
+        }
+    }
+
+    fn sld_read_ports(&self) -> u32 {
+        self.cfg
+            .constable
+            .as_ref()
+            .map(|c| c.sld_read_ports)
+            .unwrap_or(u32::MAX)
+    }
+
+    fn cfg_sld_write_ports(&self) -> u32 {
+        self.cfg
+            .constable
+            .as_ref()
+            .map(|c| c.sld_write_ports)
+            .unwrap_or(u32::MAX)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn rename_one(&mut self, tid: usize, f: Fetched, inst: sim_isa::StaticInst) {
+        let tag = self.free_slots.pop().expect("window sized to ROB");
+        let uid = self.next_uid;
+        self.next_uid += 1;
+
+        let (raw_pc, seq) = {
+            let th = &mut self.threads[tid];
+            let seq = match &f.rec {
+                Some(r) => r.seq,
+                None => {
+                    th.wp_seq_counter += 1;
+                    u64::MAX / 2 + th.wp_seq_counter
+                }
+            };
+            (inst.pc.0, seq)
+        };
+        let ppc = self.threads[tid].tag_pc(raw_pc);
+
+        let mut u = Uop::empty();
+        u.valid = true;
+        u.uid = uid;
+        u.thread = tid;
+        u.seq = seq;
+        u.sidx = f.sidx;
+        u.pc = ppc;
+        u.cls = inst.class();
+        u.dst = inst.dst;
+        u.wrong_path = f.wrong_path;
+        u.rec = f.rec;
+        u.is_load = inst.is_load();
+        u.is_store = inst.is_store();
+        u.is_branch = inst.is_branch();
+        u.mispredicted = f.mispredicted;
+        if let OpKind::Load { size, .. } | OpKind::Store { size, .. } = inst.kind {
+            u.size = size;
+        }
+
+        // Baseline rename-stage folding (§8.1).
+        u.folded = match inst.kind {
+            OpKind::Nop => true,
+            OpKind::Mov => self.cfg.move_zero_elimination,
+            OpKind::MovImm => self.cfg.constant_folding,
+            OpKind::Branch(BranchKind::Jump { .. }) => self.cfg.branch_folding,
+            OpKind::Branch(BranchKind::Call { .. }) | OpKind::Branch(BranchKind::Ret) => {
+                self.cfg.branch_folding
+            }
+            OpKind::Alu(AluOp::Xor) if inst.is_zero_idiom() => self.cfg.move_zero_elimination,
+            _ => false,
+        };
+
+        let stack_before = self.threads[tid].stack_rename;
+
+        // ---------------- load-side speculation decisions -----------------
+        if u.is_load {
+            let mem = *inst.mem_ref().expect("loads have a memory operand");
+            // Constable (steps 1–3 of Fig 8).
+            let wp_ok = self
+                .cfg
+                .constable
+                .as_ref()
+                .map(|c| c.wrong_path_updates)
+                .unwrap_or(false);
+            if let Some(c) = &mut self.cons {
+                if !u.wrong_path || wp_ok {
+                    match c.rename_load(ppc, &mem, stack_before) {
+                        LoadRename::Eliminated { addr, value, slot } => {
+                            // Guard against the §6.5 race: if the store-set
+                            // predictor links this load to an in-flight store
+                            // whose address is still unresolved (a previous
+                            // ordering violation trained the pair), execute
+                            // it normally instead of risking another flush.
+                            let my_set = self.storesets.set_of(ppc);
+                            let conflict = my_set.is_some()
+                                && self.threads[tid].rob.iter().any(|&t| {
+                                    let s = &self.window[t];
+                                    s.valid
+                                        && s.is_store
+                                        && !s.wrong_path
+                                        && !s.addr_known
+                                        && self.storesets.set_of(s.pc) == my_set
+                                });
+                            if conflict {
+                                c.free_xprf(slot);
+                            } else {
+                                u.eliminated = true;
+                                u.folded = true;
+                                u.xprf = Some(slot);
+                                u.addr = addr;
+                                u.addr_known = true;
+                                u.result = value;
+                            }
+                        }
+                        LoadRename::LikelyStable => u.likely_stable = true,
+                        LoadRename::Normal => {}
+                    }
+                }
+            }
+            // Ideal oracle configurations (Fig 7).
+            if let (Some(ideal), Some(rec)) = (self.cfg.ideal, &u.rec) {
+                if self.cfg.oracle.is_stable(raw_pc) {
+                    if let Some(acc) = rec.mem {
+                        match ideal {
+                            IdealConfig::IdealConstable => {
+                                u.eliminated = true;
+                                u.ideal_eliminated = true;
+                                u.folded = true;
+                                u.addr = self.threads[tid].tag_addr(acc.addr);
+                                u.addr_known = true;
+                                u.result = acc.value;
+                            }
+                            IdealConfig::IdealStableLvp => {
+                                u.value_predicted = true;
+                                u.vp_value = acc.value;
+                            }
+                            IdealConfig::IdealStableLvpNoFetch => {
+                                u.value_predicted = true;
+                                u.vp_value = acc.value;
+                                u.no_data_fetch = true;
+                            }
+                            IdealConfig::DoubleLoadWidth => {}
+                        }
+                    }
+                }
+            }
+            // EVES value prediction.
+            if !u.eliminated && !u.value_predicted && !u.wrong_path {
+                if let Some(e) = &mut self.eves {
+                    self.stats.eves_lookups += 1;
+                    let inflight = self.inflight_loads.get(&ppc).copied().unwrap_or(0);
+                    let hist = self.threads[tid].vp_history;
+                    u.vp_history = hist;
+                    if let Some(p) = e.predict(ppc, hist, inflight) {
+                        u.value_predicted = true;
+                        u.vp_value = p.value;
+                    }
+                }
+            }
+            // Memory Renaming: forward from the predicted producer store.
+            if !u.eliminated && !u.value_predicted && !u.wrong_path {
+                if let Some(m) = &self.mrn {
+                    if let Some(pred) = m.predict(ppc) {
+                        // Youngest in-flight correct-path store with that PC.
+                        let th = &self.threads[tid];
+                        let hit = th.rob.iter().rev().find_map(|&t| {
+                            let s = &self.window[t];
+                            (s.valid && s.is_store && !s.wrong_path && s.pc == pred.store_pc)
+                                .then(|| s.rec.and_then(|r| r.mem).map(|a| a.value))
+                                .flatten()
+                        });
+                        if let Some(v) = hit {
+                            u.mrn_forwarded = true;
+                            u.mrn_value = v;
+                        }
+                    }
+                }
+            }
+            // ELAR: stack loads resolve their address before rename.
+            if !u.eliminated {
+                if let Some(el) = &mut self.elar {
+                    if el.can_resolve(&mem) {
+                        u.elar_resolved = true;
+                        self.stats.elar_resolved += 1;
+                    }
+                }
+            }
+            // RFP: predict the address and stage the data early.
+            if !u.eliminated && !u.wrong_path {
+                if let Some(r) = &mut self.rfp {
+                    if let Some(addr) = r.predict(ppc) {
+                        let paddr = self.threads[tid].tag_addr(addr);
+                        let out = self.mem.load(ppc, paddr, self.now);
+                        u.rfp_addr = Some(addr);
+                        u.rfp_ready_at = Some(self.now + out.latency);
+                        if let Some(c) = &mut self.cons {
+                            c.on_l1_evictions(&out.l1_evictions);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---------------- dependences ------------------------------------
+        self.window[tag] = u;
+        {
+            // Data sources.
+            let mut needed: Vec<ArchReg> = Vec::new();
+            match inst.kind {
+                OpKind::Load { mem, .. } => {
+                    let w = &self.window[tag];
+                    if !w.eliminated && !w.elar_resolved {
+                        needed.extend(mem.addr_regs());
+                    }
+                }
+                OpKind::Store { mem, .. } => {
+                    needed.extend(inst.srcs[0]);
+                    needed.extend(mem.addr_regs());
+                }
+                OpKind::Lea(mem) => needed.extend(mem.addr_regs()),
+                OpKind::Alu(_) | OpKind::Mov | OpKind::Branch(_) => {
+                    needed.extend(inst.srcs.iter().flatten())
+                }
+                OpKind::MovImm | OpKind::Nop => {}
+            }
+            for reg in needed {
+                self.add_reg_dep(tid, reg, tag);
+            }
+        }
+
+        // ---------------- destination write hooks ------------------------
+        let folded_rsp = inst.dst == Some(ArchReg::RSP)
+            && matches!(inst.kind, OpKind::Alu(AluOp::Add) | OpKind::Alu(AluOp::Sub))
+            && inst.srcs[0] == Some(ArchReg::RSP)
+            && inst.srcs[1].is_none();
+        if let Some(dst) = inst.dst {
+            let wp_ok = self
+                .cfg
+                .constable
+                .as_ref()
+                .map(|c| c.wrong_path_updates)
+                .unwrap_or(false);
+            if let Some(c) = &mut self.cons {
+                if !f.wrong_path || wp_ok {
+                    c.on_dest_write(dst, folded_rsp);
+                }
+            }
+            if let Some(el) = &mut self.elar {
+                let folded_for_elar = folded_rsp
+                    || (dst == ArchReg::RBP
+                        && matches!(inst.kind, OpKind::Mov)
+                        && inst.srcs[0] == Some(ArchReg::RSP));
+                el.on_reg_write(dst, folded_for_elar);
+            }
+            // Rename-side stack-delta tracker.
+            if dst == ArchReg::RSP {
+                let th = &mut self.threads[tid];
+                if folded_rsp {
+                    let delta = match inst.kind {
+                        OpKind::Alu(AluOp::Add) => inst.imm,
+                        _ => -inst.imm,
+                    };
+                    th.stack_rename.delta += delta;
+                } else {
+                    th.stack_rename.epoch += 1;
+                    th.stack_rename.delta = 0;
+                }
+            }
+            self.threads[tid].last_writer[dst.index()] = Some((tag, uid));
+        }
+        self.window[tag].stack_after = self.threads[tid].stack_rename;
+
+        // ---------------- allocation -------------------------------------
+        let u = &mut self.window[tag];
+        if u.folded {
+            u.state = UopState::Done;
+            u.complete_at = self.now;
+            if let Some(rec) = &u.rec {
+                if !u.is_load {
+                    u.result = rec.dst_value;
+                }
+                if u.is_branch {
+                    // Folded branches resolve at rename; a folded mispredict
+                    // (RAS underflow on Ret) redirects immediately.
+                }
+            }
+        } else {
+            u.in_rs = true;
+            self.rs_used += 1;
+            self.stats.rs_allocs += 1;
+            u.state = if u.pending_deps == 0 {
+                UopState::Ready
+            } else {
+                UopState::Waiting
+            };
+        }
+        if u.is_load {
+            u.in_lb = true;
+            self.lb_used += 1;
+            self.stats.lb_allocs += 1;
+            if !u.wrong_path {
+                *self.inflight_loads.entry(u.pc).or_insert(0) += 1;
+            }
+        }
+        if u.is_store {
+            u.in_sb = true;
+            self.sb_used += 1;
+            self.stats.sb_allocs += 1;
+        }
+        self.stats.rob_allocs += 1;
+        self.stats.renamed += 1;
+        self.stats.decoded += 1;
+        self.threads[tid].rob.push_back(tag);
+
+        // Advance the speculative value-predictor history on conditional
+        // branches (outcome known from the trace).
+        if let (OpKind::Branch(BranchKind::Cond { .. }), Some(rec)) = (inst.kind, &f.rec) {
+            let th = &mut self.threads[tid];
+            th.vp_history = (th.vp_history << 1) | u64::from(rec.taken);
+        }
+
+        // A folded mispredicted branch (e.g. polluted RAS return) resolves
+        // right here at rename.
+        if self.window[tag].folded && self.window[tag].is_branch && self.window[tag].mispredicted {
+            self.resolve_mispredict(tag);
+        }
+    }
+
+    // ----------------------------------------------------------------- issue
+
+    fn issue_phase(&mut self) {
+        let mut alu_used = 0u32;
+        let mut load_used = 0u32;
+        let mut sta_used = 0u32;
+        let mut std_used = 0u32;
+        let mut budget = self.cfg.issue_width;
+        let mut any_load_issued = false;
+        let mut stable_issued = false;
+        let mut nonstable_waiting = false;
+
+        // Oldest-first candidates across threads.
+        let mut cands: Vec<Tag> = Vec::new();
+        {
+            let mut iters: Vec<_> = self.threads.iter().map(|t| t.rob.iter().peekable()).collect();
+            loop {
+                let mut advanced = false;
+                for it in &mut iters {
+                    if let Some(&&tag) = it.peek() {
+                        cands.push(tag);
+                        it.next();
+                        advanced = true;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+        }
+
+        for tag in cands {
+            if budget == 0 {
+                break;
+            }
+            let u = &self.window[tag];
+            if !u.valid || !u.in_rs || u.state != UopState::Ready {
+                continue;
+            }
+            let cls = u.cls;
+            match cls {
+                InstClass::Load => {
+                    let raw_pc = u.pc & ((1 << THREAD_TAG_SHIFT) - 1);
+                    let is_stable = self.cfg.oracle.is_stable(raw_pc);
+                    if load_used >= self.cfg.load_ports {
+                        nonstable_waiting |= !is_stable;
+                        continue;
+                    }
+                    if self.try_issue_load(tag) {
+                        load_used += 1;
+                        budget -= 1;
+                        any_load_issued = true;
+                        stable_issued |= is_stable;
+                        self.stats.loads_issued += 1;
+                    }
+                }
+                InstClass::Store => {
+                    if sta_used >= self.cfg.sta_ports || std_used >= self.cfg.std_ports {
+                        continue;
+                    }
+                    let u = &mut self.window[tag];
+                    u.state = UopState::Issued;
+                    u.in_rs = false;
+                    self.rs_used -= 1;
+                    u.complete_at = self.now + self.cfg.agu_latency;
+                    sta_used += 1;
+                    std_used += 1;
+                    budget -= 1;
+                    self.stats.agu_uses += 1;
+                }
+                InstClass::Alu
+                | InstClass::Mul
+                | InstClass::Div
+                | InstClass::Branch
+                | InstClass::Move
+                | InstClass::Nop => {
+                    if alu_used >= self.cfg.alu_ports {
+                        continue;
+                    }
+                    let lat = match cls {
+                        InstClass::Mul => self.cfg.mul_latency,
+                        InstClass::Div => self.cfg.div_latency,
+                        _ => self.cfg.alu_latency,
+                    };
+                    let u = &mut self.window[tag];
+                    u.state = UopState::Issued;
+                    u.in_rs = false;
+                    self.rs_used -= 1;
+                    u.complete_at = self.now + lat;
+                    alu_used += 1;
+                    budget -= 1;
+                    self.stats.alu_execs += 1;
+                }
+            }
+        }
+
+        if any_load_issued {
+            self.stats.load_utilized_cycles += 1;
+            if stable_issued && nonstable_waiting {
+                self.stats.load_cycles_stable_blocking += 1;
+            } else if stable_issued {
+                self.stats.load_cycles_stable_free += 1;
+            }
+        }
+    }
+
+    /// Attempts to issue a load; returns false if blocked on memory
+    /// dependence (it stays Ready and retries next cycle).
+    fn try_issue_load(&mut self, tag: Tag) -> bool {
+        let (tid, seq, wrong_path, pc) = {
+            let u = &self.window[tag];
+            (u.thread, u.seq, u.wrong_path, u.pc)
+        };
+        let rec = self.window[tag].rec;
+        let (vaddr, value, size) = match (&rec, wrong_path) {
+            (Some(r), false) => {
+                let acc = r.mem.expect("correct-path load has an access");
+                (acc.addr, acc.value, acc.size)
+            }
+            _ => (0, 0, 8u8),
+        };
+        let paddr = self.threads[tid].tag_addr(vaddr);
+
+        // Memory dependence: scan older in-flight stores (youngest first).
+        let mut forward = false;
+        if !wrong_path {
+            let my_set = self.storesets.set_of(pc);
+            let rob: Vec<Tag> = self.threads[tid].rob.iter().copied().collect();
+            for &stag in rob.iter().rev() {
+                let s = &self.window[stag];
+                if !s.valid || !s.is_store || s.wrong_path || s.seq >= seq {
+                    continue;
+                }
+                if s.addr_known {
+                    if s.mem_overlaps(paddr, size) {
+                        forward = true; // store-to-load forwarding
+                        break;
+                    }
+                } else {
+                    // Unknown older store address: speculate unless the
+                    // store-set predictor says this pair conflicts.
+                    if my_set.is_some() && self.storesets.set_of(s.pc) == my_set {
+                        return false; // wait for the store
+                    }
+                }
+            }
+        }
+
+        let u = &self.window[tag];
+        let (elar_resolved, no_fetch, rfp_addr, rfp_ready) =
+            (u.elar_resolved, u.no_data_fetch, u.rfp_addr, u.rfp_ready_at);
+
+        let agu = if elar_resolved { 0 } else { self.cfg.agu_latency };
+        if !elar_resolved {
+            self.stats.agu_uses += 1;
+        }
+        let latency = if wrong_path {
+            agu + 6
+        } else if forward {
+            agu + 4 // SB forward ≈ L1-hit latency without the cache access
+        } else if no_fetch {
+            agu // address generation only (Fig 7 config 2)
+        } else if rfp_addr == Some(vaddr) {
+            // RFP staged the data at rename; the load verifies the address.
+            self.stats.rfp_address_hits += 1;
+            let ready = rfp_ready.unwrap_or(self.now);
+            agu.max(ready.saturating_sub(self.now)) + 1
+        } else {
+            let out = self.mem.load(pc, paddr, self.now + agu);
+            if let Some(c) = &mut self.cons {
+                c.on_l1_evictions(&out.l1_evictions);
+            }
+            self.injector.observe(line_addr(paddr));
+            agu + out.latency
+        };
+        if let Some(r) = &mut self.rfp {
+            if !wrong_path {
+                r.train(pc, vaddr);
+            }
+        }
+
+        let u = &mut self.window[tag];
+        u.state = UopState::Issued;
+        u.in_rs = false;
+        self.rs_used -= 1;
+        u.complete_at = self.now + latency.max(1);
+        u.addr = paddr;
+        u.addr_known = !wrong_path;
+        u.result = value;
+        true
+    }
+
+    // -------------------------------------------------------------- complete
+
+    fn complete_phase(&mut self) {
+        let mut done: Vec<(u64, u64, Tag)> = Vec::new();
+        for (tag, u) in self.window.iter().enumerate() {
+            if u.valid && u.state == UopState::Issued && u.complete_at <= self.now {
+                done.push((u.seq, u.uid, tag));
+            }
+        }
+        done.sort_unstable();
+        for (_, uid, tag) in done {
+            let u = &self.window[tag];
+            if !u.valid || u.uid != uid || u.state != UopState::Issued {
+                continue; // squashed by an earlier completion this cycle
+            }
+            self.complete_one(tag);
+        }
+    }
+
+    fn complete_one(&mut self, tag: Tag) {
+        // Mark done and wake consumers.
+        let consumers = {
+            let u = &mut self.window[tag];
+            u.state = UopState::Done;
+            std::mem::take(&mut u.consumers)
+        };
+        for (ctag, cuid) in consumers {
+            let c = &mut self.window[ctag];
+            if c.valid && c.uid == cuid {
+                c.pending_deps = c.pending_deps.saturating_sub(1);
+                if c.pending_deps == 0 && c.state == UopState::Waiting {
+                    c.state = UopState::Ready;
+                }
+            }
+        }
+
+        let (tid, seq, wrong_path, is_store, is_load, is_branch, pc) = {
+            let u = &self.window[tag];
+            (u.thread, u.seq, u.wrong_path, u.is_store, u.is_load, u.is_branch, u.pc)
+        };
+
+        // Store address generation (Fig 8 step 9 + §6.5 disambiguation).
+        if is_store && !wrong_path {
+            let (paddr, size) = {
+                let u = &mut self.window[tag];
+                let acc = u.rec.as_ref().and_then(|r| r.mem).expect("store access");
+                u.addr = self.threads[tid].tag_addr(acc.addr);
+                u.addr_known = true;
+                u.result = acc.value;
+                (u.addr, acc.size)
+            };
+            if let Some(c) = &mut self.cons {
+                c.on_store_addr(paddr);
+            }
+            // Disambiguation probe: any younger load that already produced
+            // a value from this address was wrong (eliminated or
+            // speculatively issued past this store).
+            let mut victim: Option<(u64, u64, bool)> = None;
+            for &ltag in &self.threads[tid].rob {
+                let l = &self.window[ltag];
+                if l.valid
+                    && l.is_load
+                    && !l.wrong_path
+                    && !l.ideal_eliminated
+                    && l.seq > seq
+                    && l.addr_known
+                    && matches!(l.state, UopState::Done | UopState::Issued)
+                    && l.mem_overlaps(paddr, size)
+                {
+                    let cand = (l.seq, l.pc, l.eliminated);
+                    if victim.map_or(true, |v| cand.0 < v.0) {
+                        victim = Some(cand);
+                    }
+                }
+            }
+            if let Some((lseq, lpc, was_eliminated)) = victim {
+                self.stats.ordering_violations += 1;
+                if was_eliminated {
+                    self.stats.elim_violations += 1;
+                    if let Some(c) = &mut self.cons {
+                        c.on_ordering_violation(lpc);
+                    }
+                }
+                self.storesets.on_violation(lpc, pc);
+                self.flush_from(tid, lseq);
+                return;
+            }
+        }
+
+        if is_load && !wrong_path {
+            let (result, vp_wrong, mrn_wrong, likely_stable, eliminated) = {
+                let u = &self.window[tag];
+                (
+                    u.result,
+                    u.value_predicted && u.vp_value != u.result,
+                    u.mrn_forwarded && u.mrn_value != u.result,
+                    u.likely_stable,
+                    u.eliminated,
+                )
+            };
+            // Constable writeback: train confidence; arm likely-stable loads
+            // (Fig 8 steps 4–6).
+            if !eliminated {
+                if let Some(c) = &mut self.cons {
+                    let u = &self.window[tag];
+                    let inst = self.threads[tid].program.inst(u.sidx);
+                    if let Some(mem) = inst.mem_ref() {
+                        let stack = u.stack_after;
+                        let (paddr, pc_t) = (u.addr, u.pc);
+                        let pin = c.on_load_writeback(
+                            pc_t,
+                            mem,
+                            paddr,
+                            result,
+                            likely_stable,
+                            stack,
+                        );
+                        if pin {
+                            self.stats.cv_pins += 1;
+                        }
+                    }
+                }
+            }
+            // Value-speculation verification: wrong data was forwarded to
+            // dependents; squash everything younger and refetch.
+            if vp_wrong || mrn_wrong {
+                if vp_wrong {
+                    self.stats.vp_wrong += 1;
+                    let hist = self.window[tag].vp_history;
+                    if let Some(e) = &mut self.eves {
+                        e.on_wrong(pc, hist);
+                    }
+                    if self.cfg.track_per_pc {
+                        *self.stats.vp_wrong_pcs.entry(pc).or_insert(0) += 1;
+                        if std::env::var_os("SIM_VP_DEBUG").is_some() {
+                            let u = &self.window[tag];
+                            eprintln!(
+                                "vp_wrong pc={:#x} predicted={:#x} actual={:#x} delta={} inflight_now={}",
+                                pc, u.vp_value, u.result,
+                                u.result as i64 - u.vp_value as i64,
+                                self.inflight_loads.get(&pc).copied().unwrap_or(0)
+                            );
+                        }
+                    }
+                    self.window[tag].value_predicted = false;
+                } else {
+                    self.stats.mrn_wrong += 1;
+                    self.window[tag].mrn_forwarded = false;
+                }
+                self.flush_from(tid, seq + 1);
+            }
+        }
+
+        // Branch resolution: squash the wrong path and redirect.
+        if is_branch && !wrong_path && self.window[tag].valid && self.window[tag].mispredicted {
+            self.resolve_mispredict(tag);
+        }
+    }
+
+    fn resolve_mispredict(&mut self, tag: Tag) {
+        let (tid, seq) = {
+            let u = &self.window[tag];
+            (u.thread, u.seq)
+        };
+        self.window[tag].mispredicted = false;
+        self.flush_from(tid, seq + 1);
+        // flush_from only clears a wrong path caused by squashed branches;
+        // this branch (cause_seq == seq) survives, so clear it explicitly.
+        let th = &mut self.threads[tid];
+        if th.wrong_path.as_ref().is_some_and(|wp| wp.cause_seq >= seq) {
+            th.wrong_path = None;
+        }
+    }
+
+    // ----------------------------------------------------------------- flush
+
+    /// Squashes every µop of `tid` with `seq >= first_bad_seq` (wrong-path
+    /// µops always), rewinds fetch, and repairs rename state.
+    fn flush_from(&mut self, tid: usize, first_bad_seq: u64) {
+        // Squash from the ROB tail.
+        loop {
+            let Some(&tag) = self.threads[tid].rob.back() else { break };
+            let u = &self.window[tag];
+            if u.wrong_path || u.seq >= first_bad_seq {
+                self.squash(tag);
+                self.threads[tid].rob.pop_back();
+            } else {
+                break;
+            }
+        }
+        let th = &mut self.threads[tid];
+        th.idq.clear();
+        // Rewind the fetch cursor to the first squashed correct-path record.
+        if let Some(front) = th.pending.front() {
+            let base = front.seq;
+            th.cursor = (first_bad_seq.saturating_sub(base) as usize).min(th.pending.len());
+        } else {
+            th.cursor = 0;
+        }
+        if th
+            .wrong_path
+            .as_ref()
+            .is_some_and(|wp| wp.cause_seq >= first_bad_seq)
+        {
+            th.wrong_path = None;
+        }
+        th.fetch_stall_until = self.now + self.cfg.redirect_bubbles;
+        // Repair rename-side state from the surviving tail.
+        th.stack_rename = th
+            .rob
+            .back()
+            .map(|&t| self.window[t].stack_after)
+            .unwrap_or(th.stack_retired);
+        th.last_writer = [None; 32];
+        let rob: Vec<Tag> = th.rob.iter().copied().collect();
+        for t in rob {
+            let u = &self.window[t];
+            if let Some(dst) = u.dst {
+                self.threads[tid].last_writer[dst.index()] = Some((t, u.uid));
+            }
+        }
+    }
+
+    fn squash(&mut self, tag: Tag) {
+        let u = &mut self.window[tag];
+        debug_assert!(u.valid);
+        if u.is_load && !u.wrong_path {
+            let pc = u.pc;
+            if let Some(c) = self.inflight_loads.get_mut(&pc) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        if u.in_rs {
+            self.rs_used -= 1;
+        }
+        if u.in_lb {
+            self.lb_used -= 1;
+        }
+        if u.in_sb {
+            self.sb_used -= 1;
+        }
+        let xprf = u.xprf.take();
+        *u = Uop::empty();
+        if let (Some(slot), Some(c)) = (xprf, self.cons.as_mut()) {
+            c.free_xprf(slot);
+        }
+        self.free_slots.push(tag);
+    }
+
+    // ---------------------------------------------------------------- retire
+
+    fn retire_phase(&mut self) {
+        let mut budget = self.cfg.retire_width;
+        let nthreads = self.threads.len();
+        let mut made_progress = true;
+        while budget > 0 && made_progress {
+            made_progress = false;
+            for off in 0..nthreads {
+                if budget == 0 {
+                    break;
+                }
+                let tid = (self.now as usize + off) % nthreads;
+                let Some(&tag) = self.threads[tid].rob.front() else {
+                    continue;
+                };
+                if self.window[tag].state != UopState::Done {
+                    continue;
+                }
+                self.retire_one(tid, tag);
+                budget -= 1;
+                made_progress = true;
+            }
+        }
+    }
+
+    fn retire_one(&mut self, tid: usize, tag: Tag) {
+        let u = self.window[tag].clone();
+        debug_assert!(!u.wrong_path, "wrong-path µop reached retirement");
+        self.threads[tid].rob.pop_front();
+
+        let rec = u.rec.expect("correct-path µop has a functional record");
+
+        // Golden functional check (§8.5): every load's address and value —
+        // including Constable-eliminated loads — must match the functional
+        // execution.
+        if u.is_load {
+            let acc = rec.mem.expect("load access");
+            let expect_addr = self.threads[tid].tag_addr(acc.addr);
+            if u.addr != expect_addr || u.result != acc.value {
+                self.stats.golden_mismatches += 1;
+                debug_assert!(
+                    false,
+                    "golden check failed at pc={:#x}: addr {:#x} vs {:#x}, value {:#x} vs {:#x}",
+                    u.pc, u.addr, expect_addr, u.result, acc.value
+                );
+            }
+            self.stats.retired_loads += 1;
+            if u.eliminated {
+                self.stats.loads_eliminated += 1;
+            }
+            if self.cfg.track_per_pc {
+                let raw_pc = u.pc & ((1u64 << THREAD_TAG_SHIFT) - 1);
+                let e = self.stats.per_pc_loads.entry(raw_pc).or_insert((0, 0));
+                e.0 += u64::from(u.eliminated);
+                e.1 += 1;
+            }
+            if u.value_predicted {
+                self.stats.vp_used += 1;
+            }
+            if u.mrn_forwarded {
+                self.stats.mrn_forwarded += 1;
+            }
+            if let Some(c) = self.inflight_loads.get_mut(&u.pc) {
+                *c = c.saturating_sub(1);
+            }
+            if let Some(e) = &mut self.eves {
+                e.train(u.pc, u.vp_history, acc.value);
+            }
+            if let Some(m) = &mut self.mrn {
+                m.on_load(u.pc, u.addr);
+            }
+        }
+        if u.is_store {
+            let acc = rec.mem.expect("store access");
+            let paddr = self.threads[tid].tag_addr(acc.addr);
+            let out = self.mem.store_commit(paddr, self.now);
+            if let Some(c) = &mut self.cons {
+                c.on_l1_evictions(&out.l1_evictions);
+            }
+            if let Some(m) = &mut self.mrn {
+                m.on_store(u.pc, paddr);
+            }
+            self.stats.retired_stores += 1;
+        }
+        if u.is_branch {
+            self.stats.retired_branches += 1;
+        }
+
+        // Free resources.
+        if u.in_lb {
+            self.lb_used -= 1;
+        }
+        if u.in_sb {
+            self.sb_used -= 1;
+        }
+        if let (Some(slot), Some(c)) = (u.xprf, self.cons.as_mut()) {
+            c.free_xprf(slot);
+        }
+        self.window[tag] = Uop::empty();
+        self.free_slots.push(tag);
+
+        let th = &mut self.threads[tid];
+        th.stack_retired = u.stack_after;
+        th.pending.pop_front();
+        th.cursor = th.cursor.saturating_sub(1);
+        th.retired += 1;
+        self.stats.retired += 1;
+
+        // Synthetic cross-core snoop traffic (per retired instruction).
+        if let Some(line) = self.injector.tick() {
+            self.mem.snoop_invalidate(line);
+            if let Some(c) = &mut self.cons {
+                c.on_snoop(line);
+            }
+            // Consistency: in-flight completed loads from the snooped line
+            // must be squashed (their value may be stale in a real system).
+            let mut victim: Option<(usize, u64)> = None;
+            for th in &self.threads {
+                for &ltag in &th.rob {
+                    let l = &self.window[ltag];
+                    if l.valid
+                        && l.is_load
+                        && !l.wrong_path
+                        && l.addr_known
+                        && matches!(l.state, UopState::Done)
+                        && line_addr(l.addr) == line
+                    {
+                        victim = Some(match victim {
+                            Some((vt, v)) if v <= l.seq => (vt, v),
+                            _ => (th.id, l.seq),
+                        });
+                    }
+                }
+            }
+            if let Some((vtid, v)) = victim {
+                self.flush_from(vtid, v);
+            }
+        }
+    }
+}

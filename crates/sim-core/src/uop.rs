@@ -1,0 +1,195 @@
+//! In-flight micro-op state for the out-of-order window.
+
+use constable::XprfSlot;
+use sim_isa::{ArchReg, DynInst, InstClass};
+
+/// Index of a window slot (slab index). Tags are reused; pair with
+/// [`Uop::uid`] to detect stale references.
+pub type Tag = usize;
+
+/// Lifecycle of a µop in the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopState {
+    /// Waiting on producers.
+    Waiting,
+    /// All operands available; waiting for a port.
+    Ready,
+    /// Executing; completes at `complete_at`.
+    Issued,
+    /// Finished; awaiting in-order retirement.
+    Done,
+}
+
+/// A fetched-but-not-yet-renamed instruction (IDQ entry).
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    pub thread: usize,
+    pub sidx: u32,
+    pub wrong_path: bool,
+    /// Functional record (correct path only).
+    pub rec: Option<DynInst>,
+    /// This branch was mispredicted at fetch; resolves at execution.
+    pub mispredicted: bool,
+}
+
+/// One in-flight µop.
+#[derive(Debug, Clone)]
+pub struct Uop {
+    pub valid: bool,
+    /// Unique id; detects stale `Tag` references after slot reuse.
+    pub uid: u64,
+    pub thread: usize,
+    /// Per-thread dynamic sequence number (correct path). Wrong-path µops
+    /// carry the sequence they would have had, for ordering only.
+    pub seq: u64,
+    pub sidx: u32,
+    /// Predictor-visible PC (thread-tagged in SMT mode).
+    pub pc: u64,
+    pub cls: InstClass,
+    pub dst: Option<ArchReg>,
+    pub wrong_path: bool,
+    pub rec: Option<DynInst>,
+
+    // Dependency tracking.
+    pub pending_deps: u32,
+    pub consumers: Vec<(Tag, u64)>,
+    pub state: UopState,
+    pub in_rs: bool,
+    pub complete_at: u64,
+
+    // Memory.
+    pub is_load: bool,
+    pub is_store: bool,
+    pub addr: u64,
+    pub size: u8,
+    pub addr_known: bool,
+    pub result: u64,
+    pub in_lb: bool,
+    pub in_sb: bool,
+
+    // Branches.
+    pub is_branch: bool,
+    pub mispredicted: bool,
+
+    // Speculation/optimization flags.
+    pub folded: bool,
+    pub eliminated: bool,
+    pub xprf: Option<XprfSlot>,
+    pub likely_stable: bool,
+    pub value_predicted: bool,
+    pub vp_value: u64,
+    /// Rename-time branch-history snapshot for the value predictor.
+    pub vp_history: u64,
+    /// Eliminated by the offline oracle (Fig 7 headroom study): exempt from
+    /// the disambiguation probe, as the paper's ideal configuration is.
+    pub ideal_eliminated: bool,
+    pub mrn_forwarded: bool,
+    pub mrn_value: u64,
+    pub elar_resolved: bool,
+    pub rfp_ready_at: Option<u64>,
+    pub rfp_addr: Option<u64>,
+    /// Ideal-LVP-with-data-fetch-elimination mode: execute address
+    /// generation only, skip the L1-D access (Fig 7 configuration 2).
+    pub no_data_fetch: bool,
+
+    /// Rename-time snapshot of the stack tracker *after* this µop
+    /// (restored on flush).
+    pub stack_after: constable::StackState,
+}
+
+impl Uop {
+    /// An invalid placeholder slot.
+    pub fn empty() -> Self {
+        Uop {
+            valid: false,
+            uid: 0,
+            thread: 0,
+            seq: 0,
+            sidx: 0,
+            pc: 0,
+            cls: InstClass::Nop,
+            dst: None,
+            wrong_path: false,
+            rec: None,
+            pending_deps: 0,
+            consumers: Vec::new(),
+            state: UopState::Waiting,
+            in_rs: false,
+            complete_at: 0,
+            is_load: false,
+            is_store: false,
+            addr: 0,
+            size: 8,
+            addr_known: false,
+            result: 0,
+            in_lb: false,
+            in_sb: false,
+            is_branch: false,
+            mispredicted: false,
+            folded: false,
+            eliminated: false,
+            xprf: None,
+            likely_stable: false,
+            value_predicted: false,
+            vp_value: 0,
+            vp_history: 0,
+            ideal_eliminated: false,
+            mrn_forwarded: false,
+            mrn_value: 0,
+            elar_resolved: false,
+            rfp_ready_at: None,
+            rfp_addr: None,
+            no_data_fetch: false,
+            stack_after: constable::StackState::default(),
+        }
+    }
+
+    /// Whether this µop's output value is available to consumers.
+    ///
+    /// Folded/eliminated µops produce at rename; value-predicted and
+    /// MRN-forwarded loads expose their speculative value before executing.
+    pub fn value_available(&self) -> bool {
+        self.state == UopState::Done
+            || self.folded
+            || self.eliminated
+            || self.value_predicted
+            || self.mrn_forwarded
+    }
+
+    /// Byte range `[addr, addr+size)` overlap test for disambiguation.
+    pub fn mem_overlaps(&self, addr: u64, size: u8) -> bool {
+        let a0 = self.addr;
+        let a1 = self.addr + u64::from(self.size);
+        let b0 = addr;
+        let b1 = addr + u64::from(size);
+        a0 < b1 && b0 < a1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_detection() {
+        let mut u = Uop::empty();
+        u.addr = 0x100;
+        u.size = 8;
+        assert!(u.mem_overlaps(0x100, 8));
+        assert!(u.mem_overlaps(0x104, 8), "partial overlap counts");
+        assert!(!u.mem_overlaps(0x108, 8), "adjacent ranges do not overlap");
+        assert!(!u.mem_overlaps(0xf8, 8));
+        assert!(u.mem_overlaps(0xfc, 8));
+    }
+
+    #[test]
+    fn value_availability_flags() {
+        let mut u = Uop::empty();
+        assert!(!u.value_available());
+        u.value_predicted = true;
+        assert!(u.value_available());
+        u.value_predicted = false;
+        u.state = UopState::Done;
+        assert!(u.value_available());
+    }
+}

@@ -1,0 +1,465 @@
+//! Static and dynamic instruction definitions.
+
+use crate::{AddrMode, ArchReg, Pc};
+
+/// A memory operand: `[base + index*scale + disp]`, or RIP-relative.
+///
+/// RIP-relative references resolve to a fixed virtual address (`disp` holds
+/// the absolute target), matching how compilers address global-scope data —
+/// the dominant source of PC-relative global-stable loads (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<ArchReg>,
+    /// Index register, if any.
+    pub index: Option<ArchReg>,
+    /// Scale applied to the index register (1, 2, 4, or 8).
+    pub scale: u8,
+    /// Displacement; the absolute address for RIP-relative references.
+    pub disp: i64,
+    /// Whether this is a RIP-relative reference.
+    pub rip_relative: bool,
+}
+
+impl MemRef {
+    /// RIP-relative reference to the absolute address `addr`.
+    pub fn rip(addr: u64) -> Self {
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp: addr as i64,
+            rip_relative: true,
+        }
+    }
+
+    /// `[base + disp]`.
+    pub fn base_disp(base: ArchReg, disp: i64) -> Self {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+            rip_relative: false,
+        }
+    }
+
+    /// `[base + index*scale + disp]`.
+    pub fn base_index(base: ArchReg, index: ArchReg, scale: u8, disp: i64) -> Self {
+        debug_assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+            rip_relative: false,
+        }
+    }
+
+    /// The addressing-mode class of this reference (§4.1.1).
+    ///
+    /// Stack-relative means RSP or RBP is the *only* source register.
+    pub fn addr_mode(&self) -> AddrMode {
+        if self.rip_relative {
+            AddrMode::PcRelative
+        } else if self.index.is_none() && self.base.is_some_and(|b| b.is_stack_reg()) {
+            AddrMode::StackRelative
+        } else {
+            AddrMode::RegRelative
+        }
+    }
+
+    /// The architectural registers this reference reads to form its address.
+    pub fn addr_regs(&self) -> impl Iterator<Item = ArchReg> {
+        self.base.into_iter().chain(self.index)
+    }
+
+    /// Computes the effective address given a register-read function.
+    pub fn effective_addr(&self, read: impl Fn(ArchReg) -> u64) -> u64 {
+        if self.rip_relative {
+            return self.disp as u64;
+        }
+        let base = self.base.map_or(0, &read);
+        let index = self.index.map_or(0, &read).wrapping_mul(u64::from(self.scale));
+        base.wrapping_add(index).wrapping_add(self.disp as u64)
+    }
+}
+
+/// Arithmetic/logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Mul,
+    Div,
+}
+
+impl AluOp {
+    /// Evaluates the operation. Division by zero yields `u64::MAX`
+    /// (the generator never emits a trapping divide).
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a / b
+                }
+            }
+        }
+    }
+}
+
+/// Condition codes for conditional branches (signed comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CondCode {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Gt,
+    Le,
+}
+
+impl CondCode {
+    /// Evaluates the condition on two operands (treated as signed).
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (a, b) = (a as i64, b as i64);
+        match self {
+            CondCode::Eq => a == b,
+            CondCode::Ne => a != b,
+            CondCode::Lt => a < b,
+            CondCode::Ge => a >= b,
+            CondCode::Gt => a > b,
+            CondCode::Le => a <= b,
+        }
+    }
+}
+
+/// Control-flow instruction kinds.
+///
+/// `Call`/`Ret` are modeled with a shadow return-address stack (as a modern
+/// core's RAS + stack engine would service them) rather than explicit memory
+/// µops, so they do not pollute load statistics; frame setup (`sub rsp, N`)
+/// is emitted explicitly by the program generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch: compare `srcs[0]` against `srcs[1]`
+    /// (or the immediate when no second source), branch to `target` if true.
+    Cond { cc: CondCode, target: u32 },
+    /// Unconditional direct jump (a branch-folding candidate, §8.1).
+    Jump { target: u32 },
+    /// Indirect jump: target PC is the value of `srcs[0]`.
+    Indirect,
+    /// Direct call; pushes the return PC on the shadow stack.
+    Call { target: u32 },
+    /// Return; pops the shadow stack.
+    Ret,
+}
+
+/// The operation performed by a static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Memory load into `dst`.
+    Load { mem: MemRef, size: u8 },
+    /// Memory store of `srcs[0]`.
+    Store { mem: MemRef, size: u8 },
+    /// ALU operation `dst = op(srcs[0], srcs[1] or imm)`.
+    Alu(AluOp),
+    /// Address computation `dst = &mem` (never touches memory).
+    Lea(MemRef),
+    /// Load immediate: `dst = imm` (constant-folding candidate).
+    MovImm,
+    /// Register move `dst = srcs[0]` (move-elimination candidate).
+    Mov,
+    /// Control flow.
+    Branch(BranchKind),
+    /// No operation.
+    Nop,
+}
+
+/// Functional-unit class; determines which issue ports can execute the µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    Alu,
+    Mul,
+    Div,
+    Load,
+    Store,
+    Branch,
+    /// Register move / immediate — executable on any ALU port, and often
+    /// eliminated at rename.
+    Move,
+    Nop,
+}
+
+/// One static instruction of a generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticInst {
+    /// This instruction's PC.
+    pub pc: Pc,
+    /// What it does.
+    pub kind: OpKind,
+    /// Data source registers (`None` slots unused). Memory address registers
+    /// live in the [`MemRef`], not here.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Destination register, if any.
+    pub dst: Option<ArchReg>,
+    /// Immediate operand (ALU second operand, branch comparison value, …).
+    pub imm: i64,
+}
+
+impl StaticInst {
+    /// A new instruction at static index `idx`.
+    pub fn new(idx: u32, kind: OpKind) -> Self {
+        StaticInst {
+            pc: Pc::from_index(idx),
+            kind,
+            srcs: [None, None],
+            dst: None,
+            imm: 0,
+        }
+    }
+
+    /// Builder-style source registers.
+    pub fn with_srcs(mut self, a: Option<ArchReg>, b: Option<ArchReg>) -> Self {
+        self.srcs = [a, b];
+        self
+    }
+
+    /// Builder-style destination register.
+    pub fn with_dst(mut self, dst: ArchReg) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Builder-style immediate.
+    pub fn with_imm(mut self, imm: i64) -> Self {
+        self.imm = imm;
+        self
+    }
+
+    /// Whether this is a load.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, OpKind::Load { .. })
+    }
+
+    /// Whether this is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, OpKind::Store { .. })
+    }
+
+    /// Whether this is any control-flow instruction.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self.kind, OpKind::Branch(_))
+    }
+
+    /// The memory operand, if this instruction has one.
+    pub fn mem_ref(&self) -> Option<&MemRef> {
+        match &self.kind {
+            OpKind::Load { mem, .. } | OpKind::Store { mem, .. } | OpKind::Lea(mem) => Some(mem),
+            _ => None,
+        }
+    }
+
+    /// Addressing mode of the memory operand, if any.
+    pub fn addr_mode(&self) -> Option<AddrMode> {
+        self.mem_ref().map(MemRef::addr_mode)
+    }
+
+    /// Functional-unit class.
+    pub fn class(&self) -> InstClass {
+        match self.kind {
+            OpKind::Load { .. } => InstClass::Load,
+            OpKind::Store { .. } => InstClass::Store,
+            OpKind::Alu(AluOp::Mul) => InstClass::Mul,
+            OpKind::Alu(AluOp::Div) => InstClass::Div,
+            OpKind::Alu(_) | OpKind::Lea(_) => InstClass::Alu,
+            OpKind::MovImm | OpKind::Mov => InstClass::Move,
+            OpKind::Branch(_) => InstClass::Branch,
+            OpKind::Nop => InstClass::Nop,
+        }
+    }
+
+    /// Every architectural register this instruction reads, including
+    /// memory-address registers. These are the registers the RMT must watch
+    /// for a load (Condition 1, §5).
+    pub fn all_src_regs(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        let mem_regs = self.mem_ref().into_iter().flat_map(MemRef::addr_regs);
+        self.srcs.iter().flatten().copied().chain(mem_regs)
+    }
+
+    /// Whether this is a zero idiom (`xor r, r` or `mov r, 0`) that the
+    /// baseline's zero-elimination optimization removes at rename (§8.1).
+    pub fn is_zero_idiom(&self) -> bool {
+        match self.kind {
+            OpKind::Alu(AluOp::Xor) => {
+                self.srcs[0].is_some() && self.srcs[0] == self.srcs[1]
+            }
+            OpKind::MovImm => self.imm == 0,
+            _ => false,
+        }
+    }
+}
+
+/// A dynamic memory access captured by the functional executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Effective virtual address.
+    pub addr: u64,
+    /// Value loaded or stored.
+    pub value: u64,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+/// One dynamic (functionally executed) instruction instance.
+///
+/// The cycle-accurate model is trace-driven: it consumes `DynInst` records
+/// for timing, and the retire stage's *golden check* (§8.5) compares the
+/// microarchitecturally produced address/value of every load — including
+/// Constable-eliminated ones — against these functional outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Global dynamic sequence number (correct path only).
+    pub seq: u64,
+    /// Index of the static instruction.
+    pub sidx: u32,
+    /// PC of this instance.
+    pub pc: Pc,
+    /// Correct-path next PC (the branch outcome for branches).
+    pub next_pc: Pc,
+    /// Branch outcome; `false` for non-branches.
+    pub taken: bool,
+    /// Memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// Value written to the destination register (0 when no destination).
+    pub dst_value: u64,
+}
+
+impl DynInst {
+    /// The load access, if this dynamic instance is a load.
+    ///
+    /// The caller must know the static kind; this helper just unwraps `mem`.
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rip_references_are_pc_relative() {
+        let m = MemRef::rip(0x60_0000);
+        assert_eq!(m.addr_mode(), AddrMode::PcRelative);
+        assert_eq!(m.effective_addr(|_| panic!("no registers involved")), 0x60_0000);
+    }
+
+    #[test]
+    fn rsp_and_rbp_bases_are_stack_relative() {
+        assert_eq!(
+            MemRef::base_disp(ArchReg::RSP, 0x14).addr_mode(),
+            AddrMode::StackRelative
+        );
+        assert_eq!(
+            MemRef::base_disp(ArchReg::RBP, -8).addr_mode(),
+            AddrMode::StackRelative
+        );
+        // An indexed stack access is *not* stack-relative per the paper's
+        // definition (RSP/RBP must be the only source register).
+        assert_eq!(
+            MemRef::base_index(ArchReg::RSP, ArchReg::RAX, 8, 0).addr_mode(),
+            AddrMode::RegRelative
+        );
+    }
+
+    #[test]
+    fn effective_addr_combines_base_index_scale_disp() {
+        let m = MemRef::base_index(ArchReg::R11, ArchReg::RAX, 8, 0x10);
+        let read = |r: ArchReg| match r {
+            ArchReg::R11 => 0x1000,
+            ArchReg::RAX => 3,
+            _ => 0,
+        };
+        assert_eq!(m.effective_addr(read), 0x1000 + 3 * 8 + 0x10);
+    }
+
+    #[test]
+    fn negative_displacement_wraps_correctly() {
+        let m = MemRef::base_disp(ArchReg::RBP, -16);
+        assert_eq!(m.effective_addr(|_| 0x8000), 0x8000 - 16);
+    }
+
+    #[test]
+    fn zero_idiom_detection() {
+        let xor = StaticInst::new(0, OpKind::Alu(AluOp::Xor))
+            .with_srcs(Some(ArchReg::RAX), Some(ArchReg::RAX))
+            .with_dst(ArchReg::RAX);
+        assert!(xor.is_zero_idiom());
+
+        let movz = StaticInst::new(1, OpKind::MovImm).with_dst(ArchReg::RCX);
+        assert!(movz.is_zero_idiom());
+
+        let xor2 = StaticInst::new(2, OpKind::Alu(AluOp::Xor))
+            .with_srcs(Some(ArchReg::RAX), Some(ArchReg::RCX))
+            .with_dst(ArchReg::RAX);
+        assert!(!xor2.is_zero_idiom());
+    }
+
+    #[test]
+    fn all_src_regs_includes_address_registers() {
+        let st = StaticInst::new(
+            0,
+            OpKind::Store {
+                mem: MemRef::base_index(ArchReg::R14, ArchReg::RDI, 1, 0),
+                size: 8,
+            },
+        )
+        .with_srcs(Some(ArchReg::R8), None);
+        let regs: Vec<_> = st.all_src_regs().collect();
+        assert_eq!(regs, vec![ArchReg::R8, ArchReg::R14, ArchReg::RDI]);
+    }
+
+    #[test]
+    fn alu_ops_evaluate() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), u64::MAX); // wrapping
+        assert_eq!(AluOp::Div.eval(10, 0), u64::MAX); // non-trapping
+        assert_eq!(AluOp::Shl.eval(1, 65), 2); // masked shift
+    }
+
+    #[test]
+    fn cond_codes_are_signed() {
+        assert!(CondCode::Lt.eval(u64::MAX, 0)); // -1 < 0
+        assert!(CondCode::Gt.eval(1, u64::MAX));
+        assert!(CondCode::Eq.eval(7, 7));
+    }
+
+    #[test]
+    fn class_mapping() {
+        let ld = StaticInst::new(0, OpKind::Load { mem: MemRef::rip(0x1000), size: 8 });
+        assert_eq!(ld.class(), InstClass::Load);
+        let mul = StaticInst::new(1, OpKind::Alu(AluOp::Mul));
+        assert_eq!(mul.class(), InstClass::Mul);
+        let lea = StaticInst::new(2, OpKind::Lea(MemRef::base_disp(ArchReg::RSP, 8)));
+        assert_eq!(lea.class(), InstClass::Alu);
+    }
+}

@@ -1,0 +1,112 @@
+//! Architectural registers.
+
+/// An architectural general-purpose register.
+///
+/// Registers 0..=15 mirror the x86-64 GPR file (with [`ArchReg::RSP`] and
+/// [`ArchReg::RBP`] at their native encodings 4 and 5). Registers 16..=31
+/// exist only in "APX mode" programs (Appendix B of the paper doubles the
+/// architectural register count to study its effect on global-stable loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Number of registers in the base x86-64-like mode.
+    pub const NUM_BASE: usize = 16;
+    /// Number of registers in APX mode.
+    pub const NUM_APX: usize = 32;
+
+    pub const RAX: ArchReg = ArchReg(0);
+    pub const RCX: ArchReg = ArchReg(1);
+    pub const RDX: ArchReg = ArchReg(2);
+    pub const RBX: ArchReg = ArchReg(3);
+    /// Stack pointer.
+    pub const RSP: ArchReg = ArchReg(4);
+    /// Frame/base pointer.
+    pub const RBP: ArchReg = ArchReg(5);
+    pub const RSI: ArchReg = ArchReg(6);
+    pub const RDI: ArchReg = ArchReg(7);
+    pub const R8: ArchReg = ArchReg(8);
+    pub const R9: ArchReg = ArchReg(9);
+    pub const R10: ArchReg = ArchReg(10);
+    pub const R11: ArchReg = ArchReg(11);
+    pub const R12: ArchReg = ArchReg(12);
+    pub const R13: ArchReg = ArchReg(13);
+    pub const R14: ArchReg = ArchReg(14);
+    pub const R15: ArchReg = ArchReg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= ArchReg::NUM_APX`.
+    #[inline]
+    pub fn new(idx: u8) -> Self {
+        assert!(
+            (idx as usize) < Self::NUM_APX,
+            "register index {idx} out of range"
+        );
+        ArchReg(idx)
+    }
+
+    /// The register's index in the architectural file.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is one of the two stack registers (RSP or RBP).
+    ///
+    /// The paper's RMT gives stack registers deeper PC lists (16 vs 8)
+    /// because so many likely-stable loads are stack-relative.
+    #[inline]
+    pub fn is_stack_reg(self) -> bool {
+        self == Self::RSP || self == Self::RBP
+    }
+
+    /// Iterator over all registers available in the given mode.
+    pub fn all(apx: bool) -> impl Iterator<Item = ArchReg> {
+        let n = if apx { Self::NUM_APX } else { Self::NUM_BASE };
+        (0..n as u8).map(ArchReg)
+    }
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const NAMES: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ];
+        match NAMES.get(self.0 as usize) {
+            Some(name) => f.write_str(name),
+            None => write!(f, "r{}", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_registers_are_rsp_rbp_only() {
+        let stack: Vec<_> = ArchReg::all(false).filter(|r| r.is_stack_reg()).collect();
+        assert_eq!(stack, vec![ArchReg::RSP, ArchReg::RBP]);
+    }
+
+    #[test]
+    fn apx_mode_exposes_32_registers() {
+        assert_eq!(ArchReg::all(true).count(), 32);
+        assert_eq!(ArchReg::all(false).count(), 16);
+    }
+
+    #[test]
+    fn display_uses_x86_names_for_low_registers() {
+        assert_eq!(ArchReg::RSP.to_string(), "rsp");
+        assert_eq!(ArchReg::new(20).to_string(), "r20");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range_index() {
+        let _ = ArchReg::new(32);
+    }
+}

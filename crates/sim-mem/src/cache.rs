@@ -1,0 +1,341 @@
+//! Set-associative cache model.
+
+use sim_stats::Counter;
+
+/// Cache line size in bytes (64B, as in the paper's baseline).
+pub const LINE_BYTES: u64 = 64;
+
+/// Converts a byte address to a cache-line address.
+#[inline]
+pub fn line_addr(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}
+
+/// Replacement policy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// True LRU (the paper's L1/L2 policy).
+    Lru,
+    /// 2-bit SRRIP: a practical stand-in for the paper's dead-block-aware
+    /// LLC replacement — both avoid caching lines with distant re-reference.
+    Srrip,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp or RRPV depending on policy.
+    meta: u64,
+    /// Cycle at which an in-flight fill becomes usable (prefetch timing).
+    ready_at: u64,
+    /// Filled by a prefetch and not yet demanded (for accuracy stats).
+    prefetched: bool,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    meta: 0,
+    ready_at: 0,
+    prefetched: false,
+};
+
+/// Result of a cache lookup-with-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Extra cycles until an in-flight (prefetched) line is usable.
+    pub fill_wait: u64,
+    /// Whether this hit consumed a prefetched line for the first time.
+    pub prefetch_useful: bool,
+}
+
+/// Result of inserting a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InsertResult {
+    /// Line address of the evicted victim, if a valid line was displaced.
+    pub evicted: Option<u64>,
+    /// Whether the victim was dirty (writeback needed).
+    pub evicted_dirty: bool,
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    pub accesses: Counter,
+    pub hits: Counter,
+    pub misses: Counter,
+    pub evictions: Counter,
+    pub writebacks: Counter,
+    pub prefetch_fills: Counter,
+    pub prefetch_useful: Counter,
+}
+
+/// A set-associative cache indexed by line address.
+///
+/// The cache stores no data — the functional model owns values — only tags
+/// and replacement state, which is all the timing model needs.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: &'static str,
+    sets: usize,
+    ways: usize,
+    policy: Replacement,
+    lines: Vec<Line>,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with `ways` ways.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide into whole power-of-two sets.
+    pub fn new(name: &'static str, size_bytes: u64, ways: usize, policy: Replacement) -> Self {
+        let sets = (size_bytes / LINE_BYTES) as usize / ways;
+        assert!(sets > 0 && sets.is_power_of_two(), "{name}: sets must be a power of two");
+        Cache {
+            name,
+            sets,
+            ways,
+            policy,
+            lines: vec![INVALID; sets * ways],
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    fn slot(&mut self, set: usize, way: usize) -> &mut Line {
+        &mut self.lines[set * self.ways + way]
+    }
+
+    /// Looks up `line` (a line address), updating replacement state and
+    /// statistics. Does not fill on miss — see [`Cache::insert`].
+    pub fn access(&mut self, line: u64, now: u64, is_store: bool) -> LookupResult {
+        self.stats.accesses.inc();
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let set = self.set_of(line);
+        for way in 0..self.ways {
+            let policy = self.policy;
+            let l = self.slot(set, way);
+            if l.valid && l.tag == line {
+                let fill_wait = l.ready_at.saturating_sub(now);
+                let prefetch_useful = l.prefetched;
+                l.prefetched = false;
+                l.dirty |= is_store;
+                match policy {
+                    Replacement::Lru => l.meta = clock,
+                    Replacement::Srrip => l.meta = 0, // near re-reference
+                }
+                self.stats.hits.inc();
+                if prefetch_useful {
+                    self.stats.prefetch_useful.inc();
+                }
+                return LookupResult { hit: true, fill_wait, prefetch_useful };
+            }
+        }
+        self.stats.misses.inc();
+        LookupResult { hit: false, fill_wait: 0, prefetch_useful: false }
+    }
+
+    /// Probes for `line` without disturbing replacement state or stats.
+    pub fn probe(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        (0..self.ways).any(|w| {
+            let l = &self.lines[set * self.ways + w];
+            l.valid && l.tag == line
+        })
+    }
+
+    /// Inserts `line`, evicting a victim if the set is full.
+    ///
+    /// `ready_at` models fill latency (prefetches land in the future);
+    /// `prefetched` marks prefetch fills for accuracy accounting.
+    pub fn insert(&mut self, line: u64, now: u64, ready_at: u64, prefetched: bool) -> InsertResult {
+        let set = self.set_of(line);
+        // Already present (e.g. racing prefetch): just refresh readiness.
+        for way in 0..self.ways {
+            let l = self.slot(set, way);
+            if l.valid && l.tag == line {
+                l.ready_at = l.ready_at.min(ready_at);
+                return InsertResult::default();
+            }
+        }
+        let victim = self.pick_victim(set);
+        let policy = self.policy;
+        let clock = self.lru_clock;
+        let l = self.slot(set, victim);
+        let mut result = InsertResult::default();
+        if l.valid {
+            result.evicted = Some(l.tag);
+            result.evicted_dirty = l.dirty;
+        }
+        *l = Line {
+            tag: line,
+            valid: true,
+            dirty: false,
+            meta: match policy {
+                Replacement::Lru => clock,
+                // SRRIP: long re-reference prediction on insert (2 of 0..=3),
+                // slightly longer for prefetches (dead-on-arrival bias).
+                Replacement::Srrip => 2 + u64::from(prefetched),
+            },
+            ready_at,
+            prefetched,
+        };
+        let _ = now;
+        if result.evicted.is_some() {
+            self.stats.evictions.inc();
+            if result.evicted_dirty {
+                self.stats.writebacks.inc();
+            }
+        }
+        if prefetched {
+            self.stats.prefetch_fills.inc();
+        }
+        result
+    }
+
+    /// Invalidates `line` if present (snoop-invalidate); returns whether the
+    /// line was present and whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> (bool, bool) {
+        let set = self.set_of(line);
+        for way in 0..self.ways {
+            let l = self.slot(set, way);
+            if l.valid && l.tag == line {
+                let dirty = l.dirty;
+                *l = INVALID;
+                return (true, dirty);
+            }
+        }
+        (false, false)
+    }
+
+    fn pick_victim(&mut self, set: usize) -> usize {
+        // Prefer an invalid way.
+        for way in 0..self.ways {
+            if !self.lines[set * self.ways + way].valid {
+                return way;
+            }
+        }
+        match self.policy {
+            Replacement::Lru => (0..self.ways)
+                .min_by_key(|&w| self.lines[set * self.ways + w].meta)
+                .expect("nonempty set"),
+            Replacement::Srrip => loop {
+                // Find RRPV==3; otherwise age everyone.
+                if let Some(w) =
+                    (0..self.ways).find(|&w| self.lines[set * self.ways + w].meta >= 3)
+                {
+                    break w;
+                }
+                for w in 0..self.ways {
+                    self.lines[set * self.ways + w].meta += 1;
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = Cache::new("t", 4096, 4, Replacement::Lru);
+        assert!(!c.access(10, 0, false).hit);
+        c.insert(10, 0, 0, false);
+        assert!(c.access(10, 1, false).hit);
+        assert_eq!(c.stats().hits.get(), 1);
+        assert_eq!(c.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 4-set cache, 2 ways: lines 0,4,8 map to set 0 (stride = sets).
+        let mut c = Cache::new("t", 8 * 64, 2, Replacement::Lru);
+        c.insert(0, 0, 0, false);
+        c.insert(4, 0, 0, false);
+        c.access(0, 1, false); // make line 0 most recent
+        let r = c.insert(8, 2, 2, false);
+        assert_eq!(r.evicted, Some(4), "line 4 was least recently used");
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = Cache::new("t", 2 * 64, 2, Replacement::Lru);
+        c.insert(0, 0, 0, false);
+        c.access(0, 1, true); // store → dirty
+        c.insert(2, 2, 2, false);
+        let r = c.insert(4, 3, 3, false);
+        assert!(r.evicted.is_some());
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn prefetched_line_fill_wait_and_usefulness() {
+        let mut c = Cache::new("t", 4096, 4, Replacement::Lru);
+        c.insert(7, 100, 150, true); // prefetch arriving at cycle 150
+        let r = c.access(7, 120, false);
+        assert!(r.hit);
+        assert_eq!(r.fill_wait, 30);
+        assert!(r.prefetch_useful);
+        // Second access: no longer counted useful, data now ready.
+        let r2 = c.access(7, 200, false);
+        assert!(!r2.prefetch_useful);
+        assert_eq!(r2.fill_wait, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = Cache::new("t", 4096, 4, Replacement::Lru);
+        c.insert(3, 0, 0, false);
+        c.access(3, 0, true);
+        let (present, dirty) = c.invalidate(3);
+        assert!(present && dirty);
+        assert!(!c.probe(3));
+        let (present, _) = c.invalidate(3);
+        assert!(!present);
+    }
+
+    #[test]
+    fn srrip_inserts_with_distant_prediction() {
+        let mut c = Cache::new("t", 2 * 64, 2, Replacement::Srrip);
+        c.insert(0, 0, 0, false);
+        c.access(0, 1, false); // promote to RRPV 0
+        c.insert(2, 1, 1, false); // RRPV 2
+        // Next insert should evict the distant line (2), not the hot one (0).
+        let r = c.insert(4, 2, 2, false);
+        assert_eq!(r.evicted, Some(2));
+        assert!(c.probe(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new("t", 3 * 64, 1, Replacement::Lru);
+    }
+}

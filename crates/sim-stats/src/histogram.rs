@@ -1,0 +1,166 @@
+//! Bucketed histograms.
+
+/// A histogram over `u64` samples with caller-defined bucket upper bounds.
+///
+/// Used for distributions the paper buckets explicitly, e.g. the
+/// inter-occurrence distance of global-stable loads (Fig 3c uses buckets
+/// `[0,50) [50,100) [100,250) 250+`) and SLD updates per cycle (Fig 9a).
+///
+/// ```
+/// use sim_stats::Histogram;
+/// let mut h = Histogram::new(&[50, 100, 250]);
+/// h.record(10);
+/// h.record(75);
+/// h.record(10_000);
+/// assert_eq!(h.bucket_counts(), &[1, 1, 0, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    /// Exclusive upper bounds of each bucket; one overflow bucket follows.
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `[0,b0) [b0,b1) … [b_last, ∞)`.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b <= value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Per-bucket sample counts (the last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bucket fractions of all samples.
+    pub fn bucket_fracs(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| {
+                if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Human-readable labels, e.g. `[0-50)`, `[50-100)`, `250+`.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut lo = 0;
+        for &b in &self.bounds {
+            out.push(format!("[{lo}-{b})"));
+            lo = b;
+        }
+        out.push(format!("{lo}+"));
+        out
+    }
+
+    /// Merges another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge mismatched histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_go_to_upper_bucket() {
+        let mut h = Histogram::new(&[50, 100]);
+        h.record(49);
+        h.record(50); // boundary: belongs to [50,100)
+        h.record(100); // boundary: overflow bucket
+        assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn fracs_sum_to_one() {
+        let mut h = Histogram::new(&[10, 20, 30]);
+        for v in 0..100 {
+            h.record(v);
+        }
+        let s: f64 = h.bucket_fracs().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        let h = Histogram::new(&[50, 100, 250]);
+        assert_eq!(h.labels(), vec!["[0-50)", "[50-100)", "[100-250)", "250+"]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(&[10]);
+        let mut b = Histogram::new(&[10]);
+        a.record(5);
+        b.record(15);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[2, 1]);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn mean_tracks_samples() {
+        let mut h = Histogram::new(&[100]);
+        h.record(10);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+}

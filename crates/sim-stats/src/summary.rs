@@ -1,0 +1,153 @@
+//! Distribution summaries: box-and-whiskers statistics and geometric means.
+
+/// Geometric mean of a set of (positive) values.
+///
+/// The paper reports all speedups as geometric means across workloads.
+/// Non-positive values are skipped; an empty input yields 1.0 (the identity
+/// speedup), which keeps harness code robust when a category is empty.
+///
+/// ```
+/// use sim_stats::geomean;
+/// let g = geomean([2.0, 8.0]);
+/// assert!((g - 4.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Five-number box-and-whiskers summary with mean, in the paper's convention
+/// (Fig 9, Fig 18, Fig 21): box bounded by the first/third quartiles,
+/// whiskers extend to the furthest sample within 1.5×IQR, mean cross-marked.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BoxStats {
+    pub min: f64,
+    pub whisker_lo: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub whisker_hi: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary from samples. Returns `None` for empty input.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in BoxStats"));
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let pos = p * (v.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        let (q1, median, q3) = (q(0.25), q(0.5), q(0.75));
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(v[v.len() - 1]);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        Some(BoxStats {
+            min: v[0],
+            whisker_lo,
+            q1,
+            median,
+            q3,
+            whisker_hi,
+            max: v[v.len() - 1],
+            mean,
+            n: v.len(),
+        })
+    }
+
+    /// One-line rendering used in experiment output.
+    pub fn render(&self) -> String {
+        format!(
+            "min={:.3} [w={:.3} | q1={:.3} med={:.3} q3={:.3} | w={:.3}] max={:.3} mean={:.3} (n={})",
+            self.min,
+            self.whisker_lo,
+            self.q1,
+            self.median,
+            self.q3,
+            self.whisker_hi,
+            self.max,
+            self.mean,
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity_is_one() {
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn geomean_skips_nonpositive() {
+        let g = geomean([4.0, 0.0, -3.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_of_uniform_ramp() {
+        let v: Vec<f64> = (1..=101).map(|x| x as f64).collect();
+        let b = BoxStats::from_samples(&v).unwrap();
+        assert!((b.median - 51.0).abs() < 1e-9);
+        assert!((b.q1 - 26.0).abs() < 1e-9);
+        assert!((b.q3 - 76.0).abs() < 1e-9);
+        assert!((b.mean - 51.0).abs() < 1e-9);
+        assert_eq!(b.n, 101);
+    }
+
+    #[test]
+    fn whiskers_clip_outliers() {
+        let mut v: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        v.push(1000.0); // extreme outlier
+        let b = BoxStats::from_samples(&v).unwrap();
+        assert_eq!(b.max, 1000.0);
+        assert!(b.whisker_hi < 1000.0, "whisker must exclude the outlier");
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(BoxStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_is_degenerate_box() {
+        let b = BoxStats::from_samples(&[2.5]).unwrap();
+        assert_eq!(b.min, 2.5);
+        assert_eq!(b.max, 2.5);
+        assert_eq!(b.median, 2.5);
+        assert_eq!(b.mean, 2.5);
+    }
+}

@@ -1,0 +1,354 @@
+//! Functional executor.
+//!
+//! [`Machine`] executes a [`Program`] architecturally — registers, a sparse
+//! paged memory, and a shadow return-address stack — producing one
+//! [`DynInst`] record per step. The cycle-accurate core consumes this stream
+//! for timing, and its retire-stage *golden check* (§8.5 of the paper)
+//! validates every load (including Constable-eliminated loads) against these
+//! functional outcomes.
+
+use crate::program::{Program, STACK_TOP};
+use sim_isa::{ArchReg, BranchKind, DynInst, MemAccess, OpKind, Pc};
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable memory backed by 4 KiB pages.
+///
+/// Reads of untouched memory return zero, matching the "snapshot" semantics
+/// of trace-driven simulation.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads `size` bytes (≤ 8) at `addr` as a little-endian integer.
+    pub fn read(&self, addr: u64, size: u8) -> u64 {
+        let mut v = 0u64;
+        for i in 0..u64::from(size) {
+            v |= u64::from(self.read_byte(addr + i)) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes (≤ 8) of `value` at `addr`, little-endian.
+    pub fn write(&mut self, addr: u64, value: u64, size: u8) {
+        for i in 0..u64::from(size) {
+            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    #[inline]
+    fn read_byte(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn write_byte(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Number of touched pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// The architectural machine state executing a program.
+#[derive(Debug, Clone)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    regs: [u64; ArchReg::NUM_APX],
+    mem: Memory,
+    /// Shadow return-address stack for Call/Ret (see `sim_isa::BranchKind`).
+    ras: Vec<u32>,
+    pc_idx: u32,
+    seq: u64,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine at the program entry with the initial data image
+    /// applied and RSP pointing at the stack top.
+    pub fn new(program: &'p Program) -> Self {
+        let mut mem = Memory::new();
+        for &(addr, value) in program.data_init() {
+            mem.write(addr, value, 8);
+        }
+        let mut regs = [0u64; ArchReg::NUM_APX];
+        regs[ArchReg::RSP.index()] = STACK_TOP;
+        regs[ArchReg::RBP.index()] = STACK_TOP;
+        Machine {
+            program,
+            regs,
+            mem,
+            ras: Vec::new(),
+            pc_idx: program.entry(),
+            seq: 0,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Current architectural value of `reg`.
+    pub fn reg(&self, reg: ArchReg) -> u64 {
+        self.regs[reg.index()]
+    }
+
+    /// Reads architectural memory (for verification / analysis).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Executes one instruction and returns its dynamic record.
+    ///
+    /// Execution never ends: generated programs loop forever and the caller
+    /// decides when to stop. If the PC somehow runs past the text segment it
+    /// wraps to the entry point (and the shadow stack is cleared).
+    pub fn step(&mut self) -> DynInst {
+        if !self.program.contains_index(self.pc_idx) {
+            self.pc_idx = self.program.entry();
+            self.ras.clear();
+        }
+        let inst = *self.program.inst(self.pc_idx);
+        let pc = Pc::from_index(self.pc_idx);
+        let mut rec = DynInst {
+            seq: self.seq,
+            sidx: self.pc_idx,
+            pc,
+            next_pc: pc.fallthrough(),
+            taken: false,
+            mem: None,
+            dst_value: 0,
+        };
+        self.seq += 1;
+
+        let src = |regs: &[u64; ArchReg::NUM_APX], slot: Option<ArchReg>| -> u64 {
+            slot.map_or(0, |r| regs[r.index()])
+        };
+
+        match inst.kind {
+            OpKind::Load { mem, size } => {
+                let addr = mem.effective_addr(|r| self.regs[r.index()]);
+                let value = self.mem.read(addr, size);
+                rec.mem = Some(MemAccess { addr, value, size });
+                rec.dst_value = value;
+                if let Some(d) = inst.dst {
+                    self.regs[d.index()] = value;
+                }
+            }
+            OpKind::Store { mem, size } => {
+                let addr = mem.effective_addr(|r| self.regs[r.index()]);
+                let value = src(&self.regs, inst.srcs[0]);
+                self.mem.write(addr, value, size);
+                rec.mem = Some(MemAccess { addr, value, size });
+            }
+            OpKind::Alu(op) => {
+                let a = src(&self.regs, inst.srcs[0]);
+                let b = inst.srcs[1].map_or(inst.imm as u64, |r| self.regs[r.index()]);
+                let v = op.eval(a, b);
+                rec.dst_value = v;
+                if let Some(d) = inst.dst {
+                    self.regs[d.index()] = v;
+                }
+            }
+            OpKind::Lea(mem) => {
+                let v = mem.effective_addr(|r| self.regs[r.index()]);
+                rec.dst_value = v;
+                if let Some(d) = inst.dst {
+                    self.regs[d.index()] = v;
+                }
+            }
+            OpKind::MovImm => {
+                rec.dst_value = inst.imm as u64;
+                if let Some(d) = inst.dst {
+                    self.regs[d.index()] = inst.imm as u64;
+                }
+            }
+            OpKind::Mov => {
+                let v = src(&self.regs, inst.srcs[0]);
+                rec.dst_value = v;
+                if let Some(d) = inst.dst {
+                    self.regs[d.index()] = v;
+                }
+            }
+            OpKind::Branch(kind) => {
+                let (taken, target) = match kind {
+                    BranchKind::Cond { cc, target } => {
+                        let a = src(&self.regs, inst.srcs[0]);
+                        let b = inst.srcs[1].map_or(inst.imm as u64, |r| self.regs[r.index()]);
+                        (cc.eval(a, b), target)
+                    }
+                    BranchKind::Jump { target } => (true, target),
+                    BranchKind::Call { target } => {
+                        self.ras.push(self.pc_idx + 1);
+                        (true, target)
+                    }
+                    BranchKind::Ret => {
+                        let target = self.ras.pop().unwrap_or(self.program.entry());
+                        (true, target)
+                    }
+                    BranchKind::Indirect => {
+                        let pc_val = src(&self.regs, inst.srcs[0]);
+                        (true, Pc(pc_val).index())
+                    }
+                };
+                rec.taken = taken;
+                if taken {
+                    rec.next_pc = Pc::from_index(target);
+                }
+            }
+            OpKind::Nop => {}
+        }
+
+        self.pc_idx = rec.next_pc.index();
+        rec
+    }
+
+    /// Runs `n` steps, returning the records (convenience for tests/analysis).
+    pub fn run(&mut self, n: usize) -> Vec<DynInst> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use sim_isa::{AluOp, CondCode, MemRef};
+
+    #[test]
+    fn memory_roundtrips_values() {
+        let mut m = Memory::new();
+        m.write(0x1000, 0xdead_beef_cafe_f00d, 8);
+        assert_eq!(m.read(0x1000, 8), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read(0x1000, 4), 0xcafe_f00d);
+        assert_eq!(m.read(0x2000, 8), 0, "untouched memory reads zero");
+    }
+
+    #[test]
+    fn memory_handles_page_straddling_access() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles the first page boundary
+        m.write(addr, 0x1122_3344_5566_7788, 8);
+        assert_eq!(m.read(addr, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    fn counting_loop() -> Program {
+        // rcx = 0; loop: rcx += 1; if rcx < 5 goto loop; jmp exit_spin
+        let mut b = ProgramBuilder::new("loop");
+        b.set_entry();
+        b.movi(ArchReg::RCX, 0);
+        let top = b.bind_new_label();
+        b.alui(AluOp::Add, ArchReg::RCX, ArchReg::RCX, 1);
+        b.br_imm(CondCode::Lt, ArchReg::RCX, 5, top);
+        let spin = b.bind_new_label();
+        b.jmp(spin);
+        b.build()
+    }
+
+    #[test]
+    fn loop_executes_architecturally() {
+        let p = counting_loop();
+        let mut m = Machine::new(&p);
+        // movi + 5 * (add + br): the first 4 branches are taken, the 5th not.
+        let recs = m.run(11);
+        assert_eq!(m.reg(ArchReg::RCX), 5);
+        let branches: Vec<bool> = recs
+            .iter()
+            .filter(|r| p.inst(r.sidx).is_branch())
+            .map(|r| r.taken)
+            .collect();
+        assert_eq!(branches, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn loads_and_stores_hit_memory() {
+        let mut b = ProgramBuilder::new("mem");
+        let g = b.alloc_global(77);
+        b.set_entry();
+        b.load_rip(ArchReg::RAX, g);
+        b.alui(AluOp::Add, ArchReg::RAX, ArchReg::RAX, 1);
+        b.store(ArchReg::RAX, MemRef::rip(g));
+        b.load_rip(ArchReg::RDX, g);
+        let spin = b.bind_new_label();
+        b.jmp(spin);
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let recs = m.run(4);
+        assert_eq!(recs[0].mem.unwrap().value, 77);
+        assert_eq!(recs[2].mem.unwrap().value, 78);
+        assert_eq!(recs[3].dst_value, 78);
+    }
+
+    #[test]
+    fn call_and_ret_use_shadow_stack() {
+        let mut b = ProgramBuilder::new("call");
+        let f = b.label();
+        b.set_entry();
+        b.call(f);
+        let after = b.here();
+        b.movi(ArchReg::RAX, 9);
+        let spin = b.bind_new_label();
+        b.jmp(spin);
+        b.bind(f);
+        b.movi(ArchReg::RCX, 3);
+        b.ret();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let recs = m.run(4);
+        assert_eq!(recs[0].next_pc, Pc::from_index(3), "call jumps to f");
+        assert_eq!(recs[2].next_pc, Pc::from_index(after), "ret returns");
+        assert_eq!(m.reg(ArchReg::RAX), 9);
+        assert_eq!(m.reg(ArchReg::RCX), 3);
+    }
+
+    #[test]
+    fn stack_pointer_initialized() {
+        let p = counting_loop();
+        let m = Machine::new(&p);
+        assert_eq!(m.reg(ArchReg::RSP), STACK_TOP);
+    }
+
+    #[test]
+    fn stable_load_fetches_same_value_forever() {
+        // The defining property Constable exploits: a RIP-relative load of a
+        // never-written global returns identical (addr, value) every time.
+        let mut b = ProgramBuilder::new("stable");
+        let g = b.alloc_global(0x5eed);
+        b.set_entry();
+        let top = b.bind_new_label();
+        b.load_rip(ArchReg::RAX, g);
+        b.jmp(top);
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        for rec in m.run(100) {
+            if let Some(acc) = rec.mem {
+                assert_eq!(acc.addr, g);
+                assert_eq!(acc.value, 0x5eed);
+            }
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! Kernel templates for synthetic workload generation.
+//!
+//! Each kernel emits one callable function into a [`ProgramBuilder`] and
+//! models a load-behaviour pattern the paper characterizes:
+//!
+//! * [`KernelKind::GlobalConst`] — the `541.leela_r get_Rng()` pattern
+//!   (§4.2, Fig 5a/b): a PC-relative load of a pointer that is a runtime
+//!   constant, followed by register-relative loads of the pointed-to object's
+//!   immutable fields. Global-stable, short inter-occurrence distance.
+//! * [`KernelKind::InlinedArgs`] — the `557.xz_r rc_shift_low` pattern
+//!   (§4.2, Fig 5c/d): function arguments spilled to the caller's frame once
+//!   and reloaded from stack-relative slots inside a hot loop because the
+//!   register allocator ran out of registers. Global-stable. Also emits a
+//!   per-call *silent-store* spill slot (Fig 17's lost-opportunity class).
+//! * [`KernelKind::Stream`] — array streaming with stride-predictable values
+//!   (EVES-friendly, prefetch-friendly, almost no stable loads; FSPEC-like).
+//! * [`KernelKind::PtrChase`] — dependent pointer chasing (cache-missy,
+//!   value-unpredictable; stresses load latency, not stability).
+//! * [`KernelKind::HashProbe`] — pseudo-random indexed probes with
+//!   data-dependent branches (server/enterprise-like).
+//! * [`KernelKind::CallHeavy`] — many small callees, each reloading runtime
+//!   constants (client/server-like; mid-range inter-occurrence distances).
+//! * [`KernelKind::Matrix`] — nested FP-style loops with per-call spilled
+//!   bounds (MRN-friendly store→load pairs; FSPEC-like).
+//! * [`KernelKind::Branchy`] — data-dependent branches exercising wrong-path
+//!   fetch (and wrong-path pollution of Constable structures, §6.7.2).
+//! * [`KernelKind::Churn`] — loads that are stable only within a phase:
+//!   every invocation overwrites the watched global, so the loads are *not*
+//!   global-stable yet Constable eliminates them at runtime (Fig 17's
+//!   "not global-stable but eliminated" class).
+//!
+//! In APX mode (32 architectural registers, Appendix B) the generator keeps
+//! spilled values in the extra registers instead of reloading them from the
+//! stack, reproducing the paper's observation that APX removes many stack
+//! loads but leaves PC-relative runtime-constant loads untouched.
+
+use crate::program::{Label, ProgramBuilder};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sim_isa::{AluOp, ArchReg, CondCode, MemRef};
+
+/// The kernel template families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    GlobalConst,
+    InlinedArgs,
+    Stream,
+    PtrChase,
+    HashProbe,
+    CallHeavy,
+    Matrix,
+    Branchy,
+    Churn,
+}
+
+impl KernelKind {
+    /// Every kernel kind.
+    pub const ALL: [KernelKind; 9] = [
+        KernelKind::GlobalConst,
+        KernelKind::InlinedArgs,
+        KernelKind::Stream,
+        KernelKind::PtrChase,
+        KernelKind::HashProbe,
+        KernelKind::CallHeavy,
+        KernelKind::Matrix,
+        KernelKind::Branchy,
+        KernelKind::Churn,
+    ];
+}
+
+/// Frame displacement (from the main frame pointer RBP) of the "inlined
+/// argument" slots written once into the initial stack image.
+pub const ARG_SLOT_DISP: i64 = 0x40;
+/// Size of the main function's stack frame.
+pub const MAIN_FRAME: i64 = 0x200;
+
+/// Per-kernel generation context.
+pub struct KernelCtx<'a> {
+    pub b: &'a mut ProgramBuilder,
+    pub rng: &'a mut SmallRng,
+}
+
+impl KernelCtx<'_> {
+    fn jitter(&mut self, base: u32, spread: u32) -> i64 {
+        (base + self.rng.gen_range(0..=spread)) as i64
+    }
+}
+
+/// Emits the function for `kind`; returns the label to `call`.
+pub fn emit_kernel(kind: KernelKind, ctx: &mut KernelCtx<'_>) -> Label {
+    match kind {
+        KernelKind::GlobalConst => emit_global_const(ctx),
+        KernelKind::InlinedArgs => emit_inlined_args(ctx),
+        KernelKind::Stream => emit_stream(ctx),
+        KernelKind::PtrChase => emit_ptr_chase(ctx),
+        KernelKind::HashProbe => emit_hash_probe(ctx),
+        KernelKind::CallHeavy => emit_call_heavy(ctx),
+        KernelKind::Matrix => emit_matrix(ctx),
+        KernelKind::Branchy => emit_branchy(ctx),
+        KernelKind::Churn => emit_churn(ctx),
+    }
+}
+
+use ArchReg as R;
+
+/// Allocates an array of `len` u64 values produced by `f`.
+fn alloc_array(b: &mut ProgramBuilder, len: u64, mut f: impl FnMut(u64) -> u64) -> u64 {
+    let base = b.alloc_region(len);
+    for i in 0..len {
+        let v = f(i);
+        if v != 0 {
+            b.init_u64(base + i * 8, v);
+        }
+    }
+    base
+}
+
+fn emit_global_const(ctx: &mut KernelCtx<'_>) -> Label {
+    let b = &mut *ctx.b;
+    // Two immutable "objects": a runtime-constant global pointer leads to
+    // the first, whose field points at the second — a dependent chain of
+    // stable loads, exactly the `get_Rng()` pattern of 541.leela_r.
+    let obj2 = b.alloc_region(8);
+    for i in 0..8u64 {
+        b.init_u64(obj2 + i * 8, 0x2000 + i * 11);
+    }
+    let obj = b.alloc_region(8);
+    b.init_u64(obj + 0x10, obj2);
+    b.init_u64(obj + 0x18, 0x1077);
+    let g_ptr = b.alloc_global(obj);
+    let arr = alloc_array(b, 0x400, |i| i.wrapping_mul(0x9e37_79b9) ^ 0x55);
+    let iters = ctx.jitter(128, 128);
+    let prime = 0x9e37_79b1u32 as i64;
+
+    let b = &mut *ctx.b;
+    let f = b.label();
+    b.bind(f);
+    // Pointer loads happen once per call (the compiler hoists them within
+    // the loop but cannot keep them across the program's global scope —
+    // the paper's §4.2 observation). The object pointers stay loop-
+    // invariant in r8/rax, so the field loads below are eliminable for the
+    // whole invocation.
+    b.load_rip(R::R8, g_ptr); // PC-relative, global-stable
+    b.movi(R::RCX, 0);
+    b.load(R::RAX, MemRef::base_disp(R::R8, 0x10)); // reg-relative, global-stable
+    b.movi(R::R9, 0);
+    let top = b.bind_new_label();
+    b.load(R::RDX, MemRef::base_disp(R::RAX, 0x8)); // reg-relative, global-stable
+    b.alui(AluOp::Mul, R::R10, R::RCX, prime);
+    b.load(R::RSI, MemRef::base_disp(R::RAX, 0x18)); // reg-relative, global-stable
+    b.alui(AluOp::And, R::R10, R::R10, 0x3ff);
+    b.load(R::R13, MemRef::base_disp(R::R8, 0x18)); // reg-relative, global-stable
+    b.lea(R::R11, MemRef::rip(arr));
+    b.alu(AluOp::Add, R::R9, R::R9, R::RDX);
+    b.load(R::R12, MemRef::base_index(R::R11, R::R10, 8, 0)); // non-stable
+    b.alu(AluOp::Xor, R::R9, R::R9, R::RSI);
+    b.alu(AluOp::Add, R::R9, R::R9, R::R13);
+    b.alu(AluOp::Add, R::R9, R::R9, R::R12);
+    b.alui(AluOp::Add, R::RCX, R::RCX, 1);
+    b.br_imm(CondCode::Lt, R::RCX, iters, top);
+    b.ret();
+    f
+}
+
+fn emit_inlined_args(ctx: &mut KernelCtx<'_>) -> Label {
+    let apx = ctx.b.apx();
+    let iters = ctx.jitter(96, 64);
+    let b = &mut *ctx.b;
+    let out = b.alloc_region(0x200);
+    let out_mask = 0x1ff;
+
+    let f = b.label();
+    b.bind(f);
+    b.alui(AluOp::Sub, R::RSP, R::RSP, 0x40);
+    // A value spilled at every call with the same contents: a *silent store*
+    // to a watched slot — resets AMT although the data never changes.
+    b.movi(R::R9, 0x77);
+    b.store(R::R9, MemRef::base_disp(R::RSP, 0x8));
+    b.movi(R::RCX, 0);
+    b.movi(R::R10, 0);
+    if apx {
+        // With 32 registers the "compiler" hoists the argument loads out of
+        // the loop into the extra registers — no per-iteration stack reloads.
+        b.load(R::new(16), MemRef::base_disp(R::RBP, ARG_SLOT_DISP));
+        b.load(R::new(17), MemRef::base_disp(R::RBP, ARG_SLOT_DISP + 8));
+        b.load(R::new(18), MemRef::base_disp(R::RBP, ARG_SLOT_DISP + 16));
+    }
+    let top = b.bind_new_label();
+    if apx {
+        b.mov(R::RAX, R::new(16));
+        b.mov(R::RDX, R::new(17));
+        b.mov(R::R8, R::new(18));
+        b.alu(AluOp::Add, R::R10, R::R10, R::RAX);
+        b.alu(AluOp::Xor, R::R10, R::R10, R::RDX);
+    } else {
+        // The xz pattern: caller-frame argument slots reloaded in the hot
+        // loop under register pressure. Stack-relative, global-stable,
+        // interleaved with consuming ALU work.
+        b.load(R::RAX, MemRef::base_disp(R::RBP, ARG_SLOT_DISP));
+        b.alu(AluOp::Add, R::R10, R::R10, R::RAX);
+        b.load(R::RDX, MemRef::base_disp(R::RBP, ARG_SLOT_DISP + 8));
+        b.alu(AluOp::Xor, R::R10, R::R10, R::RDX);
+        b.load(R::R8, MemRef::base_disp(R::RBP, ARG_SLOT_DISP + 16));
+    }
+    b.alui(AluOp::And, R::R11, R::RCX, out_mask);
+    // Reload the silently-spilled local.
+    b.load(R::R9, MemRef::base_disp(R::RSP, 0x8));
+    b.alu(AluOp::Add, R::R10, R::R10, R::R9);
+    b.lea(R::R12, MemRef::rip(out));
+    b.store(R::R10, MemRef::base_index(R::R12, R::R11, 8, 0));
+    b.alui(AluOp::Add, R::RCX, R::RCX, 1);
+    b.br_imm(CondCode::Lt, R::RCX, iters, top);
+    b.alui(AluOp::Add, R::RSP, R::RSP, 0x40);
+    b.ret();
+    f
+}
+
+fn emit_stream(ctx: &mut KernelCtx<'_>) -> Label {
+    let len = 1u64 << ctx.rng.gen_range(13..=15); // 64–256 KiB per array
+    let stride_val = ctx.rng.gen_range(1..=9u64);
+    // Real streaming loops run thousands of iterations per invocation;
+    // that is what makes them stride-value-predictable in practice.
+    let iters = ctx.jitter(512, 512);
+    let b = &mut *ctx.b;
+    // Stride-valued arrays: EVES' E-Stride component predicts these loads.
+    let arr = alloc_array(b, len, |i| 0x40 + i * stride_val);
+    let arr2 = alloc_array(b, len, |i| 0x11 + i * 3);
+    let g_len = b.alloc_global(len);
+
+    let f = b.label();
+    b.bind(f);
+    b.movi(R::RDI, 0);
+    b.movi(R::R9, 0);
+    b.movi(R::RCX, 0);
+    b.load_rip(R::R11, g_len); // global-stable bound
+    b.lea(R::R10, MemRef::rip(arr));
+    b.lea(R::R13, MemRef::rip(arr2));
+    let top = b.bind_new_label();
+    b.load(R::R8, MemRef::base_index(R::R10, R::RDI, 8, 0)); // streaming
+    b.alu(AluOp::Add, R::R9, R::R9, R::R8);
+    b.load(R::R12, MemRef::base_index(R::R13, R::RDI, 8, 0)); // second stream
+    b.alu(AluOp::Xor, R::R9, R::R9, R::R12);
+    b.alu(AluOp::And, R::R9, R::R9, R::R11);
+    b.alui(AluOp::Add, R::RDI, R::RDI, 1);
+    b.alui(AluOp::And, R::RDI, R::RDI, (len - 1) as i64);
+    b.alui(AluOp::Add, R::RCX, R::RCX, 1);
+    b.br_imm(CondCode::Lt, R::RCX, iters, top);
+    b.ret();
+    f
+}
+
+fn emit_ptr_chase(ctx: &mut KernelCtx<'_>) -> Label {
+    let nodes = 1u64 << ctx.rng.gen_range(12..=14); // 32–128 KiB of nodes
+    let steps = ctx.jitter(256, 256);
+    // Half of the lists are sequentially allocated (next = this + 8): their
+    // pointer values are stride-predictable, the classic LVP win on linked
+    // structures. The rest are randomly permuted (unpredictable).
+    let sequential = ctx.rng.gen_bool(0.5);
+    let order: Vec<u64> = if sequential {
+        (1..nodes).collect()
+    } else {
+        let mut v: Vec<u64> = (1..nodes).collect();
+        for i in (1..v.len()).rev() {
+            let j = ctx.rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    };
+    let b = &mut *ctx.b;
+    let base = b.alloc_region(nodes);
+    let mut cur = 0u64;
+    for &nxt in &order {
+        b.init_u64(base + cur * 8, base + nxt * 8);
+        cur = nxt;
+    }
+    b.init_u64(base + cur * 8, base);
+    let g_head = b.alloc_global(base);
+
+    let f = b.label();
+    b.bind(f);
+    b.load_rip(R::RAX, g_head); // global-stable head pointer
+    b.movi(R::RCX, 0);
+    let top = b.bind_new_label();
+    b.load(R::RAX, MemRef::base_disp(R::RAX, 0)); // dependent chase
+    b.alui(AluOp::Add, R::RCX, R::RCX, 1);
+    b.br_imm(CondCode::Lt, R::RCX, steps, top);
+    b.ret();
+    f
+}
+
+fn emit_hash_probe(ctx: &mut KernelCtx<'_>) -> Label {
+    let len = 1u64 << ctx.rng.gen_range(13..=16); // 64–512 KiB table
+    let iters = ctx.jitter(96, 96);
+    let seed = ctx.rng.gen::<u64>();
+    let b = &mut *ctx.b;
+    let tab = alloc_array(b, len, |i| {
+        // Value-unpredictable contents.
+        (i ^ seed).wrapping_mul(0xff51_afd7_ed55_8ccd)
+    });
+    let g_tab = b.alloc_global(tab);
+    let g_salt = b.alloc_global(seed | 1);
+
+    let f = b.label();
+    b.bind(f);
+    b.load_rip(R::R8, g_tab); // global-stable table base
+    b.load_rip(R::R9, g_salt); // global-stable salt
+    b.movi(R::RCX, 0);
+    b.movi(R::R13, 0);
+    b.movi(R::R14, 0x9e37);
+    let top = b.bind_new_label();
+    // The next index depends on the previously loaded value — the serial
+    // probe chain real hash tables exhibit; cache misses stall it and
+    // wakeups arrive in bursts.
+    b.alu(AluOp::Xor, R::R10, R::R14, R::R9);
+    b.alu(AluOp::Mul, R::R10, R::R10, R::R9);
+    b.alui(AluOp::Shr, R::R10, R::R10, 17);
+    b.alui(AluOp::And, R::R10, R::R10, (len - 1) as i64);
+    b.load(R::R11, MemRef::base_index(R::R8, R::R10, 8, 0)); // random probe
+    // Second probe to the adjacent bucket (open addressing).
+    b.alui(AluOp::Add, R::R10, R::R10, 1);
+    b.alui(AluOp::And, R::R10, R::R10, (len - 1) as i64);
+    b.load(R::R12, MemRef::base_index(R::R8, R::R10, 8, 0));
+    b.alu(AluOp::Xor, R::R14, R::R11, R::R12);
+    b.alui(AluOp::And, R::R12, R::R11, 1);
+    let skip = b.label();
+    b.br_imm(CondCode::Eq, R::R12, 0, skip); // data-dependent branch
+    b.alu(AluOp::Add, R::R13, R::R13, R::R11);
+    b.bind(skip);
+    b.alui(AluOp::Add, R::RCX, R::RCX, 1);
+    b.br_imm(CondCode::Lt, R::RCX, iters, top);
+    b.ret();
+    f
+}
+
+fn emit_call_heavy(ctx: &mut KernelCtx<'_>) -> Label {
+    let apx = ctx.b.apx();
+    let iters = ctx.jitter(48, 48);
+    let b = &mut *ctx.b;
+    let g_cfg1 = b.alloc_global(0xc0ffee);
+    let g_cfg2 = b.alloc_global(0xf00d);
+    let g_cfg3 = b.alloc_global(0xbeef);
+    let g_cfg4 = b.alloc_global(0x1abe1);
+    let g_cfg5 = b.alloc_global(0x7ab1e);
+    let scratch = alloc_array(b, 64, |i| i * 13 + 5);
+
+    // Small callee 1: reloads a runtime constant and a per-call stack spill.
+    let g1 = b.label();
+    b.bind(g1);
+    b.alui(AluOp::Sub, R::RSP, R::RSP, 0x20);
+    if !apx {
+        b.store(R::RSI, MemRef::base_disp(R::RSP, 0x8)); // spill (silent when RSI constant)
+    }
+    b.load_rip(R::RAX, g_cfg1); // global-stable
+    if !apx {
+        b.load(R::RCX, MemRef::base_disp(R::RSP, 0x8)); // reload spill
+    } else {
+        b.mov(R::RCX, R::RSI);
+    }
+    b.alu(AluOp::Add, R::RAX, R::RAX, R::RCX);
+    b.alui(AluOp::Add, R::RSP, R::RSP, 0x20);
+    b.ret();
+
+    // Small callee 2: a burst of independent configuration loads — the
+    // argument-marshalling / object-field-copy pattern that saturates load
+    // ports (Fig 2's resource-dependence scenario).
+    let g2 = b.label();
+    b.bind(g2);
+    b.load_rip(R::RDX, g_cfg2); // global-stable
+    b.alui(AluOp::And, R::R11, R::RCX, 63);
+    b.load_rip(R::R8, g_cfg3); // global-stable
+    b.lea(R::R12, MemRef::rip(scratch));
+    b.load_rip(R::R9, g_cfg4); // global-stable
+    b.alu(AluOp::Add, R::RDX, R::RDX, R::R8);
+    b.load_rip(R::R10, g_cfg5); // global-stable
+    b.alu(AluOp::Xor, R::RDX, R::RDX, R::R9);
+    b.load(R::R13, MemRef::base_index(R::R12, R::R11, 8, 0)); // non-stable
+    b.alu(AluOp::Add, R::RDX, R::RDX, R::R10);
+    b.alu(AluOp::Xor, R::RAX, R::RAX, R::RDX);
+    b.alu(AluOp::Add, R::RAX, R::RAX, R::R13);
+    b.ret();
+
+    let f = b.label();
+    b.bind(f);
+    b.movi(R::RCX, 0);
+    b.movi(R::RSI, 0x51);
+    let top = b.bind_new_label();
+    b.store(R::RCX, MemRef::base_disp(R::RBP, -0x10)); // save loop counter
+    b.call(g1);
+    b.call(g2);
+    b.alui(AluOp::Add, R::RAX, R::RAX, 3);
+    b.load(R::RCX, MemRef::base_disp(R::RBP, -0x10)); // restore (MRN-friendly)
+    b.alui(AluOp::Add, R::RCX, R::RCX, 1);
+    b.br_imm(CondCode::Lt, R::RCX, iters, top);
+    b.ret();
+    f
+}
+
+fn emit_matrix(ctx: &mut KernelCtx<'_>) -> Label {
+    let cols = 1i64 << ctx.rng.gen_range(7..=8);
+    let rows = ctx.jitter(2, 1);
+    let b = &mut *ctx.b;
+    let a = alloc_array(b, cols as u64, |i| 3 + i * 5);
+    let c = alloc_array(b, cols as u64, |i| 7 + i * 2);
+    let d = b.alloc_region(cols as u64);
+
+    let f = b.label();
+    b.bind(f);
+    b.alui(AluOp::Sub, R::RSP, R::RSP, 0x30);
+    // Per-call spilled bound, reloaded each outer iteration: a short
+    // store→load pair Memory Renaming learns to forward.
+    b.movi(R::R8, rows as u64);
+    b.store(R::R8, MemRef::base_disp(R::RSP, 0x10));
+    b.movi(R::RDI, 0);
+    let outer = b.bind_new_label();
+    b.load(R::R8, MemRef::base_disp(R::RSP, 0x10)); // MRN target
+    b.lea(R::R9, MemRef::rip(a));
+    b.lea(R::R10, MemRef::rip(c));
+    b.lea(R::R11, MemRef::rip(d));
+    b.movi(R::RSI, 0);
+    b.movi(R::RDX, 0);
+    let inner = b.bind_new_label();
+    b.load(R::R12, MemRef::base_index(R::R9, R::RSI, 8, 0)); // stride values
+    b.load(R::R13, MemRef::base_index(R::R10, R::RSI, 8, 0)); // stride values
+    b.alu(AluOp::Mul, R::R12, R::R12, R::R13);
+    b.alu(AluOp::Add, R::RDX, R::RDX, R::R12);
+    b.store(R::RDX, MemRef::base_index(R::R11, R::RSI, 8, 0));
+    b.alui(AluOp::Add, R::RSI, R::RSI, 1);
+    b.br_imm(CondCode::Lt, R::RSI, cols, inner);
+    b.alui(AluOp::Add, R::RDI, R::RDI, 1);
+    b.br(CondCode::Lt, R::RDI, R::R8, outer);
+    b.alui(AluOp::Add, R::RSP, R::RSP, 0x30);
+    b.ret();
+    f
+}
+
+fn emit_branchy(ctx: &mut KernelCtx<'_>) -> Label {
+    let len = 1u64 << 10;
+    let iters = ctx.jitter(128, 128);
+    let seed = ctx.rng.gen::<u64>();
+    let b = &mut *ctx.b;
+    let arr = alloc_array(b, len, |i| (i ^ seed).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let g_k = b.alloc_global(0xabcd);
+
+    let f = b.label();
+    b.bind(f);
+    b.lea(R::R8, MemRef::rip(arr));
+    b.movi(R::RCX, 0);
+    b.movi(R::R12, 0);
+    let top = b.bind_new_label();
+    b.alui(AluOp::And, R::R9, R::RCX, (len - 1) as i64);
+    b.load(R::R10, MemRef::base_index(R::R8, R::R9, 8, 0));
+    b.alui(AluOp::And, R::R11, R::R10, 3);
+    let alt = b.label();
+    let join = b.label();
+    b.br_imm(CondCode::Eq, R::R11, 0, alt); // ~25% taken, data-dependent
+    b.alu(AluOp::Add, R::R12, R::R12, R::R10);
+    b.jmp(join);
+    b.bind(alt);
+    b.alu(AluOp::Sub, R::R12, R::R12, R::R10);
+    b.bind(join);
+    b.load_rip(R::RAX, g_k); // global-stable
+    b.alu(AluOp::Xor, R::R12, R::R12, R::RAX);
+    b.alui(AluOp::Add, R::RCX, R::RCX, 1);
+    b.br_imm(CondCode::Lt, R::RCX, iters, top);
+    b.ret();
+    f
+}
+
+fn emit_churn(ctx: &mut KernelCtx<'_>) -> Label {
+    let iters = ctx.jitter(192, 128);
+    let b = &mut *ctx.b;
+    let g_phase = b.alloc_global(0x11); // rewritten every call: phase-stable only
+    let g_fixed = b.alloc_global(0x5a5a); // never written: global-stable
+
+    let f = b.label();
+    b.bind(f);
+    // Advance the phase value, killing stability across invocations.
+    b.load_rip(R::RAX, g_phase);
+    b.alui(AluOp::Add, R::RAX, R::RAX, 1);
+    b.store(R::RAX, MemRef::rip(g_phase));
+    b.movi(R::RCX, 0);
+    b.movi(R::R10, 0);
+    let top = b.bind_new_label();
+    b.load_rip(R::RDX, g_phase); // stable *within* this call only
+    b.load_rip(R::R8, g_fixed); // global-stable
+    b.alu(AluOp::Add, R::R10, R::R10, R::RDX);
+    b.alu(AluOp::Xor, R::R10, R::R10, R::R8);
+    b.alui(AluOp::Add, R::RCX, R::RCX, 1);
+    b.br_imm(CondCode::Lt, R::RCX, iters, top);
+    b.ret();
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Machine;
+    use rand::SeedableRng;
+    use sim_isa::OpKind;
+
+    fn harness(kind: KernelKind) -> (crate::program::Program, u32) {
+        let mut b = ProgramBuilder::new("kernel-test");
+        let mut rng = SmallRng::seed_from_u64(7);
+        let f = {
+            let mut ctx = KernelCtx { b: &mut b, rng: &mut rng };
+            emit_kernel(kind, &mut ctx)
+        };
+        b.set_entry();
+        b.alui(AluOp::Sub, R::RSP, R::RSP, MAIN_FRAME);
+        b.mov(R::RBP, R::RSP);
+        // Argument slots for InlinedArgs live in the initial stack image.
+        let rbp = crate::program::STACK_TOP - MAIN_FRAME as u64;
+        b.init_u64(rbp + ARG_SLOT_DISP as u64, 0xa1);
+        b.init_u64(rbp + ARG_SLOT_DISP as u64 + 8, 0xa2);
+        b.init_u64(rbp + ARG_SLOT_DISP as u64 + 16, 0xa3);
+        let loop_top = b.bind_new_label();
+        b.call(f);
+        b.jmp(loop_top);
+        let entry = b.here();
+        (b.build(), entry)
+    }
+
+    #[test]
+    fn every_kernel_executes_without_stack_drift() {
+        for kind in KernelKind::ALL {
+            let (p, _) = harness(kind);
+            let mut m = Machine::new(&p);
+            let rsp0 = crate::program::STACK_TOP - MAIN_FRAME as u64;
+            let mut calls = 0;
+            for _ in 0..50_000u32 {
+                let rec = m.step();
+                let inst = p.inst(rec.sidx);
+                if let OpKind::Branch(sim_isa::BranchKind::Ret) = inst.kind {
+                    calls += 1;
+                    if calls >= 3 {
+                        break;
+                    }
+                }
+            }
+            assert!(calls >= 3, "{kind:?}: kernel never returned three times");
+            // After each return to the main loop RSP must be back at the
+            // main frame — any drift means a broken prologue/epilogue.
+            assert_eq!(m.reg(R::RSP), rsp0, "{kind:?}: stack pointer drifted");
+        }
+    }
+
+    #[test]
+    fn global_const_kernel_has_stable_loads() {
+        let (p, _) = harness(KernelKind::GlobalConst);
+        let mut m = Machine::new(&p);
+        let mut seen: std::collections::HashMap<u32, (u64, u64, bool)> = Default::default();
+        for _ in 0..20_000 {
+            let rec = m.step();
+            if p.inst(rec.sidx).is_load() {
+                let acc = rec.mem.unwrap();
+                let e = seen.entry(rec.sidx).or_insert((acc.addr, acc.value, true));
+                if e.0 != acc.addr || e.1 != acc.value {
+                    e.2 = false;
+                }
+            }
+        }
+        let stable = seen.values().filter(|e| e.2).count();
+        assert!(stable >= 4, "expected ≥4 stable static loads, saw {stable}");
+    }
+
+    #[test]
+    fn churn_kernel_phase_load_changes_across_calls() {
+        let (p, _) = harness(KernelKind::Churn);
+        let mut m = Machine::new(&p);
+        let mut values = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            let rec = m.step();
+            if p.inst(rec.sidx).is_load() {
+                values.insert(rec.mem.unwrap().value);
+            }
+        }
+        assert!(values.len() > 2, "churn kernel must produce changing values");
+    }
+}

@@ -1,0 +1,95 @@
+//! A guided tour of the Constable mechanism itself — driving the SLD, RMT,
+//! AMT, and xPRF directly through the public API, following the lifecycle
+//! of Fig 10 in the paper.
+//!
+//! ```text
+//! cargo run --release --example constable_tour
+//! ```
+
+use constable::{Constable, ConstableConfig, LoadRename, StackState, StorageBreakdown};
+use sim_isa::{ArchReg, MemRef};
+
+fn main() {
+    let cfg = ConstableConfig::paper();
+    let storage = StorageBreakdown::for_config(&cfg);
+    println!(
+        "Constable @ paper config: SLD {:.1} KB + RMT {:.1} KB + AMT {:.1} KB = {:.1} KB",
+        storage.sld_kb(),
+        storage.rmt_kb(),
+        storage.amt_kb(),
+        storage.total_kb()
+    );
+
+    let mut c = Constable::new(cfg);
+    let st = StackState::default();
+
+    // A load like `mov rax, [rip+0x1f4ac5]` — leela's s_rng pointer.
+    let pc = 0x43_2624;
+    let mem = MemRef::rip(0x62_6ef0);
+    let (addr, value) = (0x62_6ef0, 0xdead_0001u64);
+
+    // Phase 1 (A in Fig 10): confidence building. Every non-eliminated
+    // execution that fetches the same value from the same address bumps the
+    // 5-bit counter; threshold is 30.
+    let mut executions = 0;
+    loop {
+        executions += 1;
+        match c.rename_load(pc, &mem, st) {
+            LoadRename::Normal => {
+                c.on_load_writeback(pc, &mem, addr, value, false, st);
+            }
+            LoadRename::LikelyStable => break,
+            LoadRename::Eliminated { .. } => unreachable!("not armed yet"),
+        }
+    }
+    println!("likely-stable after {executions} identical executions (threshold 30)");
+
+    // Phase 2 (B): the likely-stable execution writes back, inserting the
+    // PC into RMT/AMT and setting can_eliminate. It also asks the core to
+    // pin this core's CV bit in the directory (§6.6).
+    let pin = c.on_load_writeback(pc, &mem, addr, value, true, st);
+    println!("armed; CV-bit pin requested: {pin}");
+
+    // Phase 3 (C): subsequent instances are eliminated outright.
+    match c.rename_load(pc, &mem, st) {
+        LoadRename::Eliminated { addr, value, slot } => {
+            println!("eliminated: value {value:#x} from {addr:#x} via xPRF slot {slot:?}");
+            c.free_xprf(slot); // the move retires
+        }
+        other => panic!("expected elimination, got {other:?}"),
+    }
+
+    // Phase 4 (D–F): a store to the watched address disarms the PC.
+    c.on_store_addr(addr);
+    assert!(!c.armed(pc));
+    println!("store to {addr:#x} disarmed the load (Condition 2)");
+    match c.rename_load(pc, &mem, st) {
+        LoadRename::LikelyStable => {
+            println!("confidence survives: next instance re-arms at writeback")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Register writes enforce Condition 1 the same way.
+    let reg_mem = MemRef::base_disp(ArchReg::R8, 0x10);
+    for _ in 0..40 {
+        c.on_load_writeback(0x40_1000, &reg_mem, 0x7000, 5, false, st);
+    }
+    assert_eq!(c.rename_load(0x40_1000, &reg_mem, st), LoadRename::LikelyStable);
+    c.on_load_writeback(0x40_1000, &reg_mem, 0x7000, 5, true, st);
+    c.on_dest_write(ArchReg::R8, false); // someone writes r8
+    assert!(!c.armed(0x40_1000));
+    println!("write to r8 disarmed the [r8+0x10] load (Condition 1)");
+
+    // Snoops (multi-core) disarm via the AMT at cacheline granularity.
+    c.on_load_writeback(pc, &mem, addr, value, true, st);
+    c.on_snoop(addr >> 6);
+    assert!(!c.armed(pc));
+    println!("snoop to line {:#x} disarmed the load", addr >> 6);
+
+    let s = c.stats();
+    println!(
+        "stats: {} renamed, {} eliminated, {} armed, resets: {} store / {} snoop / {} reg",
+        s.loads_renamed, s.eliminated, s.armed, s.resets_store, s.resets_snoop, s.resets_reg_write
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a workload, run it on the baseline core and on a core
+//! with Constable, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sim_core::{Core, CoreConfig};
+use sim_workload::suite;
+
+fn main() {
+    // Pick the paper's flagship example workload: 541.leela_r, whose
+    // `get_Rng()` runtime-constant pointer load motivates Constable (§4.2).
+    let spec = suite()
+        .into_iter()
+        .find(|w| w.name.starts_with("541.leela_r"))
+        .expect("suite contains leela");
+    println!("workload: {} ({})", spec.name, spec.category);
+
+    let program = spec.build();
+    println!(
+        "program: {} static instructions, {} static loads",
+        program.len(),
+        program.static_loads()
+    );
+
+    let n = 120_000;
+
+    // Baseline: Golden-Cove-like, MRN + rename optimizations on (Table 2).
+    let mut base = Core::new(&program, CoreConfig::golden_cove_like());
+    let b = base.run(n);
+    assert_eq!(b.stats.golden_mismatches, 0);
+
+    // Same machine + Constable (12.4 KB of extra state, Table 1).
+    let mut cons = Core::new(&program, CoreConfig::golden_cove_like().with_constable());
+    let c = cons.run(n);
+    assert_eq!(c.stats.golden_mismatches, 0);
+
+    println!("baseline : IPC {:.3}", b.ipc());
+    println!(
+        "constable: IPC {:.3} ({:+.2}%)",
+        c.ipc(),
+        (c.ipc() / b.ipc() - 1.0) * 100.0
+    );
+    println!(
+        "loads: {} retired, {} eliminated ({:.1}% coverage)",
+        c.stats.retired_loads,
+        c.stats.loads_eliminated,
+        100.0 * c.stats.elimination_coverage()
+    );
+    println!(
+        "L1-D accesses: {} -> {} ({:.1}% fewer)",
+        b.stats.l1d_accesses,
+        c.stats.l1d_accesses,
+        100.0 * (1.0 - c.stats.l1d_accesses as f64 / b.stats.l1d_accesses as f64)
+    );
+    println!(
+        "RS allocations: {} -> {} ({:.1}% fewer)",
+        b.stats.rs_allocs,
+        c.stats.rs_allocs,
+        100.0 * (1.0 - c.stats.rs_allocs as f64 / b.stats.rs_allocs as f64)
+    );
+}

@@ -1,0 +1,103 @@
+//! §8.5-style functional verification across crates: every configuration
+//! must retire every load with the architecturally correct address and
+//! value — including Constable-eliminated loads, whose values come from the
+//! SLD rather than the memory hierarchy.
+
+use constable_repro::experiments::MachineKind;
+use constable_repro::sim_core::Core;
+use constable_repro::sim_workload::{suite_subset, Category};
+
+const N: u64 = 25_000;
+
+fn verify(kind: MachineKind, workloads: usize) {
+    for spec in suite_subset(workloads) {
+        let program = spec.build();
+        let oracle = if kind.needs_oracle() {
+            let r = constable_repro::load_inspector::analyze(&program, N);
+            constable_repro::constable::IdealOracle::new(r.stable_pcs.iter().copied())
+        } else {
+            Default::default()
+        };
+        let mut core = Core::new(&program, kind.config(oracle));
+        let r = core.run(N);
+        assert!(!r.hit_cycle_guard, "{}: guard tripped", spec.name);
+        assert_eq!(
+            r.stats.golden_mismatches, 0,
+            "{}: golden check failed under {}",
+            spec.name,
+            kind.label()
+        );
+        assert!(r.stats.retired_loads > 0, "{}: no loads retired", spec.name);
+    }
+}
+
+#[test]
+fn baseline_is_functionally_correct() {
+    verify(MachineKind::Baseline, 5);
+}
+
+#[test]
+fn constable_is_functionally_correct() {
+    verify(MachineKind::Constable, 5);
+}
+
+#[test]
+fn constable_amt_variants_are_functionally_correct() {
+    verify(MachineKind::ConstableAmtI, 3);
+    verify(MachineKind::ConstableFullAddrAmt, 3);
+}
+
+#[test]
+fn speculation_stack_is_functionally_correct() {
+    verify(MachineKind::EvesConstable, 3);
+    verify(MachineKind::RfpConstable, 2);
+    verify(MachineKind::ElarConstable, 2);
+}
+
+#[test]
+fn ideal_oracle_configs_are_functionally_correct() {
+    verify(MachineKind::IdealConstable, 3);
+    verify(MachineKind::IdealStableLvp, 2);
+    verify(MachineKind::IdealStableLvpNoFetch, 2);
+}
+
+#[test]
+fn smt2_is_functionally_correct_for_every_pairing_shape() {
+    let specs = suite_subset(4);
+    for pair in [(0usize, 1usize), (2, 3)] {
+        let pa = specs[pair.0].build();
+        let pb = specs[pair.1].build();
+        for kind in [MachineKind::Baseline, MachineKind::EvesConstable] {
+            let mut core = Core::new_multi(vec![&pa, &pb], kind.config(Default::default()));
+            let r = core.run(N / 2);
+            assert_eq!(r.stats.golden_mismatches, 0, "SMT2 {} failed", kind.label());
+            assert!(r.retired_per_thread.iter().all(|&n| n >= N / 2));
+        }
+    }
+    // A mirrored pairing must also be clean (thread-id address tagging).
+    let pa = specs[1].build();
+    let pb = specs[0].build();
+    let mut core = Core::new_multi(vec![&pa, &pb], MachineKind::Constable.config(Default::default()));
+    let r = core.run(N / 2);
+    assert_eq!(r.stats.golden_mismatches, 0);
+}
+
+#[test]
+fn elimination_happens_in_every_category() {
+    for cat in Category::ALL {
+        let spec = constable_repro::sim_workload::suite()
+            .into_iter()
+            .find(|w| w.category == cat)
+            .expect("category populated");
+        let program = spec.build();
+        let mut core = Core::new(&program, MachineKind::Constable.config(Default::default()));
+        let r = core.run(60_000);
+        assert_eq!(r.stats.golden_mismatches, 0);
+        assert!(
+            r.stats.loads_eliminated > 0,
+            "{}: Constable never fired in {}",
+            spec.name,
+            cat
+        );
+    }
+}

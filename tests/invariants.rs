@@ -1,0 +1,133 @@
+//! Property-based tests of cross-crate invariants.
+
+use constable_repro::constable::{
+    Constable, ConstableConfig, LoadRename, StackState, StorageBreakdown,
+};
+use constable_repro::sim_isa::{AddrMode, ArchReg, MemRef};
+use constable_repro::sim_workload::{Machine, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Random but valid memory references.
+fn mem_ref_strategy() -> impl Strategy<Value = MemRef> {
+    prop_oneof![
+        (0x60_0000u64..0x70_0000).prop_map(MemRef::rip),
+        ((0u8..16), -256i64..256).prop_map(|(r, d)| MemRef::base_disp(ArchReg::new(r), d)),
+        ((0u8..16), (0u8..16), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], -64i64..64)
+            .prop_map(|(b, i, s, d)| MemRef::base_index(ArchReg::new(b), ArchReg::new(i), s, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine never eliminates a load whose (address, value) it has not
+    /// observed verbatim: whatever sequence of writebacks/stores/snoops is
+    /// applied, an `Eliminated` decision always carries the last-trained
+    /// outcome for that PC.
+    #[test]
+    fn elimination_only_replays_trained_outcomes(
+        mem in mem_ref_strategy(),
+        addr in 0x1000u64..0x8000_0000,
+        value in any::<u64>(),
+        churn in proptest::collection::vec(0u8..4, 0..24),
+    ) {
+        let mut c = Constable::new(ConstableConfig::paper());
+        let st = StackState::default();
+        let pc = 0x40_0400u64;
+        for _ in 0..40 {
+            c.on_load_writeback(pc, &mem, addr, value, false, st);
+        }
+        if c.rename_load(pc, &mem, st) == LoadRename::LikelyStable {
+            c.on_load_writeback(pc, &mem, addr, value, true, st);
+        }
+        // Arbitrary interleaving of disturbances…
+        for ev in churn {
+            match ev {
+                0 => c.on_store_addr(addr ^ 0x40),
+                1 => c.on_snoop((addr >> 6) ^ 1),
+                2 => c.on_dest_write(ArchReg::RAX, false),
+                _ => { let _ = c.rename_load(0x40_0800, &MemRef::rip(0x61_0000), st); }
+            }
+        }
+        // …can disarm the load, but can never corrupt what it would replay.
+        match c.rename_load(pc, &mem, st) {
+            LoadRename::Eliminated { addr: a, value: v, slot } => {
+                prop_assert_eq!(a, addr);
+                prop_assert_eq!(v, value);
+                c.free_xprf(slot);
+            }
+            _ => {}
+        }
+    }
+
+    /// A store to the watched address always disarms (Condition 2), for
+    /// every addressing mode.
+    #[test]
+    fn store_always_disarms(mem in mem_ref_strategy(), addr in 0x1000u64..0x8000_0000) {
+        let mut c = Constable::new(ConstableConfig::paper());
+        let st = StackState::default();
+        let pc = 0x40_0404u64;
+        for _ in 0..40 {
+            c.on_load_writeback(pc, &mem, addr, 7, false, st);
+        }
+        let _ = c.rename_load(pc, &mem, st);
+        c.on_load_writeback(pc, &mem, addr, 7, true, st);
+        if c.armed(pc) {
+            c.on_store_addr(addr);
+            prop_assert!(!c.armed(pc));
+        }
+    }
+
+    /// Storage accounting is monotone in every structure dimension.
+    #[test]
+    fn storage_is_monotone(sets in 1usize..8, ways in 1usize..8, pcs in 1usize..8) {
+        let base = ConstableConfig::paper();
+        let grown = ConstableConfig {
+            sld_sets: base.sld_sets * sets.max(1),
+            amt_ways: base.amt_ways * ways.max(1),
+            amt_pcs_per_entry: base.amt_pcs_per_entry * pcs.max(1),
+            ..base.clone()
+        };
+        let a = StorageBreakdown::for_config(&base);
+        let b = StorageBreakdown::for_config(&grown);
+        prop_assert!(b.sld_bits >= a.sld_bits);
+        prop_assert!(b.amt_bits >= a.amt_bits);
+    }
+
+    /// Functional execution is deterministic: two machines over the same
+    /// program produce identical dynamic streams.
+    #[test]
+    fn functional_execution_is_deterministic(seed in 0u64..1_000) {
+        let spec = WorkloadSpec::new("prop", constable_repro::sim_workload::Category::Client, seed);
+        let program = spec.build();
+        let mut a = Machine::new(&program);
+        let mut b = Machine::new(&program);
+        for _ in 0..2_000 {
+            prop_assert_eq!(a.step(), b.step());
+        }
+    }
+
+    /// Addressing-mode classification is total and stable.
+    #[test]
+    fn addr_mode_classification_is_total(mem in mem_ref_strategy()) {
+        let m = mem.addr_mode();
+        prop_assert!(AddrMode::ALL.contains(&m));
+        prop_assert_eq!(m, mem.addr_mode());
+    }
+}
+
+#[test]
+fn eliminated_values_survive_full_simulation() {
+    // End-to-end: a Constable run retires exactly as many loads as the
+    // baseline and the per-run load count is independent of elimination.
+    use constable_repro::experiments::MachineKind;
+    use constable_repro::sim_core::Core;
+    let spec = &constable_repro::sim_workload::suite_subset(3)[0];
+    let program = spec.build();
+    let mut base = Core::new(&program, MachineKind::Baseline.config(Default::default()));
+    let rb = base.run(20_000);
+    let mut cons = Core::new(&program, MachineKind::Constable.config(Default::default()));
+    let rc = cons.run(20_000);
+    assert_eq!(rb.stats.retired_loads, rc.stats.retired_loads);
+    assert_eq!(rc.stats.golden_mismatches, 0);
+}

@@ -1,0 +1,165 @@
+//! Multi-core coherence integration: real snoops through the directory
+//! (§6.4.4, §6.6) rather than the synthetic injector.
+//!
+//! A miniature two-core system is assembled from the public pieces: one
+//! private [`MemoryHierarchy`] per core, a shared [`Directory`] with CV
+//! bits, and one [`Constable`] engine per core. Core 0 runs a stable-load
+//! loop; core 1 periodically writes the watched line. The directory must
+//! deliver the invalidation to core 0 — including after a *clean eviction*,
+//! thanks to CV-bit pinning — and the snoop must disarm the eliminated load.
+
+use constable_repro::constable::{Constable, ConstableConfig, LoadRename, StackState};
+use constable_repro::sim_isa::MemRef;
+use constable_repro::sim_mem::{line_addr, Directory, MemConfig, MemoryHierarchy};
+
+struct MiniCore {
+    id: usize,
+    mem: MemoryHierarchy,
+    cons: Constable,
+}
+
+impl MiniCore {
+    fn new(id: usize) -> Self {
+        MiniCore {
+            id,
+            mem: MemoryHierarchy::new(MemConfig::golden_cove_like()),
+            cons: Constable::new(ConstableConfig::paper()),
+        }
+    }
+
+    /// Executes one instance of a load, driving directory + Constable the
+    /// way the full core model does. Returns whether it was eliminated.
+    fn do_load(&mut self, dir: &mut Directory, pc: u64, addr: u64, value: u64, now: u64) -> bool {
+        let mem_ref = MemRef::rip(addr);
+        let st = StackState::default();
+        match self.cons.rename_load(pc, &mem_ref, st) {
+            LoadRename::Eliminated { addr: a, value: v, slot } => {
+                assert_eq!((a, v), (addr, value), "eliminated outcome must match");
+                self.cons.free_xprf(slot);
+                true
+            }
+            decision => {
+                let out = self.mem.load(pc, addr, now);
+                self.cons.on_l1_evictions(&out.l1_evictions);
+                dir.on_read(self.id, line_addr(addr));
+                let likely = decision == LoadRename::LikelyStable;
+                let pin = self.cons.on_load_writeback(pc, &mem_ref, addr, value, likely, st);
+                if pin {
+                    dir.pin(self.id, line_addr(addr));
+                }
+                false
+            }
+        }
+    }
+
+    /// Executes a store on this core, delivering snoops to `others`.
+    fn do_store(
+        &mut self,
+        dir: &mut Directory,
+        others: &mut [&mut MiniCore],
+        addr: u64,
+        now: u64,
+    ) {
+        self.cons.on_store_addr(addr);
+        self.mem.store_commit(addr, now);
+        for snoop in dir.on_write(self.id, line_addr(addr)) {
+            let target = others
+                .iter_mut()
+                .find(|c| c.id == snoop.core)
+                .expect("snooped core exists");
+            target.mem.snoop_invalidate(snoop.line);
+            target.cons.on_snoop(snoop.line);
+        }
+    }
+}
+
+const ADDR: u64 = 0x60_0040;
+const PC: u64 = 0x40_0400;
+
+#[test]
+fn remote_store_disarms_via_directory_snoop() {
+    let mut dir = Directory::new(2);
+    let mut c0 = MiniCore::new(0);
+    let mut c1 = MiniCore::new(1);
+
+    // Core 0 trains to elimination.
+    let mut eliminated = 0;
+    for i in 0..64 {
+        if c0.do_load(&mut dir, PC, ADDR, 7, i) {
+            eliminated += 1;
+        }
+    }
+    assert!(eliminated > 0, "load must reach elimination");
+    assert!(c0.cons.armed(PC));
+
+    // Core 1 writes the line: the directory snoops core 0, which disarms.
+    c1.do_store(&mut dir, &mut [&mut c0], ADDR, 100);
+    assert!(!c0.cons.armed(PC), "snoop must reset can_eliminate");
+    assert_eq!(c0.cons.stats().resets_snoop, 1);
+
+    // Core 0 relearns and re-arms (confidence survived).
+    let was_eliminated = c0.do_load(&mut dir, PC, ADDR, 7, 200);
+    assert!(!was_eliminated, "first instance after snoop executes");
+    assert!(c0.do_load(&mut dir, PC, ADDR, 7, 201), "then elimination resumes");
+}
+
+#[test]
+fn cv_bit_pinning_survives_clean_eviction() {
+    let mut dir = Directory::new(2);
+    let mut c0 = MiniCore::new(0);
+    let mut c1 = MiniCore::new(1);
+
+    for i in 0..64 {
+        c0.do_load(&mut dir, PC, ADDR, 7, i);
+    }
+    assert!(c0.cons.armed(PC));
+    assert!(dir.pinned(0, line_addr(ADDR)), "arming pins the CV bit");
+
+    // A clean eviction of the line from core 0's private caches would
+    // normally clear the CV bit and hide future remote writes.
+    dir.on_evict(0, line_addr(ADDR));
+    assert!(
+        dir.cv_set(0, line_addr(ADDR)),
+        "pinned CV bit must survive the eviction"
+    );
+
+    // The remote write still reaches core 0 — elimination stays safe.
+    c1.do_store(&mut dir, &mut [&mut c0], ADDR, 100);
+    assert!(!c0.cons.armed(PC));
+}
+
+#[test]
+fn unpinned_line_loses_snoop_after_eviction() {
+    // The counterfactual that motivates pinning (§6.6): without a pin, the
+    // eviction clears CV and the directory never snoops core 0 again.
+    let mut dir = Directory::new(2);
+    dir.on_read(0, line_addr(ADDR));
+    dir.on_evict(0, line_addr(ADDR));
+    let snoops = dir.on_write(1, line_addr(ADDR));
+    assert!(snoops.is_empty(), "no CV bit, no snoop — hence Constable must pin");
+}
+
+#[test]
+fn four_core_sharing_pattern() {
+    let mut dir = Directory::new(4);
+    let mut cores: Vec<MiniCore> = (0..4).map(MiniCore::new).collect();
+    // Every core reads (and arms) the same configuration line.
+    for (i, core) in cores.iter_mut().enumerate() {
+        for n in 0..64 {
+            core.do_load(&mut dir, PC + i as u64, ADDR, 9, n);
+        }
+        assert!(core.cons.armed(PC + i as u64));
+    }
+    // Core 3 writes: all other cores get snooped and disarmed, and the
+    // writer's own AMT probe disarms its local watcher too (Condition 2
+    // covers local stores as much as remote ones).
+    let (w, rest) = cores.split_last_mut().expect("four cores");
+    let mut others: Vec<&mut MiniCore> = rest.iter_mut().collect();
+    w.do_store(&mut dir, &mut others, ADDR, 1000);
+    for core in rest.iter() {
+        assert!(!core.cons.armed(PC + core.id as u64), "core {} still armed", core.id);
+        assert_eq!(core.cons.stats().resets_snoop, 1);
+    }
+    assert!(!w.cons.armed(PC + 3), "the writer disarms via its own store probe");
+    assert_eq!(w.cons.stats().resets_store, 1);
+}
