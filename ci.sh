@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the Constable reproduction.
+#
+#   ./ci.sh          # fmt + clippy + build + tests + bench smoke
+#   ./ci.sh --fast   # skip the bench smoke
+#
+# Everything runs offline: the workspace vendors stand-ins for rand and
+# criterion under shims/ (see Cargo.toml), so no network is required.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "rustfmt (check)"
+cargo fmt --check
+
+step "clippy (-D warnings, all targets)"
+cargo clippy --release --all-targets -- -D warnings
+
+step "build (release)"
+cargo build --release
+
+step "tests"
+cargo test -q --release
+
+if [[ "${1:-}" != "--fast" ]]; then
+    # Quick scheduler-bench smoke: exercises the criterion harness and the
+    # event-vs-legacy comparison end to end (3 samples, short warm-up).
+    step "bench smoke (scheduler)"
+    CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench scheduler
+fi
+
+step "OK"

@@ -30,8 +30,23 @@ fn bench_figure(c: &mut Criterion, id: &'static str) {
 
 fn figures(c: &mut Criterion) {
     for id in [
-        "fig3", "fig6", "fig7", "fig9a", "fig9b", "fig11", "fig13", "fig15", "fig16", "fig18",
-        "fig19", "fig21", "fig22", "fig23", "table1", "table3", "amt-granularity",
+        "fig3",
+        "fig6",
+        "fig7",
+        "fig9a",
+        "fig9b",
+        "fig11",
+        "fig13",
+        "fig15",
+        "fig16",
+        "fig18",
+        "fig19",
+        "fig21",
+        "fig22",
+        "fig23",
+        "table1",
+        "table3",
+        "amt-granularity",
     ] {
         bench_figure(c, id);
     }

@@ -1,0 +1,103 @@
+//! Scheduler throughput: simulated µops per second of host wall-clock,
+//! event-driven vs the legacy full-scan scheduler, on a category-balanced
+//! kernel-suite subset at quick run length.
+//!
+//! This is the harness behind the event-driven-scheduling acceptance
+//! criterion: `scheduler/event/*` must beat `scheduler/legacy/*` by ≥2×
+//! simulated-µops-per-second. The JSON report lands in
+//! `target/criterion-shim/scheduler.json`; `BENCH.md` in the repo root
+//! carries the committed snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sim_core::{Core, CoreConfig, SchedulerKind, SimScratch};
+use sim_workload::WorkloadSpec;
+use std::time::Duration;
+
+/// Workloads per bench iteration (category-balanced subset).
+const SUBSET: usize = 3;
+/// Retired instructions per thread per workload (RunLength::quick()).
+const QUICK: u64 = 40_000;
+
+fn total_uops(specs: &[WorkloadSpec], cfg: &CoreConfig) -> u64 {
+    // Retired-µop throughput denominator: one full subset pass.
+    specs
+        .iter()
+        .map(|spec| {
+            let program = spec.build();
+            let mut core = Core::new(&program, cfg.clone());
+            core.run(QUICK).stats.retired
+        })
+        .sum()
+}
+
+fn run_subset(specs: &[WorkloadSpec], cfg: &CoreConfig) -> u64 {
+    let mut retired = 0;
+    for spec in specs {
+        let program = spec.build();
+        let mut core = Core::new(&program, cfg.clone());
+        let r = core.run(QUICK);
+        assert_eq!(r.stats.golden_mismatches, 0);
+        retired += r.stats.retired;
+    }
+    retired
+}
+
+fn run_subset_with_scratch(
+    specs: &[WorkloadSpec],
+    cfg: &CoreConfig,
+    scratch: SimScratch,
+) -> (u64, SimScratch) {
+    let mut retired = 0;
+    let mut scratch = scratch;
+    for spec in specs {
+        let program = spec.build();
+        let mut core = Core::new_multi_with_scratch(vec![&program], cfg.clone(), scratch);
+        let r = core.run(QUICK);
+        assert_eq!(r.stats.golden_mismatches, 0);
+        retired += r.stats.retired;
+        scratch = core.into_scratch();
+    }
+    (retired, scratch)
+}
+
+fn scheduler_throughput(c: &mut Criterion) {
+    let specs = sim_workload::suite_subset(SUBSET);
+    let machines: &[(&str, CoreConfig)] = &[
+        ("baseline", CoreConfig::golden_cove_like()),
+        ("constable", CoreConfig::golden_cove_like().with_constable()),
+    ];
+    for (label, cfg) in machines {
+        let uops = total_uops(&specs, cfg);
+        let mut g = c.benchmark_group("scheduler");
+        g.throughput(Throughput::Elements(uops));
+        g.bench_function(&format!("legacy/{label}"), |b| {
+            let cfg = cfg.clone().with_scheduler(SchedulerKind::LegacyScan);
+            b.iter(|| std::hint::black_box(run_subset(&specs, &cfg)))
+        });
+        g.bench_function(&format!("event/{label}"), |b| {
+            let cfg = cfg.clone().with_scheduler(SchedulerKind::EventDriven);
+            b.iter(|| std::hint::black_box(run_subset(&specs, &cfg)))
+        });
+        g.bench_function(&format!("event-scratch/{label}"), |b| {
+            let cfg = cfg.clone().with_scheduler(SchedulerKind::EventDriven);
+            let mut scratch = Some(SimScratch::new());
+            b.iter(|| {
+                let (retired, s) =
+                    run_subset_with_scratch(&specs, &cfg, scratch.take().expect("scratch"));
+                scratch = Some(s);
+                std::hint::black_box(retired)
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    targets = scheduler_throughput
+}
+criterion_main!(benches);

@@ -22,9 +22,10 @@ fn constable_structures(c: &mut Criterion) {
         }
         let _ = engine.rename_load(0x400, &mem, st);
         engine.on_load_writeback(0x400, &mem, 0x60_0000, 7, true, st);
-        b.iter(|| match engine.rename_load(0x400, &mem, st) {
-            LoadRename::Eliminated { slot, .. } => engine.free_xprf(slot),
-            _ => {}
+        b.iter(|| {
+            if let LoadRename::Eliminated { slot, .. } = engine.rename_load(0x400, &mem, st) {
+                engine.free_xprf(slot)
+            }
         })
     });
 
@@ -69,7 +70,7 @@ fn predictors(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let taken = i % 7 != 0;
+            let taken = !i.is_multiple_of(7);
             let p = t.predict(0x400 + (i % 64) * 4);
             t.update(0x400 + (i % 64) * 4, taken);
             std::hint::black_box(p)

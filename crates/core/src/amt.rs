@@ -96,7 +96,12 @@ impl Amt {
             .expect("amt set nonempty");
         let old = std::mem::replace(
             &mut self.entries[victim],
-            AmtEntry { valid: true, addr, pcs: vec![load_pc], lru: clock },
+            AmtEntry {
+                valid: true,
+                addr,
+                pcs: vec![load_pc],
+                lru: clock,
+            },
         );
         if old.valid {
             old.pcs
@@ -143,7 +148,9 @@ impl Amt {
 
     /// Clears the table (context switch / physical remap, §6.7.3).
     pub fn clear(&mut self) {
-        self.entries.iter_mut().for_each(|e| *e = AmtEntry::default());
+        self.entries
+            .iter_mut()
+            .for_each(|e| *e = AmtEntry::default());
     }
 
     /// Number of valid entries (for stats).
@@ -161,7 +168,10 @@ mod tests {
     }
 
     fn full_amt() -> Amt {
-        let cfg = ConstableConfig { amt_full_address: true, ..ConstableConfig::paper() };
+        let cfg = ConstableConfig {
+            amt_full_address: true,
+            ..ConstableConfig::paper()
+        };
         Amt::new(&cfg)
     }
 
@@ -171,8 +181,15 @@ mod tests {
         a.insert(0x8000, 0x400);
         a.insert(0x8008, 0x500); // same line
         let pcs = a.probe_store(0x8010); // same line, other bytes
-        assert_eq!(pcs, vec![0x400, 0x500], "line-granular AMT matches the line");
-        assert!(a.probe_store(0x8000).is_empty(), "entry evicted after probe");
+        assert_eq!(
+            pcs,
+            vec![0x400, 0x500],
+            "line-granular AMT matches the line"
+        );
+        assert!(
+            a.probe_store(0x8000).is_empty(),
+            "entry evicted after probe"
+        );
     }
 
     #[test]
@@ -217,7 +234,11 @@ mod tests {
         for i in 0..9u64 {
             victims.extend(a.insert(0x10_0000 + i * stride, 0x400 + i * 4));
         }
-        assert_eq!(victims, vec![0x400], "9th insert into 8-way set evicts first");
+        assert_eq!(
+            victims,
+            vec![0x400],
+            "9th insert into 8-way set evicts first"
+        );
     }
 
     #[test]

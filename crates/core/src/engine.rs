@@ -28,7 +28,11 @@ pub enum LoadRename {
     LikelyStable,
     /// Execution eliminated (step 2): converted to a move from `slot`,
     /// carrying the last-computed address for LB disambiguation.
-    Eliminated { addr: u64, value: u64, slot: XprfSlot },
+    Eliminated {
+        addr: u64,
+        value: u64,
+        slot: XprfSlot,
+    },
 }
 
 /// Why an armed load PC lost its `can_eliminate` flag.
@@ -358,12 +362,18 @@ mod tests {
         let mem = MemRef::rip(0x60_0000);
         train_to_armed(&mut c, 0x400, &mem, 0x60_0000, 7);
         c.on_store_addr(0x60_0018); // same 64B line
-        assert!(!c.armed(0x400), "cacheline-indexed AMT collides within the line");
+        assert!(
+            !c.armed(0x400),
+            "cacheline-indexed AMT collides within the line"
+        );
     }
 
     #[test]
     fn full_address_amt_ignores_same_line_store() {
-        let cfg = ConstableConfig { amt_full_address: true, ..ConstableConfig::paper() };
+        let cfg = ConstableConfig {
+            amt_full_address: true,
+            ..ConstableConfig::paper()
+        };
         let mut c = Constable::new(cfg);
         let mem = MemRef::rip(0x60_0000);
         train_to_armed(&mut c, 0x400, &mem, 0x60_0000, 7);
@@ -406,7 +416,10 @@ mod tests {
     fn folded_rsp_write_preserves_stack_load_elimination() {
         let mut c = engine();
         let mem = MemRef::base_disp(ArchReg::RSP, 0x8);
-        let st = StackState { epoch: 0, delta: -0x40 };
+        let st = StackState {
+            epoch: 0,
+            delta: -0x40,
+        };
         for _ in 0..32 {
             c.on_load_writeback(0x600, &mem, 0x7ffe_ff48, 3, false, st);
         }
@@ -420,7 +433,10 @@ mod tests {
             c.rename_load(0x600, &mem, st),
             LoadRename::Eliminated { .. }
         ));
-        let other = StackState { epoch: 0, delta: -0x80 };
+        let other = StackState {
+            epoch: 0,
+            delta: -0x80,
+        };
         assert_eq!(c.rename_load(0x600, &mem, other), LoadRename::Normal);
     }
 
@@ -437,7 +453,10 @@ mod tests {
 
     #[test]
     fn xprf_exhaustion_forgoes_elimination() {
-        let cfg = ConstableConfig { xprf_entries: 1, ..ConstableConfig::paper() };
+        let cfg = ConstableConfig {
+            xprf_entries: 1,
+            ..ConstableConfig::paper()
+        };
         let mut c = Constable::new(cfg);
         let mem = MemRef::rip(0x60_0000);
         train_to_armed(&mut c, 0x400, &mem, 0x60_0000, 7);

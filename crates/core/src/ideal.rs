@@ -16,7 +16,9 @@ pub struct IdealOracle {
 impl IdealOracle {
     /// Creates an oracle from the global-stable PC set.
     pub fn new(stable_pcs: impl IntoIterator<Item = u64>) -> Self {
-        IdealOracle { stable: stable_pcs.into_iter().collect() }
+        IdealOracle {
+            stable: stable_pcs.into_iter().collect(),
+        }
     }
 
     /// Whether the static load at `pc` is global-stable.

@@ -130,7 +130,11 @@ mod tests {
                 evicted.push(pc);
             }
         }
-        assert_eq!(evicted, vec![0x400, 0x404], "oldest two evicted from 8-deep list");
+        assert_eq!(
+            evicted,
+            vec![0x400, 0x404],
+            "oldest two evicted from 8-deep list"
+        );
     }
 
     #[test]

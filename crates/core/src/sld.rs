@@ -100,7 +100,10 @@ impl Sld {
                 e.can_eliminate = false;
                 return SldDecision::Normal;
             }
-            SldDecision::Eliminate { addr: e.last_addr, value: e.last_value }
+            SldDecision::Eliminate {
+                addr: e.last_addr,
+                value: e.last_value,
+            }
         } else if e.confidence >= self.threshold {
             SldDecision::MarkLikelyStable
         } else {
@@ -229,7 +232,10 @@ mod tests {
         assert!(s.arm(0x400, st, false));
         assert_eq!(
             s.lookup(0x400, st),
-            SldDecision::Eliminate { addr: 0x8000, value: 7 }
+            SldDecision::Eliminate {
+                addr: 0x8000,
+                value: 7
+            }
         );
     }
 
@@ -259,7 +265,10 @@ mod tests {
     #[test]
     fn rsp_state_mismatch_blocks_elimination() {
         let mut s = sld();
-        let armed_at = StackState { epoch: 1, delta: -0x40 };
+        let armed_at = StackState {
+            epoch: 1,
+            delta: -0x40,
+        };
         for _ in 0..=30 {
             s.train(0x500, 0x7fff_0000, 1);
         }
@@ -271,7 +280,10 @@ mod tests {
         ));
         // Re-arm, then present a different delta: must refuse and disarm.
         s.arm(0x500, armed_at, true);
-        let other = StackState { epoch: 1, delta: -0x80 };
+        let other = StackState {
+            epoch: 1,
+            delta: -0x80,
+        };
         assert_eq!(s.lookup(0x500, other), SldDecision::Normal);
         assert!(!s.armed(0x500));
     }

@@ -39,7 +39,11 @@ impl StorageBreakdown {
             * RMT_PC_BITS;
         let amt_entry = AMT_TAG_BITS + cfg.amt_pcs_per_entry as u64 * AMT_PC_BITS;
         let amt_bits = cfg.amt_entries() as u64 * amt_entry;
-        StorageBreakdown { sld_bits, rmt_bits, amt_bits }
+        StorageBreakdown {
+            sld_bits,
+            rmt_bits,
+            amt_bits,
+        }
     }
 
     /// SLD size in KiB.
@@ -70,9 +74,21 @@ mod tests {
     #[test]
     fn paper_config_costs_12_4_kb() {
         let s = StorageBreakdown::for_config(&ConstableConfig::paper());
-        assert!((s.sld_kb() - 7.875).abs() < 0.01, "SLD ≈ 7.9 KB, got {}", s.sld_kb());
-        assert!((s.rmt_kb() - 0.42).abs() < 0.02, "RMT ≈ 0.4 KB, got {}", s.rmt_kb());
-        assert!((s.amt_kb() - 4.0).abs() < 0.01, "AMT = 4.0 KB, got {}", s.amt_kb());
+        assert!(
+            (s.sld_kb() - 7.875).abs() < 0.01,
+            "SLD ≈ 7.9 KB, got {}",
+            s.sld_kb()
+        );
+        assert!(
+            (s.rmt_kb() - 0.42).abs() < 0.02,
+            "RMT ≈ 0.4 KB, got {}",
+            s.rmt_kb()
+        );
+        assert!(
+            (s.amt_kb() - 4.0).abs() < 0.01,
+            "AMT = 4.0 KB, got {}",
+            s.amt_kb()
+        );
         assert!(
             (s.total_kb() - 12.4).abs() < 0.15,
             "total ≈ 12.4 KB, got {:.2}",

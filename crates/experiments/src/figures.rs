@@ -13,42 +13,23 @@ use sim_stats::{geomean, pct, speedup, BoxStats, Table};
 use sim_workload::{Category, WorkloadSpec};
 
 fn suite_run(specs: &[WorkloadSpec], n: RunLength, kind: MachineKind) -> Vec<RunOutcome> {
-    run_suite(specs, n, kind.needs_oracle(), |_, oracle| kind.config(oracle))
+    run_suite(specs, n, kind.needs_oracle(), |_, oracle| {
+        kind.config(oracle)
+    })
 }
 
-fn per_category<'a>(
-    specs: &'a [RunOutcome],
-    cat: Category,
-) -> impl Iterator<Item = &'a RunOutcome> {
+fn per_category(specs: &[RunOutcome], cat: Category) -> impl Iterator<Item = &RunOutcome> {
     specs.iter().filter(move |r| r.category == cat)
 }
 
 /// Fig 3: global-stable load fraction, addressing-mode breakdown, and
 /// inter-occurrence distance distribution.
 pub fn fig3(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let reports: Vec<(Category, load_inspector::LoadReport)> = {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut out: Vec<Option<(Category, load_inspector::LoadReport)>> =
-            vec![None; specs.len()];
-        let slots = std::sync::Mutex::new(&mut out);
-        std::thread::scope(|s| {
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4);
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= specs.len() {
-                        break;
-                    }
-                    let p = specs[i].build();
-                    let r = load_inspector::analyze(&p, n.0);
-                    slots.lock().expect("ok")[i] = Some((specs[i].category, r));
-                });
-            }
+    let reports: Vec<(Category, load_inspector::LoadReport)> =
+        crate::runner::drive_plain(specs.len(), |i| {
+            let p = specs[i].build();
+            (specs[i].category, load_inspector::analyze(&p, n.0))
         });
-        out.into_iter().map(|o| o.expect("filled")).collect()
-    };
 
     let mut text = String::from("Fig 3(a): fraction of dynamic loads that are global-stable\n");
     let mut t = Table::new(["category", "global-stable loads"]);
@@ -156,8 +137,8 @@ pub fn fig6(specs: &[WorkloadSpec], n: RunLength) -> String {
         for r in per_category(&runs, cat) {
             let s = &r.result.stats;
             let util = s.load_utilized_cycles as f64 / s.cycles.max(1) as f64;
-            let blocking = s.load_cycles_stable_blocking as f64
-                / s.load_utilized_cycles.max(1) as f64;
+            let blocking =
+                s.load_cycles_stable_blocking as f64 / s.load_utilized_cycles.max(1) as f64;
             let free = s.load_cycles_stable_free as f64 / s.load_utilized_cycles.max(1) as f64;
             cat_vals.0.push(util);
             cat_vals.1.push(blocking);
@@ -194,7 +175,13 @@ pub fn fig7(specs: &[WorkloadSpec], n: RunLength) -> String {
         MachineKind::IdealConstable,
     ];
     let mut text = String::from("Fig 7: speedup over baseline (oracle headroom study)\n");
-    let mut t = Table::new(["category", "IdealLVP", "IdealLVP+fetch-elim", "2x load width", "Ideal Constable"]);
+    let mut t = Table::new([
+        "category",
+        "IdealLVP",
+        "IdealLVP+fetch-elim",
+        "2x load width",
+        "Ideal Constable",
+    ]);
     let results: Vec<Vec<RunOutcome>> = kinds.iter().map(|k| suite_run(specs, n, *k)).collect();
     for cat in Category::ALL {
         let mut cells = vec![cat.label().to_string()];
@@ -266,9 +253,8 @@ pub fn fig9b(specs: &[WorkloadSpec], n: RunLength) -> String {
         .map(|(c, a)| (c.ipc() / a.ipc() - 1.0) * 100.0)
         .collect();
     let within_1pct = deltas.iter().filter(|d| d.abs() < 1.0).count();
-    let mut text = String::from(
-        "Fig 9(b): correct-path-only vs all-path updates of Constable structures\n",
-    );
+    let mut text =
+        String::from("Fig 9(b): correct-path-only vs all-path updates of Constable structures\n");
     text.push_str(&format!(
         "mean performance change: {:+.2}% | workloads within +/-1%: {}/{}\n",
         mean(&deltas),
@@ -292,7 +278,13 @@ pub fn fig11(specs: &[WorkloadSpec], n: RunLength) -> String {
         MachineKind::EvesIdealConstable,
     ];
     let mut text = String::from("Fig 11: speedup over the baseline (noSMT)\n");
-    let mut t = Table::new(["category", "EVES", "Constable", "EVES+Constable", "EVES+IdealC"]);
+    let mut t = Table::new([
+        "category",
+        "EVES",
+        "Constable",
+        "EVES+Constable",
+        "EVES+IdealC",
+    ]);
     let results: Vec<Vec<RunOutcome>> = kinds.iter().map(|k| suite_run(specs, n, *k)).collect();
     for cat in Category::ALL {
         let mut cells = vec![cat.label().to_string()];
@@ -378,8 +370,14 @@ pub fn fig13(specs: &[WorkloadSpec], n: RunLength) -> String {
 
 /// Fig 14: SMT2 speedups of EVES, Constable, and EVES+Constable.
 pub fn fig14(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = run_suite_smt2(specs, n, |_| MachineKind::Baseline.config(Default::default()));
-    let kinds = [MachineKind::Eves, MachineKind::Constable, MachineKind::EvesConstable];
+    let base = run_suite_smt2(specs, n, |_| {
+        MachineKind::Baseline.config(Default::default())
+    });
+    let kinds = [
+        MachineKind::Eves,
+        MachineKind::Constable,
+        MachineKind::EvesConstable,
+    ];
     let mut text = String::from("Fig 14: speedup over the baseline (SMT2, throughput)\n");
     let mut t = Table::new(["config", "geomean speedup"]);
     for k in kinds {
@@ -418,11 +416,15 @@ pub fn fig16(specs: &[WorkloadSpec], n: RunLength) -> String {
         MachineKind::EvesConstable,
         MachineKind::EvesIdealConstable,
     ];
-    let mut text = String::from("Fig 16: fraction of loads covered (eliminated or value-predicted)\n");
+    let mut text =
+        String::from("Fig 16: fraction of loads covered (eliminated or value-predicted)\n");
     let mut t = Table::new(["config", "coverage"]);
     for k in kinds {
         let res = suite_run(specs, n, k);
-        let cov: Vec<f64> = res.iter().map(|r| r.result.stats.combined_coverage()).collect();
+        let cov: Vec<f64> = res
+            .iter()
+            .map(|r| r.result.stats.combined_coverage())
+            .collect();
         t.row([k.label(), pct(mean(&cov))]);
     }
     text.push_str(&t.render());
@@ -451,7 +453,9 @@ pub fn fig17(specs: &[WorkloadSpec], n: RunLength) -> String {
             .map(|&(pc, mode, _, stable)| (pc, (mode, stable)))
             .collect();
         for (&pc, &(elim, total)) in &r.result.stats.per_pc_loads {
-            let Some(&(mode, stable)) = detail.get(&pc) else { continue };
+            let Some(&(mode, stable)) = detail.get(&pc) else {
+                continue;
+            };
             let m = AddrMode::ALL.iter().position(|&x| x == mode).expect("mode");
             if stable {
                 per_mode_stable[m] += total;
@@ -463,7 +467,11 @@ pub fn fig17(specs: &[WorkloadSpec], n: RunLength) -> String {
         }
     }
     let mut text = String::from("Fig 17: elimination coverage of global-stable loads\n");
-    let mut t = Table::new(["mode", "global-stable & eliminated", "global-stable, not eliminated"]);
+    let mut t = Table::new([
+        "mode",
+        "global-stable & eliminated",
+        "global-stable, not eliminated",
+    ]);
     for (m, mode) in AddrMode::ALL.iter().enumerate() {
         let tot = per_mode_stable[m].max(1) as f64;
         t.row([
@@ -492,10 +500,8 @@ pub fn fig17(specs: &[WorkloadSpec], n: RunLength) -> String {
     let mut other = 0u64;
     for spec in specs.iter().take(specs.len().min(10)) {
         let program = spec.build();
-        let mut core = sim_core::Core::new(
-            &program,
-            MachineKind::Constable.config(Default::default()),
-        );
+        let mut core =
+            sim_core::Core::new(&program, MachineKind::Constable.config(Default::default()));
         core.run(n.0 / 2);
         if let Some(c) = core.constable() {
             let cs = c.stats();
@@ -524,25 +530,29 @@ pub fn fig18(specs: &[WorkloadSpec], n: RunLength) -> String {
         .iter()
         .zip(&base)
         .map(|(c, b)| {
-            (1.0 - c.result.stats.rs_allocs as f64 / b.result.stats.rs_allocs.max(1) as f64)
-                * 100.0
+            (1.0 - c.result.stats.rs_allocs as f64 / b.result.stats.rs_allocs.max(1) as f64) * 100.0
         })
         .collect();
     let l1_red: Vec<f64> = cons
         .iter()
         .zip(&base)
         .map(|(c, b)| {
-            (1.0 - c.result.stats.l1d_accesses as f64
-                / b.result.stats.l1d_accesses.max(1) as f64)
+            (1.0 - c.result.stats.l1d_accesses as f64 / b.result.stats.l1d_accesses.max(1) as f64)
                 * 100.0
         })
         .collect();
     let mut text = String::from("Fig 18: resource-utilization reduction vs baseline\n");
-    text.push_str(&format!("(a) RS allocations:  mean {:.1}%\n", mean(&rs_red)));
+    text.push_str(&format!(
+        "(a) RS allocations:  mean {:.1}%\n",
+        mean(&rs_red)
+    ));
     if let Some(b) = BoxStats::from_samples(&rs_red) {
         text.push_str(&format!("    box: {}\n", b.render()));
     }
-    text.push_str(&format!("(b) L1-D accesses:   mean {:.1}%\n", mean(&l1_red)));
+    text.push_str(&format!(
+        "(b) L1-D accesses:   mean {:.1}%\n",
+        mean(&l1_red)
+    ));
     if let Some(b) = BoxStats::from_samples(&l1_red) {
         text.push_str(&format!("    box: {}\n", b.render()));
     }
@@ -553,15 +563,48 @@ pub fn fig18(specs: &[WorkloadSpec], n: RunLength) -> String {
 pub fn fig19(specs: &[WorkloadSpec], n: RunLength) -> String {
     use sim_power::{core_energy, ActiveUnits, EnergyParams};
     let kinds = [
-        (MachineKind::Baseline, ActiveUnits { constable: false, eves: false }),
-        (MachineKind::Eves, ActiveUnits { constable: false, eves: true }),
-        (MachineKind::Constable, ActiveUnits { constable: true, eves: false }),
-        (MachineKind::EvesConstable, ActiveUnits { constable: true, eves: true }),
+        (
+            MachineKind::Baseline,
+            ActiveUnits {
+                constable: false,
+                eves: false,
+            },
+        ),
+        (
+            MachineKind::Eves,
+            ActiveUnits {
+                constable: false,
+                eves: true,
+            },
+        ),
+        (
+            MachineKind::Constable,
+            ActiveUnits {
+                constable: true,
+                eves: false,
+            },
+        ),
+        (
+            MachineKind::EvesConstable,
+            ActiveUnits {
+                constable: true,
+                eves: true,
+            },
+        ),
     ];
     let p = EnergyParams::default();
     let mut text = String::from("Fig 19: core dynamic power normalized to baseline\n");
     let mut t = Table::new([
-        "config", "total", "FE", "OOO(RS)", "OOO(RAT)", "OOO(ROB)", "EU", "MEU(L1D)", "MEU(DTLB)", "others",
+        "config",
+        "total",
+        "FE",
+        "OOO(RS)",
+        "OOO(RAT)",
+        "OOO(ROB)",
+        "EU",
+        "MEU(L1D)",
+        "MEU(DTLB)",
+        "others",
     ]);
     let mut base_power: Option<f64> = None;
     for (k, units) in kinds {
@@ -605,7 +648,8 @@ pub fn fig19(specs: &[WorkloadSpec], n: RunLength) -> String {
 /// Fig 20a: sensitivity to load-execution-width scaling.
 pub fn fig20a(specs: &[WorkloadSpec], n: RunLength) -> String {
     let base = suite_run(specs, n, MachineKind::Baseline);
-    let mut text = String::from("Fig 20(a): load execution width sweep (speedup vs 3-wide baseline)\n");
+    let mut text =
+        String::from("Fig 20(a): load execution width sweep (speedup vs 3-wide baseline)\n");
     let mut t = Table::new(["load width", "baseline system", "constable"]);
     for width in [3u32, 4, 5, 6] {
         let b = run_suite(specs, n, false, |_, o| {
@@ -813,7 +857,12 @@ pub fn table1() -> String {
 pub fn table3() -> String {
     use sim_power::cacti::{estimate, TABLE3_AMT, TABLE3_RMT, TABLE3_SLD};
     let mut t = Table::new([
-        "component", "read (pJ)", "write (pJ)", "leakage (mW)", "area (mm2)", "analytic read (pJ)",
+        "component",
+        "read (pJ)",
+        "write (pJ)",
+        "leakage (mW)",
+        "area (mm2)",
+        "analytic read (pJ)",
     ]);
     let rows = [
         ("SLD (7.9KB, 3R/2W)", TABLE3_SLD, estimate(8090, 3, 2)),
@@ -830,7 +879,10 @@ pub fn table3() -> String {
             format!("{:.2}", est.read_pj),
         ]);
     }
-    format!("Table 3: Constable structure estimates (published | analytic cross-check)\n{}", t.render())
+    format!(
+        "Table 3: Constable structure estimates (published | analytic cross-check)\n{}",
+        t.render()
+    )
 }
 
 /// §6.6: AMT granularity ablation (cacheline vs full address).
@@ -839,9 +891,18 @@ pub fn amt_granularity(specs: &[WorkloadSpec], n: RunLength) -> String {
     let line = suite_run(specs, n, MachineKind::Constable);
     let full = suite_run(specs, n, MachineKind::ConstableFullAddrAmt);
     let mut t = Table::new(["config", "geomean speedup"]);
-    t.row(["Constable (cacheline AMT)", &speedup(geomean_speedup(&base, &line))]);
-    t.row(["Constable (full-address AMT)", &speedup(geomean_speedup(&base, &full))]);
-    format!("AMT granularity ablation (paper: 0.4% apart)\n{}", t.render())
+    t.row([
+        "Constable (cacheline AMT)",
+        &speedup(geomean_speedup(&base, &line)),
+    ]);
+    t.row([
+        "Constable (full-address AMT)",
+        &speedup(geomean_speedup(&base, &full)),
+    ]);
+    format!(
+        "AMT granularity ablation (paper: 0.4% apart)\n{}",
+        t.render()
+    )
 }
 
 /// §6.3: xPRF occupancy — how often elimination is forgone for lack of a
@@ -850,15 +911,13 @@ pub fn xprf(specs: &[WorkloadSpec], n: RunLength) -> String {
     let mut rows = Vec::new();
     for spec in specs.iter().take(10) {
         let program = spec.build();
-        let mut core = sim_core::Core::new(
-            &program,
-            MachineKind::Constable.config(Default::default()),
-        );
+        let mut core =
+            sim_core::Core::new(&program, MachineKind::Constable.config(Default::default()));
         core.run(n.0);
         if let Some(c) = core.constable() {
             let s = c.stats();
-            let frac = s.xprf_full_forgone as f64
-                / (s.eliminated + s.xprf_full_forgone).max(1) as f64;
+            let frac =
+                s.xprf_full_forgone as f64 / (s.eliminated + s.xprf_full_forgone).max(1) as f64;
             rows.push((spec.name.clone(), frac));
         }
     }
@@ -868,7 +927,10 @@ pub fn xprf(specs: &[WorkloadSpec], n: RunLength) -> String {
         t.row([name.clone(), pct(*f)]);
     }
     t.row(["AVG".to_string(), pct(mean(&fracs))]);
-    format!("xPRF occupancy study (paper: ~0.2% of instances)\n{}", t.render())
+    format!(
+        "xPRF occupancy study (paper: ~0.2% of instances)\n{}",
+        t.render()
+    )
 }
 
 /// §8.5-style verification: run the whole suite under the key configs and

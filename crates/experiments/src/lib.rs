@@ -24,9 +24,31 @@ use sim_workload::WorkloadSpec;
 
 /// The figure ids the harness understands, with their runners.
 pub const FIGURES: &[&str] = &[
-    "fig3", "fig6", "fig7", "fig9a", "fig9b", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "fig19", "fig20a", "fig20b", "fig21", "fig22", "fig23", "fig24",
-    "table1", "table3", "amt-granularity", "xprf", "verify",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig9a",
+    "fig9b",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20a",
+    "fig20b",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "table1",
+    "table3",
+    "amt-granularity",
+    "xprf",
+    "verify",
 ];
 
 /// Runs the figure named `id` over `specs` and returns its report.

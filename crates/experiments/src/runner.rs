@@ -1,8 +1,16 @@
 //! Parallel suite execution.
+//!
+//! Workers pull (work-steal) workload indices off a shared atomic queue and
+//! stream results back over a channel — no lock is held around the result
+//! vector. Each worker owns one [`SimScratch`] that is threaded through
+//! every simulation it runs, so the µop slab, event heap, and per-cycle
+//! buffers are allocated once per worker rather than once per run.
 
 use constable::IdealOracle;
-use sim_core::{Core, CoreConfig, SimResult};
+use sim_core::{Core, CoreConfig, SimResult, SimScratch};
 use sim_workload::{Category, WorkloadSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// How long each run is, in retired instructions per thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,45 +43,97 @@ impl RunOutcome {
     }
 }
 
+/// Generic work-stealing drive loop: `work(i, scratch)` is invoked for every
+/// index in `0..jobs`, on whichever worker steals it first, and results are
+/// collected in index order.
+fn drive<T, F>(jobs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, SimScratch) -> (T, SimScratch) + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(|| {
+                // One scratch per worker, reused across every run it steals.
+                let mut scratch = SimScratch::new();
+                let tx = tx;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let (out, s) = work(i, scratch);
+                    scratch = s;
+                    tx.send((i, out)).expect("collector outlives workers");
+                }
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        for (i, out) in rx {
+            results[i] = Some(out);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job produced a result"))
+            .collect()
+    })
+}
+
+/// [`drive`] for jobs that don't run a simulator core (no scratch needed),
+/// e.g. functional-analysis sweeps.
+pub(crate) fn drive_plain<T, F>(jobs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    drive(jobs, |i, scratch| (work(i), scratch))
+}
+
 /// Runs `specs` under the configuration produced by `mk` (which may use the
 /// workload's global-stable oracle), in parallel across CPU cores.
 ///
 /// # Panics
 /// Panics if any run fails the golden functional check or trips the cycle
 /// guard — an incorrect simulation must never silently feed a figure.
-pub fn run_suite<F>(specs: &[WorkloadSpec], n: RunLength, with_oracle: bool, mk: F) -> Vec<RunOutcome>
+pub fn run_suite<F>(
+    specs: &[WorkloadSpec],
+    n: RunLength,
+    with_oracle: bool,
+    mk: F,
+) -> Vec<RunOutcome>
 where
     F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(specs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<RunOutcome>> = vec![None; specs.len()];
-    let slots = std::sync::Mutex::new(&mut results);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let spec = &specs[i];
-                let outcome = run_one(spec, n, with_oracle, &mk);
-                slots.lock().expect("no poisoned runs")[i] = Some(outcome);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    drive(specs.len(), |i, scratch| {
+        run_one_with_scratch(&specs[i], n, with_oracle, &mk, scratch)
+    })
 }
 
 /// Runs a single workload under `mk`'s configuration.
 pub fn run_one<F>(spec: &WorkloadSpec, n: RunLength, with_oracle: bool, mk: &F) -> RunOutcome
+where
+    F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig,
+{
+    run_one_with_scratch(spec, n, with_oracle, mk, SimScratch::new()).0
+}
+
+/// [`run_one`] with a caller-provided scratch, returned after the run so a
+/// worker loop can reuse its allocations.
+pub fn run_one_with_scratch<F>(
+    spec: &WorkloadSpec,
+    n: RunLength,
+    with_oracle: bool,
+    mk: &F,
+    scratch: SimScratch,
+) -> (RunOutcome, SimScratch)
 where
     F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig,
 {
@@ -85,7 +145,7 @@ where
         IdealOracle::default()
     };
     let cfg = mk(spec, oracle);
-    let mut core = Core::new(&program, cfg);
+    let mut core = Core::new_multi_with_scratch(vec![&program], cfg, scratch);
     let result = core.run(n.0);
     assert!(
         !result.hit_cycle_guard,
@@ -97,11 +157,12 @@ where
         "{}: golden functional check failed",
         spec.name
     );
-    RunOutcome {
+    let outcome = RunOutcome {
         workload: spec.name.clone(),
         category: spec.category,
         result,
-    }
+    };
+    (outcome, core.into_scratch())
 }
 
 /// Runs an SMT2 pairing: each workload paired with one from a different
@@ -114,40 +175,22 @@ where
     let pairs: Vec<(WorkloadSpec, WorkloadSpec)> = (0..half)
         .map(|i| (specs[i].clone(), specs[i + half].clone()))
         .collect();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(pairs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<RunOutcome>> = vec![None; pairs.len()];
-    let slots = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= pairs.len() {
-                    break;
-                }
-                let (a, b) = &pairs[i];
-                let pa = a.build();
-                let pb = b.build();
-                let cfg = mk(a);
-                let mut core = Core::new_multi(vec![&pa, &pb], cfg);
-                let result = core.run(n.0 / 2);
-                assert!(!result.hit_cycle_guard, "{}+{}: guard", a.name, b.name);
-                assert_eq!(result.stats.golden_mismatches, 0, "{}: golden", a.name);
-                slots.lock().expect("no poisoned runs")[i] = Some(RunOutcome {
-                    workload: format!("{}+{}", a.name, b.name),
-                    category: a.category,
-                    result,
-                });
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    drive(pairs.len(), |i, scratch| {
+        let (a, b) = &pairs[i];
+        let pa = a.build();
+        let pb = b.build();
+        let cfg = mk(a);
+        let mut core = Core::new_multi_with_scratch(vec![&pa, &pb], cfg, scratch);
+        let result = core.run(n.0 / 2);
+        assert!(!result.hit_cycle_guard, "{}+{}: guard", a.name, b.name);
+        assert_eq!(result.stats.golden_mismatches, 0, "{}: golden", a.name);
+        let outcome = RunOutcome {
+            workload: format!("{}+{}", a.name, b.name),
+            category: a.category,
+            result,
+        };
+        (outcome, core.into_scratch())
+    })
 }
 
 /// Geomean speedup of `opt` over `base`, matching runs by workload name.

@@ -98,7 +98,10 @@ impl LoadReport {
 
     /// Distance-bucket fractions for one addressing mode (Fig 3d).
     pub fn distance_fracs_for_mode(&self, mode: AddrMode) -> [f64; 4] {
-        let i = AddrMode::ALL.iter().position(|&m| m == mode).expect("known mode");
+        let i = AddrMode::ALL
+            .iter()
+            .position(|&m| m == mode)
+            .expect("known mode");
         let t: u64 = self.distance_by_mode[i].iter().sum();
         self.distance_by_mode[i].map(|c| c as f64 / t.max(1) as f64)
     }
@@ -157,7 +160,9 @@ pub fn analyze(program: &Program, n: u64) -> LoadReport {
     };
     for rec in per_pc.values() {
         let qualifies = rec.stable && rec.count >= 2;
-        report.pc_details.push((rec.pc, rec.mode, rec.count, qualifies));
+        report
+            .pc_details
+            .push((rec.pc, rec.mode, rec.count, qualifies));
         // "Repeatedly fetch": a single execution does not qualify.
         if !qualifies {
             continue;
@@ -199,7 +204,10 @@ mod tests {
         b.load_rip(ArchReg::RAX, g); // stable: same addr, same value forever
         b.alui(AluOp::And, ArchReg::RDX, ArchReg::RCX, 15);
         b.lea(ArchReg::R8, MemRef::rip(arr));
-        b.load(ArchReg::R9, MemRef::base_index(ArchReg::R8, ArchReg::RDX, 8, 0)); // unstable
+        b.load(
+            ArchReg::R9,
+            MemRef::base_index(ArchReg::R8, ArchReg::RDX, 8, 0),
+        ); // unstable
         b.alui(AluOp::Add, ArchReg::RCX, ArchReg::RCX, 1);
         b.br_imm(CondCode::Lt, ArchReg::RCX, 1 << 30, top);
         b.build()
@@ -229,7 +237,10 @@ mod tests {
         let p = two_load_program();
         let r = analyze(&p, 6_000);
         let d = r.distance_fracs();
-        assert!(d[0] > 0.99, "6-instruction loop → all distances in [0,50): {d:?}");
+        assert!(
+            d[0] > 0.99,
+            "6-instruction loop → all distances in [0,50): {d:?}"
+        );
     }
 
     #[test]

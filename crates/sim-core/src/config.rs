@@ -1,5 +1,6 @@
 //! Core configuration (paper Table 2, plus the optional units of §8.4).
 
+use crate::sched::SchedulerKind;
 use constable::{ConstableConfig, IdealConfig, IdealOracle};
 use sim_mem::MemConfig;
 
@@ -64,6 +65,9 @@ pub struct CoreConfig {
     /// Track per-PC load/elimination counts (Fig 17 coverage breakdown);
     /// off by default to keep runs lean.
     pub track_per_pc: bool,
+    /// Scheduling implementation. Purely a host-performance knob: both
+    /// kinds produce bit-identical simulation results.
+    pub scheduler: SchedulerKind,
 }
 
 impl CoreConfig {
@@ -104,7 +108,14 @@ impl CoreConfig {
             wrong_path_fetch: true,
             seed: 0xC0FFEE,
             track_per_pc: false,
+            scheduler: SchedulerKind::default(),
         }
+    }
+
+    /// Selects the scheduling implementation (host-performance only).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Baseline + Constable (the paper's headline configuration).

@@ -23,8 +23,22 @@
 //!   loads (§6.5).
 //! * **Retire** performs the golden functional check of §8.5 on every load —
 //!   including eliminated ones — against the functional execution.
+//!
+//! # Scheduling
+//!
+//! The backend is scheduled incrementally ([`SchedulerKind::EventDriven`]):
+//! completions come from a time-ordered event heap filled at issue, issue
+//! candidates come from per-thread ready queues fed by dependency wakeup
+//! (producers push consumers when they complete), and the store-search /
+//! disambiguation / flush paths walk per-thread store/load index rings
+//! instead of the whole ROB. [`SchedulerKind::LegacyScan`] retains the
+//! original per-cycle full-window scans; both produce bit-identical
+//! [`SimResult`]s (asserted by the scheduler-equivalence tests) and differ
+//! only in host throughput.
 
 use crate::config::CoreConfig;
+use crate::hash::FastHashMap;
+use crate::sched::{SchedulerKind, SimScratch};
 use crate::stats::CoreStats;
 use crate::uop::{Fetched, Tag, Uop, UopState};
 use constable::{Constable, IdealConfig, LoadRename, StackState};
@@ -32,7 +46,7 @@ use sim_isa::{AluOp, ArchReg, BranchKind, DynInst, InstClass, OpKind, Pc};
 use sim_mem::{line_addr, MemoryHierarchy, SnoopInjector};
 use sim_predictors::{Elar, Eves, Mrn, ReturnStack, StoreSets, Tage};
 use sim_workload::{Machine, Program};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Address-space tag shift for SMT threads (thread 1's physical addresses
 /// and predictor-visible PCs are offset to model distinct address spaces).
@@ -55,6 +69,22 @@ struct Thread<'p> {
     cursor: usize,
     rob: VecDeque<Tag>,
     rob_cap: usize,
+    /// In-flight stores, oldest first (always a subsequence of `rob`);
+    /// store-search and disambiguation walk this instead of the full ROB.
+    stores: VecDeque<Tag>,
+    /// In-flight loads, oldest first (always a subsequence of `rob`).
+    loads: VecDeque<Tag>,
+    /// Ready-to-issue µops ordered by ROB position — fed by rename and by
+    /// dependency wakeup, drained by issue.
+    ready: BTreeSet<(u64, Tag)>,
+    /// Monotone ROB position of the next allocation (rolled back on flush).
+    rob_pushed: u64,
+    /// ROB position of the current oldest entry (advanced at retire).
+    rob_head: u64,
+    /// Bit r set ⇔ `last_writer[r]` points to a µop whose value is not yet
+    /// available; lets dependence registration skip the window lookup for
+    /// ready registers.
+    writer_pending: u32,
     idq: VecDeque<Fetched>,
     ras: ReturnStack,
     wrong_path: Option<WrongPath>,
@@ -79,6 +109,12 @@ impl<'p> Thread<'p> {
             cursor: 0,
             rob: VecDeque::new(),
             rob_cap,
+            stores: VecDeque::new(),
+            loads: VecDeque::new(),
+            ready: BTreeSet::new(),
+            rob_pushed: 0,
+            rob_head: 0,
+            writer_pending: 0,
             idq: VecDeque::new(),
             ras: ReturnStack::new(),
             wrong_path: None,
@@ -123,9 +159,18 @@ impl SimResult {
 /// The core model. See the module docs for the stage breakdown.
 pub struct Core<'p> {
     cfg: CoreConfig,
+    /// Cached `cfg.scheduler == EventDriven` (checked on the hot path).
+    event_driven: bool,
     threads: Vec<Thread<'p>>,
     window: Vec<Uop>,
     free_slots: Vec<Tag>,
+    events: crate::sched::CompletionQueue,
+    /// Scratch: completions due this cycle (sorted into program order).
+    due: Vec<(u64, u64, Tag)>,
+    /// Scratch: wakeup list of the µop currently completing.
+    wake: Vec<(Tag, u64)>,
+    /// Scratch: issue candidates for the current cycle, oldest first.
+    cands: Vec<Tag>,
     rs_used: usize,
     lb_used: usize,
     sb_used: usize,
@@ -147,7 +192,7 @@ pub struct Core<'p> {
     rename_block_until: u64,
     /// In-flight (renamed, unretired) correct-path instances per load PC;
     /// feeds the EVES stride component's run-ahead distance.
-    inflight_loads: std::collections::HashMap<u64, u32>,
+    inflight_loads: FastHashMap<u64, u32>,
 }
 
 // Thin alias so the field reads naturally.
@@ -166,6 +211,22 @@ impl<'p> Core<'p> {
     /// # Panics
     /// Panics unless 1 or 2 programs are supplied.
     pub fn new_multi(programs: Vec<&'p Program>, cfg: CoreConfig) -> Self {
+        Self::new_multi_with_scratch(programs, cfg, SimScratch::new())
+    }
+
+    /// Like [`Core::new_multi`], but reusing `scratch`'s allocations (the
+    /// µop slab, free list, event heap, and per-cycle buffers). Recover the
+    /// scratch with [`Core::into_scratch`] after the run; a worker that
+    /// loops (build → run → recycle) performs no steady-state window
+    /// allocation across an entire suite.
+    ///
+    /// # Panics
+    /// Panics unless 1 or 2 programs are supplied.
+    pub fn new_multi_with_scratch(
+        programs: Vec<&'p Program>,
+        cfg: CoreConfig,
+        mut scratch: SimScratch,
+    ) -> Self {
         assert!(
             (1..=2).contains(&programs.len()),
             "1 (noSMT) or 2 (SMT2) threads supported"
@@ -177,6 +238,7 @@ impl<'p> Core<'p> {
             .map(|(i, p)| Thread::new(i, p, rob_cap))
             .collect();
         let window_cap = cfg.rob_size + 8;
+        scratch.reset_for_run(window_cap);
         let nthreads = threads.len();
         Core {
             mem: MemoryHierarchy::new(cfg.mem),
@@ -189,8 +251,13 @@ impl<'p> Core<'p> {
             rfp: cfg.rfp.then(Rfp2::new),
             injector: SnoopInjector::new(cfg.snoop_rate_per_10k, cfg.seed),
             threads,
-            window: (0..window_cap).map(|_| Uop::empty()).collect(),
-            free_slots: (0..window_cap).rev().collect(),
+            event_driven: cfg.scheduler == SchedulerKind::EventDriven,
+            window: scratch.window,
+            free_slots: scratch.free_slots,
+            events: scratch.events,
+            due: scratch.due,
+            wake: scratch.wake,
+            cands: scratch.cands,
             rs_used: 0,
             lb_used: 0,
             sb_used: 0,
@@ -198,8 +265,20 @@ impl<'p> Core<'p> {
             now: 0,
             next_uid: 1,
             rename_block_until: 0,
-            inflight_loads: std::collections::HashMap::new(),
+            inflight_loads: FastHashMap::default(),
             cfg,
+        }
+    }
+
+    /// Dismantles the core, returning its reusable allocations.
+    pub fn into_scratch(self) -> SimScratch {
+        SimScratch {
+            window: self.window,
+            free_slots: self.free_slots,
+            events: self.events,
+            due: self.due,
+            wake: self.wake,
+            cands: self.cands,
         }
     }
 
@@ -272,15 +351,13 @@ impl<'p> Core<'p> {
         let mut budget = self.cfg.fetch_width.min(self.cfg.decode_width);
         while budget > 0 && self.threads[tid].idq.len() < self.cfg.idq_size {
             let th = &mut self.threads[tid];
-            if th.wrong_path.is_some() {
+            if let Some(wp_sidx) = th.wrong_path.as_ref().map(|wp| wp.next_sidx) {
                 // Wrong-path fetch: real static instructions from the
                 // predicted (wrong) target, following further predictions.
-                let wp_sidx = th.wrong_path.as_ref().expect("checked").next_sidx;
                 let sidx = wp_sidx % th.program.len() as u32;
                 let inst = *th.program.inst(sidx);
                 let pred_pc = th.tag_pc(inst.pc.0);
-                let wp = th.wrong_path.as_mut().expect("checked");
-                wp.next_sidx = match inst.kind {
+                let next_sidx = match inst.kind {
                     OpKind::Branch(BranchKind::Jump { target })
                     | OpKind::Branch(BranchKind::Call { target }) => target,
                     OpKind::Branch(BranchKind::Cond { target, .. }) => {
@@ -292,6 +369,9 @@ impl<'p> Core<'p> {
                     }
                     _ => sidx + 1,
                 };
+                if let Some(wp) = th.wrong_path.as_mut() {
+                    wp.next_sidx = next_sidx;
+                }
                 th.idq.push_back(Fetched {
                     thread: tid,
                     sidx,
@@ -332,9 +412,7 @@ impl<'p> Core<'p> {
                         let predicted = th.ras.pop();
                         if predicted != Some(rec.next_pc.0) {
                             mispredicted = true;
-                            wrong_target = predicted
-                                .map(|p| Pc(p).index())
-                                .unwrap_or(rec.sidx + 1);
+                            wrong_target = predicted.map(|p| Pc(p).index()).unwrap_or(rec.sidx + 1);
                         }
                     }
                     BranchKind::Indirect => {
@@ -378,6 +456,11 @@ impl<'p> Core<'p> {
 
     /// Registers `consumer`'s dependence on the last writer of `reg`.
     fn add_reg_dep(&mut self, tid: usize, reg: ArchReg, consumer: Tag) {
+        // Scoreboard fast path: a clear bit proves the last writer's value
+        // is already available (or there is no writer), so no dependence.
+        if self.threads[tid].writer_pending & (1u32 << reg.index()) == 0 {
+            return;
+        }
         let Some((ptag, puid)) = self.threads[tid].last_writer[reg.index()] else {
             return;
         };
@@ -419,7 +502,10 @@ impl<'p> Core<'p> {
             if self.rs_used >= self.cfg.rs_size {
                 break;
             }
-            if self.cons.is_some() && inst.is_load() && loads_this_cycle >= self.cfg.rename_width.min(self.sld_read_ports()) {
+            if self.cons.is_some()
+                && inst.is_load()
+                && loads_this_cycle >= self.cfg.rename_width.min(self.sld_read_ports())
+            {
                 self.stats.rename_stalls_sld_read += 1;
                 break;
             }
@@ -463,6 +549,7 @@ impl<'p> Core<'p> {
     #[allow(clippy::too_many_lines)]
     fn rename_one(&mut self, tid: usize, f: Fetched, inst: sim_isa::StaticInst) {
         let tag = self.free_slots.pop().expect("window sized to ROB");
+        debug_assert!(!self.window[tag].valid, "free slot must be reset");
         let uid = self.next_uid;
         self.next_uid += 1;
 
@@ -494,6 +581,7 @@ impl<'p> Core<'p> {
         u.is_store = inst.is_store();
         u.is_branch = inst.is_branch();
         u.mispredicted = f.mispredicted;
+        u.rob_pos = self.threads[tid].rob_pushed;
         if let OpKind::Load { size, .. } | OpKind::Store { size, .. } = inst.kind {
             u.size = size;
         }
@@ -534,7 +622,7 @@ impl<'p> Core<'p> {
                             // it normally instead of risking another flush.
                             let my_set = self.storesets.set_of(ppc);
                             let conflict = my_set.is_some()
-                                && self.threads[tid].rob.iter().any(|&t| {
+                                && self.threads[tid].stores.iter().any(|&t| {
                                     let s = &self.window[t];
                                     s.valid
                                         && s.is_store
@@ -604,7 +692,7 @@ impl<'p> Core<'p> {
                     if let Some(pred) = m.predict(ppc) {
                         // Youngest in-flight correct-path store with that PC.
                         let th = &self.threads[tid];
-                        let hit = th.rob.iter().rev().find_map(|&t| {
+                        let hit = th.stores.iter().rev().find_map(|&t| {
                             let s = &self.window[t];
                             (s.valid && s.is_store && !s.wrong_path && s.pc == pred.store_pc)
                                 .then(|| s.rec.and_then(|r| r.mem).map(|a| a.value))
@@ -643,29 +731,38 @@ impl<'p> Core<'p> {
         }
 
         // ---------------- dependences ------------------------------------
-        self.window[tag] = u;
+        self.window[tag].assign_from(u);
         {
-            // Data sources.
-            let mut needed: Vec<ArchReg> = Vec::new();
+            // Data sources (registered straight off the operand lists — no
+            // temporary collection).
             match inst.kind {
                 OpKind::Load { mem, .. } => {
                     let w = &self.window[tag];
                     if !w.eliminated && !w.elar_resolved {
-                        needed.extend(mem.addr_regs());
+                        for reg in mem.addr_regs() {
+                            self.add_reg_dep(tid, reg, tag);
+                        }
                     }
                 }
                 OpKind::Store { mem, .. } => {
-                    needed.extend(inst.srcs[0]);
-                    needed.extend(mem.addr_regs());
+                    if let Some(reg) = inst.srcs[0] {
+                        self.add_reg_dep(tid, reg, tag);
+                    }
+                    for reg in mem.addr_regs() {
+                        self.add_reg_dep(tid, reg, tag);
+                    }
                 }
-                OpKind::Lea(mem) => needed.extend(mem.addr_regs()),
+                OpKind::Lea(mem) => {
+                    for reg in mem.addr_regs() {
+                        self.add_reg_dep(tid, reg, tag);
+                    }
+                }
                 OpKind::Alu(_) | OpKind::Mov | OpKind::Branch(_) => {
-                    needed.extend(inst.srcs.iter().flatten())
+                    for reg in inst.srcs.iter().flatten() {
+                        self.add_reg_dep(tid, *reg, tag);
+                    }
                 }
                 OpKind::MovImm | OpKind::Nop => {}
-            }
-            for reg in needed {
-                self.add_reg_dep(tid, reg, tag);
             }
         }
 
@@ -707,7 +804,18 @@ impl<'p> Core<'p> {
                     th.stack_rename.delta = 0;
                 }
             }
-            self.threads[tid].last_writer[dst.index()] = Some((tag, uid));
+            // Scoreboard: bit set while the new writer's value is pending.
+            // (All rename-time availability flags — folded, eliminated,
+            // value-predicted, MRN-forwarded — are final by this point.)
+            let pending = !self.window[tag].value_available();
+            let th = &mut self.threads[tid];
+            th.last_writer[dst.index()] = Some((tag, uid));
+            let bit = 1u32 << dst.index();
+            if pending {
+                th.writer_pending |= bit;
+            } else {
+                th.writer_pending &= !bit;
+            }
         }
         self.window[tag].stack_after = self.threads[tid].stack_rename;
 
@@ -751,7 +859,25 @@ impl<'p> Core<'p> {
         self.stats.rob_allocs += 1;
         self.stats.renamed += 1;
         self.stats.decoded += 1;
-        self.threads[tid].rob.push_back(tag);
+        {
+            let ready_now = self.window[tag].state == UopState::Ready;
+            let (is_load, is_store, pos) = {
+                let u = &self.window[tag];
+                (u.is_load, u.is_store, u.rob_pos)
+            };
+            let th = &mut self.threads[tid];
+            th.rob.push_back(tag);
+            th.rob_pushed += 1;
+            if is_load {
+                th.loads.push_back(tag);
+            }
+            if is_store {
+                th.stores.push_back(tag);
+            }
+            if ready_now {
+                th.ready.insert((pos, tag));
+            }
+        }
 
         // Advance the speculative value-predictor history on conditional
         // branches (outcome known from the trace).
@@ -769,6 +895,59 @@ impl<'p> Core<'p> {
 
     // ----------------------------------------------------------------- issue
 
+    /// Fills `self.cands` with this cycle's issue candidates, oldest first
+    /// across threads (position-interleaved, thread 0 breaking ties — the
+    /// order the legacy ROB walk produced).
+    fn gather_candidates(&mut self) {
+        let mut cands = std::mem::take(&mut self.cands);
+        cands.clear();
+        if self.event_driven {
+            // Ready queues only: every element is issue-eligible.
+            match &self.threads[..] {
+                [t] => cands.extend(t.ready.iter().map(|&(_, tag)| tag)),
+                [t0, t1] => {
+                    let mut a = t0.ready.iter().peekable();
+                    let mut b = t1.ready.iter().peekable();
+                    loop {
+                        match (a.peek(), b.peek()) {
+                            (Some(&&(pa, ta)), Some(&&(pb, tb))) => {
+                                if pa - t0.rob_head <= pb - t1.rob_head {
+                                    cands.push(ta);
+                                    a.next();
+                                } else {
+                                    cands.push(tb);
+                                    b.next();
+                                }
+                            }
+                            (Some(&&(_, ta)), None) => {
+                                cands.push(ta);
+                                a.next();
+                            }
+                            (None, Some(&&(_, tb))) => {
+                                cands.push(tb);
+                                b.next();
+                            }
+                            (None, None) => break,
+                        }
+                    }
+                }
+                _ => unreachable!("1 or 2 threads"),
+            }
+        } else {
+            // Legacy: the full ROBs, position-interleaved; non-ready
+            // entries are filtered in the issue loop.
+            let max_len = self.threads.iter().map(|t| t.rob.len()).max().unwrap_or(0);
+            for i in 0..max_len {
+                for t in &self.threads {
+                    if let Some(&tag) = t.rob.get(i) {
+                        cands.push(tag);
+                    }
+                }
+            }
+        }
+        self.cands = cands;
+    }
+
     fn issue_phase(&mut self) {
         let mut alu_used = 0u32;
         let mut load_used = 0u32;
@@ -779,26 +958,10 @@ impl<'p> Core<'p> {
         let mut stable_issued = false;
         let mut nonstable_waiting = false;
 
-        // Oldest-first candidates across threads.
-        let mut cands: Vec<Tag> = Vec::new();
-        {
-            let mut iters: Vec<_> = self.threads.iter().map(|t| t.rob.iter().peekable()).collect();
-            loop {
-                let mut advanced = false;
-                for it in &mut iters {
-                    if let Some(&&tag) = it.peek() {
-                        cands.push(tag);
-                        it.next();
-                        advanced = true;
-                    }
-                }
-                if !advanced {
-                    break;
-                }
-            }
-        }
+        self.gather_candidates();
+        let cands = std::mem::take(&mut self.cands);
 
-        for tag in cands {
+        for &tag in &cands {
             if budget == 0 {
                 break;
             }
@@ -816,6 +979,7 @@ impl<'p> Core<'p> {
                         continue;
                     }
                     if self.try_issue_load(tag) {
+                        self.ready_remove(tag);
                         load_used += 1;
                         budget -= 1;
                         any_load_issued = true;
@@ -827,11 +991,15 @@ impl<'p> Core<'p> {
                     if sta_used >= self.cfg.sta_ports || std_used >= self.cfg.std_ports {
                         continue;
                     }
+                    let complete_at = self.now + self.cfg.agu_latency;
                     let u = &mut self.window[tag];
                     u.state = UopState::Issued;
                     u.in_rs = false;
+                    u.complete_at = complete_at;
+                    let (seq, uid) = (u.seq, u.uid);
                     self.rs_used -= 1;
-                    u.complete_at = self.now + self.cfg.agu_latency;
+                    self.push_completion(complete_at, seq, uid, tag);
+                    self.ready_remove(tag);
                     sta_used += 1;
                     std_used += 1;
                     budget -= 1;
@@ -851,17 +1019,22 @@ impl<'p> Core<'p> {
                         InstClass::Div => self.cfg.div_latency,
                         _ => self.cfg.alu_latency,
                     };
+                    let complete_at = self.now + lat;
                     let u = &mut self.window[tag];
                     u.state = UopState::Issued;
                     u.in_rs = false;
+                    u.complete_at = complete_at;
+                    let (seq, uid) = (u.seq, u.uid);
                     self.rs_used -= 1;
-                    u.complete_at = self.now + lat;
+                    self.push_completion(complete_at, seq, uid, tag);
+                    self.ready_remove(tag);
                     alu_used += 1;
                     budget -= 1;
                     self.stats.alu_execs += 1;
                 }
             }
         }
+        self.cands = cands;
 
         if any_load_issued {
             self.stats.load_utilized_cycles += 1;
@@ -871,6 +1044,22 @@ impl<'p> Core<'p> {
                 self.stats.load_cycles_stable_free += 1;
             }
         }
+    }
+
+    /// Queues a completion event (event-driven mode only).
+    fn push_completion(&mut self, complete_at: u64, seq: u64, uid: u64, tag: Tag) {
+        if self.event_driven {
+            self.events.push(complete_at, seq, uid, tag);
+        }
+    }
+
+    /// Drops `tag` from its thread's ready queue.
+    fn ready_remove(&mut self, tag: Tag) {
+        let (tid, pos) = {
+            let u = &self.window[tag];
+            (u.thread, u.rob_pos)
+        };
+        self.threads[tid].ready.remove(&(pos, tag));
     }
 
     /// Attempts to issue a load; returns false if blocked on memory
@@ -890,12 +1079,13 @@ impl<'p> Core<'p> {
         };
         let paddr = self.threads[tid].tag_addr(vaddr);
 
-        // Memory dependence: scan older in-flight stores (youngest first).
+        // Memory dependence: scan older in-flight stores (youngest first)
+        // via the store ring — not the whole ROB, and no copies.
         let mut forward = false;
         if !wrong_path {
             let my_set = self.storesets.set_of(pc);
-            let rob: Vec<Tag> = self.threads[tid].rob.iter().copied().collect();
-            for &stag in rob.iter().rev() {
+            let th = &self.threads[tid];
+            for &stag in th.stores.iter().rev() {
                 let s = &self.window[stag];
                 if !s.valid || !s.is_store || s.wrong_path || s.seq >= seq {
                     continue;
@@ -919,7 +1109,11 @@ impl<'p> Core<'p> {
         let (elar_resolved, no_fetch, rfp_addr, rfp_ready) =
             (u.elar_resolved, u.no_data_fetch, u.rfp_addr, u.rfp_ready_at);
 
-        let agu = if elar_resolved { 0 } else { self.cfg.agu_latency };
+        let agu = if elar_resolved {
+            0
+        } else {
+            self.cfg.agu_latency
+        };
         if !elar_resolved {
             self.stats.agu_uses += 1;
         }
@@ -948,57 +1142,92 @@ impl<'p> Core<'p> {
             }
         }
 
+        let complete_at = self.now + latency.max(1);
         let u = &mut self.window[tag];
         u.state = UopState::Issued;
         u.in_rs = false;
-        self.rs_used -= 1;
-        u.complete_at = self.now + latency.max(1);
+        u.complete_at = complete_at;
         u.addr = paddr;
         u.addr_known = !wrong_path;
         u.result = value;
+        let uid = u.uid;
+        self.rs_used -= 1;
+        self.push_completion(complete_at, seq, uid, tag);
         true
     }
 
     // -------------------------------------------------------------- complete
 
     fn complete_phase(&mut self) {
-        let mut done: Vec<(u64, u64, Tag)> = Vec::new();
-        for (tag, u) in self.window.iter().enumerate() {
-            if u.valid && u.state == UopState::Issued && u.complete_at <= self.now {
-                done.push((u.seq, u.uid, tag));
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        if self.event_driven {
+            // Pop everything due this cycle off the event heap; stale
+            // entries (squashed slots) are filtered below, exactly like the
+            // legacy revalidation.
+            self.events.drain_due(self.now, &mut due);
+        } else {
+            for (tag, u) in self.window.iter().enumerate() {
+                if u.valid && u.state == UopState::Issued && u.complete_at <= self.now {
+                    due.push((u.seq, u.uid, tag));
+                }
             }
         }
-        done.sort_unstable();
-        for (_, uid, tag) in done {
+        due.sort_unstable();
+        for &(_, uid, tag) in due.iter() {
             let u = &self.window[tag];
             if !u.valid || u.uid != uid || u.state != UopState::Issued {
                 continue; // squashed by an earlier completion this cycle
             }
             self.complete_one(tag);
         }
+        self.due = due;
     }
 
     fn complete_one(&mut self, tag: Tag) {
-        // Mark done and wake consumers.
-        let consumers = {
+        // Mark done and wake consumers. The wakeup list is swapped into a
+        // reusable scratch buffer (capacities circulate; no allocation).
+        debug_assert!(self.wake.is_empty());
+        {
             let u = &mut self.window[tag];
             u.state = UopState::Done;
-            std::mem::take(&mut u.consumers)
-        };
-        for (ctag, cuid) in consumers {
+            std::mem::swap(&mut self.wake, &mut u.consumers);
+        }
+        for &(ctag, cuid) in &self.wake {
             let c = &mut self.window[ctag];
             if c.valid && c.uid == cuid {
                 c.pending_deps = c.pending_deps.saturating_sub(1);
                 if c.pending_deps == 0 && c.state == UopState::Waiting {
                     c.state = UopState::Ready;
+                    let (ctid, cpos) = (c.thread, c.rob_pos);
+                    self.threads[ctid].ready.insert((cpos, ctag));
                 }
             }
         }
+        self.wake.clear();
 
         let (tid, seq, wrong_path, is_store, is_load, is_branch, pc) = {
             let u = &self.window[tag];
-            (u.thread, u.seq, u.wrong_path, u.is_store, u.is_load, u.is_branch, u.pc)
+            (
+                u.thread,
+                u.seq,
+                u.wrong_path,
+                u.is_store,
+                u.is_load,
+                u.is_branch,
+                u.pc,
+            )
         };
+
+        // Scoreboard: this value is available now; clear the pending bit if
+        // this µop is still the architecturally last writer.
+        if let Some(dst) = self.window[tag].dst {
+            let uid = self.window[tag].uid;
+            let th = &mut self.threads[tid];
+            if th.last_writer[dst.index()] == Some((tag, uid)) {
+                th.writer_pending &= !(1u32 << dst.index());
+            }
+        }
 
         // Store address generation (Fig 8 step 9 + §6.5 disambiguation).
         if is_store && !wrong_path {
@@ -1015,9 +1244,10 @@ impl<'p> Core<'p> {
             }
             // Disambiguation probe: any younger load that already produced
             // a value from this address was wrong (eliminated or
-            // speculatively issued past this store).
+            // speculatively issued past this store). The load ring holds
+            // exactly the in-flight loads, in ROB order.
             let mut victim: Option<(u64, u64, bool)> = None;
-            for &ltag in &self.threads[tid].rob {
+            for &ltag in &self.threads[tid].loads {
                 let l = &self.window[ltag];
                 if l.valid
                     && l.is_load
@@ -1029,7 +1259,7 @@ impl<'p> Core<'p> {
                     && l.mem_overlaps(paddr, size)
                 {
                     let cand = (l.seq, l.pc, l.eliminated);
-                    if victim.map_or(true, |v| cand.0 < v.0) {
+                    if victim.is_none_or(|v| cand.0 < v.0) {
                         victim = Some(cand);
                     }
                 }
@@ -1068,14 +1298,8 @@ impl<'p> Core<'p> {
                     if let Some(mem) = inst.mem_ref() {
                         let stack = u.stack_after;
                         let (paddr, pc_t) = (u.addr, u.pc);
-                        let pin = c.on_load_writeback(
-                            pc_t,
-                            mem,
-                            paddr,
-                            result,
-                            likely_stable,
-                            stack,
-                        );
+                        let pin =
+                            c.on_load_writeback(pc_t, mem, paddr, result, likely_stable, stack);
                         if pin {
                             self.stats.cv_pins += 1;
                         }
@@ -1138,15 +1362,33 @@ impl<'p> Core<'p> {
     /// Squashes every µop of `tid` with `seq >= first_bad_seq` (wrong-path
     /// µops always), rewinds fetch, and repairs rename state.
     fn flush_from(&mut self, tid: usize, first_bad_seq: u64) {
-        // Squash from the ROB tail.
-        loop {
-            let Some(&tag) = self.threads[tid].rob.back() else { break };
-            let u = &self.window[tag];
-            if u.wrong_path || u.seq >= first_bad_seq {
-                self.squash(tag);
-                self.threads[tid].rob.pop_back();
-            } else {
+        // Squash from the ROB tail, unwinding the store/load rings and the
+        // ready queue in lockstep (they are subsequences of the ROB).
+        while let Some(&tag) = self.threads[tid].rob.back() {
+            let (squash, pos, is_load, is_store) = {
+                let u = &self.window[tag];
+                (
+                    u.wrong_path || u.seq >= first_bad_seq,
+                    u.rob_pos,
+                    u.is_load,
+                    u.is_store,
+                )
+            };
+            if !squash {
                 break;
+            }
+            self.squash(tag);
+            let th = &mut self.threads[tid];
+            th.rob.pop_back();
+            th.rob_pushed = pos;
+            th.ready.remove(&(pos, tag));
+            if is_load {
+                let popped = th.loads.pop_back();
+                debug_assert_eq!(popped, Some(tag), "load ring out of sync");
+            }
+            if is_store {
+                let popped = th.stores.pop_back();
+                debug_assert_eq!(popped, Some(tag), "store ring out of sync");
             }
         }
         let th = &mut self.threads[tid];
@@ -1173,11 +1415,20 @@ impl<'p> Core<'p> {
             .map(|&t| self.window[t].stack_after)
             .unwrap_or(th.stack_retired);
         th.last_writer = [None; 32];
-        let rob: Vec<Tag> = th.rob.iter().copied().collect();
-        for t in rob {
+        th.writer_pending = 0;
+        for i in 0..self.threads[tid].rob.len() {
+            let t = self.threads[tid].rob[i];
             let u = &self.window[t];
             if let Some(dst) = u.dst {
-                self.threads[tid].last_writer[dst.index()] = Some((t, u.uid));
+                let pending = !u.value_available();
+                let (uid, bit) = (u.uid, 1u32 << dst.index());
+                let th = &mut self.threads[tid];
+                th.last_writer[dst.index()] = Some((t, uid));
+                if pending {
+                    th.writer_pending |= bit;
+                } else {
+                    th.writer_pending &= !bit;
+                }
             }
         }
     }
@@ -1201,7 +1452,7 @@ impl<'p> Core<'p> {
             self.sb_used -= 1;
         }
         let xprf = u.xprf.take();
-        *u = Uop::empty();
+        u.reset();
         if let (Some(slot), Some(c)) = (xprf, self.cons.as_mut()) {
             c.free_xprf(slot);
         }
@@ -1237,7 +1488,20 @@ impl<'p> Core<'p> {
     fn retire_one(&mut self, tid: usize, tag: Tag) {
         let u = self.window[tag].clone();
         debug_assert!(!u.wrong_path, "wrong-path µop reached retirement");
-        self.threads[tid].rob.pop_front();
+        debug_assert!(u.consumers.is_empty(), "consumers drained at complete");
+        {
+            let th = &mut self.threads[tid];
+            th.rob.pop_front();
+            th.rob_head += 1;
+            if u.is_load {
+                let popped = th.loads.pop_front();
+                debug_assert_eq!(popped, Some(tag), "load ring out of sync");
+            }
+            if u.is_store {
+                let popped = th.stores.pop_front();
+                debug_assert_eq!(popped, Some(tag), "store ring out of sync");
+            }
+        }
 
         let rec = u.rec.expect("correct-path µop has a functional record");
 
@@ -1307,7 +1571,7 @@ impl<'p> Core<'p> {
         if let (Some(slot), Some(c)) = (u.xprf, self.cons.as_mut()) {
             c.free_xprf(slot);
         }
-        self.window[tag] = Uop::empty();
+        self.window[tag].reset();
         self.free_slots.push(tag);
 
         let th = &mut self.threads[tid];
@@ -1327,7 +1591,7 @@ impl<'p> Core<'p> {
             // must be squashed (their value may be stale in a real system).
             let mut victim: Option<(usize, u64)> = None;
             for th in &self.threads {
-                for &ltag in &th.rob {
+                for &ltag in &th.loads {
                     let l = &self.window[ltag];
                     if l.valid
                         && l.is_load

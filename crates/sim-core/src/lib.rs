@@ -18,10 +18,14 @@
 
 mod config;
 mod core;
+mod hash;
+mod sched;
 mod stats;
 mod uop;
 
 pub use crate::core::{Core, SimResult};
 pub use config::CoreConfig;
+pub use hash::FastHashMap;
+pub use sched::{SchedulerKind, SimScratch};
 pub use stats::CoreStats;
 pub use uop::{Fetched, Tag, Uop, UopState};

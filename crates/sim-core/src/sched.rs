@@ -1,0 +1,162 @@
+//! Event-driven scheduling machinery for the out-of-order core.
+//!
+//! The original model paid O(window) every cycle: completion rescanned the
+//! whole in-flight window, issue rebuilt an oldest-first candidate vector
+//! from the full ROBs, and store-search/flush paths copied ROB contents into
+//! fresh `Vec`s. This module holds the structures that replace those scans:
+//!
+//! * [`CompletionQueue`] — a min-heap of (complete-at, seq) events pushed at
+//!   issue time, popped in program order at their completion cycle. Entries
+//!   for squashed µops are filtered lazily by uid.
+//! * per-thread ready queues (in `Thread`) ordered by ROB position, fed by
+//!   dependency wakeup: producers push consumers when they complete, so
+//!   issue touches ready µops only.
+//! * [`SimScratch`] — every core-lifetime allocation (the µop slab, free
+//!   list, event heap, scratch buffers) bundled so a suite runner can hand
+//!   the same memory to consecutive simulations (zero steady-state
+//!   allocation across runs).
+//!
+//! [`SchedulerKind::LegacyScan`] keeps the original per-cycle full scans
+//! selectable. Both schedulers visit µops in exactly the same order, so
+//! their `SimResult` statistics are bit-identical — `cargo test` asserts
+//! this over the kernel suite and `cargo bench` measures the gap.
+
+use crate::uop::{Tag, Uop};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which scheduling implementation the core uses.
+///
+/// Both produce bit-identical architectural and statistical results; they
+/// differ only in how much work each simulated cycle costs the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Incremental event-driven scheduling (the default).
+    #[default]
+    EventDriven,
+    /// The original per-cycle full-window scans, kept for equivalence
+    /// testing and as the benchmark baseline.
+    LegacyScan,
+}
+
+/// One pending completion: a µop issued at some cycle finishes at
+/// `complete_at`. `seq`/`uid` reproduce the legacy completion order and
+/// filter entries whose slot was squashed and reused.
+pub(crate) type CompletionEvent = Reverse<(u64, u64, u64, Tag)>;
+
+/// Min-heap of completion events, keyed (complete_at, seq, uid, tag).
+#[derive(Debug, Default)]
+pub(crate) struct CompletionQueue {
+    heap: BinaryHeap<CompletionEvent>,
+}
+
+impl CompletionQueue {
+    pub(crate) fn push(&mut self, complete_at: u64, seq: u64, uid: u64, tag: Tag) {
+        self.heap.push(Reverse((complete_at, seq, uid, tag)));
+    }
+
+    /// Pops every event due at or before `now` into `due` as
+    /// (seq, uid, tag) triples. Stale entries are popped too; the caller
+    /// re-validates against the window exactly as the legacy scan did.
+    pub(crate) fn drain_due(&mut self, now: u64, due: &mut Vec<(u64, u64, Tag)>) {
+        while let Some(&Reverse((at, seq, uid, tag))) = self.heap.peek() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            due.push((seq, uid, tag));
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Reusable core-lifetime allocations.
+///
+/// A [`crate::Core`] built with [`crate::Core::new_multi_with_scratch`]
+/// takes ownership of these buffers and returns them via
+/// [`crate::Core::into_scratch`]; a suite runner that keeps one
+/// `SimScratch` per worker thread eliminates per-run window allocation
+/// (the µop slab alone is ~hundreds of KiB) and lets consumer-list
+/// capacities reach a steady state across the whole suite.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    pub(crate) window: Vec<Uop>,
+    pub(crate) free_slots: Vec<Tag>,
+    pub(crate) events: CompletionQueue,
+    /// Completions due this cycle, sorted into program order before use.
+    pub(crate) due: Vec<(u64, u64, Tag)>,
+    /// Consumers of the µop currently completing (wakeup list in flight).
+    pub(crate) wake: Vec<(Tag, u64)>,
+    /// Issue candidates for the current cycle, oldest first.
+    pub(crate) cands: Vec<Tag>,
+}
+
+impl SimScratch {
+    /// Fresh, empty scratch. Buffers grow to steady state over the first
+    /// simulated run and are then reused verbatim.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the scratch for a new run with `window_cap` slab slots:
+    /// every retained slot is reset in place (keeping its consumer-list
+    /// capacity), the free list is rebuilt, and queues are emptied.
+    pub(crate) fn reset_for_run(&mut self, window_cap: usize) {
+        self.window.truncate(window_cap);
+        for slot in &mut self.window {
+            slot.reset();
+        }
+        self.window.resize_with(window_cap, Uop::empty);
+        self.free_slots.clear();
+        self.free_slots.extend((0..window_cap).rev());
+        self.events.clear();
+        self.due.clear();
+        self.wake.clear();
+        self.cands.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_queue_orders_by_time_then_seq() {
+        let mut q = CompletionQueue::default();
+        q.push(10, 5, 105, 2);
+        q.push(9, 9, 109, 1);
+        q.push(10, 3, 103, 0);
+        q.push(11, 1, 101, 3);
+        let mut due = Vec::new();
+        q.drain_due(10, &mut due);
+        assert_eq!(due, vec![(9, 109, 1), (3, 103, 0), (5, 105, 2)]);
+        due.clear();
+        q.drain_due(10, &mut due);
+        assert!(due.is_empty(), "nothing left at t=10");
+        q.drain_due(11, &mut due);
+        assert_eq!(due, vec![(1, 101, 3)]);
+    }
+
+    #[test]
+    fn scratch_reset_rebuilds_free_list_and_keeps_capacity() {
+        let mut s = SimScratch::new();
+        s.reset_for_run(4);
+        assert_eq!(s.free_slots, vec![3, 2, 1, 0]);
+        s.window[1].consumers.reserve(64);
+        let cap = s.window[1].consumers.capacity();
+        s.window[1].valid = true;
+        s.reset_for_run(4);
+        assert!(!s.window[1].valid, "slot must be reset");
+        assert!(
+            s.window[1].consumers.capacity() >= cap,
+            "consumer capacity must survive the reset"
+        );
+        s.reset_for_run(2);
+        assert_eq!(s.window.len(), 2, "shrinking run length truncates");
+        s.reset_for_run(6);
+        assert_eq!(s.window.len(), 6, "growing run length extends");
+    }
+}

@@ -56,6 +56,9 @@ pub struct Uop {
     pub state: UopState,
     pub in_rs: bool,
     pub complete_at: u64,
+    /// Monotone per-thread ROB position (never reused while in flight);
+    /// orders the ready queues exactly as the legacy ROB walk did.
+    pub rob_pos: u64,
 
     // Memory.
     pub is_load: bool,
@@ -116,6 +119,7 @@ impl Uop {
             state: UopState::Waiting,
             in_rs: false,
             complete_at: 0,
+            rob_pos: 0,
             is_load: false,
             is_store: false,
             addr: 0,
@@ -142,6 +146,27 @@ impl Uop {
             no_data_fetch: false,
             stack_after: constable::StackState::default(),
         }
+    }
+
+    /// Clears the slot in place, preserving the consumer list's heap
+    /// capacity — the window is a slab whose slots are recycled millions of
+    /// times per run, and this keeps the recycle allocation-free.
+    pub fn reset(&mut self) {
+        let mut consumers = std::mem::take(&mut self.consumers);
+        consumers.clear();
+        *self = Uop::empty();
+        self.consumers = consumers;
+    }
+
+    /// Moves `src` into this slot, preserving the slot's consumer-list
+    /// capacity (rename-time slot initialization without heap traffic;
+    /// `src` carries a fresh, unallocated consumer list).
+    pub fn assign_from(&mut self, src: Uop) {
+        debug_assert!(src.consumers.is_empty());
+        let mut consumers = std::mem::take(&mut self.consumers);
+        consumers.clear();
+        *self = src;
+        self.consumers = consumers;
     }
 
     /// Whether this µop's output value is available to consumers.
@@ -180,6 +205,26 @@ mod tests {
         assert!(!u.mem_overlaps(0x108, 8), "adjacent ranges do not overlap");
         assert!(!u.mem_overlaps(0xf8, 8));
         assert!(u.mem_overlaps(0xfc, 8));
+    }
+
+    #[test]
+    fn reset_preserves_consumer_capacity() {
+        let mut u = Uop::empty();
+        u.valid = true;
+        u.consumers.reserve(32);
+        let cap = u.consumers.capacity();
+        u.consumers.push((3, 7));
+        u.reset();
+        assert!(!u.valid);
+        assert!(u.consumers.is_empty());
+        assert!(u.consumers.capacity() >= cap, "capacity lost on reset");
+
+        let mut src = Uop::empty();
+        src.valid = true;
+        src.uid = 42;
+        u.assign_from(src);
+        assert!(u.valid && u.uid == 42);
+        assert!(u.consumers.capacity() >= cap, "capacity lost on assign");
     }
 
     #[test]

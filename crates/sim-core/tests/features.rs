@@ -50,8 +50,14 @@ fn disabling_mrn_removes_forwarding() {
 #[test]
 fn wrong_path_fetch_produces_wrong_path_uops() {
     let r = run_cfg(CoreConfig::golden_cove_like());
-    assert!(r.stats.branch_mispredicts > 0, "workloads must mispredict sometimes");
-    assert!(r.stats.fetched_wrong_path > 0, "wrong-path fetch must engage");
+    assert!(
+        r.stats.branch_mispredicts > 0,
+        "workloads must mispredict sometimes"
+    );
+    assert!(
+        r.stats.fetched_wrong_path > 0,
+        "wrong-path fetch must engage"
+    );
 
     let mut cfg = CoreConfig::golden_cove_like();
     cfg.wrong_path_fetch = false;
@@ -118,7 +124,10 @@ fn load_width_scaling_never_hurts() {
     let program = spec.build();
     let mut prev = 0.0;
     for width in [3u32, 6] {
-        let mut core = Core::new(&program, CoreConfig::golden_cove_like().with_load_ports(width));
+        let mut core = Core::new(
+            &program,
+            CoreConfig::golden_cove_like().with_load_ports(width),
+        );
         let r = core.run(N);
         assert_eq!(r.stats.golden_mismatches, 0);
         assert!(
@@ -139,10 +148,16 @@ fn depth_scaling_never_hurts() {
         core.run(N).ipc()
     };
     let deep = {
-        let mut core = Core::new(&program, CoreConfig::golden_cove_like().with_depth_scale(2.0));
+        let mut core = Core::new(
+            &program,
+            CoreConfig::golden_cove_like().with_depth_scale(2.0),
+        );
         core.run(N).ipc()
     };
-    assert!(deep >= base * 0.995, "2x window must not slow down: {deep} vs {base}");
+    assert!(
+        deep >= base * 0.995,
+        "2x window must not slow down: {deep} vs {base}"
+    );
 }
 
 #[test]
@@ -167,7 +182,9 @@ fn load_inspector_analyze(program: &sim_workload::Program) -> Vec<u64> {
         let rec = m.step();
         if program.inst(rec.sidx).is_load() {
             let acc = rec.mem.expect("load access");
-            let e = seen.entry(rec.sidx).or_insert((acc.addr, acc.value, true, 0));
+            let e = seen
+                .entry(rec.sidx)
+                .or_insert((acc.addr, acc.value, true, 0));
             if e.0 != acc.addr || e.1 != acc.value {
                 e.2 = false;
             }

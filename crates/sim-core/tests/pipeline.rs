@@ -42,7 +42,10 @@ fn constable_eliminates_loads_and_stays_correct() {
             any_elims = true;
         }
     }
-    assert!(any_elims, "Constable never eliminated a load across 5 traces");
+    assert!(
+        any_elims,
+        "Constable never eliminated a load across 5 traces"
+    );
 }
 
 #[test]

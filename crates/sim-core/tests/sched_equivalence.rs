@@ -1,0 +1,206 @@
+//! Scheduler equivalence: the event-driven scheduler must be a pure
+//! host-performance optimization. Every workload, under every machine
+//! configuration, must produce **bit-identical** statistics to the legacy
+//! full-scan scheduler — same cycle count (hence IPC), same retired
+//! instruction/load/store/branch counts, same elimination and speculation
+//! counters, same memory-hierarchy traffic.
+
+use sim_core::{Core, CoreConfig, CoreStats, SchedulerKind, SimResult};
+use sim_workload::suite_subset;
+
+const N: u64 = 15_000;
+
+/// The full counter digest compared across schedulers. Anything that can
+/// diverge if scheduling order changes is in here.
+fn digest(r: &SimResult) -> Vec<(&'static str, u64)> {
+    let s: &CoreStats = &r.stats;
+    vec![
+        ("cycles", s.cycles),
+        ("retired", s.retired),
+        ("retired_loads", s.retired_loads),
+        ("retired_stores", s.retired_stores),
+        ("retired_branches", s.retired_branches),
+        ("fetched", s.fetched),
+        ("fetched_wrong_path", s.fetched_wrong_path),
+        ("branch_mispredicts", s.branch_mispredicts),
+        ("rob_allocs", s.rob_allocs),
+        ("rs_allocs", s.rs_allocs),
+        ("lb_allocs", s.lb_allocs),
+        ("sb_allocs", s.sb_allocs),
+        ("load_utilized_cycles", s.load_utilized_cycles),
+        ("loads_issued", s.loads_issued),
+        ("agu_uses", s.agu_uses),
+        ("alu_execs", s.alu_execs),
+        ("vp_used", s.vp_used),
+        ("vp_wrong", s.vp_wrong),
+        ("mrn_forwarded", s.mrn_forwarded),
+        ("mrn_wrong", s.mrn_wrong),
+        ("loads_eliminated", s.loads_eliminated),
+        ("elim_violations", s.elim_violations),
+        ("ordering_violations", s.ordering_violations),
+        ("golden_mismatches", s.golden_mismatches),
+        ("l1d_accesses", s.l1d_accesses),
+        ("l2_accesses", s.l2_accesses),
+        ("dram_accesses", s.dram_accesses),
+        ("snoops_delivered", s.snoops_delivered),
+        ("sld_reads", s.sld_reads),
+        ("sld_writes", s.sld_writes),
+        ("cv_pins", s.cv_pins),
+        ("rename_stalls_sld_read", s.rename_stalls_sld_read),
+        ("rename_stalls_sld_write", s.rename_stalls_sld_write),
+    ]
+}
+
+fn assert_equivalent(name: &str, cfg: CoreConfig) {
+    let specs = suite_subset(1);
+    let spec = &specs[0];
+    assert_equivalent_on(name, spec, cfg);
+}
+
+fn assert_equivalent_on(name: &str, spec: &sim_workload::WorkloadSpec, cfg: CoreConfig) {
+    let program = spec.build();
+    let mut legacy = Core::new(
+        &program,
+        cfg.clone().with_scheduler(SchedulerKind::LegacyScan),
+    );
+    let rl = legacy.run(N);
+    let mut event = Core::new(&program, cfg.with_scheduler(SchedulerKind::EventDriven));
+    let re = event.run(N);
+    assert!(!rl.hit_cycle_guard && !re.hit_cycle_guard, "{name}: guard");
+    let dl = digest(&rl);
+    let de = digest(&re);
+    for (l, e) in dl.iter().zip(&de) {
+        assert_eq!(
+            l, e,
+            "{name} / {}: scheduler divergence on counter {:?} (legacy) vs {:?} (event)",
+            spec.name, l, e
+        );
+    }
+    assert_eq!(
+        rl.retired_per_thread, re.retired_per_thread,
+        "{name} / {}: per-thread retirement diverged",
+        spec.name
+    );
+    // IPC follows from (cycles, retired) but assert it explicitly: it is
+    // the headline number of every figure.
+    assert_eq!(rl.ipc().to_bits(), re.ipc().to_bits(), "{name}: IPC bits");
+}
+
+#[test]
+fn baseline_is_schedule_equivalent_across_suite() {
+    for spec in suite_subset(8) {
+        assert_equivalent_on("baseline", &spec, CoreConfig::golden_cove_like());
+    }
+}
+
+#[test]
+fn constable_is_schedule_equivalent_across_suite() {
+    for spec in suite_subset(8) {
+        assert_equivalent_on(
+            "constable",
+            &spec,
+            CoreConfig::golden_cove_like().with_constable(),
+        );
+    }
+}
+
+#[test]
+fn eves_is_schedule_equivalent() {
+    assert_equivalent("eves", CoreConfig::golden_cove_like().with_eves());
+}
+
+#[test]
+fn eves_constable_is_schedule_equivalent() {
+    assert_equivalent(
+        "eves+constable",
+        CoreConfig::golden_cove_like().with_eves().with_constable(),
+    );
+}
+
+#[test]
+fn elar_rfp_are_schedule_equivalent() {
+    let mut cfg = CoreConfig::golden_cove_like();
+    cfg.elar = true;
+    assert_equivalent("elar", cfg);
+    let mut cfg = CoreConfig::golden_cove_like();
+    cfg.rfp = true;
+    assert_equivalent("rfp", cfg);
+}
+
+#[test]
+fn no_wrong_path_fetch_is_schedule_equivalent() {
+    let mut cfg = CoreConfig::golden_cove_like();
+    cfg.wrong_path_fetch = false;
+    assert_equivalent("no-wrong-path", cfg);
+}
+
+#[test]
+fn noisy_snoops_are_schedule_equivalent() {
+    let mut cfg = CoreConfig::golden_cove_like().with_constable();
+    cfg.snoop_rate_per_10k = 100;
+    assert_equivalent("noisy-snoops", cfg);
+}
+
+#[test]
+fn deep_window_is_schedule_equivalent() {
+    assert_equivalent(
+        "deep-window",
+        CoreConfig::golden_cove_like().with_depth_scale(2.0),
+    );
+}
+
+#[test]
+fn smt2_is_schedule_equivalent() {
+    let specs = suite_subset(4);
+    for pair in [(0usize, 1usize), (2, 3)] {
+        let pa = specs[pair.0].build();
+        let pb = specs[pair.1].build();
+        for cfg in [
+            CoreConfig::golden_cove_like(),
+            CoreConfig::golden_cove_like().with_constable(),
+        ] {
+            let mut legacy = Core::new_multi(
+                vec![&pa, &pb],
+                cfg.clone().with_scheduler(SchedulerKind::LegacyScan),
+            );
+            let rl = legacy.run(N / 2);
+            let mut event = Core::new_multi(
+                vec![&pa, &pb],
+                cfg.with_scheduler(SchedulerKind::EventDriven),
+            );
+            let re = event.run(N / 2);
+            for (l, e) in digest(&rl).iter().zip(&digest(&re)) {
+                assert_eq!(l, e, "smt2 {:?}: diverged {:?} vs {:?}", pair, l, e);
+            }
+            assert_eq!(rl.retired_per_thread, re.retired_per_thread);
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_is_schedule_equivalent() {
+    // Recycling one worker's scratch across consecutive runs must not leak
+    // any state between simulations.
+    let specs = suite_subset(3);
+    let mut scratch = sim_core::SimScratch::new();
+    for spec in &specs {
+        let program = spec.build();
+        let mut fresh = Core::new(&program, CoreConfig::golden_cove_like().with_constable());
+        let rf = fresh.run(N);
+        let recycled = Core::new_multi_with_scratch(
+            vec![&program],
+            CoreConfig::golden_cove_like().with_constable(),
+            scratch,
+        );
+        let mut recycled = recycled;
+        let rr = recycled.run(N);
+        for (f, r) in digest(&rf).iter().zip(&digest(&rr)) {
+            assert_eq!(
+                f, r,
+                "{}: scratch reuse diverged {:?} vs {:?}",
+                spec.name, f, r
+            );
+        }
+        scratch = recycled.into_scratch();
+    }
+}

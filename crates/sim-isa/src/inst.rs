@@ -80,7 +80,10 @@ impl MemRef {
             return self.disp as u64;
         }
         let base = self.base.map_or(0, &read);
-        let index = self.index.map_or(0, &read).wrapping_mul(u64::from(self.scale));
+        let index = self
+            .index
+            .map_or(0, &read)
+            .wrapping_mul(u64::from(self.scale));
         base.wrapping_add(index).wrapping_add(self.disp as u64)
     }
 }
@@ -112,13 +115,7 @@ impl AluOp {
             AluOp::Shl => a.wrapping_shl((b & 63) as u32),
             AluOp::Shr => a.wrapping_shr((b & 63) as u32),
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
         }
     }
 }
@@ -309,9 +306,7 @@ impl StaticInst {
     /// baseline's zero-elimination optimization removes at rename (§8.1).
     pub fn is_zero_idiom(&self) -> bool {
         match self.kind {
-            OpKind::Alu(AluOp::Xor) => {
-                self.srcs[0].is_some() && self.srcs[0] == self.srcs[1]
-            }
+            OpKind::Alu(AluOp::Xor) => self.srcs[0].is_some() && self.srcs[0] == self.srcs[1],
             OpKind::MovImm => self.imm == 0,
             _ => false,
         }
@@ -370,7 +365,10 @@ mod tests {
     fn rip_references_are_pc_relative() {
         let m = MemRef::rip(0x60_0000);
         assert_eq!(m.addr_mode(), AddrMode::PcRelative);
-        assert_eq!(m.effective_addr(|_| panic!("no registers involved")), 0x60_0000);
+        assert_eq!(
+            m.effective_addr(|_| panic!("no registers involved")),
+            0x60_0000
+        );
     }
 
     #[test]
@@ -455,7 +453,13 @@ mod tests {
 
     #[test]
     fn class_mapping() {
-        let ld = StaticInst::new(0, OpKind::Load { mem: MemRef::rip(0x1000), size: 8 });
+        let ld = StaticInst::new(
+            0,
+            OpKind::Load {
+                mem: MemRef::rip(0x1000),
+                size: 8,
+            },
+        );
         assert_eq!(ld.class(), InstClass::Load);
         let mul = StaticInst::new(1, OpKind::Alu(AluOp::Mul));
         assert_eq!(mul.class(), InstClass::Mul);

@@ -97,7 +97,10 @@ impl Cache {
     /// Panics if the geometry does not divide into whole power-of-two sets.
     pub fn new(name: &'static str, size_bytes: u64, ways: usize, policy: Replacement) -> Self {
         let sets = (size_bytes / LINE_BYTES) as usize / ways;
-        assert!(sets > 0 && sets.is_power_of_two(), "{name}: sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "{name}: sets must be a power of two"
+        );
         Cache {
             name,
             sets,
@@ -151,11 +154,19 @@ impl Cache {
                 if prefetch_useful {
                     self.stats.prefetch_useful.inc();
                 }
-                return LookupResult { hit: true, fill_wait, prefetch_useful };
+                return LookupResult {
+                    hit: true,
+                    fill_wait,
+                    prefetch_useful,
+                };
             }
         }
         self.stats.misses.inc();
-        LookupResult { hit: false, fill_wait: 0, prefetch_useful: false }
+        LookupResult {
+            hit: false,
+            fill_wait: 0,
+            prefetch_useful: false,
+        }
     }
 
     /// Probes for `line` without disturbing replacement state or stats.
@@ -244,8 +255,7 @@ impl Cache {
                 .expect("nonempty set"),
             Replacement::Srrip => loop {
                 // Find RRPV==3; otherwise age everyone.
-                if let Some(w) =
-                    (0..self.ways).find(|&w| self.lines[set * self.ways + w].meta >= 3)
+                if let Some(w) = (0..self.ways).find(|&w| self.lines[set * self.ways + w].meta >= 3)
                 {
                     break w;
                 }
@@ -327,7 +337,7 @@ mod tests {
         c.insert(0, 0, 0, false);
         c.access(0, 1, false); // promote to RRPV 0
         c.insert(2, 1, 1, false); // RRPV 2
-        // Next insert should evict the distant line (2), not the hot one (0).
+                                  // Next insert should evict the distant line (2), not the hot one (0).
         let r = c.insert(4, 2, 2, false);
         assert_eq!(r.evicted, Some(2));
         assert!(c.probe(0));

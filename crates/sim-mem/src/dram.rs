@@ -141,7 +141,10 @@ mod tests {
         let l1 = d.access(0x2000, 0);
         // Immediately hit the same bank again: must wait for the bus/bank.
         let l2 = d.access(0x2000, 0);
-        assert!(l2 > l1 - DramConfig::default().t_rcd, "second access sees queueing");
+        assert!(
+            l2 > l1 - DramConfig::default().t_rcd,
+            "second access sees queueing"
+        );
         assert_eq!(d.stats().accesses.get(), 2);
     }
 

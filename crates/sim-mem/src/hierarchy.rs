@@ -127,7 +127,13 @@ impl MemoryHierarchy {
     }
 
     /// Per-level cache statistics: (L1, L2, LLC).
-    pub fn cache_stats(&self) -> (&crate::cache::CacheStats, &crate::cache::CacheStats, &crate::cache::CacheStats) {
+    pub fn cache_stats(
+        &self,
+    ) -> (
+        &crate::cache::CacheStats,
+        &crate::cache::CacheStats,
+        &crate::cache::CacheStats,
+    ) {
         (self.l1.stats(), self.l2.stats(), self.llc.stats())
     }
 
@@ -212,7 +218,11 @@ impl MemoryHierarchy {
             self.spp.train(line, now, &mut self.pf_scratch);
         }
         self.run_prefetches(now, &mut evictions);
-        AccessOutcome { latency, level, l1_evictions: evictions }
+        AccessOutcome {
+            latency,
+            level,
+            l1_evictions: evictions,
+        }
     }
 
     /// Commits a retired store to `addr` (write-allocate, write-back).

@@ -22,7 +22,9 @@ mod dram;
 mod hierarchy;
 mod prefetch;
 
-pub use cache::{line_addr, Cache, CacheStats, InsertResult, LookupResult, Replacement, LINE_BYTES};
+pub use cache::{
+    line_addr, Cache, CacheStats, InsertResult, LookupResult, Replacement, LINE_BYTES,
+};
 pub use coherence::{Directory, Snoop, SnoopInjector};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use hierarchy::{AccessOutcome, HierarchyStats, HitLevel, MemConfig, MemoryHierarchy};

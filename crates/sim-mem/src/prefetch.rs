@@ -61,7 +61,12 @@ impl StridePrefetcher {
                 }
             }
         } else {
-            *e = StrideEntry { tag: pc, last_addr: addr, stride: 0, confidence: 0 };
+            *e = StrideEntry {
+                tag: pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+            };
         }
     }
 }
@@ -95,7 +100,11 @@ impl StreamPrefetcher {
     /// Trains on a demand line address; appends prefetch requests.
     pub fn train(&mut self, line: u64, clock: u64, out: &mut Vec<PrefetchReq>) {
         let page = line >> 6; // 64 lines = 4 KiB page
-        if let Some(e) = self.streams.iter_mut().find(|e| e.page == page && e.confidence > 0) {
+        if let Some(e) = self
+            .streams
+            .iter_mut()
+            .find(|e| e.page == page && e.confidence > 0)
+        {
             let dir = match line.cmp(&e.last_line) {
                 std::cmp::Ordering::Greater => 1i8,
                 std::cmp::Ordering::Less => -1,
@@ -123,7 +132,13 @@ impl StreamPrefetcher {
                 .iter_mut()
                 .min_by_key(|e| e.lru)
                 .expect("streamer has slots");
-            *slot = StreamEntry { page, last_line: line, dir: 1, confidence: 1, lru: clock };
+            *slot = StreamEntry {
+                page,
+                last_line: line,
+                dir: 1,
+                confidence: 1,
+                lru: clock,
+            };
         }
     }
 }
@@ -197,7 +212,9 @@ impl SppLite {
                 if !(0..64).contains(&off) {
                     break;
                 }
-                out.push(PrefetchReq { line: (page << 6) | off as u64 });
+                out.push(PrefetchReq {
+                    line: (page << 6) | off as u64,
+                });
                 sig = Self::sig_update(sig, d);
             }
         } else {

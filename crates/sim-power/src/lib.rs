@@ -142,12 +142,11 @@ pub fn core_energy(stats: &CoreStats, units: ActiveUnits, p: &EnergyParams) -> P
         b.meu_l1d += f(stats.amt_probes) * (p.amt_read_pj + p.amt_write_pj) / 2.0;
         // Structure leakage.
         let seconds = stats.cycles as f64 / (CORE_GHZ * 1e9);
-        let leak_nj = (cacti::TABLE3_SLD.leak_mw
-            + cacti::TABLE3_RMT.leak_mw
-            + cacti::TABLE3_AMT.leak_mw)
-            * 1e-3
-            * seconds
-            * 1e9;
+        let leak_nj =
+            (cacti::TABLE3_SLD.leak_mw + cacti::TABLE3_RMT.leak_mw + cacti::TABLE3_AMT.leak_mw)
+                * 1e-3
+                * seconds
+                * 1e9;
         b.others += leak_nj;
     }
     if units.eves {
@@ -206,7 +205,14 @@ mod tests {
         s.amt_probes = 50;
         s.loads_eliminated = 100;
         let without = core_energy(&s, ActiveUnits::default(), &p);
-        let with = core_energy(&s, ActiveUnits { constable: true, eves: false }, &p);
+        let with = core_energy(
+            &s,
+            ActiveUnits {
+                constable: true,
+                eves: false,
+            },
+            &p,
+        );
         assert!(with.ooo_rat > without.ooo_rat);
         assert!(with.meu_l1d > without.meu_l1d);
     }

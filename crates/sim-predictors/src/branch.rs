@@ -107,7 +107,11 @@ impl Tage {
                 let tag = self.tag(pc, t);
                 let e = &mut self.tables[t][idx];
                 if e.useful == 0 {
-                    *e = TageEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 };
+                    *e = TageEntry {
+                        tag,
+                        ctr: if taken { 0 } else { -1 },
+                        useful: 0,
+                    };
                     allocated = true;
                     break;
                 }

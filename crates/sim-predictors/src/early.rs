@@ -26,7 +26,11 @@ impl Elar {
     /// Creates a tracker; registers become valid after their first write
     /// observed in the folded form (or a sync).
     pub fn new() -> Self {
-        Elar { rsp_valid: true, rbp_valid: true, resolved: 0 }
+        Elar {
+            rsp_valid: true,
+            rbp_valid: true,
+            resolved: 0,
+        }
     }
 
     /// Observes a writeback to `reg` at rename. `folded` means the renamer
@@ -93,7 +97,11 @@ const RFP_CONF_USE: u8 = 3;
 impl Rfp {
     /// Creates the predictor with a 2K-entry table.
     pub fn new() -> Self {
-        Rfp { entries: vec![RfpEntry::default(); 1 << 11], issued: 0, correct: 0 }
+        Rfp {
+            entries: vec![RfpEntry::default(); 1 << 11],
+            issued: 0,
+            correct: 0,
+        }
     }
 
     fn idx(&self, pc: u64) -> usize {
@@ -134,7 +142,12 @@ impl Rfp {
             }
             e.last_addr = addr;
         } else {
-            *e = RfpEntry { tag: (pc >> 2) as u32, last_addr: addr, stride: 0, conf: 0 };
+            *e = RfpEntry {
+                tag: (pc >> 2) as u32,
+                last_addr: addr,
+                stride: 0,
+                conf: 0,
+            };
         }
         was_correct
     }

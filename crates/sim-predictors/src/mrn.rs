@@ -77,15 +77,20 @@ impl Mrn {
                 }
             }
         } else {
-            *e = PairEntry { load_tag: (load_pc >> 2) as u32, store_pc: writer, conf: 1 };
+            *e = PairEntry {
+                load_tag: (load_pc >> 2) as u32,
+                store_pc: writer,
+                conf: 1,
+            };
         }
     }
 
     /// Predicts the producer store for the load at `load_pc`, if confident.
     pub fn predict(&self, load_pc: u64) -> Option<MrnPrediction> {
         let e = &self.pairs[self.idx(load_pc)];
-        (e.load_tag == (load_pc >> 2) as u32 && e.conf >= CONF_USE)
-            .then_some(MrnPrediction { store_pc: e.store_pc })
+        (e.load_tag == (load_pc >> 2) as u32 && e.conf >= CONF_USE).then_some(MrnPrediction {
+            store_pc: e.store_pc,
+        })
     }
 }
 

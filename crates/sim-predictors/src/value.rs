@@ -107,7 +107,10 @@ impl Eves {
         for t in (0..VTAGE_TABLES).rev() {
             let e = &self.vtage[t][self.vidx(pc, history, t)];
             if e.tag == Self::vtag(pc, t) && e.conf >= VTAGE_CONF_USE {
-                return Some(ValuePrediction { value: e.value, component: VpComponent::EVtage });
+                return Some(ValuePrediction {
+                    value: e.value,
+                    component: VpComponent::EVtage,
+                });
             }
         }
         let idx = self.sidx(pc);
@@ -116,7 +119,10 @@ impl Eves {
             let v = e
                 .last_value
                 .wrapping_add((e.stride.wrapping_mul(i64::from(inflight) + 1)) as u64);
-            return Some(ValuePrediction { value: v, component: VpComponent::EStride });
+            return Some(ValuePrediction {
+                value: v,
+                component: VpComponent::EStride,
+            });
         }
         None
     }
@@ -159,7 +165,12 @@ impl Eves {
             }
             e.last_value = value;
         } else if e.conf == 0 {
-            *e = StrideEntry { tag: (pc >> 2) as u32, last_value: value, stride: 0, conf: 0 };
+            *e = StrideEntry {
+                tag: (pc >> 2) as u32,
+                last_value: value,
+                stride: 0,
+                conf: 0,
+            };
         } else {
             e.conf -= 1;
         }
@@ -190,7 +201,12 @@ impl Eves {
                 let idx = self.vidx(pc, history, t);
                 let e = &mut self.vtage[t][idx];
                 if e.useful == 0 {
-                    *e = VtageEntry { tag: Self::vtag(pc, t), value, conf: 1, useful: 0 };
+                    *e = VtageEntry {
+                        tag: Self::vtag(pc, t),
+                        value,
+                        conf: 1,
+                        useful: 0,
+                    };
                     break;
                 }
                 e.useful -= 1;
@@ -215,7 +231,9 @@ mod tests {
         for _ in 0..32 {
             e.train(0x400, 0, 0x5eed);
         }
-        let p = e.predict(0x400, 0, 0).expect("constant value must be predicted");
+        let p = e
+            .predict(0x400, 0, 0)
+            .expect("constant value must be predicted");
         assert_eq!(p.value, 0x5eed);
     }
 
@@ -227,7 +245,9 @@ mod tests {
         for i in 0..64u64 {
             e.train(0x800, 0, 100 + i * 8);
         }
-        let p = e.predict(0x800, 0, 0).expect("strided value must be predicted");
+        let p = e
+            .predict(0x800, 0, 0)
+            .expect("strided value must be predicted");
         assert_eq!(p.value, 100 + 64 * 8);
     }
 
@@ -247,10 +267,15 @@ mod tests {
         let mut e = Eves::new();
         let mut x = 9u64;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             e.train(0xc00, 0, x);
         }
-        assert!(e.predict(0xc00, 0, 0).is_none(), "random values must stay unconfident");
+        assert!(
+            e.predict(0xc00, 0, 0).is_none(),
+            "random values must stay unconfident"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 /// assert_eq!(h.bucket_counts(), &[1, 1, 0, 1]);
 /// assert_eq!(h.total(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Exclusive upper bounds of each bucket; one overflow bucket follows.
     bounds: Vec<u64>,
@@ -100,7 +100,10 @@ impl Histogram {
     /// # Panics
     /// Panics if the bucket bounds differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bounds, other.bounds, "cannot merge mismatched histograms");
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge mismatched histograms"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

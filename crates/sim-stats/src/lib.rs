@@ -23,7 +23,7 @@ pub use table::{pct, speedup, Table};
 /// c.inc();
 /// assert_eq!(c.get(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {

@@ -30,7 +30,7 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 /// Five-number box-and-whiskers summary with mean, in the paper's convention
 /// (Fig 9, Fig 18, Fig 21): box bounded by the first/third quartiles,
 /// whiskers extend to the furthest sample within 1.5×IQR, mean cross-marked.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoxStats {
     pub min: f64,
     pub whisker_lo: f64,

@@ -316,7 +316,7 @@ fn emit_hash_probe(ctx: &mut KernelCtx<'_>) -> Label {
     b.alui(AluOp::Shr, R::R10, R::R10, 17);
     b.alui(AluOp::And, R::R10, R::R10, (len - 1) as i64);
     b.load(R::R11, MemRef::base_index(R::R8, R::R10, 8, 0)); // random probe
-    // Second probe to the adjacent bucket (open addressing).
+                                                             // Second probe to the adjacent bucket (open addressing).
     b.alui(AluOp::Add, R::R10, R::R10, 1);
     b.alui(AluOp::And, R::R10, R::R10, (len - 1) as i64);
     b.load(R::R12, MemRef::base_index(R::R8, R::R10, 8, 0));
@@ -502,7 +502,10 @@ mod tests {
         let mut b = ProgramBuilder::new("kernel-test");
         let mut rng = SmallRng::seed_from_u64(7);
         let f = {
-            let mut ctx = KernelCtx { b: &mut b, rng: &mut rng };
+            let mut ctx = KernelCtx {
+                b: &mut b,
+                rng: &mut rng,
+            };
             emit_kernel(kind, &mut ctx)
         };
         b.set_entry();
@@ -574,6 +577,9 @@ mod tests {
                 values.insert(rec.mem.unwrap().value);
             }
         }
-        assert!(values.len() > 2, "churn kernel must produce changing values");
+        assert!(
+            values.len() > 2,
+            "churn kernel must produce changing values"
+        );
     }
 }

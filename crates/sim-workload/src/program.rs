@@ -181,7 +181,7 @@ impl ProgramBuilder {
     pub fn alloc_region(&mut self, len: u64) -> u64 {
         let addr = self.next_data;
         // Pad to cacheline so regions don't share lines by accident.
-        self.next_data += (len * 8 + 63) / 64 * 64;
+        self.next_data += (len * 8).div_ceil(64) * 64;
         addr
     }
 
@@ -285,14 +285,20 @@ impl ProgramBuilder {
     pub fn jmp(&mut self, label: Label) -> u32 {
         let idx = self.here();
         self.fixups.push((idx as usize, label));
-        self.push(StaticInst::new(idx, OpKind::Branch(BranchKind::Jump { target: 0 })))
+        self.push(StaticInst::new(
+            idx,
+            OpKind::Branch(BranchKind::Jump { target: 0 }),
+        ))
     }
 
     /// Emits a direct call.
     pub fn call(&mut self, label: Label) -> u32 {
         let idx = self.here();
         self.fixups.push((idx as usize, label));
-        self.push(StaticInst::new(idx, OpKind::Branch(BranchKind::Call { target: 0 })))
+        self.push(StaticInst::new(
+            idx,
+            OpKind::Branch(BranchKind::Call { target: 0 }),
+        ))
     }
 
     /// Emits a return.

@@ -65,12 +65,7 @@ impl Category {
                 (Churn, 1),
                 (PtrChase, 1),
             ],
-            Category::Fspec17 => vec![
-                (Matrix, 4),
-                (Stream, 4),
-                (InlinedArgs, 1),
-                (GlobalConst, 1),
-            ],
+            Category::Fspec17 => vec![(Matrix, 4), (Stream, 4), (InlinedArgs, 1), (GlobalConst, 1)],
             Category::Ispec17 => vec![
                 (Branchy, 2),
                 (PtrChase, 2),
@@ -150,7 +145,10 @@ impl WorkloadSpec {
             let instances = 1 + (weight > 2) as u32;
             let mut labels = Vec::new();
             for _ in 0..instances {
-                let mut ctx = KernelCtx { b: &mut b, rng: &mut rng };
+                let mut ctx = KernelCtx {
+                    b: &mut b,
+                    rng: &mut rng,
+                };
                 labels.push(emit_kernel(kind, &mut ctx));
             }
             for c in 0..weight {

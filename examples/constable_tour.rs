@@ -75,7 +75,10 @@ fn main() {
     for _ in 0..40 {
         c.on_load_writeback(0x40_1000, &reg_mem, 0x7000, 5, false, st);
     }
-    assert_eq!(c.rename_load(0x40_1000, &reg_mem, st), LoadRename::LikelyStable);
+    assert_eq!(
+        c.rename_load(0x40_1000, &reg_mem, st),
+        LoadRename::LikelyStable
+    );
     c.on_load_writeback(0x40_1000, &reg_mem, 0x7000, 5, true, st);
     c.on_dest_write(ArchReg::R8, false); // someone writes r8
     assert!(!c.armed(0x40_1000));

@@ -1,0 +1,349 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! small replacement implementing the subset the `bench` crate uses:
+//! [`Criterion`], [`Bencher::iter`], benchmark groups with [`Throughput`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark runs a calibrated warm-up, then `sample_size` timed
+//! samples; the harness prints min/median/max per-iteration times (and
+//! element throughput when configured) and writes every result as JSON to
+//! `target/criterion-shim/<report>.json` so snapshots can be committed.
+//!
+//! Environment knobs:
+//! * `CRITERION_SHIM_QUICK=1` — 3 samples, short warm-up (CI smoke).
+//! * `CRITERION_SHIM_OUT=<path>` — override the JSON report path.
+//! * `cargo bench -- <substring>` — run only matching benchmark names.
+
+use std::time::{Duration, Instant};
+
+/// Units the per-iteration throughput is expressed in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub ns_per_iter_min: f64,
+    pub ns_per_iter_median: f64,
+    pub ns_per_iter_max: f64,
+    /// Elements (or bytes) per second, when a throughput was configured.
+    pub throughput_per_sec: Option<f64>,
+    pub iterations: u64,
+}
+
+/// The harness. Mirrors `criterion::Criterion`'s builder surface.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var_os("CRITERION_SHIM_QUICK").is_some();
+        // `cargo bench -- foo` passes `foo` through; ignore flag-like args
+        // (`--bench`, harness selectors) and take the first plain word.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: if quick { 3 } else { 10 },
+            warm_up_time: Duration::from_millis(if quick { 20 } else { 300 }),
+            measurement_time: Duration::from_millis(if quick { 100 } else { 2000 }),
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        if std::env::var_os("CRITERION_SHIM_QUICK").is_none() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        if std::env::var_os("CRITERION_SHIM_QUICK").is_none() {
+            self.warm_up_time = d;
+        }
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        if std::env::var_os("CRITERION_SHIM_QUICK").is_none() {
+            self.measurement_time = d;
+        }
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_named(name, None, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside share a throughput setting.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// All results measured so far (used by the report writer).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_named<F>(&mut self, name: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns_per_iter: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut b);
+        let mut samples = b.samples_ns_per_iter;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = samples[samples.len() / 2];
+        let per_iter_units = match throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n as f64),
+            None => None,
+        };
+        let result = BenchResult {
+            name: name.to_string(),
+            ns_per_iter_min: samples[0],
+            ns_per_iter_median: median,
+            ns_per_iter_max: *samples.last().expect("non-empty"),
+            throughput_per_sec: per_iter_units.map(|n| n * 1e9 / median),
+            iterations: b.iterations,
+        };
+        match result.throughput_per_sec {
+            Some(tp) => println!(
+                "{:<44} time: [{} {} {}]  thrpt: {}/s",
+                result.name,
+                fmt_ns(result.ns_per_iter_min),
+                fmt_ns(result.ns_per_iter_median),
+                fmt_ns(result.ns_per_iter_max),
+                fmt_count(tp),
+            ),
+            None => println!(
+                "{:<44} time: [{} {} {}]",
+                result.name,
+                fmt_ns(result.ns_per_iter_min),
+                fmt_ns(result.ns_per_iter_median),
+                fmt_ns(result.ns_per_iter_max),
+            ),
+        }
+        self.results.push(result);
+    }
+
+    /// Writes all results as a JSON array. Called by `criterion_main!`.
+    pub fn write_report(&self, default_name: &str) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = std::env::var("CRITERION_SHIM_OUT")
+            .unwrap_or_else(|_| format!("target/criterion-shim/{default_name}.json"));
+        let path = std::path::PathBuf::from(path);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let tp = r
+                .throughput_per_sec
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "null".into());
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"ns_per_iter\": {{\"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}}}, \"throughput_per_sec\": {}, \"iterations\": {}}}{}\n",
+                r.name,
+                r.ns_per_iter_min,
+                r.ns_per_iter_median,
+                r.ns_per_iter_max,
+                tp,
+                r.iterations,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("]\n");
+        if std::fs::write(&path, out).is_ok() {
+            println!("\nreport: {}", path.display());
+        }
+    }
+}
+
+/// A benchmark group sharing a throughput annotation (mirrors criterion).
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        self.c.run_named(&full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating the iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let per_sample_budget_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((per_sample_budget_ns / est_ns) as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns_per_iter.push(ns);
+            self.iterations += iters_per_sample;
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Mirrors `criterion_group!`: both the `name =/config =/targets =` form and
+/// the positional `(name, targets...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut c = $config;
+            $($target(&mut c);)+
+            c
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion_main!`: runs every group and writes the JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                let c = $group();
+                c.write_report(env!("CARGO_CRATE_NAME"));
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("CRITERION_SHIM_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].ns_per_iter_median >= 0.0);
+    }
+
+    #[test]
+    fn group_applies_throughput() {
+        std::env::set_var("CRITERION_SHIM_QUICK", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("x", |b| b.iter(|| std::hint::black_box(3 * 7)));
+            g.finish();
+        }
+        let r = &c.results()[0];
+        assert_eq!(r.name, "g/x");
+        assert!(r.throughput_per_sec.expect("throughput set") > 0.0);
+    }
+}

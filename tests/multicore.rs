@@ -33,7 +33,11 @@ impl MiniCore {
         let mem_ref = MemRef::rip(addr);
         let st = StackState::default();
         match self.cons.rename_load(pc, &mem_ref, st) {
-            LoadRename::Eliminated { addr: a, value: v, slot } => {
+            LoadRename::Eliminated {
+                addr: a,
+                value: v,
+                slot,
+            } => {
                 assert_eq!((a, v), (addr, value), "eliminated outcome must match");
                 self.cons.free_xprf(slot);
                 true
@@ -43,7 +47,9 @@ impl MiniCore {
                 self.cons.on_l1_evictions(&out.l1_evictions);
                 dir.on_read(self.id, line_addr(addr));
                 let likely = decision == LoadRename::LikelyStable;
-                let pin = self.cons.on_load_writeback(pc, &mem_ref, addr, value, likely, st);
+                let pin = self
+                    .cons
+                    .on_load_writeback(pc, &mem_ref, addr, value, likely, st);
                 if pin {
                     dir.pin(self.id, line_addr(addr));
                 }
@@ -53,13 +59,7 @@ impl MiniCore {
     }
 
     /// Executes a store on this core, delivering snoops to `others`.
-    fn do_store(
-        &mut self,
-        dir: &mut Directory,
-        others: &mut [&mut MiniCore],
-        addr: u64,
-        now: u64,
-    ) {
+    fn do_store(&mut self, dir: &mut Directory, others: &mut [&mut MiniCore], addr: u64, now: u64) {
         self.cons.on_store_addr(addr);
         self.mem.store_commit(addr, now);
         for snoop in dir.on_write(self.id, line_addr(addr)) {
@@ -100,7 +100,10 @@ fn remote_store_disarms_via_directory_snoop() {
     // Core 0 relearns and re-arms (confidence survived).
     let was_eliminated = c0.do_load(&mut dir, PC, ADDR, 7, 200);
     assert!(!was_eliminated, "first instance after snoop executes");
-    assert!(c0.do_load(&mut dir, PC, ADDR, 7, 201), "then elimination resumes");
+    assert!(
+        c0.do_load(&mut dir, PC, ADDR, 7, 201),
+        "then elimination resumes"
+    );
 }
 
 #[test]
@@ -136,7 +139,10 @@ fn unpinned_line_loses_snoop_after_eviction() {
     dir.on_read(0, line_addr(ADDR));
     dir.on_evict(0, line_addr(ADDR));
     let snoops = dir.on_write(1, line_addr(ADDR));
-    assert!(snoops.is_empty(), "no CV bit, no snoop — hence Constable must pin");
+    assert!(
+        snoops.is_empty(),
+        "no CV bit, no snoop — hence Constable must pin"
+    );
 }
 
 #[test]
@@ -157,9 +163,16 @@ fn four_core_sharing_pattern() {
     let mut others: Vec<&mut MiniCore> = rest.iter_mut().collect();
     w.do_store(&mut dir, &mut others, ADDR, 1000);
     for core in rest.iter() {
-        assert!(!core.cons.armed(PC + core.id as u64), "core {} still armed", core.id);
+        assert!(
+            !core.cons.armed(PC + core.id as u64),
+            "core {} still armed",
+            core.id
+        );
         assert_eq!(core.cons.stats().resets_snoop, 1);
     }
-    assert!(!w.cons.armed(PC + 3), "the writer disarms via its own store probe");
+    assert!(
+        !w.cons.armed(PC + 3),
+        "the writer disarms via its own store probe"
+    );
     assert_eq!(w.cons.stats().resets_store, 1);
 }
