@@ -29,6 +29,12 @@ if [[ "${1:-}" != "--fast" ]]; then
     # event-vs-legacy comparison end to end (3 samples, short warm-up).
     step "bench smoke (scheduler)"
     CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench scheduler
+
+    # Sweep-engine smoke: asserts memoized figure text is byte-identical to
+    # the uncached run_suite path, then times the multi-figure sweep both
+    # ways (the ≥2.5× criterion is checked on the full run, not the smoke).
+    step "bench smoke (sweep)"
+    CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench sweep
 fi
 
 step "OK"

@@ -6,7 +6,7 @@
 //! produced so `cargo bench` output doubles as a miniature reproduction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::{run_figure, RunLength};
+use experiments::{run_figure, RunLength, SweepSession};
 use std::time::Duration;
 
 /// Tiny run length so every bench iteration terminates quickly.
@@ -18,7 +18,10 @@ fn bench_figure(c: &mut Criterion, id: &'static str) {
     let mut shown = false;
     c.bench_function(&format!("figure/{id}"), |b| {
         b.iter(|| {
-            let out = run_figure(id, &specs, BENCH_LEN);
+            // Fresh session per iteration: this measures one figure's true
+            // cost (cross-figure memoization is bench/sweep's subject).
+            let session = SweepSession::new(&specs, BENCH_LEN);
+            let out = run_figure(id, &session);
             if !shown {
                 println!("\n{out}");
                 shown = true;
@@ -57,7 +60,8 @@ fn figures(c: &mut Criterion) {
         let mut shown = false;
         c.bench_function(&format!("figure/{id}"), |b| {
             b.iter(|| {
-                let out = run_figure(id, &specs, RunLength(5_000));
+                let session = SweepSession::new(&specs, RunLength(5_000));
+                let out = run_figure(id, &session);
                 if !shown {
                     println!("\n{out}");
                     shown = true;

@@ -9,7 +9,7 @@ use sim_isa::AddrMode;
 /// with 16-deep PC lists for the stack registers and 8-deep for the rest, a
 /// 256-entry AMT (32 sets × 8 ways, 4 load PCs per entry) indexed at
 /// cacheline granularity, a 32-entry xPRF, and CV-bit pinning enabled.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConstableConfig {
     /// SLD sets × ways (512 entries in the paper).
     pub sld_sets: usize,

@@ -37,8 +37,22 @@ impl IdealOracle {
     }
 }
 
+/// Content hash, independent of the set's internal iteration order, so two
+/// oracles built from the same PC set hash identically. Feeds
+/// `CoreConfig::fingerprint` (run-memoization keys in the sweep harness).
+impl std::hash::Hash for IdealOracle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut pcs: Vec<u64> = self.stable.iter().copied().collect();
+        pcs.sort_unstable();
+        state.write_usize(pcs.len());
+        for pc in pcs {
+            state.write_u64(pc);
+        }
+    }
+}
+
 /// The four headroom configurations of Fig 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IdealConfig {
     /// Perfect value prediction of global-stable loads; the loads still
     /// execute fully (address generation + data fetch) to verify.
@@ -55,6 +69,21 @@ pub enum IdealConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn oracle_hash_is_insertion_order_independent() {
+        use std::hash::{Hash, Hasher};
+        let h = |o: &IdealOracle| {
+            let mut s = std::collections::hash_map::DefaultHasher::new();
+            o.hash(&mut s);
+            s.finish()
+        };
+        let a = IdealOracle::new([0x400, 0x404, 0x5000]);
+        let b = IdealOracle::new([0x5000, 0x400, 0x404]);
+        assert_eq!(h(&a), h(&b));
+        let c = IdealOracle::new([0x400, 0x404]);
+        assert_ne!(h(&a), h(&c));
+    }
 
     #[test]
     fn oracle_membership() {

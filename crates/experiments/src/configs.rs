@@ -183,6 +183,48 @@ mod tests {
         assert_eq!(labels.len(), kinds.len());
     }
 
+    /// Every machine the evaluation distinguishes must map to a distinct
+    /// `CoreConfig::fingerprint` — the sweep engine memoizes runs on it, so
+    /// a collision here would silently alias two machines' results.
+    #[test]
+    fn machine_fingerprints_are_unique() {
+        let kinds = [
+            MachineKind::Baseline,
+            MachineKind::Eves,
+            MachineKind::Constable,
+            MachineKind::EvesConstable,
+            MachineKind::EvesIdealConstable,
+            MachineKind::IdealStableLvp,
+            MachineKind::IdealStableLvpNoFetch,
+            MachineKind::DoubleLoadWidth,
+            MachineKind::IdealConstable,
+            MachineKind::Elar,
+            MachineKind::Rfp,
+            MachineKind::ElarConstable,
+            MachineKind::RfpConstable,
+            MachineKind::ConstableAmtI,
+            MachineKind::ConstableFullAddrAmt,
+            MachineKind::ConstableOnly(AddrMode::PcRelative),
+            MachineKind::ConstableOnly(AddrMode::StackRelative),
+            MachineKind::ConstableOnly(AddrMode::RegRelative),
+            MachineKind::ConstableCorrectPathOnly,
+        ];
+        let o = IdealOracle::new([0x400u64, 0x404]);
+        let mut fps: Vec<u64> = kinds
+            .iter()
+            .map(|k| k.config(o.clone()).fingerprint())
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), kinds.len(), "machine fingerprint collision");
+        // The same machine with vs without the oracle is also distinct.
+        let with = MachineKind::Constable.config(o).fingerprint();
+        let without = MachineKind::Constable
+            .config(IdealOracle::default())
+            .fingerprint();
+        assert_ne!(with, without);
+    }
+
     #[test]
     fn config_toggles_are_consistent() {
         let o = IdealOracle::default();

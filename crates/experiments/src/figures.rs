@@ -3,20 +3,21 @@
 //! Every function renders the same rows/series the paper reports, so the
 //! output can be laid side by side with the publication. `EXPERIMENTS.md`
 //! records paper-vs-measured for each.
+//!
+//! All simulations are drawn from the figure's [`SweepSession`]: programs,
+//! load-inspector reports, and completed runs are memoized there, so
+//! figures sharing a configuration (most share at least the Baseline
+//! suite) pay for it once per CLI invocation, and each figure's whole
+//! (workload × config) matrix executes as one flat job list on the
+//! session's persistent pool.
 
 use crate::configs::MachineKind;
-use crate::runner::{
-    category_speedups, geomean_speedup, run_suite, run_suite_smt2, RunLength, RunOutcome,
-};
+use crate::runner::{category_speedups, geomean_speedup, RunOutcome};
+use crate::sweep::{BatchJob, SweepSession};
+use sim_core::{Core, SimScratch};
 use sim_isa::AddrMode;
 use sim_stats::{geomean, pct, speedup, BoxStats, Table};
-use sim_workload::{Category, WorkloadSpec};
-
-fn suite_run(specs: &[WorkloadSpec], n: RunLength, kind: MachineKind) -> Vec<RunOutcome> {
-    run_suite(specs, n, kind.needs_oracle(), |_, oracle| {
-        kind.config(oracle)
-    })
-}
+use sim_workload::Category;
 
 fn per_category(specs: &[RunOutcome], cat: Category) -> impl Iterator<Item = &RunOutcome> {
     specs.iter().filter(move |r| r.category == cat)
@@ -24,12 +25,13 @@ fn per_category(specs: &[RunOutcome], cat: Category) -> impl Iterator<Item = &Ru
 
 /// Fig 3: global-stable load fraction, addressing-mode breakdown, and
 /// inter-occurrence distance distribution.
-pub fn fig3(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let reports: Vec<(Category, load_inspector::LoadReport)> =
-        crate::runner::drive_plain(specs.len(), |i| {
-            let p = specs[i].build();
-            (specs[i].category, load_inspector::analyze(&p, n.0))
-        });
+pub fn fig3(session: &SweepSession<'_>) -> String {
+    let reports: Vec<(Category, std::sync::Arc<load_inspector::LoadReport>)> = session
+        .specs()
+        .iter()
+        .map(|s| s.category)
+        .zip(session.reports())
+        .collect();
 
     let mut text = String::from("Fig 3(a): fraction of dynamic loads that are global-stable\n");
     let mut t = Table::new(["category", "global-stable loads"]);
@@ -116,9 +118,9 @@ pub fn fig3(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 6: load-port utilization and its attribution to global-stable loads.
-pub fn fig6(specs: &[WorkloadSpec], n: RunLength) -> String {
+pub fn fig6(session: &SweepSession<'_>) -> String {
     // Baseline + EVES, with the oracle attached for attribution (§4.3).
-    let runs = run_suite(specs, n, true, |_, oracle| {
+    let runs = session.suite_with(true, |_, oracle| {
         let mut c = MachineKind::Eves.config(oracle);
         c.track_per_pc = false;
         c
@@ -166,14 +168,17 @@ pub fn fig6(specs: &[WorkloadSpec], n: RunLength) -> String {
 
 /// Fig 7: performance headroom of Ideal Constable vs Ideal Stable LVP,
 /// Ideal Stable LVP + data-fetch elimination, and 2× load execution width.
-pub fn fig7(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
-    let kinds = [
+pub fn fig7(session: &SweepSession<'_>) -> String {
+    // One flat batch: baseline + all four headroom machines.
+    let mut all = session.suites(&[
+        MachineKind::Baseline,
         MachineKind::IdealStableLvp,
         MachineKind::IdealStableLvpNoFetch,
         MachineKind::DoubleLoadWidth,
         MachineKind::IdealConstable,
-    ];
+    ]);
+    let base = all.remove(0);
+    let results = all;
     let mut text = String::from("Fig 7: speedup over baseline (oracle headroom study)\n");
     let mut t = Table::new([
         "category",
@@ -182,7 +187,6 @@ pub fn fig7(specs: &[WorkloadSpec], n: RunLength) -> String {
         "2x load width",
         "Ideal Constable",
     ]);
-    let results: Vec<Vec<RunOutcome>> = kinds.iter().map(|k| suite_run(specs, n, *k)).collect();
     for cat in Category::ALL {
         let mut cells = vec![cat.label().to_string()];
         for res in &results {
@@ -206,8 +210,8 @@ pub fn fig7(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 9a: SLD updates per cycle during rename.
-pub fn fig9a(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let runs = suite_run(specs, n, MachineKind::Constable);
+pub fn fig9a(session: &SweepSession<'_>) -> String {
+    let runs = session.suite(MachineKind::Constable);
     let mut text = String::from("Fig 9(a): SLD updates per cycle (rename stage)\n");
     let mut t = Table::new(["category", "mean updates/cycle", "cycles with <=2 updates"]);
     let mut means = Vec::new();
@@ -244,9 +248,13 @@ pub fn fig9a(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 9b: performance delta of correct-path-only structure updates.
-pub fn fig9b(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let all_paths = suite_run(specs, n, MachineKind::Constable);
-    let correct_only = suite_run(specs, n, MachineKind::ConstableCorrectPathOnly);
+pub fn fig9b(session: &SweepSession<'_>) -> String {
+    let mut all = session.suites(&[
+        MachineKind::Constable,
+        MachineKind::ConstableCorrectPathOnly,
+    ]);
+    let all_paths = all.remove(0);
+    let correct_only = all.remove(0);
     let deltas: Vec<f64> = correct_only
         .iter()
         .zip(&all_paths)
@@ -269,14 +277,16 @@ pub fn fig9b(specs: &[WorkloadSpec], n: RunLength) -> String {
 
 /// Fig 11: noSMT speedups of EVES, Constable, EVES+Constable, and
 /// EVES+Ideal Constable over the baseline.
-pub fn fig11(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
-    let kinds = [
+pub fn fig11(session: &SweepSession<'_>) -> String {
+    let mut all = session.suites(&[
+        MachineKind::Baseline,
         MachineKind::Eves,
         MachineKind::Constable,
         MachineKind::EvesConstable,
         MachineKind::EvesIdealConstable,
-    ];
+    ]);
+    let base = all.remove(0);
+    let results = all;
     let mut text = String::from("Fig 11: speedup over the baseline (noSMT)\n");
     let mut t = Table::new([
         "category",
@@ -285,7 +295,6 @@ pub fn fig11(specs: &[WorkloadSpec], n: RunLength) -> String {
         "EVES+Constable",
         "EVES+IdealC",
     ]);
-    let results: Vec<Vec<RunOutcome>> = kinds.iter().map(|k| suite_run(specs, n, *k)).collect();
     for cat in Category::ALL {
         let mut cells = vec![cat.label().to_string()];
         for res in &results {
@@ -309,11 +318,17 @@ pub fn fig11(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 12: per-workload speedup line graph (printed sorted by EVES gain).
-pub fn fig12(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
-    let eves = suite_run(specs, n, MachineKind::Eves);
-    let cons = suite_run(specs, n, MachineKind::Constable);
-    let both = suite_run(specs, n, MachineKind::EvesConstable);
+pub fn fig12(session: &SweepSession<'_>) -> String {
+    let mut all = session.suites(&[
+        MachineKind::Baseline,
+        MachineKind::Eves,
+        MachineKind::Constable,
+        MachineKind::EvesConstable,
+    ]);
+    let base = all.remove(0);
+    let eves = all.remove(0);
+    let cons = all.remove(0);
+    let both = all.remove(0);
     let mut rows: Vec<(String, f64, f64, f64)> = base
         .iter()
         .zip(&eves)
@@ -350,29 +365,33 @@ pub fn fig12(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 13: Constable restricted to one addressing mode at a time.
-pub fn fig13(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
+pub fn fig13(session: &SweepSession<'_>) -> String {
     let kinds = [
         MachineKind::ConstableOnly(AddrMode::PcRelative),
         MachineKind::ConstableOnly(AddrMode::StackRelative),
         MachineKind::ConstableOnly(AddrMode::RegRelative),
         MachineKind::Constable,
     ];
+    let mut all = session.suites(&[
+        MachineKind::Baseline,
+        kinds[0],
+        kinds[1],
+        kinds[2],
+        kinds[3],
+    ]);
+    let base = all.remove(0);
     let mut text = String::from("Fig 13: speedup eliminating only one class of loads\n");
     let mut t = Table::new(["config", "geomean speedup"]);
-    for k in kinds {
-        let res = suite_run(specs, n, k);
-        t.row([k.label(), speedup(geomean_speedup(&base, &res))]);
+    for (k, res) in kinds.iter().zip(&all) {
+        t.row([k.label(), speedup(geomean_speedup(&base, res))]);
     }
     text.push_str(&t.render());
     text
 }
 
 /// Fig 14: SMT2 speedups of EVES, Constable, and EVES+Constable.
-pub fn fig14(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = run_suite_smt2(specs, n, |_| {
-        MachineKind::Baseline.config(Default::default())
-    });
+pub fn fig14(session: &SweepSession<'_>) -> String {
+    let base = session.suite_smt2(|_| MachineKind::Baseline.config(Default::default()));
     let kinds = [
         MachineKind::Eves,
         MachineKind::Constable,
@@ -381,7 +400,7 @@ pub fn fig14(specs: &[WorkloadSpec], n: RunLength) -> String {
     let mut text = String::from("Fig 14: speedup over the baseline (SMT2, throughput)\n");
     let mut t = Table::new(["config", "geomean speedup"]);
     for k in kinds {
-        let res = run_suite_smt2(specs, n, |_| k.config(Default::default()));
+        let res = session.suite_smt2(|_| k.config(Default::default()));
         t.row([k.label(), speedup(geomean_speedup(&base, &res))]);
     }
     text.push_str(&t.render());
@@ -389,8 +408,7 @@ pub fn fig14(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 15: Constable vs ELAR and RFP, standalone and combined.
-pub fn fig15(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
+pub fn fig15(session: &SweepSession<'_>) -> String {
     let kinds = [
         MachineKind::Elar,
         MachineKind::Rfp,
@@ -398,29 +416,37 @@ pub fn fig15(specs: &[WorkloadSpec], n: RunLength) -> String {
         MachineKind::ElarConstable,
         MachineKind::RfpConstable,
     ];
+    let mut all = session.suites(&[
+        MachineKind::Baseline,
+        kinds[0],
+        kinds[1],
+        kinds[2],
+        kinds[3],
+        kinds[4],
+    ]);
+    let base = all.remove(0);
     let mut text = String::from("Fig 15: speedup vs prior early-address works\n");
     let mut t = Table::new(["config", "geomean speedup"]);
-    for k in kinds {
-        let res = suite_run(specs, n, k);
-        t.row([k.label(), speedup(geomean_speedup(&base, &res))]);
+    for (k, res) in kinds.iter().zip(&all) {
+        t.row([k.label(), speedup(geomean_speedup(&base, res))]);
     }
     text.push_str(&t.render());
     text
 }
 
 /// Fig 16: load coverage of EVES vs Constable vs combinations.
-pub fn fig16(specs: &[WorkloadSpec], n: RunLength) -> String {
+pub fn fig16(session: &SweepSession<'_>) -> String {
     let kinds = [
         MachineKind::Eves,
         MachineKind::Constable,
         MachineKind::EvesConstable,
         MachineKind::EvesIdealConstable,
     ];
+    let all = session.suites(&kinds);
     let mut text =
         String::from("Fig 16: fraction of loads covered (eliminated or value-predicted)\n");
     let mut t = Table::new(["config", "coverage"]);
-    for k in kinds {
-        let res = suite_run(specs, n, k);
+    for (k, res) in kinds.iter().zip(&all) {
         let cov: Vec<f64> = res
             .iter()
             .map(|r| r.result.stats.combined_coverage())
@@ -433,20 +459,19 @@ pub fn fig16(specs: &[WorkloadSpec], n: RunLength) -> String {
 
 /// Fig 17: runtime elimination coverage of global-stable loads per
 /// addressing mode, plus loss attribution.
-pub fn fig17(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let runs = run_suite(specs, n, true, |_, oracle| {
+pub fn fig17(session: &SweepSession<'_>) -> String {
+    let runs = session.suite_with(true, |_, oracle| {
         let mut c = MachineKind::Constable.config(oracle);
         c.track_per_pc = true;
         c
     });
-    // Re-analyze to recover per-PC stability and modes.
+    // Per-PC stability and modes from the session's shared reports.
+    let reports = session.reports();
     let mut per_mode_elim = [0u64; 3];
     let mut per_mode_stable = [0u64; 3];
     let mut not_stable_elim = 0u64;
     let mut stable_total = 0u64;
-    for (r, spec) in runs.iter().zip(specs) {
-        let p = spec.build();
-        let report = load_inspector::analyze(&p, n.0);
+    for (r, report) in runs.iter().zip(&reports) {
         let detail: std::collections::HashMap<u64, (AddrMode, bool)> = report
             .pc_details
             .iter()
@@ -492,24 +517,46 @@ pub fn fig17(specs: &[WorkloadSpec], n: RunLength) -> String {
         "\nNot global-stable but eliminated (phase-stable): {} of global-stable volume\n",
         pct(not_stable_elim as f64 / tot)
     ));
-    // Loss attribution from the engine's reset-reason counters,
-    // re-derived from dedicated instrumented runs.
+    // Loss attribution from the engine's reset-reason counters, re-derived
+    // from dedicated instrumented runs — on the session pool, with
+    // worker-scratch reuse.
+    let take = session.specs().len().min(10);
+    let half = session.run_length().0 / 2;
+    let jobs: Vec<BatchJob<(u64, u64, u64, u64)>> = (0..take)
+        .map(|i| {
+            let program = session.program(i);
+            let job: BatchJob<(u64, u64, u64, u64)> = Box::new(move |scratch: &mut SimScratch| {
+                let s = std::mem::take(scratch);
+                let cfg = MachineKind::Constable.config(Default::default());
+                let mut core = Core::new_multi_with_scratch(vec![&program], cfg, s);
+                core.run(half);
+                let counts = core
+                    .constable()
+                    .map(|c| {
+                        let cs = c.stats();
+                        (
+                            cs.resets_reg_write,
+                            cs.resets_store,
+                            cs.resets_snoop,
+                            cs.resets_amt_conflict + cs.resets_rmt_conflict,
+                        )
+                    })
+                    .unwrap_or_default();
+                *scratch = core.into_scratch();
+                counts
+            });
+            job
+        })
+        .collect();
     let mut reg = 0u64;
     let mut store = 0u64;
     let mut snoop = 0u64;
     let mut other = 0u64;
-    for spec in specs.iter().take(specs.len().min(10)) {
-        let program = spec.build();
-        let mut core =
-            sim_core::Core::new(&program, MachineKind::Constable.config(Default::default()));
-        core.run(n.0 / 2);
-        if let Some(c) = core.constable() {
-            let cs = c.stats();
-            reg += cs.resets_reg_write;
-            store += cs.resets_store;
-            snoop += cs.resets_snoop;
-            other += cs.resets_amt_conflict + cs.resets_rmt_conflict;
-        }
+    for (r, s, sn, o) in session.run_batch(jobs) {
+        reg += r;
+        store += s;
+        snoop += sn;
+        other += o;
     }
     let total_resets = (reg + store + snoop + other).max(1) as f64;
     text.push_str(&format!(
@@ -523,9 +570,10 @@ pub fn fig17(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 18: reduction in RS allocations and L1-D accesses.
-pub fn fig18(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
-    let cons = suite_run(specs, n, MachineKind::Constable);
+pub fn fig18(session: &SweepSession<'_>) -> String {
+    let mut all = session.suites(&[MachineKind::Baseline, MachineKind::Constable]);
+    let base = all.remove(0);
+    let cons = all.remove(0);
     let rs_red: Vec<f64> = cons
         .iter()
         .zip(&base)
@@ -560,7 +608,7 @@ pub fn fig18(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 19: core dynamic power, normalized to the baseline.
-pub fn fig19(specs: &[WorkloadSpec], n: RunLength) -> String {
+pub fn fig19(session: &SweepSession<'_>) -> String {
     use sim_power::{core_energy, ActiveUnits, EnergyParams};
     let kinds = [
         (
@@ -606,14 +654,14 @@ pub fn fig19(specs: &[WorkloadSpec], n: RunLength) -> String {
         "MEU(DTLB)",
         "others",
     ]);
+    let machine_runs = session.suites(&[kinds[0].0, kinds[1].0, kinds[2].0, kinds[3].0]);
     let mut base_power: Option<f64> = None;
-    for (k, units) in kinds {
-        let res = suite_run(specs, n, k);
+    for ((k, units), res) in kinds.iter().zip(&machine_runs) {
         // Power = energy / time; average the per-workload power ratio.
         let mut totals = sim_power::PowerBreakdown::default();
         let mut watts = Vec::new();
-        for r in &res {
-            let e = core_energy(&r.result.stats, units, &p);
+        for r in res {
+            let e = core_energy(&r.result.stats, *units, &p);
             watts.push(e.watts(r.result.stats.cycles));
             totals.fe += e.fe;
             totals.ooo_rs += e.ooo_rs;
@@ -646,18 +694,18 @@ pub fn fig19(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 20a: sensitivity to load-execution-width scaling.
-pub fn fig20a(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
+pub fn fig20a(session: &SweepSession<'_>) -> String {
+    let base = session.suite(MachineKind::Baseline);
     let mut text =
         String::from("Fig 20(a): load execution width sweep (speedup vs 3-wide baseline)\n");
     let mut t = Table::new(["load width", "baseline system", "constable"]);
     for width in [3u32, 4, 5, 6] {
-        let b = run_suite(specs, n, false, |_, o| {
+        let b = session.suite_with(false, |_, o| {
             let mut c = MachineKind::Baseline.config(o);
             c.load_ports = width;
             c
         });
-        let c = run_suite(specs, n, false, |_, o| {
+        let c = session.suite_with(false, |_, o| {
             let mut c = MachineKind::Constable.config(o);
             c.load_ports = width;
             c
@@ -673,15 +721,15 @@ pub fn fig20a(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 20b: sensitivity to pipeline-depth scaling (ROB/RS/LB/SB).
-pub fn fig20b(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
+pub fn fig20b(session: &SweepSession<'_>) -> String {
+    let base = session.suite(MachineKind::Baseline);
     let mut text = String::from("Fig 20(b): pipeline depth sweep (speedup vs 1x baseline)\n");
     let mut t = Table::new(["depth scale", "baseline system", "constable"]);
     for scale in [1.0f64, 2.0, 3.0, 4.0] {
-        let b = run_suite(specs, n, false, |_, o| {
+        let b = session.suite_with(false, |_, o| {
             MachineKind::Baseline.config(o).with_depth_scale(scale)
         });
-        let c = run_suite(specs, n, false, |_, o| {
+        let c = session.suite_with(false, |_, o| {
             MachineKind::Constable.config(o).with_depth_scale(scale)
         });
         t.row([
@@ -696,9 +744,10 @@ pub fn fig20b(specs: &[WorkloadSpec], n: RunLength) -> String {
 
 /// Fig 21: memory-ordering violations by eliminated loads and the ROB
 /// allocation increase they cause.
-pub fn fig21(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
-    let cons = suite_run(specs, n, MachineKind::Constable);
+pub fn fig21(session: &SweepSession<'_>) -> String {
+    let mut all = session.suites(&[MachineKind::Baseline, MachineKind::Constable]);
+    let base = all.remove(0);
+    let cons = all.remove(0);
     let viol: Vec<f64> = cons
         .iter()
         .map(|c| {
@@ -733,10 +782,15 @@ pub fn fig21(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 22: Constable-AMT-I (invalidate on L1 eviction) vs CV-bit pinning.
-pub fn fig22(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
-    let vanilla = suite_run(specs, n, MachineKind::Constable);
-    let amti = suite_run(specs, n, MachineKind::ConstableAmtI);
+pub fn fig22(session: &SweepSession<'_>) -> String {
+    let mut all = session.suites(&[
+        MachineKind::Baseline,
+        MachineKind::Constable,
+        MachineKind::ConstableAmtI,
+    ]);
+    let base = all.remove(0);
+    let vanilla = all.remove(0);
+    let amti = all.remove(0);
     let cov = |runs: &[RunOutcome]| {
         let v: Vec<f64> = runs
             .iter()
@@ -761,7 +815,7 @@ pub fn fig22(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Figs 23–24: the APX (32 architectural registers) study.
-pub fn fig23_24(specs: &[WorkloadSpec], n: RunLength) -> String {
+pub fn fig23_24(session: &SweepSession<'_>) -> String {
     let mut text = String::from(
         "Fig 23: dynamic-load reduction and global-stable fraction without/with APX\n",
     );
@@ -789,11 +843,9 @@ pub fn fig23_24(specs: &[WorkloadSpec], n: RunLength) -> String {
     let mut stack_apx = Vec::new();
     let mut pc_base = Vec::new();
     let mut pc_apx = Vec::new();
-    for spec in specs {
-        let pb = spec.build();
-        let pa = spec.clone().with_apx(true).build();
-        let rb = load_inspector::analyze(&pb, n.0);
-        let ra = load_inspector::analyze(&pa, n.0);
+    let base_reports = session.reports();
+    let apx_reports = session.reports_apx();
+    for ((spec, rb), ra) in session.specs().iter().zip(&base_reports).zip(&apx_reports) {
         let red = 1.0 - ra.loads_per_kinst() / rb.loads_per_kinst().max(1e-9);
         reductions.push(red * 100.0);
         base_fracs.push(rb.stable_dynamic_frac());
@@ -886,10 +938,15 @@ pub fn table3() -> String {
 }
 
 /// §6.6: AMT granularity ablation (cacheline vs full address).
-pub fn amt_granularity(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
-    let line = suite_run(specs, n, MachineKind::Constable);
-    let full = suite_run(specs, n, MachineKind::ConstableFullAddrAmt);
+pub fn amt_granularity(session: &SweepSession<'_>) -> String {
+    let mut all = session.suites(&[
+        MachineKind::Baseline,
+        MachineKind::Constable,
+        MachineKind::ConstableFullAddrAmt,
+    ]);
+    let base = all.remove(0);
+    let line = all.remove(0);
+    let full = all.remove(0);
     let mut t = Table::new(["config", "geomean speedup"]);
     t.row([
         "Constable (cacheline AMT)",
@@ -907,20 +964,31 @@ pub fn amt_granularity(specs: &[WorkloadSpec], n: RunLength) -> String {
 
 /// §6.3: xPRF occupancy — how often elimination is forgone for lack of a
 /// free xPRF register.
-pub fn xprf(specs: &[WorkloadSpec], n: RunLength) -> String {
-    let mut rows = Vec::new();
-    for spec in specs.iter().take(10) {
-        let program = spec.build();
-        let mut core =
-            sim_core::Core::new(&program, MachineKind::Constable.config(Default::default()));
-        core.run(n.0);
-        if let Some(c) = core.constable() {
-            let s = c.stats();
-            let frac =
-                s.xprf_full_forgone as f64 / (s.eliminated + s.xprf_full_forgone).max(1) as f64;
-            rows.push((spec.name.clone(), frac));
-        }
-    }
+pub fn xprf(session: &SweepSession<'_>) -> String {
+    let take = session.specs().len().min(10);
+    let n = session.run_length().0;
+    let jobs: Vec<BatchJob<Option<(String, f64)>>> = (0..take)
+        .map(|i| {
+            let program = session.program(i);
+            let name = session.specs()[i].name.clone();
+            let job: BatchJob<Option<(String, f64)>> = Box::new(move |scratch: &mut SimScratch| {
+                let s = std::mem::take(scratch);
+                let cfg = MachineKind::Constable.config(Default::default());
+                let mut core = Core::new_multi_with_scratch(vec![&program], cfg, s);
+                core.run(n);
+                let row = core.constable().map(|c| {
+                    let s = c.stats();
+                    let frac = s.xprf_full_forgone as f64
+                        / (s.eliminated + s.xprf_full_forgone).max(1) as f64;
+                    (name, frac)
+                });
+                *scratch = core.into_scratch();
+                row
+            });
+            job
+        })
+        .collect();
+    let rows: Vec<(String, f64)> = session.run_batch(jobs).into_iter().flatten().collect();
     let fracs: Vec<f64> = rows.iter().map(|r| r.1).collect();
     let mut t = Table::new(["workload", "elims forgone (xPRF full)"]);
     for (name, f) in &rows {
@@ -935,7 +1003,7 @@ pub fn xprf(specs: &[WorkloadSpec], n: RunLength) -> String {
 
 /// §8.5-style verification: run the whole suite under the key configs and
 /// report the golden-check outcome.
-pub fn verify(specs: &[WorkloadSpec], n: RunLength) -> String {
+pub fn verify(session: &SweepSession<'_>) -> String {
     let mut text = String::from("Golden functional verification (every load checked at retire)\n");
     for kind in [
         MachineKind::Baseline,
@@ -944,7 +1012,7 @@ pub fn verify(specs: &[WorkloadSpec], n: RunLength) -> String {
         MachineKind::ConstableAmtI,
         MachineKind::ConstableFullAddrAmt,
     ] {
-        let runs = suite_run(specs, n, kind);
+        let runs = session.suite(kind);
         let mismatches: u64 = runs.iter().map(|r| r.result.stats.golden_mismatches).sum();
         let loads: u64 = runs.iter().map(|r| r.result.stats.retired_loads).sum();
         text.push_str(&format!(
@@ -961,9 +1029,10 @@ pub fn verify(specs: &[WorkloadSpec], n: RunLength) -> String {
 }
 
 /// Fig 11-style summary against Table: category speedups for one machine.
-pub fn summary(specs: &[WorkloadSpec], n: RunLength, kind: MachineKind) -> String {
-    let base = suite_run(specs, n, MachineKind::Baseline);
-    let res = suite_run(specs, n, kind);
+pub fn summary(session: &SweepSession<'_>, kind: MachineKind) -> String {
+    let mut all = session.suites(&[MachineKind::Baseline, kind]);
+    let base = all.remove(0);
+    let res = all.remove(0);
     let mut t = Table::new(["category", "geomean speedup"]);
     for (cat, sp) in category_speedups(&base, &res) {
         t.row([cat, speedup(sp)]);

@@ -12,15 +12,41 @@
 //!
 //! Every simulation in the harness asserts the §8.5 golden functional check
 //! (zero mismatches) — an incorrect run can never feed a figure.
+//!
+//! ## The sweep engine
+//!
+//! All figure runners draw their simulations from one [`SweepSession`]
+//! ([`sweep`]): a per-invocation cache of `Arc<Program>` builds,
+//! `load_inspector` reports, and completed [`RunOutcome`]s keyed by
+//! [`sim_core::CoreConfig::fingerprint`], executed on a persistent
+//! work-stealing pool that takes each figure's whole (workload × config)
+//! matrix as a single flat job list. Running several figures in one
+//! invocation (`all`, or `fig11 fig12 fig13`) therefore simulates the
+//! Baseline suite exactly once and shares every repeated configuration:
+//!
+//! ```no_run
+//! use experiments::{run_figure, RunLength, SweepSession};
+//!
+//! let specs = sim_workload::suite_subset(4);
+//! let session = SweepSession::new(&specs, RunLength::quick());
+//! let f11 = run_figure("fig11", &session); // runs Baseline + 4 machines
+//! let f12 = run_figure("fig12", &session); // reuses Baseline/EVES/… runs
+//! # let _ = (f11, f12);
+//! ```
+//!
+//! [`SweepSession::uncached`] produces the pre-memoization behavior (direct
+//! [`runner::run_suite`] calls, per-run program builds); both modes emit
+//! byte-identical figure text — asserted by `tests/sweep.rs` and measured
+//! by `cargo bench -p bench --bench sweep`.
 
 pub mod configs;
 pub mod figures;
 pub mod runner;
+pub mod sweep;
 
 pub use configs::MachineKind;
 pub use runner::{run_one, run_suite, run_suite_smt2, RunLength, RunOutcome};
-
-use sim_workload::WorkloadSpec;
+pub use sweep::{SweepPool, SweepSession};
 
 /// The figure ids the harness understands, with their runners.
 pub const FIGURES: &[&str] = &[
@@ -51,37 +77,39 @@ pub const FIGURES: &[&str] = &[
     "verify",
 ];
 
-/// Runs the figure named `id` over `specs` and returns its report.
+/// Runs the figure named `id` against `session` and returns its report.
+/// Figures run in the same session share programs, analyses, and memoized
+/// simulation outcomes.
 ///
 /// # Panics
 /// Panics on an unknown id (the binary validates first) or if any
 /// simulation fails its golden check.
-pub fn run_figure(id: &str, specs: &[WorkloadSpec], n: RunLength) -> String {
+pub fn run_figure(id: &str, session: &SweepSession<'_>) -> String {
     match id {
-        "fig3" => figures::fig3(specs, n),
-        "fig6" => figures::fig6(specs, n),
-        "fig7" => figures::fig7(specs, n),
-        "fig9a" => figures::fig9a(specs, n),
-        "fig9b" => figures::fig9b(specs, n),
-        "fig11" => figures::fig11(specs, n),
-        "fig12" => figures::fig12(specs, n),
-        "fig13" => figures::fig13(specs, n),
-        "fig14" => figures::fig14(specs, n),
-        "fig15" => figures::fig15(specs, n),
-        "fig16" => figures::fig16(specs, n),
-        "fig17" => figures::fig17(specs, n),
-        "fig18" => figures::fig18(specs, n),
-        "fig19" => figures::fig19(specs, n),
-        "fig20a" => figures::fig20a(specs, n),
-        "fig20b" => figures::fig20b(specs, n),
-        "fig21" => figures::fig21(specs, n),
-        "fig22" => figures::fig22(specs, n),
-        "fig23" | "fig24" => figures::fig23_24(specs, n),
+        "fig3" => figures::fig3(session),
+        "fig6" => figures::fig6(session),
+        "fig7" => figures::fig7(session),
+        "fig9a" => figures::fig9a(session),
+        "fig9b" => figures::fig9b(session),
+        "fig11" => figures::fig11(session),
+        "fig12" => figures::fig12(session),
+        "fig13" => figures::fig13(session),
+        "fig14" => figures::fig14(session),
+        "fig15" => figures::fig15(session),
+        "fig16" => figures::fig16(session),
+        "fig17" => figures::fig17(session),
+        "fig18" => figures::fig18(session),
+        "fig19" => figures::fig19(session),
+        "fig20a" => figures::fig20a(session),
+        "fig20b" => figures::fig20b(session),
+        "fig21" => figures::fig21(session),
+        "fig22" => figures::fig22(session),
+        "fig23" | "fig24" => figures::fig23_24(session),
         "table1" => figures::table1(),
         "table3" => figures::table3(),
-        "amt-granularity" => figures::amt_granularity(specs, n),
-        "xprf" => figures::xprf(specs, n),
-        "verify" => figures::verify(specs, n),
+        "amt-granularity" => figures::amt_granularity(session),
+        "xprf" => figures::xprf(session),
+        "verify" => figures::verify(session),
         other => panic!("unknown figure id {other:?}; known: {FIGURES:?}"),
     }
 }

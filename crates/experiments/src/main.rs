@@ -1,22 +1,31 @@
 //! The `experiments` binary: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! experiments -- <figure-id> [--quick] [--subset N]
+//! experiments -- <figure-id> [<figure-id>...] [--quick] [--subset N]
 //! experiments -- all [--quick]
 //! experiments -- list
 //! ```
+//!
+//! All figures of one invocation share a [`SweepSession`]: programs are
+//! assembled once, load-inspector analyses run once, and every repeated
+//! (workload, configuration) simulation — the Baseline suite above all —
+//! is memoized, so `all` costs the union of distinct runs, not the sum of
+//! per-figure suites. Pass `--uncached` to bypass the session caches (the
+//! pre-memoization behavior, useful for A/B timing).
 
-use experiments::{run_figure, RunLength, FIGURES};
+use experiments::{run_figure, RunLength, SweepSession, FIGURES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut n = RunLength::full();
     let mut subset: Option<usize> = None;
+    let mut uncached = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => n = RunLength::quick(),
+            "--uncached" => uncached = true,
             "--subset" => {
                 i += 1;
                 subset = Some(
@@ -31,13 +40,13 @@ fn main() {
                 }
                 return;
             }
-            "all" => ids.extend(FIGURES.iter().map(|s| s.to_string())),
+            "all" | "--all" => ids.extend(FIGURES.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
         }
         i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: experiments -- <figure-id>|all [--quick] [--subset N]");
+        eprintln!("usage: experiments -- <figure-id>|all [--quick] [--subset N] [--uncached]");
         eprintln!("known figure ids: {FIGURES:?}");
         std::process::exit(2);
     }
@@ -45,11 +54,22 @@ fn main() {
         Some(k) => sim_workload::suite_subset(k),
         None => sim_workload::suite(),
     };
+    let session = if uncached {
+        SweepSession::uncached(&specs, n)
+    } else {
+        SweepSession::new(&specs, n)
+    };
+    let sweep_started = std::time::Instant::now();
     for id in ids {
         let started = std::time::Instant::now();
-        let report = run_figure(&id, &specs, n);
+        let report = run_figure(&id, &session);
         println!("================ {id} ================");
         println!("{report}");
         eprintln!("[{id} took {:.1}s]", started.elapsed().as_secs_f64());
     }
+    eprintln!(
+        "[sweep total {:.1}s{}]",
+        sweep_started.elapsed().as_secs_f64(),
+        if uncached { ", uncached" } else { "" }
+    );
 }

@@ -171,12 +171,11 @@ pub fn run_suite_smt2<F>(specs: &[WorkloadSpec], n: RunLength, mk: F) -> Vec<Run
 where
     F: Fn(&WorkloadSpec) -> CoreConfig + Sync,
 {
+    // Pairs are index pairs into `specs` — no owned WorkloadSpec clones.
     let half = specs.len() / 2;
-    let pairs: Vec<(WorkloadSpec, WorkloadSpec)> = (0..half)
-        .map(|i| (specs[i].clone(), specs[i + half].clone()))
-        .collect();
+    let pairs: Vec<(usize, usize)> = (0..half).map(|i| (i, i + half)).collect();
     drive(pairs.len(), |i, scratch| {
-        let (a, b) = &pairs[i];
+        let (a, b) = (&specs[pairs[i].0], &specs[pairs[i].1]);
         let pa = a.build();
         let pb = b.build();
         let cfg = mk(a);

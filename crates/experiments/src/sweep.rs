@@ -1,0 +1,671 @@
+//! # Sweep engine — cross-figure memoization + a persistent flat job pool
+//!
+//! Regenerating the paper's figures is dominated by *redundant
+//! orchestration*, not simulation: every figure re-runs the full Baseline
+//! suite, rebuilds each workload's program once per (figure × config), and
+//! re-runs `load_inspector::analyze` from scratch. A [`SweepSession`]
+//! eliminates that ineffectual work for one CLI invocation:
+//!
+//! * **Program cache** — each [`WorkloadSpec`] is assembled exactly once
+//!   (per APX flavor) into a shared [`Arc<Program>`]; every simulation and
+//!   analysis borrows the same build.
+//! * **Report cache** — `load_inspector::analyze` runs once per
+//!   (workload, run-length); Fig 3, Fig 17, Fig 23/24, and every
+//!   oracle-carrying configuration reuse the same [`LoadReport`].
+//! * **Run memo** — completed [`RunOutcome`]s are keyed by
+//!   `(workload, CoreConfig::fingerprint)`. The Baseline suite is simulated
+//!   exactly once no matter how many figures ask for it; `--all` shares
+//!   Constable/EVES runs across fig11/fig12/fig13/… the same way.
+//! * **Persistent pool** — one set of worker threads (each owning a
+//!   [`SimScratch`]) lives for the whole session. A figure's entire
+//!   (workload × config) matrix is submitted as a single flat job list, so
+//!   workers cross config boundaries without ever hitting a barrier, and
+//!   scratch allocations reach steady state across the whole sweep.
+//!
+//! [`SweepSession::uncached`] builds a session that bypasses every cache
+//! and calls the direct [`runner::run_suite`] path instead — the reference
+//! the equivalence tests (and the `bench/sweep` harness) compare against:
+//! memoized output must be byte-identical.
+
+use crate::configs::MachineKind;
+use crate::runner::{self, RunLength, RunOutcome};
+use constable::IdealOracle;
+use load_inspector::LoadReport;
+use sim_core::{Core, CoreConfig, SimScratch};
+use sim_workload::{Category, Program, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of pool work: runs on whichever worker steals it first, with that
+/// worker's long-lived scratch.
+type Job = Box<dyn FnOnce(&mut SimScratch) + Send + 'static>;
+
+/// A batch job producing a `T` (boxed so heterogeneous figures can share
+/// the pool).
+pub type BatchJob<T> = Box<dyn FnOnce(&mut SimScratch) -> T + Send>;
+
+/// Persistent work-stealing pool: one worker per host core, each owning a
+/// [`SimScratch`] that is threaded through every job it executes. Jobs are
+/// pulled from a single shared queue, so a flat multi-config job list keeps
+/// every core busy across config boundaries (no per-suite barrier).
+pub struct SweepPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SweepPool {
+    /// Spawns one worker per available host core.
+    pub fn new() -> Self {
+        let nworkers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..nworkers)
+            .map(|_| {
+                let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&rx);
+                std::thread::spawn(move || {
+                    // One scratch per worker for the whole session.
+                    let mut scratch = SimScratch::new();
+                    loop {
+                        // Hold the lock only to steal, never while working.
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        let Ok(job) = job else { break };
+                        // Keep the worker alive if a job asserts (e.g. a
+                        // golden-check failure): the batch collector turns
+                        // the missing result into a panic on the caller's
+                        // thread, where the message is actually visible.
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            job(&mut scratch)
+                        }));
+                        if r.is_err() {
+                            scratch = SimScratch::new();
+                        }
+                    }
+                })
+            })
+            .collect();
+        SweepPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Runs `jobs` across the pool and returns their results in submission
+    /// order. Blocks until the whole batch is done.
+    ///
+    /// # Panics
+    /// Panics if any job panicked on its worker (the underlying assertion
+    /// message is printed by the worker thread).
+    pub fn run_batch<T: Send + 'static>(&self, jobs: Vec<BatchJob<T>>) -> Vec<T> {
+        let total = jobs.len();
+        let (rtx, rrx) = mpsc::channel::<(usize, T)>();
+        let tx = self.tx.as_ref().expect("pool is live until dropped");
+        for (i, job) in jobs.into_iter().enumerate() {
+            let rtx = rtx.clone();
+            tx.send(Box::new(move |scratch: &mut SimScratch| {
+                let out = job(scratch);
+                let _ = rtx.send((i, out));
+            }))
+            .expect("workers outlive the session");
+        }
+        drop(rtx);
+        let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        for _ in 0..total {
+            let (i, out) = rrx
+                .recv()
+                .expect("a sweep job panicked on its worker; see output above");
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job reports exactly once"))
+            .collect()
+    }
+}
+
+impl Default for SweepPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SweepPool {
+    fn drop(&mut self) {
+        // Closing the queue ends the worker loops.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Memoization state + pool of a cached session.
+struct SweepCache {
+    pool: SweepPool,
+    /// `(workload index, apx)` → shared program build.
+    programs: Mutex<HashMap<(usize, bool), Arc<Program>>>,
+    /// `(workload index, apx, run length)` → load-inspector report.
+    reports: Mutex<HashMap<(usize, bool, u64), Arc<LoadReport>>>,
+    /// `(workload index, config fingerprint)` → completed run.
+    outcomes: Mutex<HashMap<(usize, u64), RunOutcome>>,
+    /// `(pair indices, config fingerprint)` → completed SMT2 run.
+    smt2: Mutex<HashMap<(usize, usize, u64), RunOutcome>>,
+}
+
+/// One figure-sweep invocation: the workload suite, the run length, and —
+/// unless built [`uncached`](SweepSession::uncached) — the caches and the
+/// persistent pool shared by every figure of the invocation.
+pub struct SweepSession<'s> {
+    specs: &'s [WorkloadSpec],
+    n: RunLength,
+    cache: Option<SweepCache>,
+}
+
+impl<'s> SweepSession<'s> {
+    /// A memoizing session with a persistent worker pool (the production
+    /// configuration of the `experiments` binary).
+    pub fn new(specs: &'s [WorkloadSpec], n: RunLength) -> Self {
+        SweepSession {
+            specs,
+            n,
+            cache: Some(SweepCache {
+                pool: SweepPool::new(),
+                programs: Mutex::new(HashMap::new()),
+                reports: Mutex::new(HashMap::new()),
+                outcomes: Mutex::new(HashMap::new()),
+                smt2: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// A session with every cache disabled: suites run through the direct
+    /// [`runner::run_suite`] path (per-run builds, per-run analyses, scoped
+    /// threads), exactly as the pre-sweep harness did. Used as the
+    /// byte-identical reference in tests and benchmarks.
+    pub fn uncached(specs: &'s [WorkloadSpec], n: RunLength) -> Self {
+        SweepSession {
+            specs,
+            n,
+            cache: None,
+        }
+    }
+
+    /// The workload suite this session sweeps.
+    pub fn specs(&self) -> &'s [WorkloadSpec] {
+        self.specs
+    }
+
+    /// Retired instructions per thread per run.
+    pub fn run_length(&self) -> RunLength {
+        self.n
+    }
+
+    /// Whether this session memoizes (false for the reference mode).
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    // ------------------------------------------------------------ programs
+
+    /// The shared build of workload `i` (assembled on first use).
+    pub fn program(&self, i: usize) -> Arc<Program> {
+        self.program_inner(i, false)
+    }
+
+    /// The APX (32-register) build of workload `i`.
+    pub fn program_apx(&self, i: usize) -> Arc<Program> {
+        self.program_inner(i, true)
+    }
+
+    fn build_program(&self, i: usize, apx: bool) -> Arc<Program> {
+        if apx {
+            self.specs[i].clone().with_apx(true).build_arc()
+        } else {
+            self.specs[i].build_arc()
+        }
+    }
+
+    fn program_inner(&self, i: usize, apx: bool) -> Arc<Program> {
+        let Some(cache) = &self.cache else {
+            return self.build_program(i, apx);
+        };
+        if let Some(p) = cache.programs.lock().expect("programs lock").get(&(i, apx)) {
+            return Arc::clone(p);
+        }
+        let built = self.build_program(i, apx);
+        Arc::clone(
+            cache
+                .programs
+                .lock()
+                .expect("programs lock")
+                .entry((i, apx))
+                .or_insert(built),
+        )
+    }
+
+    /// Builds every missing program of the given APX flavor as one flat
+    /// pool batch (no-op when everything is cached already).
+    fn ensure_programs(&self, apx: bool) {
+        let Some(cache) = &self.cache else { return };
+        let missing: Vec<usize> = {
+            let map = cache.programs.lock().expect("programs lock");
+            (0..self.specs.len())
+                .filter(|&i| !map.contains_key(&(i, apx)))
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let jobs: Vec<BatchJob<Arc<Program>>> = missing
+            .iter()
+            .map(|&i| {
+                let spec = self.specs[i].clone();
+                let job: BatchJob<Arc<Program>> = Box::new(move |_| {
+                    if apx {
+                        spec.clone().with_apx(true).build_arc()
+                    } else {
+                        spec.build_arc()
+                    }
+                });
+                job
+            })
+            .collect();
+        let built = cache.pool.run_batch(jobs);
+        let mut map = cache.programs.lock().expect("programs lock");
+        for (&i, p) in missing.iter().zip(built) {
+            map.entry((i, apx)).or_insert(p);
+        }
+    }
+
+    // ------------------------------------------------------------- reports
+
+    /// The load-inspector report of workload `i` at this session's run
+    /// length (computed once, shared by every consumer).
+    pub fn report(&self, i: usize) -> Arc<LoadReport> {
+        self.report_inner(i, false)
+    }
+
+    /// [`SweepSession::report`] for the APX build.
+    pub fn report_apx(&self, i: usize) -> Arc<LoadReport> {
+        self.report_inner(i, true)
+    }
+
+    fn report_inner(&self, i: usize, apx: bool) -> Arc<LoadReport> {
+        let Some(cache) = &self.cache else {
+            let p = self.build_program(i, apx);
+            return Arc::new(load_inspector::analyze(&p, self.n.0));
+        };
+        let key = (i, apx, self.n.0);
+        if let Some(r) = cache.reports.lock().expect("reports lock").get(&key) {
+            return Arc::clone(r);
+        }
+        let p = self.program_inner(i, apx);
+        let built = Arc::new(load_inspector::analyze(&p, self.n.0));
+        Arc::clone(
+            cache
+                .reports
+                .lock()
+                .expect("reports lock")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// All reports of the suite, computed as one flat pool batch.
+    pub fn reports(&self) -> Vec<Arc<LoadReport>> {
+        self.reports_inner(false)
+    }
+
+    /// All APX-build reports of the suite.
+    pub fn reports_apx(&self) -> Vec<Arc<LoadReport>> {
+        self.reports_inner(true)
+    }
+
+    fn reports_inner(&self, apx: bool) -> Vec<Arc<LoadReport>> {
+        let Some(cache) = &self.cache else {
+            // Direct path: per-call builds and analyses, scoped threads —
+            // what fig3 did before the session existed.
+            let n = self.n.0;
+            return runner::drive_plain(self.specs.len(), |i| {
+                let p = self.build_program(i, apx);
+                Arc::new(load_inspector::analyze(&p, n))
+            });
+        };
+        self.ensure_programs(apx);
+        let missing: Vec<usize> = {
+            let map = cache.reports.lock().expect("reports lock");
+            (0..self.specs.len())
+                .filter(|&i| !map.contains_key(&(i, apx, self.n.0)))
+                .collect()
+        };
+        if !missing.is_empty() {
+            let n = self.n.0;
+            let jobs: Vec<BatchJob<Arc<LoadReport>>> = missing
+                .iter()
+                .map(|&i| {
+                    let p = self.program_inner(i, apx);
+                    let job: BatchJob<Arc<LoadReport>> =
+                        Box::new(move |_| Arc::new(load_inspector::analyze(&p, n)));
+                    job
+                })
+                .collect();
+            let built = cache.pool.run_batch(jobs);
+            let mut map = cache.reports.lock().expect("reports lock");
+            for (&i, r) in missing.iter().zip(built) {
+                map.entry((i, apx, self.n.0)).or_insert(r);
+            }
+        }
+        (0..self.specs.len())
+            .map(|i| self.report_inner(i, apx))
+            .collect()
+    }
+
+    // -------------------------------------------------------------- suites
+
+    /// Runs the whole suite under machine `kind`, memoized.
+    pub fn suite(&self, kind: MachineKind) -> Vec<RunOutcome> {
+        self.suites(&[kind]).pop().expect("one kind in, one out")
+    }
+
+    /// Runs the suite under several machines at once: every missing
+    /// (workload × config) cell across *all* kinds becomes one flat job
+    /// list on the pool, so workers never idle at a config boundary.
+    pub fn suites(&self, kinds: &[MachineKind]) -> Vec<Vec<RunOutcome>> {
+        if self.cache.is_none() {
+            return kinds
+                .iter()
+                .map(|&k| {
+                    runner::run_suite(self.specs, self.n, k.needs_oracle(), |_, oracle| {
+                        k.config(oracle)
+                    })
+                })
+                .collect();
+        }
+        let sets: Vec<Vec<CoreConfig>> = kinds
+            .iter()
+            .map(|&k| self.configs_for(k.needs_oracle(), |_, oracle| k.config(oracle)))
+            .collect();
+        self.run_config_sets(sets)
+    }
+
+    /// Runs the suite under a custom per-workload configuration, memoized
+    /// by config fingerprint (the general form behind Fig 6, Fig 17, and
+    /// the Fig 20 sensitivity sweeps).
+    pub fn suite_with<F>(&self, with_oracle: bool, mk: F) -> Vec<RunOutcome>
+    where
+        F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig + Sync,
+    {
+        if self.cache.is_none() {
+            return runner::run_suite(self.specs, self.n, with_oracle, mk);
+        }
+        let sets = vec![self.configs_for(with_oracle, mk)];
+        self.run_config_sets(sets)
+            .pop()
+            .expect("one set in, one out")
+    }
+
+    /// Builds the per-workload configs a suite run would use (attaching the
+    /// cached oracle when requested). Missing reports are batch-computed on
+    /// the pool first, so a cold oracle-needing figure analyzes its
+    /// workloads in parallel instead of serially on the caller thread.
+    fn configs_for<F>(&self, with_oracle: bool, mk: F) -> Vec<CoreConfig>
+    where
+        F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig,
+    {
+        let reports = with_oracle.then(|| self.reports());
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let oracle = match &reports {
+                    Some(reports) => IdealOracle::new(reports[i].stable_pcs.iter().copied()),
+                    None => IdealOracle::default(),
+                };
+                mk(spec, oracle)
+            })
+            .collect()
+    }
+
+    /// The memoizing core: runs every (workload, config) cell not already
+    /// in the outcome cache as one flat pool batch, then assembles each
+    /// set's results in suite order.
+    fn run_config_sets(&self, sets: Vec<Vec<CoreConfig>>) -> Vec<Vec<RunOutcome>> {
+        let cache = self.cache.as_ref().expect("cached mode only");
+        self.ensure_programs(false);
+        let keyed: Vec<Vec<(usize, u64)>> = sets
+            .iter()
+            .map(|cfgs| {
+                cfgs.iter()
+                    .enumerate()
+                    .map(|(i, cfg)| (i, cfg.fingerprint()))
+                    .collect()
+            })
+            .collect();
+        // Flat missing-job list, deduplicated across sets (two figures — or
+        // two kinds of one figure — asking for the same cell share one run).
+        let mut missing: Vec<((usize, u64), CoreConfig)> = Vec::new();
+        {
+            let done = cache.outcomes.lock().expect("outcomes lock");
+            let mut queued: std::collections::HashSet<(usize, u64)> =
+                std::collections::HashSet::new();
+            for (set, keys) in sets.iter().zip(&keyed) {
+                for (cfg, &(i, fp)) in set.iter().zip(keys) {
+                    if !done.contains_key(&(i, fp)) && queued.insert((i, fp)) {
+                        missing.push(((i, fp), cfg.clone()));
+                    }
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let n = self.n;
+            let jobs: Vec<BatchJob<RunOutcome>> = missing
+                .iter()
+                .map(|((i, _), cfg)| {
+                    let program = self.program(*i);
+                    let name = self.specs[*i].name.clone();
+                    let category = self.specs[*i].category;
+                    let cfg = cfg.clone();
+                    let job: BatchJob<RunOutcome> = Box::new(move |scratch| {
+                        run_pooled(&program, &name, category, cfg, n, scratch)
+                    });
+                    job
+                })
+                .collect();
+            let outcomes = cache.pool.run_batch(jobs);
+            let mut done = cache.outcomes.lock().expect("outcomes lock");
+            for ((key, _), outcome) in missing.into_iter().zip(outcomes) {
+                done.entry(key).or_insert(outcome);
+            }
+        }
+        let done = cache.outcomes.lock().expect("outcomes lock");
+        keyed
+            .iter()
+            .map(|keys| {
+                keys.iter()
+                    .map(|key| done.get(key).expect("just computed").clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs the SMT2 pairing (workload `i` co-scheduled with `i + half`),
+    /// memoized by pair and config fingerprint.
+    pub fn suite_smt2<F>(&self, mk: F) -> Vec<RunOutcome>
+    where
+        F: Fn(&WorkloadSpec) -> CoreConfig + Sync,
+    {
+        let Some(cache) = &self.cache else {
+            return runner::run_suite_smt2(self.specs, self.n, mk);
+        };
+        self.ensure_programs(false);
+        let half = self.specs.len() / 2;
+        let keys: Vec<(usize, usize, u64)> = (0..half)
+            .map(|i| (i, i + half, mk(&self.specs[i]).fingerprint()))
+            .collect();
+        let missing: Vec<(usize, usize, u64)> = {
+            let done = cache.smt2.lock().expect("smt2 lock");
+            keys.iter()
+                .filter(|k| !done.contains_key(k))
+                .copied()
+                .collect()
+        };
+        if !missing.is_empty() {
+            let n = self.n;
+            let jobs: Vec<BatchJob<RunOutcome>> = missing
+                .iter()
+                .map(|&(i, j, _)| {
+                    let pa = self.program(i);
+                    let pb = self.program(j);
+                    let (na, nb) = (self.specs[i].name.clone(), self.specs[j].name.clone());
+                    let category = self.specs[i].category;
+                    let cfg = mk(&self.specs[i]);
+                    let job: BatchJob<RunOutcome> = Box::new(move |scratch| {
+                        let s = std::mem::take(scratch);
+                        let mut core = Core::new_multi_with_scratch(vec![&pa, &pb], cfg, s);
+                        let result = core.run(n.0 / 2);
+                        assert!(!result.hit_cycle_guard, "{na}+{nb}: guard");
+                        assert_eq!(result.stats.golden_mismatches, 0, "{na}: golden");
+                        let outcome = RunOutcome {
+                            workload: format!("{na}+{nb}"),
+                            category,
+                            result,
+                        };
+                        *scratch = core.into_scratch();
+                        outcome
+                    });
+                    job
+                })
+                .collect();
+            let outcomes = cache.pool.run_batch(jobs);
+            let mut done = cache.smt2.lock().expect("smt2 lock");
+            for (key, outcome) in missing.into_iter().zip(outcomes) {
+                done.entry(key).or_insert(outcome);
+            }
+        }
+        let done = cache.smt2.lock().expect("smt2 lock");
+        keys.iter()
+            .map(|key| done.get(key).expect("just computed").clone())
+            .collect()
+    }
+
+    // --------------------------------------------------------- generic jobs
+
+    /// Runs arbitrary figure-specific jobs (e.g. the Fig 17 loss-attribution
+    /// or the xPRF occupancy instrumentation) on the session pool with
+    /// worker-scratch reuse; results return in submission order. These are
+    /// not memoized — they exist so instrumented loops share the pool and
+    /// its scratch instead of building fresh cores sequentially.
+    pub fn run_batch<T: Send + 'static>(&self, jobs: Vec<BatchJob<T>>) -> Vec<T> {
+        match &self.cache {
+            Some(cache) => cache.pool.run_batch(jobs),
+            None => jobs
+                .into_iter()
+                .map(|job| {
+                    let mut scratch = SimScratch::new();
+                    job(&mut scratch)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One pooled simulation: mirrors `runner::run_one_with_scratch`, except
+/// the program is the session's shared build and the oracle (if any) is
+/// already inside `cfg`.
+fn run_pooled(
+    program: &Program,
+    name: &str,
+    category: Category,
+    cfg: CoreConfig,
+    n: RunLength,
+    scratch: &mut SimScratch,
+) -> RunOutcome {
+    let s = std::mem::take(scratch);
+    let mut core = Core::new_multi_with_scratch(vec![program], cfg, s);
+    let result = core.run(n.0);
+    assert!(!result.hit_cycle_guard, "{name}: cycle guard tripped");
+    assert_eq!(
+        result.stats.golden_mismatches, 0,
+        "{name}: golden functional check failed"
+    );
+    let outcome = RunOutcome {
+        workload: name.to_string(),
+        category,
+        result,
+    };
+    *scratch = core.into_scratch();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_batches_in_submission_order() {
+        let pool = SweepPool::new();
+        let jobs: Vec<BatchJob<usize>> = (0..32)
+            .map(|i| {
+                let job: BatchJob<usize> = Box::new(move |_| i * 2);
+                job
+            })
+            .collect();
+        let out = pool.run_batch(jobs);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+        // A second batch reuses the same live workers.
+        let jobs: Vec<BatchJob<usize>> = (0..5)
+            .map(|i| {
+                let job: BatchJob<usize> = Box::new(move |_| i + 100);
+                job
+            })
+            .collect();
+        assert_eq!(pool.run_batch(jobs), vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn session_memoizes_programs_reports_and_runs() {
+        let specs = sim_workload::suite_subset(2);
+        let session = SweepSession::new(&specs, RunLength(4_000));
+        let p1 = session.program(0);
+        let p2 = session.program(0);
+        assert!(Arc::ptr_eq(&p1, &p2), "program cache must share builds");
+        let r1 = session.report(1);
+        let r2 = session.report(1);
+        assert!(Arc::ptr_eq(&r1, &r2), "report cache must share analyses");
+
+        let a = session.suite(MachineKind::Baseline);
+        let b = session.suite(MachineKind::Baseline);
+        assert_eq!(a.len(), specs.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.result.stats.cycles, y.result.stats.cycles);
+            assert_eq!(x.result.stats.retired, y.result.stats.retired);
+        }
+    }
+
+    #[test]
+    fn cached_suite_matches_direct_run_suite() {
+        let specs = sim_workload::suite_subset(2);
+        let n = RunLength(4_000);
+        let cached = SweepSession::new(&specs, n);
+        let direct = SweepSession::uncached(&specs, n);
+        for kind in [MachineKind::Baseline, MachineKind::Constable] {
+            let a = cached.suite(kind);
+            let b = direct.suite(kind);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.workload, y.workload);
+                assert_eq!(
+                    x.result.stats, y.result.stats,
+                    "{}: memoized run diverged from run_suite under {:?}",
+                    x.workload, kind
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Sweep-engine correctness: a memoized [`SweepSession`] must produce
+//! figure text **byte-identical** to the direct uncached `run_suite` path,
+//! no matter how many figures share (and therefore reuse) its caches.
+
+use experiments::{run_figure, MachineKind, RunLength, SweepSession};
+
+const N: RunLength = RunLength(6_000);
+const SUBSET: usize = 4;
+
+/// Renders `ids` through one memoized session and through the uncached
+/// reference, asserting byte equality figure by figure.
+fn assert_byte_identical(ids: &[&str]) {
+    let specs = sim_workload::suite_subset(SUBSET);
+    let cached = SweepSession::new(&specs, N);
+    let direct = SweepSession::uncached(&specs, N);
+    for id in ids {
+        let a = run_figure(id, &cached);
+        let b = run_figure(id, &direct);
+        assert_eq!(
+            a, b,
+            "{id}: memoized sweep output diverged from the uncached run_suite path"
+        );
+    }
+}
+
+#[test]
+fn fig11_memoized_is_byte_identical_to_uncached() {
+    assert_byte_identical(&["fig11"]);
+}
+
+#[test]
+fn fig3_memoized_is_byte_identical_to_uncached() {
+    assert_byte_identical(&["fig3"]);
+}
+
+/// Figures that share the Baseline/Constable suites and the report cache:
+/// the second and third figures run almost entirely from memo, and still
+/// must render identically.
+#[test]
+fn memoized_multi_figure_sweep_is_byte_identical_to_uncached() {
+    assert_byte_identical(&["fig11", "fig12", "fig18", "fig22"]);
+}
+
+/// Re-rendering a figure from a warm session (everything memoized) must be
+/// idempotent.
+#[test]
+fn warm_session_rerender_is_idempotent() {
+    let specs = sim_workload::suite_subset(SUBSET);
+    let session = SweepSession::new(&specs, N);
+    let first = run_figure("fig11", &session);
+    let second = run_figure("fig11", &session);
+    assert_eq!(first, second);
+}
+
+/// The instrumented figures (pool-routed satellite paths: fig17's loss
+/// attribution, the xPRF occupancy study) must match the reference too.
+#[test]
+fn instrumented_figures_are_byte_identical_to_uncached() {
+    assert_byte_identical(&["fig17", "xprf"]);
+}
+
+/// The SMT2 path (borrowed index pairs + pair-keyed memo).
+#[test]
+fn fig14_memoized_is_byte_identical_to_uncached() {
+    assert_byte_identical(&["fig14"]);
+}
+
+/// Two different machine configurations must never alias in the run memo:
+/// Baseline and Constable results for the same workload have to differ in
+/// at least the SLD counters, proving distinct cache entries.
+#[test]
+fn distinct_configs_occupy_distinct_memo_entries() {
+    let specs = sim_workload::suite_subset(2);
+    let session = SweepSession::new(&specs, N);
+    let base = session.suite(MachineKind::Baseline);
+    let cons = session.suite(MachineKind::Constable);
+    for (b, c) in base.iter().zip(&cons) {
+        assert_eq!(b.workload, c.workload);
+        assert_eq!(c.result.stats.golden_mismatches, 0);
+        assert!(
+            c.result.stats.sld_reads > 0 || c.result.stats.loads_eliminated > 0,
+            "{}: Constable run shows no Constable activity — memo aliasing?",
+            c.workload
+        );
+        assert_eq!(
+            b.result.stats.sld_reads, 0,
+            "{}: Baseline run shows Constable activity — memo aliasing?",
+            b.workload
+        );
+    }
+}

@@ -20,7 +20,6 @@
 
 use sim_isa::AddrMode;
 use sim_workload::{Machine, Program};
-use std::collections::HashMap;
 
 /// Inter-occurrence distance buckets used by the paper (Fig 3c/d).
 pub const DISTANCE_BUCKETS: [u64; 3] = [50, 100, 250];
@@ -115,7 +114,10 @@ fn bucket_of(distance: u64) -> usize {
 /// global-stable load characteristics.
 pub fn analyze(program: &Program, n: u64) -> LoadReport {
     let mut machine = Machine::new(program);
-    let mut per_pc: HashMap<u32, PcRecord> = HashMap::new();
+    // Indexed by static-instruction index: the trace revisits the same
+    // static loads n/|program| times each, so a direct slot beats hashing
+    // the sidx on every dynamic load of the analysis pass.
+    let mut per_pc: Vec<Option<PcRecord>> = vec![None; program.len()];
     let mut total_loads = 0u64;
 
     for _ in 0..n {
@@ -126,7 +128,7 @@ pub fn analyze(program: &Program, n: u64) -> LoadReport {
         }
         total_loads += 1;
         let acc = rec.mem.expect("loads access memory");
-        let entry = per_pc.entry(rec.sidx).or_insert_with(|| PcRecord {
+        let entry = per_pc[rec.sidx as usize].get_or_insert_with(|| PcRecord {
             pc: inst.pc.0,
             mode: inst.addr_mode().expect("loads have an addressing mode"),
             count: 0,
@@ -147,6 +149,7 @@ pub fn analyze(program: &Program, n: u64) -> LoadReport {
         entry.last_seq = rec.seq;
     }
 
+    let seen: Vec<&PcRecord> = per_pc.iter().flatten().collect();
     let mut report = LoadReport {
         total_instructions: n,
         total_loads,
@@ -155,10 +158,10 @@ pub fn analyze(program: &Program, n: u64) -> LoadReport {
         stable_distance: [0; 4],
         distance_by_mode: [[0; 4]; 3],
         stable_pcs: Vec::new(),
-        static_loads: per_pc.len() as u64,
+        static_loads: seen.len() as u64,
         pc_details: Vec::new(),
     };
-    for rec in per_pc.values() {
+    for rec in seen {
         let qualifies = rec.stable && rec.count >= 2;
         report
             .pc_details

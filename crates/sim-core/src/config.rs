@@ -10,7 +10,7 @@ use sim_mem::MemConfig;
 /// 6-wide out-of-order x86-64-class core at 3.2 GHz with Memory Renaming and
 /// the rename-stage dynamic optimizations (zero/move elimination, constant
 /// and branch folding) **enabled in the baseline**, per §8.1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct CoreConfig {
     // Widths.
     pub fetch_width: u32,
@@ -112,6 +112,22 @@ impl CoreConfig {
         }
     }
 
+    /// Deterministic content fingerprint over every configuration field,
+    /// including the attached oracle's PC set.
+    ///
+    /// Two configs that would schedule a simulation differently never share
+    /// a fingerprint (up to 64-bit hash collisions), so it is usable as a
+    /// memoization key: a suite runner that has already simulated
+    /// `(workload, fingerprint)` can reuse the outcome verbatim. The value
+    /// is stable within a process but not across builds — persist results
+    /// by field, not by fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::hash::FastHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+
     /// Selects the scheduling implementation (host-performance only).
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
@@ -176,5 +192,130 @@ mod tests {
         let c = CoreConfig::golden_cove_like().with_depth_scale(2.0);
         assert_eq!(c.rob_size, 1024);
         assert_eq!(c.rs_size, 496);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_clone_invariant() {
+        let a = CoreConfig::golden_cove_like().with_constable();
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    /// Every field that can differ between two machine configurations must
+    /// produce a distinct fingerprint — a collision would silently alias
+    /// two different simulations in the sweep memo.
+    #[test]
+    fn fingerprint_separates_every_config_field() {
+        use constable::{ConstableConfig, IdealConfig, IdealOracle};
+
+        let base = CoreConfig::golden_cove_like;
+        let mut variants: Vec<(&'static str, CoreConfig)> = vec![("base", base())];
+        let mut push = |name: &'static str, f: &dyn Fn(&mut CoreConfig)| {
+            let mut c = base();
+            f(&mut c);
+            variants.push((name, c));
+        };
+        push("fetch_width", &|c| c.fetch_width = 9);
+        push("decode_width", &|c| c.decode_width = 7);
+        push("rename_width", &|c| c.rename_width = 7);
+        push("issue_width", &|c| c.issue_width = 7);
+        push("retire_width", &|c| c.retire_width = 7);
+        push("idq_size", &|c| c.idq_size = 145);
+        push("rob_size", &|c| c.rob_size = 513);
+        push("rs_size", &|c| c.rs_size = 249);
+        push("lb_size", &|c| c.lb_size = 241);
+        push("sb_size", &|c| c.sb_size = 113);
+        push("alu_ports", &|c| c.alu_ports = 6);
+        push("load_ports", &|c| c.load_ports = 4);
+        push("sta_ports", &|c| c.sta_ports = 3);
+        push("std_ports", &|c| c.std_ports = 3);
+        push("alu_latency", &|c| c.alu_latency = 2);
+        push("mul_latency", &|c| c.mul_latency = 5);
+        push("div_latency", &|c| c.div_latency = 19);
+        push("agu_latency", &|c| c.agu_latency = 2);
+        push("redirect_bubbles", &|c| c.redirect_bubbles = 11);
+        push("mem.l1_latency", &|c| c.mem.l1_latency = 6);
+        push("mem.l2_bytes", &|c| c.mem.l2_bytes *= 2);
+        push("mem.dram.t_cas", &|c| c.mem.dram.t_cas += 1);
+        push("mem.l1_prefetch", &|c| c.mem.l1_prefetch = false);
+        push("mrn", &|c| c.mrn = false);
+        push("move_zero_elimination", &|c| {
+            c.move_zero_elimination = false
+        });
+        push("constant_folding", &|c| c.constant_folding = false);
+        push("branch_folding", &|c| c.branch_folding = false);
+        push("eves", &|c| c.eves = true);
+        push("elar", &|c| c.elar = true);
+        push("rfp", &|c| c.rfp = true);
+        push("constable", &|c| {
+            c.constable = Some(ConstableConfig::paper())
+        });
+        push("constable.sld_ways", &|c| {
+            c.constable = Some(ConstableConfig {
+                sld_ways: 8,
+                ..ConstableConfig::paper()
+            });
+        });
+        push("constable.threshold", &|c| {
+            c.constable = Some(ConstableConfig {
+                confidence_threshold: 29,
+                ..ConstableConfig::paper()
+            });
+        });
+        push("constable.amt_full_address", &|c| {
+            c.constable = Some(ConstableConfig {
+                amt_full_address: true,
+                ..ConstableConfig::paper()
+            });
+        });
+        push("constable.amt_invalidate", &|c| {
+            c.constable = Some(ConstableConfig {
+                amt_invalidate_on_l1_evict: true,
+                ..ConstableConfig::paper()
+            });
+        });
+        push("constable.mode_filter", &|c| {
+            c.constable = Some(ConstableConfig {
+                mode_filter: Some(sim_isa::AddrMode::StackRelative),
+                ..ConstableConfig::paper()
+            });
+        });
+        push("constable.wrong_path_updates", &|c| {
+            c.constable = Some(ConstableConfig {
+                wrong_path_updates: false,
+                ..ConstableConfig::paper()
+            });
+        });
+        push("ideal.constable", &|c| {
+            c.ideal = Some(IdealConfig::IdealConstable);
+        });
+        push("ideal.lvp", &|c| {
+            c.ideal = Some(IdealConfig::IdealStableLvp)
+        });
+        push("ideal.lvp_no_fetch", &|c| {
+            c.ideal = Some(IdealConfig::IdealStableLvpNoFetch);
+        });
+        push("oracle", &|c| c.oracle = IdealOracle::new([0x400u64]));
+        push("oracle.other", &|c| {
+            c.oracle = IdealOracle::new([0x400u64, 0x404]);
+        });
+        push("snoop_rate", &|c| c.snoop_rate_per_10k = 3);
+        push("wrong_path_fetch", &|c| c.wrong_path_fetch = false);
+        push("seed", &|c| c.seed = 0xC0FFEF);
+        push("track_per_pc", &|c| c.track_per_pc = true);
+        push("scheduler", &|c| c.scheduler = SchedulerKind::LegacyScan);
+
+        for i in 0..variants.len() {
+            for j in (i + 1)..variants.len() {
+                assert_ne!(
+                    variants[i].1.fingerprint(),
+                    variants[j].1.fingerprint(),
+                    "fingerprint collision between {} and {}",
+                    variants[i].0,
+                    variants[j].0
+                );
+            }
+        }
     }
 }

@@ -38,7 +38,7 @@
 
 use crate::config::CoreConfig;
 use crate::hash::FastHashMap;
-use crate::sched::{SchedulerKind, SimScratch};
+use crate::sched::{SchedulerKind, SimScratch, ThreadScratch};
 use crate::stats::CoreStats;
 use crate::uop::{Fetched, Tag, Uop, UopState};
 use constable::{Constable, IdealConfig, LoadRename, StackState};
@@ -100,22 +100,24 @@ struct Thread<'p> {
 }
 
 impl<'p> Thread<'p> {
-    fn new(id: usize, program: &'p Program, rob_cap: usize) -> Self {
+    /// Builds a thread around recycled queue allocations (`ts` buffers are
+    /// cleared by `SimScratch::reset_for_run` before they get here).
+    fn new(id: usize, program: &'p Program, rob_cap: usize, ts: ThreadScratch) -> Self {
         Thread {
             id,
             program,
             machine: Machine::new(program),
-            pending: VecDeque::new(),
+            pending: ts.pending,
             cursor: 0,
-            rob: VecDeque::new(),
+            rob: ts.rob,
             rob_cap,
-            stores: VecDeque::new(),
-            loads: VecDeque::new(),
-            ready: BTreeSet::new(),
+            stores: ts.stores,
+            loads: ts.loads,
+            ready: ts.ready,
             rob_pushed: 0,
             rob_head: 0,
             writer_pending: 0,
-            idq: VecDeque::new(),
+            idq: ts.idq,
             ras: ReturnStack::new(),
             wrong_path: None,
             wp_seq_counter: 0,
@@ -125,6 +127,18 @@ impl<'p> Thread<'p> {
             last_writer: [None; 32],
             retired: 0,
             vp_history: 0,
+        }
+    }
+
+    /// Dismantles the thread, returning its queue allocations for reuse.
+    fn into_scratch(self) -> ThreadScratch {
+        ThreadScratch {
+            pending: self.pending,
+            rob: self.rob,
+            stores: self.stores,
+            loads: self.loads,
+            ready: self.ready,
+            idq: self.idq,
         }
     }
 
@@ -232,13 +246,13 @@ impl<'p> Core<'p> {
             "1 (noSMT) or 2 (SMT2) threads supported"
         );
         let rob_cap = cfg.rob_size / programs.len();
+        let window_cap = cfg.rob_size + 8;
+        scratch.reset_for_run(window_cap, programs.len());
         let threads: Vec<Thread<'p>> = programs
             .iter()
             .enumerate()
-            .map(|(i, p)| Thread::new(i, p, rob_cap))
+            .map(|(i, p)| Thread::new(i, p, rob_cap, scratch.take_thread()))
             .collect();
-        let window_cap = cfg.rob_size + 8;
-        scratch.reset_for_run(window_cap);
         let nthreads = threads.len();
         Core {
             mem: MemoryHierarchy::new(cfg.mem),
@@ -270,7 +284,9 @@ impl<'p> Core<'p> {
         }
     }
 
-    /// Dismantles the core, returning its reusable allocations.
+    /// Dismantles the core, returning its reusable allocations — including
+    /// each thread's ROB, store/load rings, ready set, IDQ, and
+    /// fetched-ahead buffer.
     pub fn into_scratch(self) -> SimScratch {
         SimScratch {
             window: self.window,
@@ -279,6 +295,7 @@ impl<'p> Core<'p> {
             due: self.due,
             wake: self.wake,
             cands: self.cands,
+            threads: self.threads.into_iter().map(Thread::into_scratch).collect(),
         }
     }
 

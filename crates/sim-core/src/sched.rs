@@ -21,15 +21,16 @@
 //! their `SimResult` statistics are bit-identical — `cargo test` asserts
 //! this over the kernel suite and `cargo bench` measures the gap.
 
-use crate::uop::{Tag, Uop};
+use crate::uop::{Fetched, Tag, Uop};
+use sim_isa::DynInst;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// Which scheduling implementation the core uses.
 ///
 /// Both produce bit-identical architectural and statistical results; they
 /// differ only in how much work each simulated cycle costs the host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedulerKind {
     /// Incremental event-driven scheduling (the default).
     #[default]
@@ -92,6 +93,33 @@ pub struct SimScratch {
     pub(crate) wake: Vec<(Tag, u64)>,
     /// Issue candidates for the current cycle, oldest first.
     pub(crate) cands: Vec<Tag>,
+    /// Per-hardware-thread queue allocations (ROB, store/load rings, ready
+    /// set, IDQ, fetched-ahead records), recycled across runs.
+    pub(crate) threads: Vec<ThreadScratch>,
+}
+
+/// Reusable per-thread queue allocations: the structures every `Thread`
+/// otherwise allocates fresh per run. Cleared (capacity-preserving) on
+/// [`SimScratch::reset_for_run`] and handed to `Thread::new`.
+#[derive(Debug, Default)]
+pub(crate) struct ThreadScratch {
+    pub(crate) pending: VecDeque<DynInst>,
+    pub(crate) rob: VecDeque<Tag>,
+    pub(crate) stores: VecDeque<Tag>,
+    pub(crate) loads: VecDeque<Tag>,
+    pub(crate) ready: BTreeSet<(u64, Tag)>,
+    pub(crate) idq: VecDeque<Fetched>,
+}
+
+impl ThreadScratch {
+    fn clear(&mut self) {
+        self.pending.clear();
+        self.rob.clear();
+        self.stores.clear();
+        self.loads.clear();
+        self.ready.clear();
+        self.idq.clear();
+    }
 }
 
 impl SimScratch {
@@ -104,7 +132,7 @@ impl SimScratch {
     /// Prepares the scratch for a new run with `window_cap` slab slots:
     /// every retained slot is reset in place (keeping its consumer-list
     /// capacity), the free list is rebuilt, and queues are emptied.
-    pub(crate) fn reset_for_run(&mut self, window_cap: usize) {
+    pub(crate) fn reset_for_run(&mut self, window_cap: usize, nthreads: usize) {
         self.window.truncate(window_cap);
         for slot in &mut self.window {
             slot.reset();
@@ -116,6 +144,16 @@ impl SimScratch {
         self.due.clear();
         self.wake.clear();
         self.cands.clear();
+        for ts in &mut self.threads {
+            ts.clear();
+        }
+        self.threads
+            .resize_with(self.threads.len().max(nthreads), ThreadScratch::default);
+    }
+
+    /// Hands out one cleared per-thread scratch (empty if none banked).
+    pub(crate) fn take_thread(&mut self) -> ThreadScratch {
+        self.threads.pop().unwrap_or_default()
     }
 }
 
@@ -143,20 +181,20 @@ mod tests {
     #[test]
     fn scratch_reset_rebuilds_free_list_and_keeps_capacity() {
         let mut s = SimScratch::new();
-        s.reset_for_run(4);
+        s.reset_for_run(4, 1);
         assert_eq!(s.free_slots, vec![3, 2, 1, 0]);
         s.window[1].consumers.reserve(64);
         let cap = s.window[1].consumers.capacity();
         s.window[1].valid = true;
-        s.reset_for_run(4);
+        s.reset_for_run(4, 1);
         assert!(!s.window[1].valid, "slot must be reset");
         assert!(
             s.window[1].consumers.capacity() >= cap,
             "consumer capacity must survive the reset"
         );
-        s.reset_for_run(2);
+        s.reset_for_run(2, 1);
         assert_eq!(s.window.len(), 2, "shrinking run length truncates");
-        s.reset_for_run(6);
+        s.reset_for_run(6, 1);
         assert_eq!(s.window.len(), 6, "growing run length extends");
     }
 }

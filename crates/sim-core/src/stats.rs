@@ -3,7 +3,7 @@
 use sim_stats::Histogram;
 
 /// Aggregate statistics of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreStats {
     // Progress.
     pub cycles: u64,

@@ -4,7 +4,7 @@
 use sim_stats::Counter;
 
 /// DRAM timing/geometry parameters, in core cycles.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     pub channels: usize,
     pub ranks: usize,

@@ -27,7 +27,7 @@ pub struct AccessOutcome {
 }
 
 /// Cache geometry and latency configuration (paper Table 2).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemConfig {
     pub l1_bytes: u64,
     pub l1_ways: usize,

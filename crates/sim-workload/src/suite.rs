@@ -133,6 +133,14 @@ impl WorkloadSpec {
         self
     }
 
+    /// [`WorkloadSpec::build`] wrapped in an [`Arc`](std::sync::Arc), for
+    /// harnesses that share one program across many simulations (the sweep
+    /// session caches these so each trace is assembled exactly once per
+    /// process, not once per (figure × config)).
+    pub fn build_arc(&self) -> std::sync::Arc<Program> {
+        std::sync::Arc::new(self.build())
+    }
+
     /// Builds the program for this spec. Deterministic in `seed`.
     pub fn build(&self) -> Program {
         let mut b = ProgramBuilder::new(self.name.clone()).with_apx(self.apx);
