@@ -35,6 +35,15 @@ if [[ "${1:-}" != "--fast" ]]; then
     # ways (the ≥2.5× criterion is checked on the full run, not the smoke).
     step "bench smoke (sweep)"
     CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench sweep
+
+    # Memory fast-path smoke: the golden-trace lock (exact per-access
+    # latency/level/eviction sequence through the SoA hierarchy) followed by
+    # the raw-hierarchy and memory-bound-simulation throughput harness (the
+    # ≥1.5× criterion is checked on the full run, not the smoke).
+    step "golden trace (memory hierarchy)"
+    cargo test -q --release -p sim-mem --test golden_trace
+    step "bench smoke (memory)"
+    CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench memory
 fi
 
 step "OK"

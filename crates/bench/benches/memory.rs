@@ -1,0 +1,176 @@
+//! Memory-hierarchy fast-path throughput.
+//!
+//! Two layers:
+//!
+//! * `memory/hierarchy/script` — the raw [`MemoryHierarchy`] access loop
+//!   (the golden-trace script shape: streams, set conflicts, random probes,
+//!   stores, snoops, prefetchers on), in accesses per second. This isolates
+//!   the data-oriented cache rewrite from the rest of the core.
+//! * `memory/sim/*` — end-to-end `Core::run` on the memory-bound
+//!   `memory_stress` workloads, in simulated µops per second — the
+//!   acceptance metric for the zero-allocation fast-path PR. The AMT-I
+//!   variant keeps the eviction-sink path (the one consumer of per-access
+//!   L1 eviction lines) honest.
+//!
+//! JSON report: `target/criterion-shim/memory.json`; the committed snapshot
+//! lives in `BENCH_memory.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sim_core::{Core, CoreConfig};
+use sim_mem::{line_addr, DramConfig, EvictionSink, MemConfig, MemoryHierarchy};
+use sim_workload::memory_stress;
+use std::time::Duration;
+
+/// Accesses per raw-hierarchy iteration.
+const SCRIPT_N: usize = 40_000;
+/// Retired instructions per thread per simulated workload.
+const QUICK: u64 = 40_000;
+/// Memory-stress workloads per simulated iteration.
+const STRESS: usize = 2;
+
+fn script_cfg() -> MemConfig {
+    MemConfig {
+        l1_bytes: 8 * 1024,
+        l1_ways: 4,
+        l1_latency: 5,
+        l2_bytes: 64 * 1024,
+        l2_ways: 8,
+        l2_latency: 12,
+        llc_bytes: 256 * 1024,
+        llc_ways: 8,
+        llc_latency: 50,
+        dram: DramConfig::default(),
+        l1_prefetch: true,
+        l2_prefetch: true,
+    }
+}
+
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+/// The golden-trace access shape, sized up for timing. Returns a latency
+/// checksum so the work cannot be optimized away.
+fn run_script(m: &mut MemoryHierarchy) -> u64 {
+    // No AMT-I consumer on this path: a disabled sink, as the default
+    // machine configurations run with.
+    let mut sink = EvictionSink::default();
+    let mut now = 0u64;
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut acc = 0u64;
+    let mut last_addr = 0x10_0000u64;
+    for i in 0..SCRIPT_N {
+        x = lcg(x);
+        let i64_ = i as u64;
+        let latency = match i % 7 {
+            0 | 1 => {
+                last_addr = 0x10_0000 + i64_ * 64;
+                m.load(0x400, last_addr, now, &mut sink).latency
+            }
+            2 => {
+                last_addr = 0x20_0000 + (i64_ % 512) * 1024;
+                m.load(0x404, last_addr, now, &mut sink).latency
+            }
+            3 => {
+                last_addr = (0x40_0000 + (x % (1 << 20))) & !7;
+                m.load(0x408, last_addr, now, &mut sink).latency
+            }
+            4 => {
+                m.store_commit((0x60_0000 + (x % (1 << 16))) & !7, now, &mut sink)
+                    .latency
+            }
+            5 => {
+                last_addr = 0x10_0000 + ((x >> 8) % 256) * 64;
+                m.load(0x40c, last_addr, now, &mut sink).latency
+            }
+            _ => {
+                last_addr = 0x80_0000u64.wrapping_sub((i64_ % 300) * 64);
+                m.load(0x410, last_addr, now, &mut sink).latency
+            }
+        };
+        if i % 97 == 96 {
+            m.snoop_invalidate(line_addr(last_addr));
+        }
+        acc = acc.wrapping_add(latency);
+        now += latency / 2 + 1;
+    }
+    acc
+}
+
+fn stress_specs() -> Vec<sim_workload::WorkloadSpec> {
+    (0..STRESS as u64)
+        .map(|i| memory_stress(0xA110C ^ i))
+        .collect()
+}
+
+fn amt_i_config() -> CoreConfig {
+    let mut cfg = CoreConfig::golden_cove_like();
+    cfg.constable = Some(constable::ConstableConfig {
+        amt_invalidate_on_l1_evict: true,
+        ..constable::ConstableConfig::paper()
+    });
+    cfg
+}
+
+fn memory_throughput(c: &mut Criterion) {
+    // Raw hierarchy loop.
+    {
+        let mut g = c.benchmark_group("memory");
+        g.throughput(Throughput::Elements(SCRIPT_N as u64));
+        g.bench_function("hierarchy/script", |b| {
+            b.iter(|| {
+                let mut m = MemoryHierarchy::new(script_cfg());
+                std::hint::black_box(run_script(&mut m))
+            })
+        });
+        g.finish();
+    }
+
+    // End-to-end simulation on the memory-bound subset. Programs are built
+    // once outside the timed loop (the sweep engine caches builds the same
+    // way), so the measurement is the simulation hot path itself.
+    let programs: Vec<_> = stress_specs().iter().map(|s| s.build()).collect();
+    let machines: &[(&str, CoreConfig)] = &[
+        ("sim/baseline", CoreConfig::golden_cove_like()),
+        (
+            "sim/constable",
+            CoreConfig::golden_cove_like().with_constable(),
+        ),
+        ("sim/constable-amt-i", amt_i_config()),
+    ];
+    for (label, cfg) in machines {
+        let uops: u64 = programs
+            .iter()
+            .map(|program| {
+                let mut core = Core::new(program, cfg.clone());
+                core.run(QUICK).stats.retired
+            })
+            .sum();
+        let mut g = c.benchmark_group("memory");
+        g.throughput(Throughput::Elements(uops));
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut retired = 0u64;
+                for program in &programs {
+                    let mut core = Core::new(program, cfg.clone());
+                    let r = core.run(QUICK);
+                    assert_eq!(r.stats.golden_mismatches, 0);
+                    retired += r.stats.retired;
+                }
+                std::hint::black_box(retired)
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    targets = memory_throughput
+}
+criterion_main!(benches);

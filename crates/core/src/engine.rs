@@ -251,8 +251,18 @@ impl Constable {
         }
     }
 
+    /// Whether this configuration consumes L1-D eviction notifications at
+    /// all. Only the Constable-AMT-I variant (Appendix A.3) does; the core
+    /// uses this to leave its eviction sink disabled — and the tracking
+    /// free — for every other machine.
+    pub fn wants_l1_evictions(&self) -> bool {
+        self.cfg.amt_invalidate_on_l1_evict
+    }
+
     /// L1-D eviction notifications — only acted on by the Constable-AMT-I
     /// variant (Appendix A.3); the default design pins CV bits instead.
+    /// May be called several times per access (the sink hands over its
+    /// inline buffer and any spill separately); line order is preserved.
     pub fn on_l1_evictions(&mut self, lines: &[u64]) {
         if !self.cfg.amt_invalidate_on_l1_evict {
             return;

@@ -37,16 +37,16 @@
 //! only in host throughput.
 
 use crate::config::CoreConfig;
-use crate::hash::FastHashMap;
+use crate::pctab::PcCountTable;
 use crate::sched::{SchedulerKind, SimScratch, ThreadScratch};
 use crate::stats::CoreStats;
 use crate::uop::{Fetched, Tag, Uop, UopState};
-use constable::{Constable, IdealConfig, LoadRename, StackState};
+use constable::{Constable, IdealConfig, LoadRename, StackState, XprfSlot};
 use sim_isa::{AluOp, ArchReg, BranchKind, DynInst, InstClass, OpKind, Pc};
-use sim_mem::{line_addr, MemoryHierarchy, SnoopInjector};
+use sim_mem::{line_addr, EvictionSink, MemoryHierarchy, SnoopInjector};
 use sim_predictors::{Elar, Eves, Mrn, ReturnStack, StoreSets, Tage};
 use sim_workload::{Machine, Program};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Address-space tag shift for SMT threads (thread 1's physical addresses
 /// and predictor-visible PCs are offset to model distinct address spaces).
@@ -56,6 +56,28 @@ const THREAD_TAG_SHIFT: u32 = 46;
 struct WrongPath {
     next_sidx: u32,
     cause_seq: u64,
+}
+
+/// Retire-time snapshot of a µop: exactly the fields `retire_one` still
+/// needs after the window slot is recycled, copied out by value so the
+/// slot's heap-backed consumer list is never cloned on the retire path.
+#[derive(Clone, Copy)]
+struct RetiredUop {
+    is_load: bool,
+    is_store: bool,
+    is_branch: bool,
+    in_lb: bool,
+    in_sb: bool,
+    eliminated: bool,
+    value_predicted: bool,
+    mrn_forwarded: bool,
+    pc: u64,
+    addr: u64,
+    result: u64,
+    vp_history: u64,
+    xprf: Option<XprfSlot>,
+    rec: Option<DynInst>,
+    stack_after: StackState,
 }
 
 #[derive(Debug)]
@@ -76,7 +98,7 @@ struct Thread<'p> {
     loads: VecDeque<Tag>,
     /// Ready-to-issue µops ordered by ROB position — fed by rename and by
     /// dependency wakeup, drained by issue.
-    ready: BTreeSet<(u64, Tag)>,
+    ready: crate::sched::ReadyQueue,
     /// Monotone ROB position of the next allocation (rolled back on flush).
     rob_pushed: u64,
     /// ROB position of the current oldest entry (advanced at retire).
@@ -206,7 +228,24 @@ pub struct Core<'p> {
     rename_block_until: u64,
     /// In-flight (renamed, unretired) correct-path instances per load PC;
     /// feeds the EVES stride component's run-ahead distance.
-    inflight_loads: FastHashMap<u64, u32>,
+    inflight_loads: PcCountTable,
+    /// Event-driven fast path: true when the last issue attempt found
+    /// nothing to do and no backend state (completion, rename, retirement,
+    /// flush) has changed since. Issue outcomes depend only on that state,
+    /// so a quiescent cycle can skip the candidate gather and port
+    /// arbitration entirely — the dominant per-cycle cost during long
+    /// memory stalls. Never set in legacy-scan mode, which stays the
+    /// reference the equivalence suite validates this shortcut against.
+    issue_quiescent: bool,
+    /// Whether any phase did work this cycle (fetched, renamed, issued,
+    /// completed, retired, or flushed anything). Cleared at the top of each
+    /// cycle; a fully idle cycle lets the event-driven run loop fast-forward
+    /// to the next time-gated event.
+    cycle_work: bool,
+    /// Per-access L1-D eviction lines, delivered to the Constable-AMT-I
+    /// consumer by [`Core::drain_evictions`]. Enabled only when that
+    /// variant is configured; recycled via `SimScratch`.
+    evict: EvictionSink,
 }
 
 // Thin alias so the field reads naturally.
@@ -248,6 +287,13 @@ impl<'p> Core<'p> {
         let rob_cap = cfg.rob_size / programs.len();
         let window_cap = cfg.rob_size + 8;
         scratch.reset_for_run(window_cap, programs.len());
+        // Eviction tracking costs nothing unless the one consumer of L1-D
+        // eviction lines — the Constable-AMT-I variant — is configured.
+        scratch.evictions.set_enabled(
+            cfg.constable
+                .as_ref()
+                .is_some_and(|c| c.amt_invalidate_on_l1_evict),
+        );
         let threads: Vec<Thread<'p>> = programs
             .iter()
             .enumerate()
@@ -279,7 +325,10 @@ impl<'p> Core<'p> {
             now: 0,
             next_uid: 1,
             rename_block_until: 0,
-            inflight_loads: FastHashMap::default(),
+            inflight_loads: scratch.inflight_loads,
+            issue_quiescent: false,
+            cycle_work: false,
+            evict: scratch.evictions,
             cfg,
         }
     }
@@ -295,6 +344,8 @@ impl<'p> Core<'p> {
             due: self.due,
             wake: self.wake,
             cands: self.cands,
+            evictions: self.evict,
+            inflight_loads: self.inflight_loads,
             threads: self.threads.into_iter().map(Thread::into_scratch).collect(),
         }
     }
@@ -305,11 +356,47 @@ impl<'p> Core<'p> {
         let guard = 400 * target_per_thread + 2_000_000;
         let mut hit_guard = false;
         while self.threads.iter().any(|t| t.retired < target_per_thread) {
+            self.cycle_work = false;
             self.complete_phase();
             self.retire_phase();
             self.issue_phase();
             self.rename_phase();
             self.fetch_phase();
+            // Event-driven fast-forward: a cycle in which no phase did any
+            // work leaves the core's state frozen — nothing can change
+            // until the next time-gated event (a completion, the end of a
+            // rename-port stall, or the end of a fetch redirect). Jump
+            // `now` straight there; every skipped cycle would have been an
+            // exact no-op, so the cycle count (and with it every statistic)
+            // is unchanged. Single-thread only: under SMT2 the fetch and
+            // rename phases pick a thread by `now`-parity *before* hazard
+            // checks, so an idle cycle does not imply the next one is idle.
+            // Legacy-scan mode never skips: it remains the reference the
+            // equivalence suite validates this against.
+            if self.event_driven && !self.cycle_work && self.threads.len() == 1 {
+                if let Some(next) = self.next_event_time() {
+                    debug_assert!(next > self.now, "event in the past on an idle cycle");
+                    // Idle cycles still leave one statistical trace: when
+                    // rename is unblocked, a Constable config records a
+                    // zero into the SLD updates-per-cycle histogram each
+                    // cycle some IDQ is non-empty (rename_phase reaches
+                    // `end_cycle` and records 0 without renaming). Account
+                    // the skipped cycles' zeros in bulk so the histogram
+                    // stays bit-identical to the legacy scan. If rename is
+                    // *blocked*, `next` never passes `rename_block_until`
+                    // (it is one of the candidate events), so the whole
+                    // skipped region records nothing — exactly as legacy.
+                    let skipped = next - 1 - self.now;
+                    if skipped > 0
+                        && self.now >= self.rename_block_until
+                        && self.cons.is_some()
+                        && self.threads.iter().any(|t| !t.idq.is_empty())
+                    {
+                        self.stats.sld_updates_per_cycle.record_n(0, skipped);
+                    }
+                    self.now = next - 1;
+                }
+            }
             self.now += 1;
             if self.now >= guard {
                 hit_guard = true;
@@ -397,6 +484,7 @@ impl<'p> Core<'p> {
                     mispredicted: false,
                 });
                 self.stats.fetched_wrong_path += 1;
+                self.cycle_work = true;
                 budget -= 1;
                 continue;
             }
@@ -448,6 +536,7 @@ impl<'p> Core<'p> {
                 mispredicted,
             });
             self.stats.fetched += 1;
+            self.cycle_work = true;
             budget -= 1;
             if mispredicted {
                 self.stats.branch_mispredicts += 1;
@@ -524,6 +613,11 @@ impl<'p> Core<'p> {
                 && loads_this_cycle >= self.cfg.rename_width.min(self.sld_read_ports())
             {
                 self.stats.rename_stalls_sld_read += 1;
+                // The stall counter is observable state mutated this cycle,
+                // so the cycle is not idle — without this, a degenerate
+                // sld_read_ports=0 config would fast-forward past cycles the
+                // legacy scan counts one by one.
+                self.cycle_work = true;
                 break;
             }
             let f = self.threads[tid].idq.pop_front().expect("checked above");
@@ -565,6 +659,8 @@ impl<'p> Core<'p> {
 
     #[allow(clippy::too_many_lines)]
     fn rename_one(&mut self, tid: usize, f: Fetched, inst: sim_isa::StaticInst) {
+        self.issue_quiescent = false;
+        self.cycle_work = true;
         let tag = self.free_slots.pop().expect("window sized to ROB");
         debug_assert!(!self.window[tag].valid, "free slot must be reset");
         let uid = self.next_uid;
@@ -694,7 +790,7 @@ impl<'p> Core<'p> {
             if !u.eliminated && !u.value_predicted && !u.wrong_path {
                 if let Some(e) = &mut self.eves {
                     self.stats.eves_lookups += 1;
-                    let inflight = self.inflight_loads.get(&ppc).copied().unwrap_or(0);
+                    let inflight = self.inflight_loads.get(ppc);
                     let hist = self.threads[tid].vp_history;
                     u.vp_history = hist;
                     if let Some(p) = e.predict(ppc, hist, inflight) {
@@ -736,12 +832,10 @@ impl<'p> Core<'p> {
                 if let Some(r) = &mut self.rfp {
                     if let Some(addr) = r.predict(ppc) {
                         let paddr = self.threads[tid].tag_addr(addr);
-                        let out = self.mem.load(ppc, paddr, self.now);
+                        let out = self.mem.load(ppc, paddr, self.now, &mut self.evict);
                         u.rfp_addr = Some(addr);
                         u.rfp_ready_at = Some(self.now + out.latency);
-                        if let Some(c) = &mut self.cons {
-                            c.on_l1_evictions(&out.l1_evictions);
-                        }
+                        self.drain_evictions();
                     }
                 }
             }
@@ -865,7 +959,7 @@ impl<'p> Core<'p> {
             self.lb_used += 1;
             self.stats.lb_allocs += 1;
             if !u.wrong_path {
-                *self.inflight_loads.entry(u.pc).or_insert(0) += 1;
+                self.inflight_loads.inc(u.pc);
             }
         }
         if u.is_store {
@@ -966,6 +1060,9 @@ impl<'p> Core<'p> {
     }
 
     fn issue_phase(&mut self) {
+        if self.issue_quiescent {
+            return;
+        }
         let mut alu_used = 0u32;
         let mut load_used = 0u32;
         let mut sta_used = 0u32;
@@ -1061,6 +1158,52 @@ impl<'p> Core<'p> {
                 self.stats.load_cycles_stable_free += 1;
             }
         }
+        // A cycle that issued nothing left no trace (no stats, no events,
+        // no window changes), so the attempt need not repeat until some
+        // backend state changes.
+        if budget == self.cfg.issue_width {
+            if self.event_driven {
+                self.issue_quiescent = true;
+            }
+        } else {
+            self.cycle_work = true;
+        }
+    }
+
+    /// Earliest future time at which a fully idle core's state can change:
+    /// the next completion event, the end of a rename-port stall, or the
+    /// end of a fetch redirect. `None` when nothing is pending (the cycle
+    /// guard covers that pathological case).
+    fn next_event_time(&self) -> Option<u64> {
+        let mut next = self.events.next_time().unwrap_or(u64::MAX);
+        if self.rename_block_until > self.now {
+            next = next.min(self.rename_block_until);
+        }
+        for th in &self.threads {
+            // u64::MAX marks a stall resolved by a branch completion (an
+            // event already in the heap), not by time.
+            if th.fetch_stall_until > self.now && th.fetch_stall_until != u64::MAX {
+                next = next.min(th.fetch_stall_until);
+            }
+        }
+        (next != u64::MAX && next > self.now).then_some(next)
+    }
+
+    /// Delivers collected L1-D eviction lines to the Constable-AMT-I
+    /// consumer and resets the sink. The sink only fills when that variant
+    /// is configured (see `wants_l1_evictions`), so this is a single
+    /// is-empty check on every other machine.
+    #[inline]
+    fn drain_evictions(&mut self) {
+        if self.evict.is_empty() {
+            return;
+        }
+        if let Some(c) = &mut self.cons {
+            debug_assert!(c.wants_l1_evictions(), "sink enabled without consumer");
+            self.evict.drain_with(|lines| c.on_l1_evictions(lines));
+        } else {
+            self.evict.clear();
+        }
     }
 
     /// Queues a completion event (event-driven mode only).
@@ -1146,10 +1289,8 @@ impl<'p> Core<'p> {
             let ready = rfp_ready.unwrap_or(self.now);
             agu.max(ready.saturating_sub(self.now)) + 1
         } else {
-            let out = self.mem.load(pc, paddr, self.now + agu);
-            if let Some(c) = &mut self.cons {
-                c.on_l1_evictions(&out.l1_evictions);
-            }
+            let out = self.mem.load(pc, paddr, self.now + agu, &mut self.evict);
+            self.drain_evictions();
             self.injector.observe(line_addr(paddr));
             agu + out.latency
         };
@@ -1202,6 +1343,8 @@ impl<'p> Core<'p> {
     }
 
     fn complete_one(&mut self, tag: Tag) {
+        self.issue_quiescent = false;
+        self.cycle_work = true;
         // Mark done and wake consumers. The wakeup list is swapped into a
         // reusable scratch buffer (capacities circulate; no allocation).
         debug_assert!(self.wake.is_empty());
@@ -1340,7 +1483,7 @@ impl<'p> Core<'p> {
                                 "vp_wrong pc={:#x} predicted={:#x} actual={:#x} delta={} inflight_now={}",
                                 pc, u.vp_value, u.result,
                                 u.result as i64 - u.vp_value as i64,
-                                self.inflight_loads.get(&pc).copied().unwrap_or(0)
+                                self.inflight_loads.get(pc)
                             );
                         }
                     }
@@ -1379,6 +1522,8 @@ impl<'p> Core<'p> {
     /// Squashes every µop of `tid` with `seq >= first_bad_seq` (wrong-path
     /// µops always), rewinds fetch, and repairs rename state.
     fn flush_from(&mut self, tid: usize, first_bad_seq: u64) {
+        self.issue_quiescent = false;
+        self.cycle_work = true;
         // Squash from the ROB tail, unwinding the store/load rings and the
         // ready queue in lockstep (they are subsequences of the ROB).
         while let Some(&tag) = self.threads[tid].rob.back() {
@@ -1455,9 +1600,7 @@ impl<'p> Core<'p> {
         debug_assert!(u.valid);
         if u.is_load && !u.wrong_path {
             let pc = u.pc;
-            if let Some(c) = self.inflight_loads.get_mut(&pc) {
-                *c = c.saturating_sub(1);
-            }
+            self.inflight_loads.dec_saturating(pc);
         }
         if u.in_rs {
             self.rs_used -= 1;
@@ -1503,9 +1646,30 @@ impl<'p> Core<'p> {
     }
 
     fn retire_one(&mut self, tid: usize, tag: Tag) {
-        let u = self.window[tag].clone();
-        debug_assert!(!u.wrong_path, "wrong-path µop reached retirement");
-        debug_assert!(u.consumers.is_empty(), "consumers drained at complete");
+        self.issue_quiescent = false;
+        self.cycle_work = true;
+        let u = {
+            let w = &self.window[tag];
+            debug_assert!(!w.wrong_path, "wrong-path µop reached retirement");
+            debug_assert!(w.consumers.is_empty(), "consumers drained at complete");
+            RetiredUop {
+                is_load: w.is_load,
+                is_store: w.is_store,
+                is_branch: w.is_branch,
+                in_lb: w.in_lb,
+                in_sb: w.in_sb,
+                eliminated: w.eliminated,
+                value_predicted: w.value_predicted,
+                mrn_forwarded: w.mrn_forwarded,
+                pc: w.pc,
+                addr: w.addr,
+                result: w.result,
+                vp_history: w.vp_history,
+                xprf: w.xprf,
+                rec: w.rec,
+                stack_after: w.stack_after,
+            }
+        };
         {
             let th = &mut self.threads[tid];
             th.rob.pop_front();
@@ -1552,9 +1716,7 @@ impl<'p> Core<'p> {
             if u.mrn_forwarded {
                 self.stats.mrn_forwarded += 1;
             }
-            if let Some(c) = self.inflight_loads.get_mut(&u.pc) {
-                *c = c.saturating_sub(1);
-            }
+            self.inflight_loads.dec_saturating(u.pc);
             if let Some(e) = &mut self.eves {
                 e.train(u.pc, u.vp_history, acc.value);
             }
@@ -1565,10 +1727,8 @@ impl<'p> Core<'p> {
         if u.is_store {
             let acc = rec.mem.expect("store access");
             let paddr = self.threads[tid].tag_addr(acc.addr);
-            let out = self.mem.store_commit(paddr, self.now);
-            if let Some(c) = &mut self.cons {
-                c.on_l1_evictions(&out.l1_evictions);
-            }
+            let _ = self.mem.store_commit(paddr, self.now, &mut self.evict);
+            self.drain_evictions();
             if let Some(m) = &mut self.mrn {
                 m.on_store(u.pc, paddr);
             }

@@ -19,6 +19,7 @@
 mod config;
 mod core;
 mod hash;
+mod pctab;
 mod sched;
 mod stats;
 mod uop;

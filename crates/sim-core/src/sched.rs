@@ -8,23 +8,75 @@
 //! * [`CompletionQueue`] — a min-heap of (complete-at, seq) events pushed at
 //!   issue time, popped in program order at their completion cycle. Entries
 //!   for squashed µops are filtered lazily by uid.
-//! * per-thread ready queues (in `Thread`) ordered by ROB position, fed by
-//!   dependency wakeup: producers push consumers when they complete, so
-//!   issue touches ready µops only.
+//! * [`ReadyQueue`] — per-thread ready queues ordered by ROB position, fed
+//!   by dependency wakeup: producers push consumers when they complete, so
+//!   issue touches ready µops only. Sorted-`Vec` backed: unlike the B-tree
+//!   it replaced, inserts allocate nothing at steady state.
 //! * [`SimScratch`] — every core-lifetime allocation (the µop slab, free
-//!   list, event heap, scratch buffers) bundled so a suite runner can hand
-//!   the same memory to consecutive simulations (zero steady-state
-//!   allocation across runs).
+//!   list, event heap, scratch buffers, the L1-eviction sink, and the
+//!   in-flight-load count table) bundled so a suite runner can hand the
+//!   same memory to consecutive simulations (zero steady-state allocation
+//!   across runs).
+//!
+//! On top of these, the event-driven core memoizes backend idleness: an
+//! issue attempt that finds nothing to do is not repeated until a
+//! completion, rename, retirement, or flush changes the backend
+//! (`issue_quiescent`), and a whole cycle in which *no* phase did work
+//! fast-forwards the clock to the next time-gated event (single-thread
+//! mode only — SMT's parity-rotating fetch/rename slotting makes idleness
+//! non-monotonic). Both shortcuts skip provably side-effect-free work, so
+//! cycle counts and statistics are untouched — the equivalence suite
+//! asserts this against the unshortened legacy scan.
 //!
 //! [`SchedulerKind::LegacyScan`] keeps the original per-cycle full scans
 //! selectable. Both schedulers visit µops in exactly the same order, so
 //! their `SimResult` statistics are bit-identical — `cargo test` asserts
 //! this over the kernel suite and `cargo bench` measures the gap.
 
+use crate::pctab::PcCountTable;
 use crate::uop::{Fetched, Tag, Uop};
 use sim_isa::DynInst;
+use sim_mem::EvictionSink;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A ready queue ordered by ROB position: a sorted `Vec` of
+/// `(rob_pos, tag)` keys. The occupancy is small (issue drains it every
+/// cycle), so binary-search insert/remove with a memmove beats a B-tree —
+/// and unlike one, the backing allocation is recycled across runs, keeping
+/// the wakeup path allocation-free at steady state.
+#[derive(Debug, Default)]
+pub(crate) struct ReadyQueue {
+    keys: Vec<(u64, Tag)>,
+}
+
+impl ReadyQueue {
+    /// Inserts a key (no-op if already present).
+    #[inline]
+    pub(crate) fn insert(&mut self, key: (u64, Tag)) {
+        if let Err(i) = self.keys.binary_search(&key) {
+            self.keys.insert(i, key);
+        }
+    }
+
+    /// Removes a key (no-op if absent).
+    #[inline]
+    pub(crate) fn remove(&mut self, key: &(u64, Tag)) {
+        if let Ok(i) = self.keys.binary_search(key) {
+            self.keys.remove(i);
+        }
+    }
+
+    /// Keys in ascending (rob_pos, tag) order.
+    #[inline]
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, (u64, Tag)> {
+        self.keys.iter()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.keys.clear();
+    }
+}
 
 /// Which scheduling implementation the core uses.
 ///
@@ -69,6 +121,11 @@ impl CompletionQueue {
         }
     }
 
+    /// Completion time of the earliest pending event, if any.
+    pub(crate) fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((at, _, _, _))| *at)
+    }
+
     pub(crate) fn clear(&mut self) {
         self.heap.clear();
     }
@@ -93,6 +150,12 @@ pub struct SimScratch {
     pub(crate) wake: Vec<(Tag, u64)>,
     /// Issue candidates for the current cycle, oldest first.
     pub(crate) cands: Vec<Tag>,
+    /// L1-D eviction lines collected per access for the Constable-AMT-I
+    /// consumer; disabled (and therefore free) for every other machine.
+    pub(crate) evictions: EvictionSink,
+    /// In-flight correct-path load instances per load PC (EVES run-ahead
+    /// distance input); open-addressed, cleared per run.
+    pub(crate) inflight_loads: PcCountTable,
     /// Per-hardware-thread queue allocations (ROB, store/load rings, ready
     /// set, IDQ, fetched-ahead records), recycled across runs.
     pub(crate) threads: Vec<ThreadScratch>,
@@ -107,7 +170,7 @@ pub(crate) struct ThreadScratch {
     pub(crate) rob: VecDeque<Tag>,
     pub(crate) stores: VecDeque<Tag>,
     pub(crate) loads: VecDeque<Tag>,
-    pub(crate) ready: BTreeSet<(u64, Tag)>,
+    pub(crate) ready: ReadyQueue,
     pub(crate) idq: VecDeque<Fetched>,
 }
 
@@ -144,6 +207,8 @@ impl SimScratch {
         self.due.clear();
         self.wake.clear();
         self.cands.clear();
+        self.evictions.clear();
+        self.inflight_loads.clear();
         for ts in &mut self.threads {
             ts.clear();
         }
@@ -176,6 +241,23 @@ mod tests {
         assert!(due.is_empty(), "nothing left at t=10");
         q.drain_due(11, &mut due);
         assert_eq!(due, vec![(1, 101, 3)]);
+    }
+
+    #[test]
+    fn ready_queue_keeps_rob_order_and_dedups() {
+        let mut q = ReadyQueue::default();
+        q.insert((5, 2));
+        q.insert((1, 7));
+        q.insert((3, 0));
+        q.insert((1, 7)); // duplicate: no-op
+        let keys: Vec<_> = q.iter().copied().collect();
+        assert_eq!(keys, vec![(1, 7), (3, 0), (5, 2)]);
+        q.remove(&(3, 0));
+        q.remove(&(9, 9)); // absent: no-op
+        let keys: Vec<_> = q.iter().copied().collect();
+        assert_eq!(keys, vec![(1, 7), (5, 2)]);
+        q.clear();
+        assert_eq!(q.iter().count(), 0);
     }
 
     #[test]

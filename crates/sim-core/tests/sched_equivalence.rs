@@ -14,7 +14,19 @@ const N: u64 = 15_000;
 /// diverge if scheduling order changes is in here.
 fn digest(r: &SimResult) -> Vec<(&'static str, u64)> {
     let s: &CoreStats = &r.stats;
+    // The SLD updates-per-cycle histogram (fig 9a) is recorded per rename
+    // cycle, so it is sensitive to the event-driven idle fast-forward in a
+    // way no scalar counter is — fold its full shape into the digest.
+    let hist = &s.sld_updates_per_cycle;
+    let hb = hist.bucket_counts();
     vec![
+        ("sld_hist_total", hist.total()),
+        ("sld_hist_mean_bits", hist.mean().to_bits()),
+        ("sld_hist_b0", hb[0]),
+        ("sld_hist_b1", hb[1]),
+        ("sld_hist_b2", hb[2]),
+        ("sld_hist_b3", hb[3]),
+        ("sld_hist_b4", hb[4]),
         ("cycles", s.cycles),
         ("retired", s.retired),
         ("retired_loads", s.retired_loads),
@@ -139,6 +151,68 @@ fn noisy_snoops_are_schedule_equivalent() {
     let mut cfg = CoreConfig::golden_cove_like().with_constable();
     cfg.snoop_rate_per_10k = 100;
     assert_equivalent("noisy-snoops", cfg);
+}
+
+#[test]
+fn memory_stress_is_schedule_equivalent() {
+    // The memory-bound workload drives the hierarchy fast path (SoA cache
+    // scans, eviction sink, fused prefetch fills) and the event-driven
+    // stall fast-forward far harder than the category-balanced subset.
+    for seed in [0xA110Cu64, 0xA110D] {
+        let spec = sim_workload::memory_stress(seed);
+        assert_equivalent_on("memstress", &spec, CoreConfig::golden_cove_like());
+        assert_equivalent_on(
+            "memstress-constable",
+            &spec,
+            CoreConfig::golden_cove_like().with_constable(),
+        );
+    }
+    // The AMT-I variant is the one consumer of per-access L1 eviction
+    // lines: it must see identical eviction streams under both schedulers.
+    let mut cfg = CoreConfig::golden_cove_like();
+    cfg.constable = Some(constable::ConstableConfig {
+        amt_invalidate_on_l1_evict: true,
+        ..constable::ConstableConfig::paper()
+    });
+    assert_equivalent_on(
+        "memstress-amt-i",
+        &sim_workload::memory_stress(0xA110C),
+        cfg,
+    );
+}
+
+#[test]
+fn zero_sld_read_ports_is_schedule_equivalent() {
+    // Degenerate sweep corner: with no SLD read ports the first load to
+    // reach the IDQ head can never rename, so the run deadlocks into the
+    // cycle guard — while `rename_stalls_sld_read` increments every
+    // blocked cycle. That per-cycle observable state is exactly what the
+    // event-driven idle fast-forward must not jump over: both schedulers
+    // must arrive at the guard with identical statistics.
+    let mut cfg = CoreConfig::golden_cove_like();
+    cfg.constable = Some(constable::ConstableConfig {
+        sld_read_ports: 0,
+        ..constable::ConstableConfig::paper()
+    });
+    let spec = sim_workload::memory_stress(0xA110C);
+    let program = spec.build();
+    let mut legacy = Core::new(
+        &program,
+        cfg.clone().with_scheduler(SchedulerKind::LegacyScan),
+    );
+    let rl = legacy.run(50);
+    let mut event = Core::new(&program, cfg.with_scheduler(SchedulerKind::EventDriven));
+    let re = event.run(50);
+    assert!(
+        rl.hit_cycle_guard && re.hit_cycle_guard,
+        "0 read ports must deadlock into the guard"
+    );
+    for (l, e) in digest(&rl).iter().zip(&digest(&re)) {
+        assert_eq!(
+            l, e,
+            "zero-sld-read-ports: diverged {l:?} (legacy) vs {e:?} (event)"
+        );
+    }
 }
 
 #[test]

@@ -1,4 +1,14 @@
-//! Set-associative cache model.
+//! Set-associative cache model, laid out structure-of-arrays.
+//!
+//! The per-access scan — the simulator's hottest loop after the scheduler —
+//! touches only a packed per-set `u64` tag slice; replacement metadata
+//! (`meta`), fill timing (`ready_at`), and the dirty/prefetched flags live
+//! in cold side arrays and bitsets that are read only on a hit or a victim
+//! pick. A one-entry MRU memo (last line that hit or filled, plus its slot)
+//! short-circuits the scan entirely for the repeat-access patterns that
+//! dominate L1 traffic. None of this changes modelled behavior: the
+//! golden-trace test locks the exact per-access outcome sequence against
+//! the original array-of-structs implementation.
 
 use sim_stats::Counter;
 
@@ -11,6 +21,11 @@ pub fn line_addr(addr: u64) -> u64 {
     addr / LINE_BYTES
 }
 
+/// Tag value marking an empty way. Real line addresses cannot reach it:
+/// they are byte addresses divided by 64 (plus a small SMT tag), so the top
+/// bits are always clear.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// Replacement policy selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Replacement {
@@ -21,27 +36,45 @@ pub enum Replacement {
     Srrip,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+/// One bit per (set, way) slot; cold flags kept out of the tag scan.
+#[derive(Debug, Clone)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i >> 6] >> (i & 63) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: bool) {
+        let w = &mut self.words[i >> 6];
+        let m = 1u64 << (i & 63);
+        if v {
+            *w |= m;
+        } else {
+            *w &= !m;
+        }
+    }
+}
+
+/// Cold per-slot metadata (replacement stamp and fill timing), paired in
+/// one array entry so a hit or fill touches a single cache line of it.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cold {
     /// LRU stamp or RRPV depending on policy.
     meta: u64,
     /// Cycle at which an in-flight fill becomes usable (prefetch timing).
     ready_at: u64,
-    /// Filled by a prefetch and not yet demanded (for accuracy stats).
-    prefetched: bool,
 }
-
-const INVALID: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    meta: 0,
-    ready_at: 0,
-    prefetched: false,
-};
 
 /// Result of a cache lookup-with-fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +94,22 @@ pub struct InsertResult {
     pub evicted: Option<u64>,
     /// Whether the victim was dirty (writeback needed).
     pub evicted_dirty: bool,
+}
+
+/// Where a fill of a given line will land, computed by [`Cache::plan_fill`]
+/// in a single scan of the line's set. A plan is valid only until the next
+/// mutation of that set (or of the whole cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPlan {
+    /// The line is already present at this slot; committing only refreshes
+    /// its `ready_at` (earliest fill wins).
+    Present(usize),
+    /// The line is absent; committing fills this slot — the same way a
+    /// plain [`Cache::insert`] would choose.
+    At(usize),
+    /// The line is absent and choosing a victim mutates replacement state
+    /// (SRRIP aging); committing falls back to the full insert path.
+    Rescan,
 }
 
 /// Per-cache statistics.
@@ -85,8 +134,21 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     policy: Replacement,
-    lines: Vec<Line>,
+    /// Packed per-set tag slices ([`INVALID_TAG`] marks an empty way); the
+    /// only array the hit/miss scan reads.
+    tags: Vec<u64>,
+    /// Cold per-slot metadata, touched only on a hit or a fill: replacement
+    /// stamp/RRPV and fill-ready cycle, paired so one cache line serves
+    /// both.
+    cold: Vec<Cold>,
+    dirty: BitSet,
+    /// Filled by a prefetch and not yet demanded (for accuracy stats).
+    prefetched: BitSet,
     lru_clock: u64,
+    /// MRU memo: the last line that hit or filled, and its slot index.
+    /// Validated against `tags` on use, so staleness is harmless.
+    mru_line: u64,
+    mru_idx: usize,
     stats: CacheStats,
 }
 
@@ -101,13 +163,19 @@ impl Cache {
             sets > 0 && sets.is_power_of_two(),
             "{name}: sets must be a power of two"
         );
+        let slots = sets * ways;
         Cache {
             name,
             sets,
             ways,
             policy,
-            lines: vec![INVALID; sets * ways],
+            tags: vec![INVALID_TAG; slots],
+            cold: vec![Cold::default(); slots],
+            dirty: BitSet::new(slots),
+            prefetched: BitSet::new(slots),
             lru_clock: 0,
+            mru_line: INVALID_TAG,
+            mru_idx: 0,
             stats: CacheStats::default(),
         }
     }
@@ -127,8 +195,29 @@ impl Cache {
         (line as usize) & (self.sets - 1)
     }
 
-    fn slot(&mut self, set: usize, way: usize) -> &mut Line {
-        &mut self.lines[set * self.ways + way]
+    /// Slot index of `line`, if present. The MRU memo is checked first and
+    /// revalidated against the tag array (a line lives only in its home
+    /// set, so a tag match proves residence). The fallback scan reads every
+    /// way without an early exit: the whole set is one or two cache lines
+    /// of packed tags, and the branchless select beats an unpredictable
+    /// loop-exit branch on mixed hit/miss streams.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        if self.mru_line == line && self.tags[self.mru_idx] == line {
+            return Some(self.mru_idx);
+        }
+        let base = self.set_of(line) * self.ways;
+        let mut found = usize::MAX;
+        for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            if t == line {
+                found = w;
+            }
+        }
+        if found == usize::MAX {
+            None
+        } else {
+            Some(base + found)
+        }
     }
 
     /// Looks up `line` (a line address), updating replacement state and
@@ -136,30 +225,28 @@ impl Cache {
     pub fn access(&mut self, line: u64, now: u64, is_store: bool) -> LookupResult {
         self.stats.accesses.inc();
         self.lru_clock += 1;
-        let clock = self.lru_clock;
-        let set = self.set_of(line);
-        for way in 0..self.ways {
-            let policy = self.policy;
-            let l = self.slot(set, way);
-            if l.valid && l.tag == line {
-                let fill_wait = l.ready_at.saturating_sub(now);
-                let prefetch_useful = l.prefetched;
-                l.prefetched = false;
-                l.dirty |= is_store;
-                match policy {
-                    Replacement::Lru => l.meta = clock,
-                    Replacement::Srrip => l.meta = 0, // near re-reference
-                }
-                self.stats.hits.inc();
-                if prefetch_useful {
-                    self.stats.prefetch_useful.inc();
-                }
-                return LookupResult {
-                    hit: true,
-                    fill_wait,
-                    prefetch_useful,
-                };
+        if let Some(idx) = self.find(line) {
+            let fill_wait = self.cold[idx].ready_at.saturating_sub(now);
+            let prefetch_useful = self.prefetched.get(idx);
+            if prefetch_useful {
+                self.prefetched.set(idx, false);
+                self.stats.prefetch_useful.inc();
             }
+            if is_store {
+                self.dirty.set(idx, true);
+            }
+            self.cold[idx].meta = match self.policy {
+                Replacement::Lru => self.lru_clock,
+                Replacement::Srrip => 0, // near re-reference
+            };
+            self.mru_line = line;
+            self.mru_idx = idx;
+            self.stats.hits.inc();
+            return LookupResult {
+                hit: true,
+                fill_wait,
+                prefetch_useful,
+            };
         }
         self.stats.misses.inc();
         LookupResult {
@@ -171,11 +258,7 @@ impl Cache {
 
     /// Probes for `line` without disturbing replacement state or stats.
     pub fn probe(&self, line: u64) -> bool {
-        let set = self.set_of(line);
-        (0..self.ways).any(|w| {
-            let l = &self.lines[set * self.ways + w];
-            l.valid && l.tag == line
-        })
+        self.find(line).is_some()
     }
 
     /// Inserts `line`, evicting a victim if the set is full.
@@ -183,44 +266,116 @@ impl Cache {
     /// `ready_at` models fill latency (prefetches land in the future);
     /// `prefetched` marks prefetch fills for accuracy accounting.
     pub fn insert(&mut self, line: u64, now: u64, ready_at: u64, prefetched: bool) -> InsertResult {
-        let set = self.set_of(line);
+        let _ = now;
+        debug_assert_ne!(line, INVALID_TAG, "line address collides with sentinel");
         // Already present (e.g. racing prefetch): just refresh readiness.
-        for way in 0..self.ways {
-            let l = self.slot(set, way);
-            if l.valid && l.tag == line {
-                l.ready_at = l.ready_at.min(ready_at);
-                return InsertResult::default();
+        if let Some(idx) = self.find(line) {
+            self.cold[idx].ready_at = self.cold[idx].ready_at.min(ready_at);
+            return InsertResult::default();
+        }
+        let victim = self.pick_victim(self.set_of(line));
+        self.fill_slot(victim, line, ready_at, prefetched)
+    }
+
+    /// Fill for a line that just missed in [`Cache::access`]: skips the
+    /// presence re-scan a plain [`Cache::insert`] would pay and goes
+    /// straight to victim selection. Caller-proven absence is asserted in
+    /// debug builds; behavior is otherwise identical to `insert`.
+    pub fn fill_after_miss(&mut self, line: u64, ready_at: u64, prefetched: bool) -> InsertResult {
+        debug_assert!(
+            self.find(line).is_none(),
+            "fill_after_miss on a resident line"
+        );
+        let victim = self.pick_victim(self.set_of(line));
+        self.fill_slot(victim, line, ready_at, prefetched)
+    }
+
+    /// One-scan fill plan for `line`: presence, or the slot a subsequent
+    /// [`Cache::commit_fill`] will occupy. Pure — no stats, no replacement
+    /// updates — so a prefetch drain can decide *whether* and *where* to
+    /// fill before it knows the fill latency, without rescanning the set.
+    pub fn plan_fill(&self, line: u64) -> FillPlan {
+        if self.mru_line == line && self.tags[self.mru_idx] == line {
+            return FillPlan::Present(self.mru_idx);
+        }
+        // Presence scan reads only the packed tag slice; victim selection
+        // (which may touch the cold metadata) is the same `peek_victim`
+        // the commit-time `pick_victim` uses, so plan and insert can never
+        // choose different slots.
+        let base = self.set_of(line) * self.ways;
+        for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            if t == line {
+                return FillPlan::Present(base + w);
             }
         }
-        let victim = self.pick_victim(set);
-        let policy = self.policy;
-        let clock = self.lru_clock;
-        let l = self.slot(set, victim);
-        let mut result = InsertResult::default();
-        if l.valid {
-            result.evicted = Some(l.tag);
-            result.evicted_dirty = l.dirty;
+        self.peek_victim(self.set_of(line))
+            .map_or(FillPlan::Rescan, FillPlan::At)
+    }
+
+    /// Executes a [`FillPlan`] from [`Cache::plan_fill`]. The plan must have
+    /// been computed for the same `line` with no intervening mutation of the
+    /// cache; the outcome then matches a plain [`Cache::insert`] exactly.
+    pub fn commit_fill(
+        &mut self,
+        plan: FillPlan,
+        line: u64,
+        now: u64,
+        ready_at: u64,
+        prefetched: bool,
+    ) -> InsertResult {
+        match plan {
+            FillPlan::Present(idx) => {
+                debug_assert_eq!(self.tags[idx], line, "stale fill plan");
+                self.cold[idx].ready_at = self.cold[idx].ready_at.min(ready_at);
+                InsertResult::default()
+            }
+            FillPlan::At(idx) => {
+                // The check must not call `pick_victim`: its SRRIP arm ages
+                // the set, and an assert may not mutate. Non-residence is
+                // the property a stale plan would violate (a duplicate tag
+                // in the set breaks probe/invalidate).
+                debug_assert!(
+                    self.find(line).is_none(),
+                    "stale fill plan: line became resident after plan_fill"
+                );
+                self.fill_slot(idx, line, ready_at, prefetched)
+            }
+            FillPlan::Rescan => self.insert(line, now, ready_at, prefetched),
         }
-        *l = Line {
-            tag: line,
-            valid: true,
-            dirty: false,
-            meta: match policy {
-                Replacement::Lru => clock,
-                // SRRIP: long re-reference prediction on insert (2 of 0..=3),
-                // slightly longer for prefetches (dead-on-arrival bias).
-                Replacement::Srrip => 2 + u64::from(prefetched),
-            },
-            ready_at,
-            prefetched,
-        };
-        let _ = now;
-        if result.evicted.is_some() {
+    }
+
+    /// Writes `line` into slot `idx`, reporting the displaced victim.
+    fn fill_slot(
+        &mut self,
+        idx: usize,
+        line: u64,
+        ready_at: u64,
+        prefetched: bool,
+    ) -> InsertResult {
+        let mut result = InsertResult::default();
+        let old = self.tags[idx];
+        if old != INVALID_TAG {
+            result.evicted = Some(old);
+            result.evicted_dirty = self.dirty.get(idx);
             self.stats.evictions.inc();
             if result.evicted_dirty {
                 self.stats.writebacks.inc();
             }
         }
+        self.tags[idx] = line;
+        self.dirty.set(idx, false);
+        self.prefetched.set(idx, prefetched);
+        self.cold[idx] = Cold {
+            meta: match self.policy {
+                Replacement::Lru => self.lru_clock,
+                // SRRIP: long re-reference prediction on insert (2 of 0..=3),
+                // slightly longer for prefetches (dead-on-arrival bias).
+                Replacement::Srrip => 2 + u64::from(prefetched),
+            },
+            ready_at,
+        };
+        self.mru_line = line;
+        self.mru_idx = idx;
         if prefetched {
             self.stats.prefetch_fills.inc();
         }
@@ -230,39 +385,55 @@ impl Cache {
     /// Invalidates `line` if present (snoop-invalidate); returns whether the
     /// line was present and whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> (bool, bool) {
-        let set = self.set_of(line);
-        for way in 0..self.ways {
-            let l = self.slot(set, way);
-            if l.valid && l.tag == line {
-                let dirty = l.dirty;
-                *l = INVALID;
-                return (true, dirty);
-            }
+        if let Some(idx) = self.find(line) {
+            let dirty = self.dirty.get(idx);
+            self.tags[idx] = INVALID_TAG;
+            self.dirty.set(idx, false);
+            self.prefetched.set(idx, false);
+            self.cold[idx] = Cold::default();
+            return (true, dirty);
         }
         (false, false)
     }
 
-    fn pick_victim(&mut self, set: usize) -> usize {
+    /// The victim slot an insert into `set` would use, without mutating
+    /// anything: first invalid way, else LRU minimum / first SRRIP slot at
+    /// RRPV ≥ 3. `None` means SRRIP must age the set first. Shared by
+    /// [`Cache::plan_fill`] and [`Cache::pick_victim`] so the planned and
+    /// committed victim can never diverge.
+    fn peek_victim(&self, set: usize) -> Option<usize> {
+        let base = set * self.ways;
         // Prefer an invalid way.
-        for way in 0..self.ways {
-            if !self.lines[set * self.ways + way].valid {
-                return way;
-            }
+        if let Some(w) = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == INVALID_TAG)
+        {
+            return Some(base + w);
         }
         match self.policy {
-            Replacement::Lru => (0..self.ways)
-                .min_by_key(|&w| self.lines[set * self.ways + w].meta)
-                .expect("nonempty set"),
-            Replacement::Srrip => loop {
-                // Find RRPV==3; otherwise age everyone.
-                if let Some(w) = (0..self.ways).find(|&w| self.lines[set * self.ways + w].meta >= 3)
-                {
-                    break w;
+            Replacement::Lru => {
+                let mut best = base;
+                for i in base + 1..base + self.ways {
+                    if self.cold[i].meta < self.cold[best].meta {
+                        best = i;
+                    }
                 }
-                for w in 0..self.ways {
-                    self.lines[set * self.ways + w].meta += 1;
-                }
-            },
+                Some(best)
+            }
+            Replacement::Srrip => (base..base + self.ways).find(|&i| self.cold[i].meta >= 3),
+        }
+    }
+
+    fn pick_victim(&mut self, set: usize) -> usize {
+        loop {
+            if let Some(i) = self.peek_victim(set) {
+                return i;
+            }
+            // SRRIP: no RRPV==3 candidate — age everyone and retry.
+            let base = set * self.ways;
+            for i in base..base + self.ways {
+                self.cold[i].meta += 1;
+            }
         }
     }
 }
@@ -341,6 +512,48 @@ mod tests {
         let r = c.insert(4, 2, 2, false);
         assert_eq!(r.evicted, Some(2));
         assert!(c.probe(0));
+    }
+
+    #[test]
+    fn mru_memo_survives_eviction_of_the_memoized_line() {
+        // 1-set, 2-way cache: the memo goes stale the moment its slot is
+        // reused; a stale memo must fall back to the scan, never misreport.
+        let mut c = Cache::new("t", 2 * 64, 2, Replacement::Lru);
+        c.insert(0, 0, 0, false);
+        c.access(0, 1, false); // memo → line 0
+        c.insert(1, 1, 1, false);
+        c.insert(2, 2, 2, false); // evicts line 0 (LRU), may reuse its slot
+        assert!(!c.probe(0), "evicted line must not hit via the memo");
+        assert!(c.probe(1) && c.probe(2));
+        assert!(
+            c.access(2, 3, false).hit,
+            "fresh line hits after memo churn"
+        );
+    }
+
+    #[test]
+    fn plan_commit_matches_plain_insert() {
+        // Two identical caches: one driven by probe+insert, the other by
+        // plan_fill+commit_fill, must stay in lockstep (including SRRIP's
+        // Rescan fallback path).
+        for policy in [Replacement::Lru, Replacement::Srrip] {
+            let mut a = Cache::new("a", 4 * 64, 2, policy);
+            let mut b = Cache::new("b", 4 * 64, 2, policy);
+            let mut x = 12345u64;
+            for step in 0..400u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let line = x % 16;
+                let ra = a.insert(line, step, step + 3, true);
+                let plan = b.plan_fill(line);
+                let rb = b.commit_fill(plan, line, step, step + 3, true);
+                assert_eq!(ra, rb, "step {step}: fill outcome diverged");
+                assert_eq!(
+                    a.stats().evictions.get(),
+                    b.stats().evictions.get(),
+                    "step {step}: eviction counts diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,48 @@ struct Bank {
     busy_until: u64,
 }
 
+/// Divide/modulo helper that lowers to shift/mask when the divisor is a
+/// power of two (every default geometry parameter is), falling back to the
+/// hardware divider otherwise. Address mapping runs once per DRAM access —
+/// on memory-bound workloads that is once per simulated miss.
+#[derive(Debug, Clone, Copy)]
+struct PowMap {
+    n: u64,
+    mask: u64,
+    shift: u32,
+    pow2: bool,
+}
+
+impl PowMap {
+    fn new(n: u64) -> Self {
+        let pow2 = n.is_power_of_two();
+        PowMap {
+            n,
+            mask: n.wrapping_sub(1),
+            shift: if pow2 { n.trailing_zeros() } else { 0 },
+            pow2,
+        }
+    }
+
+    #[inline]
+    fn rem(&self, x: u64) -> u64 {
+        if self.pow2 {
+            x & self.mask
+        } else {
+            x % self.n
+        }
+    }
+
+    #[inline]
+    fn div(&self, x: u64) -> u64 {
+        if self.pow2 {
+            x >> self.shift
+        } else {
+            x / self.n
+        }
+    }
+}
+
 /// DRAM access statistics.
 #[derive(Debug, Clone, Default)]
 pub struct DramStats {
@@ -57,16 +99,26 @@ pub struct DramStats {
 pub struct Dram {
     cfg: DramConfig,
     banks: Vec<Bank>,
+    /// Precomputed channel / row / bank-in-channel mapping (shift/mask).
+    ch_map: PowMap,
+    row_map: PowMap,
+    bank_map: PowMap,
+    per_channel: usize,
     stats: DramStats,
 }
 
 impl Dram {
     /// Creates a DRAM model from `cfg`.
     pub fn new(cfg: DramConfig) -> Self {
-        let n = cfg.channels * cfg.ranks * cfg.banks;
+        let per_channel = cfg.ranks * cfg.banks;
+        let n = cfg.channels * per_channel;
         Dram {
             cfg,
             banks: vec![Bank::default(); n],
+            ch_map: PowMap::new(cfg.channels as u64),
+            row_map: PowMap::new(cfg.row_bytes),
+            bank_map: PowMap::new(per_channel as u64),
+            per_channel,
             stats: DramStats::default(),
         }
     }
@@ -76,14 +128,14 @@ impl Dram {
         &self.stats
     }
 
+    #[inline]
     fn map(&self, addr: u64) -> (usize, u64) {
         // Channel and rank/bank interleave on line and row bits respectively.
         let line = addr / 64;
-        let channel = (line as usize) % self.cfg.channels;
-        let row = addr / self.cfg.row_bytes;
-        let per_channel = self.cfg.ranks * self.cfg.banks;
-        let bank_in_channel = (row as usize) % per_channel;
-        (channel * per_channel + bank_in_channel, row)
+        let channel = self.ch_map.rem(line) as usize;
+        let row = self.row_map.div(addr);
+        let bank_in_channel = self.bank_map.rem(row) as usize;
+        (channel * self.per_channel + bank_in_channel, row)
     }
 
     /// Returns the access latency for `addr` starting at cycle `now`,
@@ -154,5 +206,43 @@ mod tests {
         let a = d.access(0, 0);
         let b = d.access(64, 0); // next line → different channel
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pow2_fast_map_matches_generic_division() {
+        // Same access stream through a power-of-two geometry (shift/mask
+        // path) and the reference computation.
+        let cfg = DramConfig::default();
+        let d = Dram::new(cfg);
+        let mut x = 7u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = x % (1 << 30);
+            let (bank, row) = d.map(addr);
+            let line = addr / 64;
+            let per_channel = cfg.ranks * cfg.banks;
+            let want_bank = (line as usize % cfg.channels) * per_channel
+                + (addr / cfg.row_bytes) as usize % per_channel;
+            assert_eq!(bank, want_bank);
+            assert_eq!(row, addr / cfg.row_bytes);
+        }
+    }
+
+    #[test]
+    fn non_pow2_geometry_still_maps_in_range() {
+        let cfg = DramConfig {
+            channels: 3,
+            banks: 6,
+            ..DramConfig::default()
+        };
+        let mut d = Dram::new(cfg);
+        let banks = cfg.channels * cfg.ranks * cfg.banks;
+        let mut x = 13u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let (bank, _) = d.map(x % (1 << 30));
+            assert!(bank < banks);
+        }
+        assert!(d.access(0x1234, 0) > 0);
     }
 }

@@ -1,6 +1,13 @@
 //! The per-core memory hierarchy: L1-D → L2 → LLC → DRAM with prefetchers.
+//!
+//! The access path is allocation-free: outcomes are plain `Copy` structs,
+//! and L1-D eviction lines — consumed only by the Constable-AMT-I variant
+//! (Appendix A.3) — flow into a caller-provided [`EvictionSink`] whose
+//! storage is an inline fixed-capacity buffer (recycled by the core's
+//! `SimScratch`). A disabled sink makes eviction tracking free for every
+//! configuration that does not consume it.
 
-use crate::cache::{line_addr, Cache, Replacement};
+use crate::cache::{line_addr, Cache, FillPlan, Replacement};
 use crate::dram::{Dram, DramConfig};
 use crate::prefetch::{PrefetchReq, SppLite, StreamPrefetcher, StridePrefetcher};
 use sim_stats::Counter;
@@ -14,16 +21,104 @@ pub enum HitLevel {
     Dram,
 }
 
-/// Outcome of a demand access.
-#[derive(Debug, Clone)]
+/// Outcome of a demand access. Plain value — copied, never allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
     /// Load-to-use latency in core cycles.
     pub latency: u64,
     /// Level that provided the data.
     pub level: HitLevel,
-    /// L1-D lines evicted while servicing this access (fills/prefetches).
-    /// Consumed by the Constable-AMT-I variant (Appendix A.3).
-    pub l1_evictions: Vec<u64>,
+}
+
+/// Collects the L1-D line addresses evicted while servicing accesses
+/// (fills and prefetches), for the Constable-AMT-I consumer.
+///
+/// The common storage is an inline array sized for the worst single access
+/// (one demand fill plus a full prefetch burst); a heap `spill` absorbs the
+/// pathological overflow without losing lines. A **disabled** sink records
+/// nothing, so configurations without an AMT-I consumer pay only one branch
+/// per would-be eviction.
+#[derive(Debug, Default)]
+pub struct EvictionSink {
+    enabled: bool,
+    len: usize,
+    inline: [u64; Self::INLINE],
+    spill: Vec<u64>,
+}
+
+impl EvictionSink {
+    /// Inline capacity: a demand fill evicts at most 1 line and the
+    /// prefetch drain at most one per request (stride 2 + streamer 2 +
+    /// SPP 4), so 12 leaves slack without growing `SimScratch`.
+    pub const INLINE: usize = 12;
+
+    /// Creates a sink; a disabled one discards every push.
+    pub fn new(enabled: bool) -> Self {
+        EvictionSink {
+            enabled,
+            ..Default::default()
+        }
+    }
+
+    /// Enables or disables recording. Does not clear recorded lines.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether pushes are currently recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an evicted line (no-op when disabled).
+    #[inline]
+    pub fn push(&mut self, line: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.len < Self::INLINE {
+            self.inline[self.len] = line;
+            self.len += 1;
+        } else {
+            self.spill.push(line);
+        }
+    }
+
+    /// Whether any lines are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Recorded lines in the inline buffer, in push order.
+    pub fn inline_lines(&self) -> &[u64] {
+        &self.inline[..self.len]
+    }
+
+    /// Overflow lines (pushed after the inline buffer filled), in order.
+    pub fn spill_lines(&self) -> &[u64] {
+        &self.spill
+    }
+
+    /// Forgets all recorded lines (keeps the spill capacity).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Hands every recorded line to `consume` in push order — as one or
+    /// two slices (inline buffer, then spill) — and clears the sink.
+    /// Consumers should prefer this over reading `inline_lines` /
+    /// `spill_lines` by hand: it makes dropping an overflowed spill
+    /// impossible to write by accident.
+    pub fn drain_with(&mut self, mut consume: impl FnMut(&[u64])) {
+        if self.len > 0 {
+            consume(&self.inline[..self.len]);
+            if !self.spill.is_empty() {
+                consume(&self.spill);
+            }
+        }
+        self.clear();
+    }
 }
 
 /// Cache geometry and latency configuration (paper Table 2).
@@ -137,12 +232,17 @@ impl MemoryHierarchy {
         (self.l1.stats(), self.l2.stats(), self.llc.stats())
     }
 
-    fn fill_chain(&mut self, line: u64, now: u64, evictions: &mut Vec<u64>) -> (u64, HitLevel) {
+    fn fill_chain(&mut self, line: u64, now: u64, evictions: &mut EvictionSink) -> (u64, HitLevel) {
+        // Every fill below follows a miss in the same cache this call (L1)
+        // or this chain (L2/LLC) just observed, so the fills skip the
+        // presence re-scan (`fill_after_miss`).
         // L2?
         let l2 = self.l2.access(line, now, false);
         if l2.hit {
             self.stats.l2_hits.inc();
-            let r = self.l1.insert(line, now, now + self.cfg.l2_latency, false);
+            let r = self
+                .l1
+                .fill_after_miss(line, now + self.cfg.l2_latency, false);
             if let Some(e) = r.evicted {
                 evictions.push(e);
             }
@@ -153,60 +253,71 @@ impl MemoryHierarchy {
         if llc.hit {
             self.stats.llc_hits.inc();
             let lat = self.cfg.llc_latency + llc.fill_wait;
-            let r = self.l1.insert(line, now, now + lat, false);
+            let r = self.l1.fill_after_miss(line, now + lat, false);
             if let Some(e) = r.evicted {
                 evictions.push(e);
             }
-            self.l2.insert(line, now, now + lat, false);
+            self.l2.fill_after_miss(line, now + lat, false);
             return (lat, HitLevel::Llc);
         }
         // DRAM.
         self.stats.dram_accesses.inc();
         let lat = self.cfg.llc_latency + self.dram.access(line * 64, now);
-        let r = self.l1.insert(line, now, now + lat, false);
+        let r = self.l1.fill_after_miss(line, now + lat, false);
         if let Some(e) = r.evicted {
             evictions.push(e);
         }
-        self.l2.insert(line, now, now + lat, false);
-        self.llc.insert(line, now, now + lat, false);
+        self.l2.fill_after_miss(line, now + lat, false);
+        self.llc.fill_after_miss(line, now + lat, false);
         (lat, HitLevel::Dram)
     }
 
-    fn run_prefetches(&mut self, now: u64, evictions: &mut Vec<u64>) {
-        let reqs = std::mem::take(&mut self.pf_scratch);
-        for req in &reqs {
-            if self.l1.probe(req.line) {
+    /// Drains pending prefetch requests. Each request costs one scan per
+    /// cache level: the L1/L2 presence checks double as fill plans
+    /// ([`Cache::plan_fill`]), so the subsequent fills commit straight into
+    /// the planned slot instead of rescanning the set.
+    fn run_prefetches(&mut self, now: u64, evictions: &mut EvictionSink) {
+        for i in 0..self.pf_scratch.len() {
+            let req = self.pf_scratch[i];
+            let l1_plan = self.l1.plan_fill(req.line);
+            if matches!(l1_plan, FillPlan::Present(_)) {
                 continue;
             }
             // Determine fill latency from wherever the line currently lives.
-            let lat = if self.l2.probe(req.line) {
+            let l2_plan = self.l2.plan_fill(req.line);
+            let lat = if matches!(l2_plan, FillPlan::Present(_)) {
                 self.cfg.l2_latency
             } else if self.llc.probe(req.line) {
                 self.cfg.llc_latency
             } else {
                 self.cfg.llc_latency + self.dram.access(req.line * 64, now)
             };
-            let r = self.l1.insert(req.line, now, now + lat, true);
+            let r = self.l1.commit_fill(l1_plan, req.line, now, now + lat, true);
             if let Some(e) = r.evicted {
                 evictions.push(e);
             }
-            self.l2.insert(req.line, now, now + lat, true);
+            self.l2.commit_fill(l2_plan, req.line, now, now + lat, true);
         }
-        self.pf_scratch = reqs;
         self.pf_scratch.clear();
     }
 
     /// Performs a demand load at `addr` issued by the instruction at `pc`.
-    pub fn load(&mut self, pc: u64, addr: u64, now: u64) -> AccessOutcome {
+    /// L1 lines evicted while servicing it land in `evictions`.
+    pub fn load(
+        &mut self,
+        pc: u64,
+        addr: u64,
+        now: u64,
+        evictions: &mut EvictionSink,
+    ) -> AccessOutcome {
         self.stats.loads.inc();
         let line = line_addr(addr);
-        let mut evictions = Vec::new();
         let l1 = self.l1.access(line, now, false);
         let (latency, level) = if l1.hit {
             self.stats.l1_hits.inc();
             (self.cfg.l1_latency + l1.fill_wait, HitLevel::L1)
         } else {
-            let (lat, level) = self.fill_chain(line, now, &mut evictions);
+            let (lat, level) = self.fill_chain(line, now, evictions);
             (self.cfg.l1_latency + lat, level)
         };
         // Train prefetchers on the demand stream.
@@ -217,24 +328,24 @@ impl MemoryHierarchy {
             self.stream.train(line, now, &mut self.pf_scratch);
             self.spp.train(line, now, &mut self.pf_scratch);
         }
-        self.run_prefetches(now, &mut evictions);
-        AccessOutcome {
-            latency,
-            level,
-            l1_evictions: evictions,
-        }
+        self.run_prefetches(now, evictions);
+        AccessOutcome { latency, level }
     }
 
     /// Commits a retired store to `addr` (write-allocate, write-back).
     /// Store commit is off the critical path; the latency returned is the
     /// L1 write latency used for store-buffer drain pacing.
-    pub fn store_commit(&mut self, addr: u64, now: u64) -> AccessOutcome {
+    pub fn store_commit(
+        &mut self,
+        addr: u64,
+        now: u64,
+        evictions: &mut EvictionSink,
+    ) -> AccessOutcome {
         self.stats.stores.inc();
         let line = line_addr(addr);
-        let mut evictions = Vec::new();
         let l1 = self.l1.access(line, now, true);
         if !l1.hit {
-            let _ = self.fill_chain(line, now, &mut evictions);
+            let _ = self.fill_chain(line, now, evictions);
             self.l1.access(line, now, true); // mark dirty after the fill
         } else {
             self.stats.l1_hits.inc();
@@ -242,7 +353,6 @@ impl MemoryHierarchy {
         AccessOutcome {
             latency: self.cfg.l1_latency,
             level: HitLevel::L1,
-            l1_evictions: evictions,
         }
     }
 
@@ -280,13 +390,18 @@ mod tests {
         }
     }
 
+    /// Load with a throwaway (disabled) sink.
+    fn load(m: &mut MemoryHierarchy, pc: u64, addr: u64, now: u64) -> AccessOutcome {
+        m.load(pc, addr, now, &mut EvictionSink::default())
+    }
+
     #[test]
     fn first_access_misses_to_dram_then_hits_l1() {
         let mut m = MemoryHierarchy::new(small_cfg());
-        let a = m.load(0x400, 0x10000, 0);
+        let a = load(&mut m, 0x400, 0x10000, 0);
         assert_eq!(a.level, HitLevel::Dram);
         assert!(a.latency > 100);
-        let b = m.load(0x400, 0x10008, a.latency);
+        let b = load(&mut m, 0x400, 0x10008, a.latency);
         assert_eq!(b.level, HitLevel::L1, "same line must now hit L1");
         assert_eq!(b.latency, 5);
     }
@@ -296,10 +411,10 @@ mod tests {
         let mut m = MemoryHierarchy::new(small_cfg());
         // Touch far more lines than L1 holds (64 lines), same set stride.
         for i in 0..256u64 {
-            m.load(0x400, 0x10000 + i * 64, i * 10);
+            load(&mut m, 0x400, 0x10000 + i * 64, i * 10);
         }
         // Re-touch the first line: out of L1, should hit L2 or LLC.
-        let r = m.load(0x400, 0x10000, 100_000);
+        let r = load(&mut m, 0x400, 0x10000, 100_000);
         assert!(matches!(r.level, HitLevel::L2 | HitLevel::Llc));
         assert!(r.latency >= 12);
     }
@@ -315,8 +430,8 @@ mod tests {
         let mut now = 0;
         for i in 0..128u64 {
             let addr = 0x4_0000 + i * 64;
-            lat_with += with_pf.load(0x400, addr, now).latency;
-            lat_without += without_pf.load(0x400, addr, now).latency;
+            lat_with += load(&mut with_pf, 0x400, addr, now).latency;
+            lat_without += load(&mut without_pf, 0x400, addr, now).latency;
             now += 200;
         }
         assert!(
@@ -328,32 +443,77 @@ mod tests {
     #[test]
     fn snoop_invalidation_forces_refetch() {
         let mut m = MemoryHierarchy::new(small_cfg());
-        m.load(0x400, 0x2000, 0);
+        load(&mut m, 0x400, 0x2000, 0);
         assert!(m.l1_probe(line_addr(0x2000)));
         m.snoop_invalidate(line_addr(0x2000));
         assert!(!m.l1_probe(line_addr(0x2000)));
-        let r = m.load(0x400, 0x2000, 1000);
+        let r = load(&mut m, 0x400, 0x2000, 1000);
         assert!(r.level > HitLevel::L1, "invalidated line cannot hit L1");
     }
 
     #[test]
     fn store_commit_marks_line_dirty_and_hits_after_fill() {
         let mut m = MemoryHierarchy::new(small_cfg());
-        let s = m.store_commit(0x3000, 0);
+        let s = m.store_commit(0x3000, 0, &mut EvictionSink::default());
         assert_eq!(s.level, HitLevel::L1);
-        let r = m.load(0x400, 0x3000, 10);
+        let r = load(&mut m, 0x400, 0x3000, 10);
         assert_eq!(r.level, HitLevel::L1);
     }
 
     #[test]
-    fn l1_evictions_are_reported() {
+    fn l1_evictions_are_reported_to_an_enabled_sink() {
         let mut m = MemoryHierarchy::new(small_cfg());
         // L1 = 4KB/4-way = 16 sets; fill one set (stride 16 lines = 1KB).
+        let mut sink = EvictionSink::new(true);
         let mut evicted = Vec::new();
         for i in 0..8u64 {
-            let out = m.load(0x400, i * 16 * 64, i * 500);
-            evicted.extend(out.l1_evictions);
+            m.load(0x400, i * 16 * 64, i * 500, &mut sink);
+            evicted.extend_from_slice(sink.inline_lines());
+            evicted.extend_from_slice(sink.spill_lines());
+            sink.clear();
         }
         assert!(!evicted.is_empty(), "overfilled set must evict");
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut m = MemoryHierarchy::new(small_cfg());
+        let mut sink = EvictionSink::new(false);
+        for i in 0..8u64 {
+            m.load(0x400, i * 16 * 64, i * 500, &mut sink);
+        }
+        assert!(sink.is_empty(), "disabled sink must stay empty");
+    }
+
+    #[test]
+    fn sink_spills_past_inline_capacity_without_losing_lines() {
+        let mut sink = EvictionSink::new(true);
+        for line in 0..20u64 {
+            sink.push(line);
+        }
+        assert_eq!(sink.inline_lines().len(), EvictionSink::INLINE);
+        assert_eq!(
+            sink.inline_lines().len() + sink.spill_lines().len(),
+            20,
+            "spill must absorb overflow"
+        );
+        assert_eq!(sink.spill_lines()[0], EvictionSink::INLINE as u64);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn sink_drain_preserves_push_order_across_the_spill_and_clears() {
+        let mut sink = EvictionSink::new(true);
+        for line in 0..20u64 {
+            sink.push(line);
+        }
+        let mut seen = Vec::new();
+        sink.drain_with(|lines| seen.extend_from_slice(lines));
+        assert_eq!(seen, (0..20u64).collect::<Vec<_>>());
+        assert!(sink.is_empty(), "drain must clear the sink");
+        let mut calls = 0;
+        sink.drain_with(|_| calls += 1);
+        assert_eq!(calls, 0, "an empty sink hands over nothing");
     }
 }

@@ -8,11 +8,12 @@
 //! including the **CV-bit pinning** mechanism Constable adds (§6.6).
 //!
 //! ```
-//! use sim_mem::{MemConfig, MemoryHierarchy};
+//! use sim_mem::{EvictionSink, MemConfig, MemoryHierarchy};
 //!
 //! let mut mem = MemoryHierarchy::new(MemConfig::golden_cove_like());
-//! let miss = mem.load(0x400, 0xdead00, 0);
-//! let hit = mem.load(0x400, 0xdead08, miss.latency);
+//! let mut sink = EvictionSink::default(); // disabled: no AMT-I consumer
+//! let miss = mem.load(0x400, 0xdead00, 0, &mut sink);
+//! let hit = mem.load(0x400, 0xdead08, miss.latency, &mut sink);
 //! assert!(hit.latency < miss.latency);
 //! ```
 
@@ -23,9 +24,11 @@ mod hierarchy;
 mod prefetch;
 
 pub use cache::{
-    line_addr, Cache, CacheStats, InsertResult, LookupResult, Replacement, LINE_BYTES,
+    line_addr, Cache, CacheStats, FillPlan, InsertResult, LookupResult, Replacement, LINE_BYTES,
 };
 pub use coherence::{Directory, Snoop, SnoopInjector};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use hierarchy::{AccessOutcome, HierarchyStats, HitLevel, MemConfig, MemoryHierarchy};
+pub use hierarchy::{
+    AccessOutcome, EvictionSink, HierarchyStats, HitLevel, MemConfig, MemoryHierarchy,
+};
 pub use prefetch::{PrefetchReq, SppLite, StreamPrefetcher, StridePrefetcher};

@@ -8,8 +8,6 @@
 //! the forwarded value — which is exactly the resource-dependence limitation
 //! Constable removes (§3).
 
-use std::collections::HashMap;
-
 /// Prediction: forward from the given store PC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MrnPrediction {
@@ -26,6 +24,13 @@ struct PairEntry {
 
 const CONF_USE: u8 = 4;
 
+/// Writer-table geometry: 64K direct-mapped entries.
+const WRITER_BITS: u32 = 16;
+
+/// Address slot marking an empty writer entry (tagged simulator addresses
+/// never reach it).
+const NO_ADDR: u64 = u64::MAX;
+
 /// The MRN predictor: a store-load pair table trained from observed
 /// memory dataflow at load execution.
 #[derive(Debug, Clone)]
@@ -33,8 +38,10 @@ pub struct Mrn {
     pairs: Vec<PairEntry>,
     /// Last store PC to write each address (bounded training helper —
     /// hardware derives this from the store queue / memory cloaking table).
-    last_writer: HashMap<u64, u64>,
-    capacity: usize,
+    /// Direct-mapped `(addr, store_pc)` entries: one multiply-hash index
+    /// per executed store or load, no per-store heap traffic — the previous
+    /// `HashMap` paid SipHash plus growth on every retired store.
+    last_writer: Vec<(u64, u64)>,
 }
 
 impl Mrn {
@@ -42,8 +49,7 @@ impl Mrn {
     pub fn new() -> Self {
         Mrn {
             pairs: vec![PairEntry::default(); 1 << 10],
-            last_writer: HashMap::new(),
-            capacity: 1 << 16,
+            last_writer: vec![(NO_ADDR, 0); 1 << WRITER_BITS],
         }
     }
 
@@ -51,20 +57,27 @@ impl Mrn {
         (load_pc >> 2) as usize & (self.pairs.len() - 1)
     }
 
-    /// Records a committed/executed store (trains the dataflow map).
+    /// Writer-table slot for `addr` — the same multiply-rotate policy as
+    /// `sim-core`'s `FastHasher`, taking the top bits of the product.
+    #[inline]
+    fn writer_idx(addr: u64) -> usize {
+        (addr.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95) >> (64 - WRITER_BITS)) as usize
+    }
+
+    /// Records a committed/executed store (trains the dataflow map). A
+    /// direct-mapped collision simply forgets the older writer — bounded
+    /// loss, exactly like the hardware table this stands in for.
     pub fn on_store(&mut self, store_pc: u64, addr: u64) {
-        if self.last_writer.len() >= self.capacity {
-            self.last_writer.clear();
-        }
-        self.last_writer.insert(addr, store_pc);
+        self.last_writer[Self::writer_idx(addr)] = (addr, store_pc);
     }
 
     /// Trains on an executed load: associates it with the store that last
     /// wrote its address.
     pub fn on_load(&mut self, load_pc: u64, addr: u64) {
-        let Some(&writer) = self.last_writer.get(&addr) else {
+        let (slot_addr, writer) = self.last_writer[Self::writer_idx(addr)];
+        if slot_addr != addr {
             return;
-        };
+        }
         let idx = self.idx(load_pc);
         let e = &mut self.pairs[idx];
         if e.load_tag == (load_pc >> 2) as u32 {
@@ -136,11 +149,18 @@ mod tests {
     }
 
     #[test]
-    fn writer_map_is_bounded() {
+    fn writer_table_is_fixed_size_and_still_learns_after_pressure() {
         let mut m = Mrn::new();
+        // Flood the table with twice its capacity in distinct addresses.
         for a in 0..(1u64 << 17) {
-            m.on_store(0x100, a);
+            m.on_store(0x100, a * 8);
         }
-        assert!(m.last_writer.len() <= 1 << 16);
+        assert_eq!(m.last_writer.len(), 1 << 16, "storage must stay fixed");
+        // A live store→load pair still trains through the pressure.
+        for _ in 0..16 {
+            m.on_store(0x100, 0x9000);
+            m.on_load(0x200, 0x9000);
+        }
+        assert_eq!(m.predict(0x200), Some(MrnPrediction { store_pc: 0x100 }));
     }
 }

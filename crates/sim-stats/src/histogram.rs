@@ -44,10 +44,17 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples in one bucket update (used by the
+    /// event-driven core to account a fast-forwarded stall region's
+    /// per-cycle zero samples without looping).
+    pub fn record_n(&mut self, value: u64, n: u64) {
         let idx = self.bounds.partition_point(|&b| b <= value);
-        self.counts[idx] += 1;
-        self.total += 1;
-        self.sum += u128::from(value);
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
     }
 
     /// Per-bucket sample counts (the last entry is the overflow bucket).

@@ -10,56 +10,165 @@
 use crate::program::{Program, STACK_TOP};
 use sim_isa::{ArchReg, BranchKind, DynInst, MemAccess, OpKind, Pc};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
+/// Multiply-rotate hasher for page numbers (the same policy `sim-core`
+/// uses for its PC-keyed maps): SipHash cost per page translation is pure
+/// overhead for simulator-internal integer keys.
+#[derive(Debug, Default, Clone)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+/// Page number that cannot occur (addresses are < 2^52 pages).
+const NO_PAGE: u64 = u64::MAX;
+
 /// Sparse byte-addressable memory backed by 4 KiB pages.
 ///
-/// Reads of untouched memory return zero, matching the "snapshot" semantics
-/// of trace-driven simulation.
-#[derive(Debug, Default, Clone)]
+/// Page payloads live in one slab (`pages`); a fast-hash map translates
+/// page numbers to slab slots, and a one-entry MRU memo short-circuits the
+/// translation for the page-local access runs the functional stream is
+/// made of. Reads and writes resolve their page **once per access** (twice
+/// when straddling a boundary), not once per byte. Reads of untouched
+/// memory return zero, matching the "snapshot" semantics of trace-driven
+/// simulation.
+#[derive(Debug, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    index: HashMap<u64, u32, BuildHasherDefault<PageHasher>>,
+    mru_page: u64,
+    mru_slot: u32,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
-        Self::default()
+        Memory {
+            pages: Vec::new(),
+            index: HashMap::default(),
+            mru_page: NO_PAGE,
+            mru_slot: 0,
+        }
+    }
+
+    /// Slab slot of `page`, if mapped.
+    #[inline]
+    fn slot_of(&self, page: u64) -> Option<u32> {
+        if self.mru_page == page {
+            return Some(self.mru_slot);
+        }
+        self.index.get(&page).copied()
+    }
+
+    /// Slab slot of `page`, mapping a fresh zero page if needed.
+    #[inline]
+    fn slot_or_map(&mut self, page: u64) -> u32 {
+        if self.mru_page == page {
+            return self.mru_slot;
+        }
+        let slot = match self.index.get(&page) {
+            Some(&s) => s,
+            None => {
+                let s = self.pages.len() as u32;
+                self.pages.push(Box::new([0u8; PAGE_SIZE]));
+                self.index.insert(page, s);
+                s
+            }
+        };
+        self.mru_page = page;
+        self.mru_slot = slot;
+        slot
     }
 
     /// Reads `size` bytes (≤ 8) at `addr` as a little-endian integer.
     pub fn read(&self, addr: u64, size: u8) -> u64 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + usize::from(size) <= PAGE_SIZE {
+            // Common case: the whole span lives in one page.
+            let Some(slot) = self.slot_of(addr >> PAGE_SHIFT) else {
+                return 0;
+            };
+            let page = &self.pages[slot as usize];
+            let mut buf = [0u8; 8];
+            buf[..usize::from(size)].copy_from_slice(&page[off..off + usize::from(size)]);
+            return u64::from_le_bytes(buf);
+        }
+        // Page-straddling access: assemble byte-wise.
         let mut v = 0u64;
         for i in 0..u64::from(size) {
-            v |= u64::from(self.read_byte(addr + i)) << (8 * i);
+            let a = addr + i;
+            let b = match self.slot_of(a >> PAGE_SHIFT) {
+                Some(s) => self.pages[s as usize][(a as usize) & (PAGE_SIZE - 1)],
+                None => 0,
+            };
+            v |= u64::from(b) << (8 * i);
         }
         v
     }
 
+    /// Like [`Memory::read`], but refreshes the MRU page memo — the hot
+    /// path the executor uses, where the next access is very likely on the
+    /// same page. `read` itself stays `&self` for analysis callers.
+    fn read_hot(&mut self, addr: u64, size: u8) -> u64 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + usize::from(size) <= PAGE_SIZE {
+            let page_no = addr >> PAGE_SHIFT;
+            let Some(slot) = self.slot_of(page_no) else {
+                return 0;
+            };
+            self.mru_page = page_no;
+            self.mru_slot = slot;
+            let page = &self.pages[slot as usize];
+            let mut buf = [0u8; 8];
+            buf[..usize::from(size)].copy_from_slice(&page[off..off + usize::from(size)]);
+            return u64::from_le_bytes(buf);
+        }
+        self.read(addr, size)
+    }
+
     /// Writes the low `size` bytes (≤ 8) of `value` at `addr`, little-endian.
     pub fn write(&mut self, addr: u64, value: u64, size: u8) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + usize::from(size) <= PAGE_SIZE {
+            let slot = self.slot_or_map(addr >> PAGE_SHIFT);
+            let page = &mut self.pages[slot as usize];
+            page[off..off + usize::from(size)]
+                .copy_from_slice(&value.to_le_bytes()[..usize::from(size)]);
+            return;
+        }
         for i in 0..u64::from(size) {
-            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+            let a = addr + i;
+            let slot = self.slot_or_map(a >> PAGE_SHIFT);
+            self.pages[slot as usize][(a as usize) & (PAGE_SIZE - 1)] = (value >> (8 * i)) as u8;
         }
-    }
-
-    #[inline]
-    fn read_byte(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
-            None => 0,
-        }
-    }
-
-    #[inline]
-    fn write_byte(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 
     /// Number of touched pages.
@@ -151,7 +260,7 @@ impl<'p> Machine<'p> {
         match inst.kind {
             OpKind::Load { mem, size } => {
                 let addr = mem.effective_addr(|r| self.regs[r.index()]);
-                let value = self.mem.read(addr, size);
+                let value = self.mem.read_hot(addr, size);
                 rec.mem = Some(MemAccess { addr, value, size });
                 rec.dst_value = value;
                 if let Some(d) = inst.dst {

@@ -321,6 +321,28 @@ pub fn suite() -> Vec<WorkloadSpec> {
     out
 }
 
+/// A deliberately memory-bound trace: streaming, matrix, pointer-chase, and
+/// hash-probe kernels dominate, so nearly every cycle touches the cache
+/// hierarchy. Used by the `bench/memory` harness and the memory-stress rows
+/// of the scheduler-equivalence matrix; two specs with the same seed build
+/// identical programs.
+pub fn memory_stress(seed: u64) -> WorkloadSpec {
+    use KernelKind::*;
+    WorkloadSpec {
+        name: format!("memstress.{seed:#x}"),
+        category: Category::Fspec17,
+        seed,
+        weights: vec![
+            (Stream, 4),
+            (Matrix, 3),
+            (PtrChase, 3),
+            (HashProbe, 2),
+            (Churn, 2),
+        ],
+        apx: false,
+    }
+}
+
 /// A small, category-balanced subset of the suite (for tests and quick runs).
 pub fn suite_subset(n: usize) -> Vec<WorkloadSpec> {
     let full = suite();

@@ -10,6 +10,13 @@
 //! element throughput when configured) and writes every result as JSON to
 //! `target/criterion-shim/<report>.json` so snapshots can be committed.
 //!
+//! Noise handling: the median (and the throughput derived from it) is
+//! computed after trimming the top and bottom deciles of the sorted
+//! samples, so a single scheduling hiccup on a shared host cannot drag the
+//! headline number. The raw min/max are still reported as the spread, and
+//! the JSON records how many samples (raw and kept) stand behind each
+//! result.
+//!
 //! Environment knobs:
 //! * `CRITERION_SHIM_QUICK=1` — 3 samples, short warm-up (CI smoke).
 //! * `CRITERION_SHIM_OUT=<path>` — override the JSON report path.
@@ -31,11 +38,16 @@ pub enum Throughput {
 pub struct BenchResult {
     pub name: String,
     pub ns_per_iter_min: f64,
+    /// Median of the decile-trimmed samples (outliers rejected).
     pub ns_per_iter_median: f64,
     pub ns_per_iter_max: f64,
     /// Elements (or bytes) per second, when a throughput was configured.
     pub throughput_per_sec: Option<f64>,
     pub iterations: u64,
+    /// Timed samples collected.
+    pub samples: usize,
+    /// Samples surviving the decile trim (the median's population).
+    pub samples_kept: usize,
 }
 
 /// The harness. Mirrors `criterion::Criterion`'s builder surface.
@@ -130,7 +142,11 @@ impl Criterion {
             return;
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
-        let median = samples[samples.len() / 2];
+        // Simple outlier rejection: drop the top and bottom deciles before
+        // taking the median (no-op below 10 samples, where a decile is 0).
+        let trim = samples.len() / 10;
+        let kept = &samples[trim..samples.len() - trim];
+        let median = kept[kept.len() / 2];
         let per_iter_units = match throughput {
             Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n as f64),
             None => None,
@@ -142,6 +158,8 @@ impl Criterion {
             ns_per_iter_max: *samples.last().expect("non-empty"),
             throughput_per_sec: per_iter_units.map(|n| n * 1e9 / median),
             iterations: b.iterations,
+            samples: samples.len(),
+            samples_kept: kept.len(),
         };
         match result.throughput_per_sec {
             Some(tp) => println!(
@@ -181,13 +199,15 @@ impl Criterion {
                 .map(|t| format!("{t:.1}"))
                 .unwrap_or_else(|| "null".into());
             out.push_str(&format!(
-                "  {{\"name\": \"{}\", \"ns_per_iter\": {{\"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}}}, \"throughput_per_sec\": {}, \"iterations\": {}}}{}\n",
+                "  {{\"name\": \"{}\", \"ns_per_iter\": {{\"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}}}, \"throughput_per_sec\": {}, \"iterations\": {}, \"samples\": {}, \"samples_kept\": {}}}{}\n",
                 r.name,
                 r.ns_per_iter_min,
                 r.ns_per_iter_median,
                 r.ns_per_iter_max,
                 tp,
                 r.iterations,
+                r.samples,
+                r.samples_kept,
                 if i + 1 == self.results.len() { "" } else { "," },
             ));
         }
@@ -329,7 +349,24 @@ mod tests {
         let mut c = Criterion::default();
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
         assert_eq!(c.results().len(), 1);
-        assert!(c.results()[0].ns_per_iter_median >= 0.0);
+        let r = &c.results()[0];
+        assert!(r.ns_per_iter_median >= 0.0);
+        assert!(r.samples >= 2, "sample count must be recorded");
+        assert_eq!(r.samples_kept, r.samples - 2 * (r.samples / 10));
+    }
+
+    #[test]
+    fn decile_trim_rejects_outliers() {
+        // 20 samples: two absurd outliers at each end must not move the
+        // median (trim drops 2 low + 2 high).
+        let mut samples: Vec<f64> = vec![0.001, 0.002];
+        samples.extend((0..16).map(|i| 100.0 + i as f64));
+        samples.extend([10_000.0, 20_000.0]);
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let trim = samples.len() / 10;
+        let kept = &samples[trim..samples.len() - trim];
+        let median = kept[kept.len() / 2];
+        assert!((100.0..116.0).contains(&median), "median {median} polluted");
     }
 
     #[test]

@@ -10,12 +10,13 @@
 
 use constable_repro::constable::{Constable, ConstableConfig, LoadRename, StackState};
 use constable_repro::sim_isa::MemRef;
-use constable_repro::sim_mem::{line_addr, Directory, MemConfig, MemoryHierarchy};
+use constable_repro::sim_mem::{line_addr, Directory, EvictionSink, MemConfig, MemoryHierarchy};
 
 struct MiniCore {
     id: usize,
     mem: MemoryHierarchy,
     cons: Constable,
+    evict: EvictionSink,
 }
 
 impl MiniCore {
@@ -24,6 +25,9 @@ impl MiniCore {
             id,
             mem: MemoryHierarchy::new(MemConfig::golden_cove_like()),
             cons: Constable::new(ConstableConfig::paper()),
+            // Track evictions the way the full core does for an engine that
+            // wants them (the paper default ignores them; harmless here).
+            evict: EvictionSink::new(true),
         }
     }
 
@@ -43,8 +47,9 @@ impl MiniCore {
                 true
             }
             decision => {
-                let out = self.mem.load(pc, addr, now);
-                self.cons.on_l1_evictions(&out.l1_evictions);
+                let _ = self.mem.load(pc, addr, now, &mut self.evict);
+                let cons = &mut self.cons;
+                self.evict.drain_with(|lines| cons.on_l1_evictions(lines));
                 dir.on_read(self.id, line_addr(addr));
                 let likely = decision == LoadRename::LikelyStable;
                 let pin = self
@@ -61,7 +66,8 @@ impl MiniCore {
     /// Executes a store on this core, delivering snoops to `others`.
     fn do_store(&mut self, dir: &mut Directory, others: &mut [&mut MiniCore], addr: u64, now: u64) {
         self.cons.on_store_addr(addr);
-        self.mem.store_commit(addr, now);
+        self.mem.store_commit(addr, now, &mut self.evict);
+        self.evict.clear();
         for snoop in dir.on_write(self.id, line_addr(addr)) {
             let target = others
                 .iter_mut()
