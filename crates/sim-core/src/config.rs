@@ -68,6 +68,12 @@ pub struct CoreConfig {
     /// Scheduling implementation. Purely a host-performance knob: both
     /// kinds produce bit-identical simulation results.
     pub scheduler: SchedulerKind,
+    /// Event-driven scheduling shortcuts (idle-cycle fast-forward and the
+    /// issue-quiescence memo). On by default; a pure host-performance knob —
+    /// results and trace digests are bit-identical either way, which the
+    /// shortcut-validation tests assert by force-disabling it. Leave it on
+    /// outside those tests.
+    pub event_shortcuts: bool,
 }
 
 impl CoreConfig {
@@ -109,6 +115,7 @@ impl CoreConfig {
             seed: 0xC0FFEE,
             track_per_pc: false,
             scheduler: SchedulerKind::default(),
+            event_shortcuts: true,
         }
     }
 
@@ -305,6 +312,7 @@ mod tests {
         push("seed", &|c| c.seed = 0xC0FFEF);
         push("track_per_pc", &|c| c.track_per_pc = true);
         push("scheduler", &|c| c.scheduler = SchedulerKind::LegacyScan);
+        push("event_shortcuts", &|c| c.event_shortcuts = false);
 
         for i in 0..variants.len() {
             for j in (i + 1)..variants.len() {

@@ -40,6 +40,7 @@ use crate::config::CoreConfig;
 use crate::pctab::PcCountTable;
 use crate::sched::{SchedulerKind, SimScratch, ThreadScratch};
 use crate::stats::CoreStats;
+use crate::trace::{self, StallClass, TraceRecorder, TraceSummary, UopTrace};
 use crate::uop::{Fetched, Tag, Uop, UopState};
 use constable::{Constable, IdealConfig, LoadRename, StackState, XprfSlot};
 use sim_isa::{AluOp, ArchReg, BranchKind, DynInst, InstClass, OpKind, Pc};
@@ -68,13 +69,20 @@ struct RetiredUop {
     is_branch: bool,
     in_lb: bool,
     in_sb: bool,
+    folded: bool,
     eliminated: bool,
     value_predicted: bool,
     mrn_forwarded: bool,
+    seq: u64,
     pc: u64,
     addr: u64,
     result: u64,
     vp_history: u64,
+    fetched_at: u64,
+    renamed_at: u64,
+    issued_at: u64,
+    issue_order: u64,
+    complete_at: u64,
     xprf: Option<XprfSlot>,
     rec: Option<DynInst>,
     stack_after: StackState,
@@ -190,6 +198,68 @@ impl SimResult {
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()
     }
+
+    /// Digest over every statistic that scheduling order could perturb —
+    /// the counter list the scheduler-equivalence suite used to compare
+    /// between the legacy and event-driven schedulers, now committed in
+    /// the trace-oracle golden rows. The SLD updates-per-cycle histogram
+    /// is folded shape-first: it is recorded per rename cycle, so it is
+    /// sensitive to the idle fast-forward in a way no scalar counter is.
+    pub fn stats_digest(&self) -> u64 {
+        let s = &self.stats;
+        let hist = &s.sld_updates_per_cycle;
+        let mut d = sim_mem::TraceDigest::new();
+        d.update_all(hist.bucket_counts().iter().copied());
+        d.update(hist.total());
+        d.update(hist.mean().to_bits());
+        d.update_all([
+            s.cycles,
+            s.retired,
+            s.retired_loads,
+            s.retired_stores,
+            s.retired_branches,
+            s.fetched,
+            s.fetched_wrong_path,
+            s.branch_mispredicts,
+            s.rob_allocs,
+            s.rs_allocs,
+            s.lb_allocs,
+            s.sb_allocs,
+            s.load_utilized_cycles,
+            s.load_cycles_stable_blocking,
+            s.load_cycles_stable_free,
+            s.loads_issued,
+            s.agu_uses,
+            s.alu_execs,
+            s.vp_used,
+            s.vp_wrong,
+            s.mrn_forwarded,
+            s.mrn_wrong,
+            s.loads_eliminated,
+            s.elim_violations,
+            s.ordering_violations,
+            s.golden_mismatches,
+            s.l1d_accesses,
+            s.l2_accesses,
+            s.dram_accesses,
+            s.snoops_delivered,
+            s.sld_reads,
+            s.sld_writes,
+            s.amt_probes,
+            s.cv_pins,
+            s.rename_stalls_sld_read,
+            s.rename_stalls_sld_write,
+            s.elar_resolved,
+            s.rfp_address_hits,
+            s.eves_lookups,
+            s.decoded,
+            s.renamed,
+            self.ipc().to_bits(),
+        ]);
+        d.update(self.retired_per_thread.len() as u64);
+        d.update_all(self.retired_per_thread.iter().copied());
+        d.finish()
+    }
 }
 
 /// The core model. See the module docs for the stage breakdown.
@@ -246,6 +316,12 @@ pub struct Core<'p> {
     /// consumer by [`Core::drain_evictions`]. Enabled only when that
     /// variant is configured; recycled via `SimScratch`.
     evict: EvictionSink,
+    /// Global issue sequence number: incremented once per issued µop, in
+    /// issue order (trace-oracle observable).
+    issue_seq: u64,
+    /// Attached scheduling-trace recorder (see [`crate::trace`]); `None`
+    /// (and therefore free) outside the trace-oracle tests.
+    tracer: Option<TraceRecorder>,
 }
 
 // Thin alias so the field reads naturally.
@@ -329,8 +405,22 @@ impl<'p> Core<'p> {
             issue_quiescent: false,
             cycle_work: false,
             evict: scratch.evictions,
+            issue_seq: 0,
+            tracer: None,
             cfg,
         }
+    }
+
+    /// Attaches a scheduling-trace recorder; the next [`Core::run`] feeds
+    /// it. Recover the sealed trace with [`Core::take_trace`].
+    pub fn attach_tracer(&mut self, tracer: TraceRecorder) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Seals and returns the attached trace, if any (valid after
+    /// [`Core::run`]).
+    pub fn take_trace(&mut self) -> Option<TraceSummary> {
+        self.tracer.take().map(TraceRecorder::into_summary)
     }
 
     /// Dismantles the core, returning its reusable allocations — including
@@ -362,6 +452,16 @@ impl<'p> Core<'p> {
             self.issue_phase();
             self.rename_phase();
             self.fetch_phase();
+            if self.tracer.is_some() {
+                let cls = if self.cycle_work {
+                    StallClass::Active
+                } else {
+                    self.classify_idle()
+                };
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.record_cycles(cls, 1);
+                }
+            }
             // Event-driven fast-forward: a cycle in which no phase did any
             // work leaves the core's state frozen — nothing can change
             // until the next time-gated event (a completion, the end of a
@@ -371,9 +471,14 @@ impl<'p> Core<'p> {
             // is unchanged. Single-thread only: under SMT2 the fetch and
             // rename phases pick a thread by `now`-parity *before* hazard
             // checks, so an idle cycle does not imply the next one is idle.
-            // Legacy-scan mode never skips: it remains the reference the
-            // equivalence suite validates this against.
-            if self.event_driven && !self.cycle_work && self.threads.len() == 1 {
+            // `cfg.event_shortcuts = false` (the shortcut-validation knob)
+            // forces the plain cycle-by-cycle execution the trace-oracle
+            // suite compares this against.
+            if self.event_driven
+                && self.cfg.event_shortcuts
+                && !self.cycle_work
+                && self.threads.len() == 1
+            {
                 if let Some(next) = self.next_event_time() {
                     debug_assert!(next > self.now, "event in the past on an idle cycle");
                     // Idle cycles still leave one statistical trace: when
@@ -393,6 +498,16 @@ impl<'p> Core<'p> {
                         && self.threads.iter().any(|t| !t.idq.is_empty())
                     {
                         self.stats.sld_updates_per_cycle.record_n(0, skipped);
+                    }
+                    // The skipped cycles are frozen replicas of the idle
+                    // cycle just classified; record them in bulk under the
+                    // same class (run-length compressed, so the digest is
+                    // identical to recording them one by one).
+                    if skipped > 0 && self.tracer.is_some() {
+                        let cls = self.classify_idle();
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.record_cycles(cls, skipped);
+                        }
                     }
                     self.now = next - 1;
                 }
@@ -482,6 +597,7 @@ impl<'p> Core<'p> {
                     wrong_path: true,
                     rec: None,
                     mispredicted: false,
+                    fetched_at: self.now,
                 });
                 self.stats.fetched_wrong_path += 1;
                 self.cycle_work = true;
@@ -534,6 +650,7 @@ impl<'p> Core<'p> {
                 wrong_path: false,
                 rec: Some(rec),
                 mispredicted,
+                fetched_at: self.now,
             });
             self.stats.fetched += 1;
             self.cycle_work = true;
@@ -695,6 +812,8 @@ impl<'p> Core<'p> {
         u.is_branch = inst.is_branch();
         u.mispredicted = f.mispredicted;
         u.rob_pos = self.threads[tid].rob_pushed;
+        u.fetched_at = f.fetched_at;
+        u.renamed_at = self.now;
         if let OpKind::Load { size, .. } | OpKind::Store { size, .. } = inst.kind {
             u.size = size;
         }
@@ -1110,7 +1229,10 @@ impl<'p> Core<'p> {
                     u.state = UopState::Issued;
                     u.in_rs = false;
                     u.complete_at = complete_at;
+                    u.issued_at = self.now;
+                    u.issue_order = self.issue_seq;
                     let (seq, uid) = (u.seq, u.uid);
+                    self.issue_seq += 1;
                     self.rs_used -= 1;
                     self.push_completion(complete_at, seq, uid, tag);
                     self.ready_remove(tag);
@@ -1138,7 +1260,10 @@ impl<'p> Core<'p> {
                     u.state = UopState::Issued;
                     u.in_rs = false;
                     u.complete_at = complete_at;
+                    u.issued_at = self.now;
+                    u.issue_order = self.issue_seq;
                     let (seq, uid) = (u.seq, u.uid);
+                    self.issue_seq += 1;
                     self.rs_used -= 1;
                     self.push_completion(complete_at, seq, uid, tag);
                     self.ready_remove(tag);
@@ -1162,11 +1287,44 @@ impl<'p> Core<'p> {
         // no window changes), so the attempt need not repeat until some
         // backend state changes.
         if budget == self.cfg.issue_width {
-            if self.event_driven {
+            if self.event_driven && self.cfg.event_shortcuts {
                 self.issue_quiescent = true;
             }
         } else {
             self.cycle_work = true;
+        }
+    }
+
+    /// Classifies an idle cycle (no phase did work) by its frozen state.
+    ///
+    /// Every predicate is constant over a fast-forward span: the span ends
+    /// at the *earliest* time-gated event, so `rename_block_until` /
+    /// `fetch_stall_until` comparisons and the ROB fronts cannot change
+    /// mid-span. That makes bulk-recording the span under one class
+    /// bit-identical to classifying each cycle in turn.
+    fn classify_idle(&self) -> StallClass {
+        if self.now < self.rename_block_until {
+            return StallClass::RenameBlocked;
+        }
+        let mut window_empty = true;
+        let mut oldest_is_issued_load = false;
+        for th in &self.threads {
+            if let Some(&tag) = th.rob.front() {
+                window_empty = false;
+                let u = &self.window[tag];
+                oldest_is_issued_load |= u.is_load && u.state == UopState::Issued;
+            }
+        }
+        if !window_empty {
+            if oldest_is_issued_load {
+                StallClass::Memory
+            } else {
+                StallClass::Execution
+            }
+        } else if self.threads.iter().any(|t| t.fetch_stall_until > self.now) {
+            StallClass::FetchRedirect
+        } else {
+            StallClass::FrontEnd
         }
     }
 
@@ -1305,10 +1463,13 @@ impl<'p> Core<'p> {
         u.state = UopState::Issued;
         u.in_rs = false;
         u.complete_at = complete_at;
+        u.issued_at = self.now;
+        u.issue_order = self.issue_seq;
         u.addr = paddr;
         u.addr_known = !wrong_path;
         u.result = value;
         let uid = u.uid;
+        self.issue_seq += 1;
         self.rs_used -= 1;
         self.push_completion(complete_at, seq, uid, tag);
         true
@@ -1658,18 +1819,55 @@ impl<'p> Core<'p> {
                 is_branch: w.is_branch,
                 in_lb: w.in_lb,
                 in_sb: w.in_sb,
+                folded: w.folded,
                 eliminated: w.eliminated,
                 value_predicted: w.value_predicted,
                 mrn_forwarded: w.mrn_forwarded,
+                seq: w.seq,
                 pc: w.pc,
                 addr: w.addr,
                 result: w.result,
                 vp_history: w.vp_history,
+                fetched_at: w.fetched_at,
+                renamed_at: w.renamed_at,
+                issued_at: w.issued_at,
+                issue_order: w.issue_order,
+                complete_at: w.complete_at,
                 xprf: w.xprf,
                 rec: w.rec,
                 stack_after: w.stack_after,
             }
         };
+        if let Some(tr) = self.tracer.as_mut() {
+            let mut flags = 0u64;
+            for (set, bit) in [
+                (u.is_load, trace::FLAG_LOAD),
+                (u.is_store, trace::FLAG_STORE),
+                (u.is_branch, trace::FLAG_BRANCH),
+                (u.folded, trace::FLAG_FOLDED),
+                (u.eliminated, trace::FLAG_ELIMINATED),
+                (u.value_predicted, trace::FLAG_VALUE_PREDICTED),
+                (u.mrn_forwarded, trace::FLAG_MRN_FORWARDED),
+            ] {
+                if set {
+                    flags |= bit;
+                }
+            }
+            tr.record_retire(UopTrace {
+                thread: tid as u8,
+                seq: u.seq,
+                pc: u.pc,
+                flags,
+                fetched_at: u.fetched_at,
+                renamed_at: u.renamed_at,
+                issued_at: u.issued_at,
+                issue_order: u.issue_order,
+                completed_at: u.complete_at,
+                retired_at: self.now,
+                addr: u.addr,
+                result: u.result,
+            });
+        }
         {
             let th = &mut self.threads[tid];
             th.rob.pop_front();

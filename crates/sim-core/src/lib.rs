@@ -22,6 +22,7 @@ mod hash;
 mod pctab;
 mod sched;
 mod stats;
+mod trace;
 mod uop;
 
 pub use crate::core::{Core, SimResult};
@@ -29,4 +30,5 @@ pub use config::CoreConfig;
 pub use hash::FastHashMap;
 pub use sched::{SchedulerKind, SimScratch};
 pub use stats::CoreStats;
+pub use trace::{StallClass, TraceRecorder, TraceSummary, UopTrace, NO_CYCLE};
 pub use uop::{Fetched, Tag, Uop, UopState};

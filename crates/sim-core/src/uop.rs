@@ -30,6 +30,8 @@ pub struct Fetched {
     pub rec: Option<DynInst>,
     /// This branch was mispredicted at fetch; resolves at execution.
     pub mispredicted: bool,
+    /// Cycle this entry was fetched (trace-oracle timestamp).
+    pub fetched_at: u64,
 }
 
 /// One in-flight µop.
@@ -98,6 +100,18 @@ pub struct Uop {
     /// Rename-time snapshot of the stack tracker *after* this µop
     /// (restored on flush).
     pub stack_after: constable::StackState,
+
+    // Trace-oracle timestamps (plain stores on paths that already write the
+    // slot; read only when a tracer is attached).
+    /// Cycle fetched into the IDQ.
+    pub fetched_at: u64,
+    /// Cycle renamed into the window.
+    pub renamed_at: u64,
+    /// Cycle issued to a port ([`crate::trace::NO_CYCLE`] while unissued).
+    pub issued_at: u64,
+    /// Global issue sequence number ([`crate::trace::NO_CYCLE`] while
+    /// unissued).
+    pub issue_order: u64,
 }
 
 impl Uop {
@@ -145,6 +159,10 @@ impl Uop {
             rfp_addr: None,
             no_data_fetch: false,
             stack_after: constable::StackState::default(),
+            fetched_at: 0,
+            renamed_at: 0,
+            issued_at: crate::trace::NO_CYCLE,
+            issue_order: crate::trace::NO_CYCLE,
         }
     }
 

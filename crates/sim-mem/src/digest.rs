@@ -1,0 +1,116 @@
+//! Content digests for golden-trace locks.
+//!
+//! Both golden-file suites — the memory-hierarchy trace lock in this
+//! crate's tests and the scheduling trace oracle in `sim-core` — fold an
+//! ordered event stream into one 64-bit content hash that is committed to
+//! the repository and compared on every run. They must agree on the byte
+//! layout so a digest printed by one tool can be re-derived by another,
+//! hence this shared implementation: FNV-1a over the little-endian bytes
+//! of each `u64` word, word by word, in stream order.
+//!
+//! FNV-1a is deliberate: it is stable across platforms and Rust releases
+//! (unlike `DefaultHasher`), trivially reimplementable from the committed
+//! constants, and fast enough to disappear next to the simulation
+//! producing the stream.
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a-64 over a stream of `u64` words.
+///
+/// ```
+/// use sim_mem::TraceDigest;
+///
+/// let mut d = TraceDigest::new();
+/// d.update(7);
+/// d.update_all([1, 2, 3]);
+/// let once = d.finish();
+/// assert_eq!(once, TraceDigest::of([7, 1, 2, 3]), "order-sensitive, restartable");
+/// assert_ne!(once, TraceDigest::of([1, 7, 2, 3]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDigest {
+    state: u64,
+}
+
+impl TraceDigest {
+    /// A fresh digest at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceDigest { state: FNV_OFFSET }
+    }
+
+    /// Folds one word into the digest.
+    #[inline]
+    pub fn update(&mut self, v: u64) {
+        let mut s = self.state;
+        for b in v.to_le_bytes() {
+            s ^= u64::from(b);
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Folds a sequence of words into the digest, in order.
+    pub fn update_all(&mut self, vs: impl IntoIterator<Item = u64>) {
+        for v in vs {
+            self.update(v);
+        }
+    }
+
+    /// The digest value so far. The digest remains usable; `finish` is a
+    /// read, not a terminator.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot digest of a word sequence.
+    #[must_use]
+    pub fn of(vs: impl IntoIterator<Item = u64>) -> u64 {
+        let mut d = TraceDigest::new();
+        d.update_all(vs);
+        d.finish()
+    }
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        TraceDigest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_the_offset_basis() {
+        assert_eq!(TraceDigest::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn matches_reference_bytewise_fnv1a() {
+        // Reference: the classic byte-at-a-time formulation over the
+        // little-endian encoding of the word stream.
+        let words = [0u64, 1, u64::MAX, 0xDEAD_BEEF, 42];
+        let mut expect = FNV_OFFSET;
+        for w in words {
+            for b in w.to_le_bytes() {
+                expect ^= u64::from(b);
+                expect = expect.wrapping_mul(FNV_PRIME);
+            }
+        }
+        assert_eq!(TraceDigest::of(words), expect);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot_and_is_order_sensitive() {
+        let mut d = TraceDigest::new();
+        d.update(3);
+        d.update_all([1, 4]);
+        assert_eq!(d.finish(), TraceDigest::of([3, 1, 4]));
+        assert_ne!(TraceDigest::of([3, 1, 4]), TraceDigest::of([3, 4, 1]));
+        assert_ne!(TraceDigest::of([0]), TraceDigest::of([0, 0]));
+    }
+}

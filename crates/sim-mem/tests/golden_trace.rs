@@ -15,7 +15,9 @@
 //! SIM_MEM_GOLDEN_PRINT=1 cargo test -p sim-mem --test golden_trace -- --nocapture
 //! ```
 
-use sim_mem::{line_addr, DramConfig, EvictionSink, HitLevel, MemConfig, MemoryHierarchy};
+use sim_mem::{
+    line_addr, DramConfig, EvictionSink, HitLevel, MemConfig, MemoryHierarchy, TraceDigest,
+};
 
 const N: usize = 10_000;
 
@@ -119,22 +121,14 @@ fn observe(out: sim_mem::AccessOutcome, sink: &mut EvictionSink) -> Obs {
     (out.latency, level_code(out.level), count, sum)
 }
 
-fn fnv1a(digest: &mut u64, v: u64) {
-    for b in v.to_le_bytes() {
-        *digest ^= u64::from(b);
-        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-}
-
 fn digest_of(obs: &[Obs]) -> u64 {
-    let mut d = 0xCBF2_9CE4_8422_2325u64;
+    // Shared digest plumbing: the same word-stream FNV-1a the sim-core
+    // scheduling trace oracle folds its records with.
+    let mut d = TraceDigest::new();
     for &(lat, lvl, cnt, sum) in obs {
-        fnv1a(&mut d, lat);
-        fnv1a(&mut d, u64::from(lvl));
-        fnv1a(&mut d, cnt);
-        fnv1a(&mut d, sum);
+        d.update_all([lat, u64::from(lvl), cnt, sum]);
     }
-    d
+    d.finish()
 }
 
 /// Expected digest over all 10 000 observations.

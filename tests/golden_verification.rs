@@ -4,10 +4,16 @@
 //! SLD rather than the memory hierarchy.
 
 use constable_repro::experiments::MachineKind;
-use constable_repro::sim_core::Core;
+use constable_repro::sim_core::{Core, TraceRecorder};
 use constable_repro::sim_workload::{suite_subset, Category};
 
 const N: u64 = 25_000;
+
+const TRACE_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/machine_trace_digests.txt"
+);
+const BLESS_CMD: &str = "SIM_TRACE_BLESS=1 cargo test --release --test golden_verification";
 
 fn verify(kind: MachineKind, workloads: usize) {
     for spec in suite_subset(workloads) {
@@ -84,6 +90,74 @@ fn smt2_is_functionally_correct_for_every_pairing_shape() {
     );
     let r = core.run(N / 2);
     assert_eq!(r.stats.golden_mismatches, 0);
+}
+
+/// Scheduling trace oracle over the full machine-configuration matrix: for
+/// every machine kind the paper evaluates, the per-µop timing digest must
+/// match the committed golden (captured while the legacy scan scheduler
+/// still existed and cross-checked against it). The sim-core trace-oracle
+/// suite covers workload breadth; this covers configuration breadth.
+#[test]
+fn machine_kind_traces_match_goldens() {
+    let kinds = [
+        MachineKind::Baseline,
+        MachineKind::Constable,
+        MachineKind::EvesConstable,
+        MachineKind::ElarConstable,
+        MachineKind::RfpConstable,
+        MachineKind::ConstableAmtI,
+        MachineKind::ConstableFullAddrAmt,
+        MachineKind::ConstableCorrectPathOnly,
+    ];
+    let specs = suite_subset(2);
+    let mut computed = Vec::new();
+    for kind in kinds {
+        for spec in &specs {
+            let program = spec.build();
+            let mut core = Core::new(&program, kind.config(Default::default()));
+            core.attach_tracer(TraceRecorder::new());
+            let r = core.run(12_000);
+            let trace = core.take_trace().expect("tracer attached");
+            assert!(!r.hit_cycle_guard);
+            assert_eq!(r.stats.golden_mismatches, 0);
+            let name = format!(
+                "{}/{}",
+                kind.label().replace(' ', "_").replace(['(', ')'], ""),
+                spec.name
+            );
+            let line = format!(
+                "{} stats:{:#018x}",
+                trace.golden_line(&name),
+                r.stats_digest()
+            );
+            computed.push((name, line));
+        }
+    }
+    if std::env::var_os("SIM_TRACE_BLESS").is_some() {
+        let mut out = String::from(
+            "# Machine-kind scheduling trace goldens (see crates/sim-core/tests/README.md).\n\
+             # Regenerate: ./ci.sh --bless\n",
+        );
+        for (_, line) in &computed {
+            out.push_str(line);
+            out.push('\n');
+        }
+        std::fs::write(TRACE_GOLDEN_PATH, out).expect("write goldens");
+        eprintln!("blessed {} rows into {TRACE_GOLDEN_PATH}", computed.len());
+        return;
+    }
+    let text = std::fs::read_to_string(TRACE_GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("cannot read {TRACE_GOLDEN_PATH}: {e}\nregenerate with: {BLESS_CMD}")
+    });
+    let committed: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let got: Vec<&str> = computed.iter().map(|(_, l)| l.as_str()).collect();
+    assert_eq!(
+        committed, got,
+        "machine-kind trace digests diverged; if intentional, regenerate with: {BLESS_CMD}"
+    );
 }
 
 #[test]
