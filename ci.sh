@@ -1,16 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 gate for the Constable reproduction.
 #
-#   ./ci.sh          # fmt + clippy + build + tests + bench smoke
-#   ./ci.sh --fast   # skip the bench smoke
+#   ./ci.sh          # fmt + clippy + build + tests + bench smoke + regression gate
+#   ./ci.sh --fast   # skip the bench smoke and regression gate
+#   ./ci.sh --bless  # regenerate the scheduling trace-oracle golden files
 #
 # Everything runs offline: the workspace vendors stand-ins for rand and
 # criterion under shims/ (see Cargo.toml), so no network is required.
+#
+# Golden files: the scheduling trace oracle (crates/sim-core/tests/golden/
+# and tests/golden/) is verified by the normal test run — a stale golden
+# fails `cargo test`. Re-bless only when the *modelled* behavior changed
+# intentionally, then review the golden diff before committing.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==== %s ====\n' "$*"; }
+
+if [[ "${1:-}" == "--bless" ]]; then
+    step "bless trace-oracle goldens (sim-core matrix)"
+    SIM_TRACE_BLESS=1 cargo test -q --release -p sim-core --test trace_oracle trace_matrix_matches_goldens
+    step "bless trace-oracle goldens (machine-kind matrix)"
+    SIM_TRACE_BLESS=1 cargo test -q --release --test golden_verification machine_kind_traces_match_goldens
+    step "verify blessed goldens"
+    cargo test -q --release -p sim-core --test trace_oracle
+    cargo test -q --release --test golden_verification machine_kind_traces_match_goldens
+    git --no-pager diff --stat -- crates/sim-core/tests/golden tests/golden || true
+    step "OK (review the golden diff above before committing)"
+    exit 0
+fi
 
 step "rustfmt (check)"
 cargo fmt --check
@@ -25,16 +44,27 @@ step "tests"
 cargo test -q --release
 
 if [[ "${1:-}" != "--fast" ]]; then
-    # Quick scheduler-bench smoke: exercises the criterion harness and the
-    # event-vs-legacy comparison end to end (3 samples, short warm-up).
+    SHIM_OUT=crates/bench/target/criterion-shim
+
+    # Quick scheduler-bench smoke: event-driven throughput (fresh, scratch-
+    # recycled, and traced), then the regression gate against the committed
+    # snapshot. The tolerance is a generous tripwire: the smoke runs 3
+    # samples on a shared host, so only step-change regressions (a revived
+    # O(window) scan, a dead fast path) should trip it.
     step "bench smoke (scheduler)"
     CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench scheduler
+    step "bench regression gate (scheduler)"
+    cargo run -q --release -p bench --bin bench-regress -- \
+        BENCH_scheduler.json "$SHIM_OUT/scheduler.json" 0.5
 
     # Sweep-engine smoke: asserts memoized figure text is byte-identical to
     # the uncached run_suite path, then times the multi-figure sweep both
     # ways (the ≥2.5× criterion is checked on the full run, not the smoke).
     step "bench smoke (sweep)"
     CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench sweep
+    step "bench regression gate (sweep)"
+    cargo run -q --release -p bench --bin bench-regress -- \
+        BENCH_sweep.json "$SHIM_OUT/sweep.json" 0.5
 
     # Memory fast-path smoke: the golden-trace lock (exact per-access
     # latency/level/eviction sequence through the SoA hierarchy) followed by
@@ -44,6 +74,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     cargo test -q --release -p sim-mem --test golden_trace
     step "bench smoke (memory)"
     CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench memory
+    step "bench regression gate (memory)"
+    cargo run -q --release -p bench --bin bench-regress -- \
+        BENCH_memory.json "$SHIM_OUT/memory.json" 0.5
 fi
 
 step "OK"

@@ -1,15 +1,23 @@
-//! Scheduler throughput: simulated µops per second of host wall-clock,
-//! event-driven vs the legacy full-scan scheduler, on a category-balanced
-//! kernel-suite subset at quick run length.
+//! Scheduler throughput: simulated µops per second of host wall-clock on a
+//! category-balanced kernel-suite subset at quick run length.
 //!
-//! This is the harness behind the event-driven-scheduling acceptance
-//! criterion: `scheduler/event/*` must beat `scheduler/legacy/*` by ≥2×
-//! simulated-µops-per-second. The JSON report lands in
-//! `target/criterion-shim/scheduler.json`; `BENCH.md` in the repo root
-//! carries the committed snapshot.
+//! Three variants of the event-driven scheduler (the only scheduler; the
+//! legacy full-scan mode is deleted — its correctness role now lives in the
+//! committed trace-oracle goldens, its historical numbers in `BENCH.md`):
+//!
+//! * `scheduler/event/*` — fresh allocations per run (the common path);
+//! * `scheduler/event-scratch/*` — recycling one `SimScratch` across runs;
+//! * `scheduler/event-traced/*` — with a digest-only `TraceRecorder`
+//!   attached, bounding the trace oracle's overhead when it is *on* (when
+//!   off it costs nothing — `event/*` is the regression gate for that).
+//!
+//! The JSON report lands in `target/criterion-shim/scheduler.json`;
+//! `BENCH_scheduler.json` in the repo root carries the committed snapshot,
+//! and `ci.sh` fails if the smoke's medians regress against it beyond
+//! tolerance.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sim_core::{Core, CoreConfig, SchedulerKind, SimScratch};
+use sim_core::{Core, CoreConfig, SimScratch, TraceRecorder};
 use sim_workload::WorkloadSpec;
 use std::time::Duration;
 
@@ -30,13 +38,20 @@ fn total_uops(specs: &[WorkloadSpec], cfg: &CoreConfig) -> u64 {
         .sum()
 }
 
-fn run_subset(specs: &[WorkloadSpec], cfg: &CoreConfig) -> u64 {
+fn run_subset(specs: &[WorkloadSpec], cfg: &CoreConfig, traced: bool) -> u64 {
     let mut retired = 0;
     for spec in specs {
         let program = spec.build();
         let mut core = Core::new(&program, cfg.clone());
+        if traced {
+            core.attach_tracer(TraceRecorder::new());
+        }
         let r = core.run(QUICK);
         assert_eq!(r.stats.golden_mismatches, 0);
+        if traced {
+            let trace = core.take_trace().expect("tracer attached");
+            assert_eq!(trace.uops, r.stats.retired);
+        }
         retired += r.stats.retired;
     }
     retired
@@ -70,23 +85,20 @@ fn scheduler_throughput(c: &mut Criterion) {
         let uops = total_uops(&specs, cfg);
         let mut g = c.benchmark_group("scheduler");
         g.throughput(Throughput::Elements(uops));
-        g.bench_function(&format!("legacy/{label}"), |b| {
-            let cfg = cfg.clone().with_scheduler(SchedulerKind::LegacyScan);
-            b.iter(|| std::hint::black_box(run_subset(&specs, &cfg)))
-        });
         g.bench_function(&format!("event/{label}"), |b| {
-            let cfg = cfg.clone().with_scheduler(SchedulerKind::EventDriven);
-            b.iter(|| std::hint::black_box(run_subset(&specs, &cfg)))
+            b.iter(|| std::hint::black_box(run_subset(&specs, cfg, false)))
         });
         g.bench_function(&format!("event-scratch/{label}"), |b| {
-            let cfg = cfg.clone().with_scheduler(SchedulerKind::EventDriven);
             let mut scratch = Some(SimScratch::new());
             b.iter(|| {
                 let (retired, s) =
-                    run_subset_with_scratch(&specs, &cfg, scratch.take().expect("scratch"));
+                    run_subset_with_scratch(&specs, cfg, scratch.take().expect("scratch"));
                 scratch = Some(s);
                 std::hint::black_box(retired)
             })
+        });
+        g.bench_function(&format!("event-traced/{label}"), |b| {
+            b.iter(|| std::hint::black_box(run_subset(&specs, cfg, true)))
         });
         g.finish();
     }

@@ -1,0 +1,152 @@
+//! Bench regression gate: compares a fresh criterion-shim JSON report
+//! against a committed `BENCH_*.json` snapshot and fails (exit 1) on
+//! regression beyond tolerance.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench-regress -- \
+//!     BENCH_scheduler.json crates/bench/target/criterion-shim/scheduler.json 0.5
+//! ```
+//!
+//! For every benchmark named in the committed snapshot, the fresh report
+//! must contain the same name and be no worse than `tolerance` (a
+//! fraction: 0.5 = may be up to 50% slower). Rows with a throughput
+//! compare elements/s (higher is better); rows without compare the median
+//! ns/iter (lower is better). Fresh-only rows are reported but don't fail:
+//! they are new benchmarks awaiting a snapshot refresh.
+//!
+//! The tolerance is deliberately generous — the smoke runs under
+//! `CRITERION_SHIM_QUICK=1` (3 samples, short warm-up) on a shared 1-core
+//! host, so this is a tripwire for step-change regressions (the kind a
+//! deleted fast path or an accidental O(window) scan causes), not a
+//! statistical gate. Full-precision numbers live in the committed
+//! snapshots, regenerated with `cargo bench -p bench`.
+//!
+//! No JSON crate exists in this offline workspace; the parser handles
+//! exactly the flat shape the criterion shim writes.
+
+use std::process::ExitCode;
+
+/// One benchmark row: (median ns/iter, throughput per second if any).
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    median_ns: f64,
+    throughput: Option<f64>,
+}
+
+/// Extracts the quoted string value of `"key": "..."` from `line`.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the numeric value following `"key": ` (handles `null` as None).
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a criterion-shim JSON report into (name, row) pairs.
+fn parse(path: &str) -> Result<Vec<(String, Row)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = str_field(line, "name") else {
+            continue;
+        };
+        let median_ns =
+            num_field(line, "median").ok_or_else(|| format!("{path}: row {name} has no median"))?;
+        out.push((
+            name,
+            Row {
+                median_ns,
+                throughput: num_field(line, "throughput_per_sec"),
+            },
+        ));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark rows found"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (committed_path, fresh_path, tolerance) = match &args[..] {
+        [c, f] => (c.as_str(), f.as_str(), 0.5),
+        [c, f, t] => match t.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => (c.as_str(), f.as_str(), t),
+            _ => {
+                eprintln!("tolerance must be a fraction in [0, 1), got {t}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: bench-regress <committed.json> <fresh.json> [tolerance]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (committed, fresh) = match (parse(committed_path), parse(fresh_path)) {
+        (Ok(c), Ok(f)) => (c, f),
+        (c, f) => {
+            for e in [c.err(), f.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for (name, want) in &committed {
+        let Some((_, got)) = fresh.iter().find(|(n, _)| n == name) else {
+            eprintln!("FAIL {name}: present in {committed_path} but missing from {fresh_path}");
+            failed = true;
+            continue;
+        };
+        // Prefer throughput (normalizes for iteration-count differences);
+        // fall back to the median time for throughput-less rows.
+        let (ratio, unit) = match (want.throughput, got.throughput) {
+            (Some(w), Some(g)) if w > 0.0 => (g / w, "throughput"),
+            _ if got.median_ns > 0.0 => (want.median_ns / got.median_ns, "median time"),
+            _ => {
+                eprintln!("FAIL {name}: degenerate measurements");
+                failed = true;
+                continue;
+            }
+        };
+        // ratio ≥ 1: at least as fast as the snapshot.
+        if ratio < 1.0 - tolerance {
+            eprintln!(
+                "FAIL {name}: {unit} at {:.0}% of the committed snapshot \
+                 (tolerance floor {:.0}%)",
+                ratio * 100.0,
+                (1.0 - tolerance) * 100.0
+            );
+            failed = true;
+        } else {
+            println!(
+                "ok   {name}: {unit} at {:.0}% of the committed snapshot",
+                ratio * 100.0
+            );
+        }
+    }
+    for (name, _) in &fresh {
+        if !committed.iter().any(|(n, _)| n == name) {
+            println!("new  {name}: not in {committed_path} (snapshot refresh pending)");
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench regression detected vs {committed_path}; if intentional, regenerate the \
+             snapshot with a full `cargo bench -p bench` run and commit the new JSON"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

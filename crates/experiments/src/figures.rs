@@ -1002,7 +1002,12 @@ pub fn xprf(session: &SweepSession<'_>) -> String {
 }
 
 /// §8.5-style verification: run the whole suite under the key configs and
-/// report the golden-check outcome.
+/// report the golden-check outcome plus a per-machine suite digest — the
+/// fold of every run's [`sim_core::SimResult::stats_digest`], so two
+/// hosts (or two builds) can compare an entire suite's scheduling-visible
+/// statistics in one line. The committed trace-oracle goldens
+/// (`crates/sim-core/tests/golden/`) lock the per-µop timing; this is the
+/// CLI-visible fingerprint of the same determinism.
 pub fn verify(session: &SweepSession<'_>) -> String {
     let mut text = String::from("Golden functional verification (every load checked at retire)\n");
     for kind in [
@@ -1015,12 +1020,15 @@ pub fn verify(session: &SweepSession<'_>) -> String {
         let runs = session.suite(kind);
         let mismatches: u64 = runs.iter().map(|r| r.result.stats.golden_mismatches).sum();
         let loads: u64 = runs.iter().map(|r| r.result.stats.retired_loads).sum();
+        let mut digest = sim_core::TraceDigest::new();
+        digest.update_all(runs.iter().map(|r| r.result.stats_digest()));
         text.push_str(&format!(
-            "{:<32} {} traces, {} loads checked, {} mismatches\n",
+            "{:<32} {} traces, {} loads checked, {} mismatches, suite digest {:#018x}\n",
             kind.label(),
             runs.len(),
             loads,
-            mismatches
+            mismatches,
+            digest.finish()
         ));
         assert_eq!(mismatches, 0, "golden check failed under {:?}", kind);
     }

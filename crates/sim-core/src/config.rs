@@ -1,6 +1,5 @@
 //! Core configuration (paper Table 2, plus the optional units of §8.4).
 
-use crate::sched::SchedulerKind;
 use constable::{ConstableConfig, IdealConfig, IdealOracle};
 use sim_mem::MemConfig;
 
@@ -65,9 +64,6 @@ pub struct CoreConfig {
     /// Track per-PC load/elimination counts (Fig 17 coverage breakdown);
     /// off by default to keep runs lean.
     pub track_per_pc: bool,
-    /// Scheduling implementation. Purely a host-performance knob: both
-    /// kinds produce bit-identical simulation results.
-    pub scheduler: SchedulerKind,
     /// Event-driven scheduling shortcuts (idle-cycle fast-forward and the
     /// issue-quiescence memo). On by default; a pure host-performance knob —
     /// results and trace digests are bit-identical either way, which the
@@ -114,7 +110,6 @@ impl CoreConfig {
             wrong_path_fetch: true,
             seed: 0xC0FFEE,
             track_per_pc: false,
-            scheduler: SchedulerKind::default(),
             event_shortcuts: true,
         }
     }
@@ -133,12 +128,6 @@ impl CoreConfig {
         let mut h = crate::hash::FastHasher::default();
         self.hash(&mut h);
         h.finish()
-    }
-
-    /// Selects the scheduling implementation (host-performance only).
-    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
-        self.scheduler = scheduler;
-        self
     }
 
     /// Baseline + Constable (the paper's headline configuration).
@@ -311,7 +300,6 @@ mod tests {
         push("wrong_path_fetch", &|c| c.wrong_path_fetch = false);
         push("seed", &|c| c.seed = 0xC0FFEF);
         push("track_per_pc", &|c| c.track_per_pc = true);
-        push("scheduler", &|c| c.scheduler = SchedulerKind::LegacyScan);
         push("event_shortcuts", &|c| c.event_shortcuts = false);
 
         for i in 0..variants.len() {

@@ -26,19 +26,21 @@
 //!
 //! # Scheduling
 //!
-//! The backend is scheduled incrementally ([`SchedulerKind::EventDriven`]):
-//! completions come from a time-ordered event heap filled at issue, issue
-//! candidates come from per-thread ready queues fed by dependency wakeup
-//! (producers push consumers when they complete), and the store-search /
+//! The backend is scheduled incrementally and event-driven: completions
+//! come from a time-ordered event heap filled at issue, issue candidates
+//! come from per-thread ready queues fed by dependency wakeup (producers
+//! push consumers when they complete), and the store-search /
 //! disambiguation / flush paths walk per-thread store/load index rings
-//! instead of the whole ROB. [`SchedulerKind::LegacyScan`] retains the
-//! original per-cycle full-window scans; both produce bit-identical
-//! [`SimResult`]s (asserted by the scheduler-equivalence tests) and differ
-//! only in host throughput.
+//! instead of the whole ROB. Per-µop timing is locked by the scheduling
+//! trace oracle: committed golden digests (captured while the original
+//! full-scan scheduler still existed and cross-checked bit-identical
+//! against it) that any change to issue order, completion timing, or
+//! retire order must consciously re-bless. See [`crate::trace`] and
+//! `tests/trace_oracle.rs`.
 
 use crate::config::CoreConfig;
 use crate::pctab::PcCountTable;
-use crate::sched::{SchedulerKind, SimScratch, ThreadScratch};
+use crate::sched::{SimScratch, ThreadScratch};
 use crate::stats::CoreStats;
 use crate::trace::{self, StallClass, TraceRecorder, TraceSummary, UopTrace};
 use crate::uop::{Fetched, Tag, Uop, UopState};
@@ -265,8 +267,6 @@ impl SimResult {
 /// The core model. See the module docs for the stage breakdown.
 pub struct Core<'p> {
     cfg: CoreConfig,
-    /// Cached `cfg.scheduler == EventDriven` (checked on the hot path).
-    event_driven: bool,
     threads: Vec<Thread<'p>>,
     window: Vec<Uop>,
     free_slots: Vec<Tag>,
@@ -304,8 +304,8 @@ pub struct Core<'p> {
     /// flush) has changed since. Issue outcomes depend only on that state,
     /// so a quiescent cycle can skip the candidate gather and port
     /// arbitration entirely — the dominant per-cycle cost during long
-    /// memory stalls. Never set in legacy-scan mode, which stays the
-    /// reference the equivalence suite validates this shortcut against.
+    /// memory stalls. Never set when `cfg.event_shortcuts` is off, the
+    /// knob the trace-oracle suite validates this shortcut against.
     issue_quiescent: bool,
     /// Whether any phase did work this cycle (fetched, renamed, issued,
     /// completed, retired, or flushed anything). Cleared at the top of each
@@ -387,7 +387,6 @@ impl<'p> Core<'p> {
             rfp: cfg.rfp.then(Rfp2::new),
             injector: SnoopInjector::new(cfg.snoop_rate_per_10k, cfg.seed),
             threads,
-            event_driven: cfg.scheduler == SchedulerKind::EventDriven,
             window: scratch.window,
             free_slots: scratch.free_slots,
             events: scratch.events,
@@ -474,11 +473,7 @@ impl<'p> Core<'p> {
             // `cfg.event_shortcuts = false` (the shortcut-validation knob)
             // forces the plain cycle-by-cycle execution the trace-oracle
             // suite compares this against.
-            if self.event_driven
-                && self.cfg.event_shortcuts
-                && !self.cycle_work
-                && self.threads.len() == 1
-            {
+            if self.cfg.event_shortcuts && !self.cycle_work && self.threads.len() == 1 {
                 if let Some(next) = self.next_event_time() {
                     debug_assert!(next > self.now, "event in the past on an idle cycle");
                     // Idle cycles still leave one statistical trace: when
@@ -487,10 +482,11 @@ impl<'p> Core<'p> {
                     // cycle some IDQ is non-empty (rename_phase reaches
                     // `end_cycle` and records 0 without renaming). Account
                     // the skipped cycles' zeros in bulk so the histogram
-                    // stays bit-identical to the legacy scan. If rename is
-                    // *blocked*, `next` never passes `rename_block_until`
-                    // (it is one of the candidate events), so the whole
-                    // skipped region records nothing — exactly as legacy.
+                    // stays bit-identical to the unshortened execution. If
+                    // rename is *blocked*, `next` never passes
+                    // `rename_block_until` (it is one of the candidate
+                    // events), so the whole skipped region records nothing
+                    // — exactly as a cycle-by-cycle run would.
                     let skipped = next - 1 - self.now;
                     if skipped > 0
                         && self.now >= self.rename_block_until
@@ -732,8 +728,9 @@ impl<'p> Core<'p> {
                 self.stats.rename_stalls_sld_read += 1;
                 // The stall counter is observable state mutated this cycle,
                 // so the cycle is not idle — without this, a degenerate
-                // sld_read_ports=0 config would fast-forward past cycles the
-                // legacy scan counts one by one.
+                // sld_read_ports=0 config would fast-forward past cycles
+                // that must each increment the counter (the zero-SLD-port
+                // trace-oracle row locks this).
                 self.cycle_work = true;
                 break;
             }
@@ -1125,55 +1122,42 @@ impl<'p> Core<'p> {
 
     // ----------------------------------------------------------------- issue
 
-    /// Fills `self.cands` with this cycle's issue candidates, oldest first
-    /// across threads (position-interleaved, thread 0 breaking ties — the
-    /// order the legacy ROB walk produced).
+    /// Fills `self.cands` with this cycle's issue candidates — the ready
+    /// queues merged oldest first across threads, measured by ROB depth
+    /// (position-interleaved, thread 0 breaking ties). Every element is
+    /// issue-eligible; no window scan happens here.
     fn gather_candidates(&mut self) {
         let mut cands = std::mem::take(&mut self.cands);
         cands.clear();
-        if self.event_driven {
-            // Ready queues only: every element is issue-eligible.
-            match &self.threads[..] {
-                [t] => cands.extend(t.ready.iter().map(|&(_, tag)| tag)),
-                [t0, t1] => {
-                    let mut a = t0.ready.iter().peekable();
-                    let mut b = t1.ready.iter().peekable();
-                    loop {
-                        match (a.peek(), b.peek()) {
-                            (Some(&&(pa, ta)), Some(&&(pb, tb))) => {
-                                if pa - t0.rob_head <= pb - t1.rob_head {
-                                    cands.push(ta);
-                                    a.next();
-                                } else {
-                                    cands.push(tb);
-                                    b.next();
-                                }
-                            }
-                            (Some(&&(_, ta)), None) => {
+        match &self.threads[..] {
+            [t] => cands.extend(t.ready.iter().map(|&(_, tag)| tag)),
+            [t0, t1] => {
+                let mut a = t0.ready.iter().peekable();
+                let mut b = t1.ready.iter().peekable();
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(&&(pa, ta)), Some(&&(pb, tb))) => {
+                            if pa - t0.rob_head <= pb - t1.rob_head {
                                 cands.push(ta);
                                 a.next();
-                            }
-                            (None, Some(&&(_, tb))) => {
+                            } else {
                                 cands.push(tb);
                                 b.next();
                             }
-                            (None, None) => break,
                         }
-                    }
-                }
-                _ => unreachable!("1 or 2 threads"),
-            }
-        } else {
-            // Legacy: the full ROBs, position-interleaved; non-ready
-            // entries are filtered in the issue loop.
-            let max_len = self.threads.iter().map(|t| t.rob.len()).max().unwrap_or(0);
-            for i in 0..max_len {
-                for t in &self.threads {
-                    if let Some(&tag) = t.rob.get(i) {
-                        cands.push(tag);
+                        (Some(&&(_, ta)), None) => {
+                            cands.push(ta);
+                            a.next();
+                        }
+                        (None, Some(&&(_, tb))) => {
+                            cands.push(tb);
+                            b.next();
+                        }
+                        (None, None) => break,
                     }
                 }
             }
+            _ => unreachable!("1 or 2 threads"),
         }
         self.cands = cands;
     }
@@ -1287,7 +1271,7 @@ impl<'p> Core<'p> {
         // no window changes), so the attempt need not repeat until some
         // backend state changes.
         if budget == self.cfg.issue_width {
-            if self.event_driven && self.cfg.event_shortcuts {
+            if self.cfg.event_shortcuts {
                 self.issue_quiescent = true;
             }
         } else {
@@ -1364,11 +1348,9 @@ impl<'p> Core<'p> {
         }
     }
 
-    /// Queues a completion event (event-driven mode only).
+    /// Queues a completion event for the time-ordered event heap.
     fn push_completion(&mut self, complete_at: u64, seq: u64, uid: u64, tag: Tag) {
-        if self.event_driven {
-            self.events.push(complete_at, seq, uid, tag);
-        }
+        self.events.push(complete_at, seq, uid, tag);
     }
 
     /// Drops `tag` from its thread's ready queue.
@@ -1480,18 +1462,9 @@ impl<'p> Core<'p> {
     fn complete_phase(&mut self) {
         let mut due = std::mem::take(&mut self.due);
         due.clear();
-        if self.event_driven {
-            // Pop everything due this cycle off the event heap; stale
-            // entries (squashed slots) are filtered below, exactly like the
-            // legacy revalidation.
-            self.events.drain_due(self.now, &mut due);
-        } else {
-            for (tag, u) in self.window.iter().enumerate() {
-                if u.valid && u.state == UopState::Issued && u.complete_at <= self.now {
-                    due.push((u.seq, u.uid, tag));
-                }
-            }
-        }
+        // Pop everything due this cycle off the event heap; stale entries
+        // (squashed slots) are filtered below by the uid revalidation.
+        self.events.drain_due(self.now, &mut due);
         due.sort_unstable();
         for &(_, uid, tag) in due.iter() {
             let u = &self.window[tag];

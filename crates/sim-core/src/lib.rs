@@ -28,7 +28,8 @@ mod uop;
 pub use crate::core::{Core, SimResult};
 pub use config::CoreConfig;
 pub use hash::FastHashMap;
-pub use sched::{SchedulerKind, SimScratch};
+pub use sched::SimScratch;
+pub use sim_mem::TraceDigest;
 pub use stats::CoreStats;
 pub use trace::{StallClass, TraceRecorder, TraceSummary, UopTrace, NO_CYCLE};
 pub use uop::{Fetched, Tag, Uop, UopState};

@@ -18,20 +18,19 @@
 //!   same memory to consecutive simulations (zero steady-state allocation
 //!   across runs).
 //!
-//! On top of these, the event-driven core memoizes backend idleness: an
-//! issue attempt that finds nothing to do is not repeated until a
-//! completion, rename, retirement, or flush changes the backend
-//! (`issue_quiescent`), and a whole cycle in which *no* phase did work
-//! fast-forwards the clock to the next time-gated event (single-thread
-//! mode only — SMT's parity-rotating fetch/rename slotting makes idleness
-//! non-monotonic). Both shortcuts skip provably side-effect-free work, so
-//! cycle counts and statistics are untouched — the equivalence suite
-//! asserts this against the unshortened legacy scan.
-//!
-//! [`SchedulerKind::LegacyScan`] keeps the original per-cycle full scans
-//! selectable. Both schedulers visit µops in exactly the same order, so
-//! their `SimResult` statistics are bit-identical — `cargo test` asserts
-//! this over the kernel suite and `cargo bench` measures the gap.
+//! On top of these, the core memoizes backend idleness: an issue attempt
+//! that finds nothing to do is not repeated until a completion, rename,
+//! retirement, or flush changes the backend (`issue_quiescent`), and a
+//! whole cycle in which *no* phase did work fast-forwards the clock to the
+//! next time-gated event (single-thread mode only — SMT's parity-rotating
+//! fetch/rename slotting makes idleness non-monotonic). Both shortcuts
+//! skip provably side-effect-free work, so cycle counts and statistics are
+//! untouched. The scheduling trace oracle (`tests/trace_oracle.rs` and the
+//! committed digests under `tests/golden/`) locks this: golden per-µop
+//! timing digests were captured while the original full-scan scheduler
+//! still existed and cross-checked bit-identical against it, and the
+//! shortcut-validation tests re-derive them with the shortcuts
+//! force-disabled (`CoreConfig::event_shortcuts = false`).
 
 use crate::pctab::PcCountTable;
 use crate::uop::{Fetched, Tag, Uop};
@@ -78,23 +77,9 @@ impl ReadyQueue {
     }
 }
 
-/// Which scheduling implementation the core uses.
-///
-/// Both produce bit-identical architectural and statistical results; they
-/// differ only in how much work each simulated cycle costs the host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum SchedulerKind {
-    /// Incremental event-driven scheduling (the default).
-    #[default]
-    EventDriven,
-    /// The original per-cycle full-window scans, kept for equivalence
-    /// testing and as the benchmark baseline.
-    LegacyScan,
-}
-
 /// One pending completion: a µop issued at some cycle finishes at
-/// `complete_at`. `seq`/`uid` reproduce the legacy completion order and
-/// filter entries whose slot was squashed and reused.
+/// `complete_at`. `seq` orders same-cycle completions in program order;
+/// `uid` filters entries whose slot was squashed and reused.
 pub(crate) type CompletionEvent = Reverse<(u64, u64, u64, Tag)>;
 
 /// Min-heap of completion events, keyed (complete_at, seq, uid, tag).
@@ -110,7 +95,7 @@ impl CompletionQueue {
 
     /// Pops every event due at or before `now` into `due` as
     /// (seq, uid, tag) triples. Stale entries are popped too; the caller
-    /// re-validates against the window exactly as the legacy scan did.
+    /// re-validates them against the window.
     pub(crate) fn drain_due(&mut self, now: u64, due: &mut Vec<(u64, u64, Tag)>) {
         while let Some(&Reverse((at, seq, uid, tag))) = self.heap.peek() {
             if at > now {

@@ -59,7 +59,7 @@ pub struct Uop {
     pub in_rs: bool,
     pub complete_at: u64,
     /// Monotone per-thread ROB position (never reused while in flight);
-    /// orders the ready queues exactly as the legacy ROB walk did.
+    /// orders the ready queues in program order within each thread.
     pub rob_pos: u64,
 
     // Memory.

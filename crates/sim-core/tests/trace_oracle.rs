@@ -309,34 +309,6 @@ fn shortcuts_disabled_match_goldens() {
     }
 }
 
-/// Golden provenance: the committed digests, captured from the
-/// event-driven scheduler, are bit-identical to what the legacy full-scan
-/// scheduler produces on every matrix row. This is the bank deposit the
-/// legacy deletion draws on; the test is deleted together with
-/// `SchedulerKind::LegacyScan`.
-#[test]
-fn legacy_scan_produces_identical_trace_digests() {
-    let committed = read_goldens();
-    for row in matrix() {
-        let cfg = row
-            .cfg
-            .clone()
-            .with_scheduler(sim_core::SchedulerKind::LegacyScan);
-        let (result, trace) = run_row_with(&row, cfg);
-        let golden = &committed
-            .iter()
-            .find(|(n, _)| n == &row.name)
-            .unwrap_or_else(|| panic!("{} missing from goldens", row.name))
-            .1;
-        assert_eq!(
-            &golden_row(&row.name, &result, &trace),
-            golden,
-            "{}: legacy scan disagrees with the committed golden",
-            row.name
-        );
-    }
-}
-
 /// `SimScratch` recycling: back-to-back runs reusing one scratch must
 /// produce trace digests identical to fresh-scratch runs (and therefore to
 /// the committed goldens) — locks the recycle paths of the µop slab, event

@@ -324,8 +324,8 @@ pub fn suite() -> Vec<WorkloadSpec> {
 /// A deliberately memory-bound trace: streaming, matrix, pointer-chase, and
 /// hash-probe kernels dominate, so nearly every cycle touches the cache
 /// hierarchy. Used by the `bench/memory` harness and the memory-stress rows
-/// of the scheduler-equivalence matrix; two specs with the same seed build
-/// identical programs.
+/// of the scheduling trace-oracle matrix; two specs with the same seed
+/// build identical programs.
 pub fn memory_stress(seed: u64) -> WorkloadSpec {
     use KernelKind::*;
     WorkloadSpec {

@@ -161,65 +161,6 @@ fn machine_kind_traces_match_goldens() {
 }
 
 #[test]
-fn schedulers_are_equivalent_under_every_machine_kind() {
-    // The event-driven scheduler is a pure host-performance change: for
-    // every machine configuration the paper evaluates, retired-instruction
-    // counts, IPC, and eliminated-load counts must be bit-identical to the
-    // legacy full-scan scheduler. (The sim-core integration tests cover a
-    // wider counter digest; this covers the full configuration matrix.)
-    use constable_repro::sim_core::SchedulerKind;
-    let kinds = [
-        MachineKind::Baseline,
-        MachineKind::Constable,
-        MachineKind::EvesConstable,
-        MachineKind::ElarConstable,
-        MachineKind::RfpConstable,
-        MachineKind::ConstableAmtI,
-        MachineKind::ConstableFullAddrAmt,
-        MachineKind::ConstableCorrectPathOnly,
-    ];
-    for kind in kinds {
-        for spec in suite_subset(2) {
-            let program = spec.build();
-            let mut legacy = Core::new(&program, {
-                let mut c = kind.config(Default::default());
-                c.scheduler = SchedulerKind::LegacyScan;
-                c
-            });
-            let rl = legacy.run(12_000);
-            let mut event = Core::new(&program, {
-                let mut c = kind.config(Default::default());
-                c.scheduler = SchedulerKind::EventDriven;
-                c
-            });
-            let re = event.run(12_000);
-            let label = kind.label();
-            assert_eq!(
-                rl.stats.retired, re.stats.retired,
-                "{label}/{}: retired diverged",
-                spec.name
-            );
-            assert_eq!(
-                rl.stats.retired_loads, re.stats.retired_loads,
-                "{label}/{}: retired loads diverged",
-                spec.name
-            );
-            assert_eq!(
-                rl.stats.loads_eliminated, re.stats.loads_eliminated,
-                "{label}/{}: eliminated loads diverged",
-                spec.name
-            );
-            assert_eq!(
-                rl.ipc().to_bits(),
-                re.ipc().to_bits(),
-                "{label}/{}: IPC diverged",
-                spec.name
-            );
-        }
-    }
-}
-
-#[test]
 fn elimination_happens_in_every_category() {
     for cat in Category::ALL {
         let spec = constable_repro::sim_workload::suite()
