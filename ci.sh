@@ -46,11 +46,28 @@ cargo test -q --release
 if [[ "${1:-}" != "--fast" ]]; then
     SHIM_OUT=crates/bench/target/criterion-shim
 
+    # Golden freshness: re-running the bless generators must leave the
+    # committed golden files byte-identical. The normal test run already
+    # fails on digest mismatches; this additionally catches a stale or
+    # hand-edited golden row (formatting drift, a bless that was run but
+    # not committed) that the digest comparison alone can tolerate.
+    step "golden freshness (bless output must be committed-clean)"
+    SIM_TRACE_BLESS=1 cargo test -q --release -p sim-core --test trace_oracle trace_matrix_matches_goldens
+    SIM_TRACE_BLESS=1 cargo test -q --release --test golden_verification machine_kind_traces_match_goldens
+    if ! git diff --exit-code -- crates/sim-core/tests/golden tests/golden; then
+        echo "FAIL: --bless output differs from the committed goldens (see diff above);" >&2
+        echo "      review and commit the regenerated files or revert the behavior change" >&2
+        exit 1
+    fi
+
     # Quick scheduler-bench smoke: event-driven throughput (fresh, scratch-
-    # recycled, and traced), then the regression gate against the committed
-    # snapshot. The tolerance is a generous tripwire: the smoke runs 3
-    # samples on a shared host, so only step-change regressions (a revived
-    # O(window) scan, a dead fast path) should trip it.
+    # recycled, traced, and the SMT2 pairings opened up by the parity-free
+    # frontend), then the regression gate against the committed snapshot —
+    # which carries `scheduler/event/smt2` rows, so an SMT2-specific
+    # regression trips the gate like any other. The tolerance is a generous
+    # tripwire: the smoke runs 3 samples on a shared host, so only
+    # step-change regressions (a revived O(window) scan, a dead fast path)
+    # should trip it.
     step "bench smoke (scheduler)"
     CRITERION_SHIM_QUICK=1 cargo bench -p bench --bench scheduler
     step "bench regression gate (scheduler)"

@@ -10,7 +10,9 @@
 //!   `memory_stress` workloads, in simulated µops per second — the
 //!   acceptance metric for the zero-allocation fast-path PR. The AMT-I
 //!   variant keeps the eviction-sink path (the one consumer of per-access
-//!   L1 eviction lines) honest.
+//!   L1 eviction lines) honest. `memory/sim/smt2-memstress` co-schedules
+//!   the two stress workloads on one SMT2 core — the stall-heaviest shape
+//!   the parity-free frontend PR opened to the idle-cycle fast-forward.
 //!
 //! JSON report: `target/criterion-shim/memory.json`; the committed snapshot
 //! lives in `BENCH_memory.json` at the repo root.
@@ -160,6 +162,28 @@ fn memory_throughput(c: &mut Criterion) {
                 }
                 std::hint::black_box(retired)
             })
+        });
+        g.finish();
+    }
+
+    // SMT2 memory stress: both stress workloads on one core, half the
+    // per-thread run length (same retired-µop total as one single-thread
+    // stress run). Long DRAM stalls on both threads at once — the config
+    // that stayed at pre-fast-forward speed until thread selection went
+    // parity-free.
+    {
+        let cfg = CoreConfig::golden_cove_like();
+        let run_pair = |programs: &[sim_workload::Program]| {
+            let mut core = Core::new_multi(programs.iter().collect(), cfg.clone());
+            let r = core.run(QUICK / 2);
+            assert_eq!(r.stats.golden_mismatches, 0);
+            r.stats.retired
+        };
+        let uops = run_pair(&programs);
+        let mut g = c.benchmark_group("memory");
+        g.throughput(Throughput::Elements(uops));
+        g.bench_function("sim/smt2-memstress", |b| {
+            b.iter(|| std::hint::black_box(run_pair(&programs)))
         });
         g.finish();
     }

@@ -1,7 +1,7 @@
 //! Scheduler throughput: simulated µops per second of host wall-clock on a
 //! category-balanced kernel-suite subset at quick run length.
 //!
-//! Three variants of the event-driven scheduler (the only scheduler; the
+//! Variants of the event-driven scheduler (the only scheduler; the
 //! legacy full-scan mode is deleted — its correctness role now lives in the
 //! committed trace-oracle goldens, its historical numbers in `BENCH.md`):
 //!
@@ -9,7 +9,10 @@
 //! * `scheduler/event-scratch/*` — recycling one `SimScratch` across runs;
 //! * `scheduler/event-traced/*` — with a digest-only `TraceRecorder`
 //!   attached, bounding the trace oracle's overhead when it is *on* (when
-//!   off it costs nothing — `event/*` is the regression gate for that).
+//!   off it costs nothing — `event/*` is the regression gate for that);
+//! * `scheduler/event/smt2`, `scheduler/event-scratch/smt2` — SMT2
+//!   pairings over the subset, the configuration the parity-free frontend
+//!   PR opened to the idle-cycle fast-forward (Fig 14's cost center).
 //!
 //! The JSON report lands in `target/criterion-shim/scheduler.json`;
 //! `BENCH_scheduler.json` in the repo root carries the committed snapshot,
@@ -75,6 +78,32 @@ fn run_subset_with_scratch(
     (retired, scratch)
 }
 
+/// SMT2 pairing shapes over a 4-workload subset (the trace-oracle pairs).
+fn smt2_pairs() -> Vec<(sim_workload::Program, sim_workload::Program)> {
+    let specs = sim_workload::suite_subset(4);
+    [(0usize, 1usize), (2, 3)]
+        .iter()
+        .map(|&(a, b)| (specs[a].build(), specs[b].build()))
+        .collect()
+}
+
+fn run_smt2_pairs(
+    pairs: &[(sim_workload::Program, sim_workload::Program)],
+    cfg: &CoreConfig,
+    scratch: SimScratch,
+) -> (u64, SimScratch) {
+    let mut retired = 0;
+    let mut scratch = scratch;
+    for (pa, pb) in pairs {
+        let mut core = Core::new_multi_with_scratch(vec![pa, pb], cfg.clone(), scratch);
+        let r = core.run(QUICK / 2);
+        assert_eq!(r.stats.golden_mismatches, 0);
+        retired += r.stats.retired;
+        scratch = core.into_scratch();
+    }
+    (retired, scratch)
+}
+
 fn scheduler_throughput(c: &mut Criterion) {
     let specs = sim_workload::suite_subset(SUBSET);
     let machines: &[(&str, CoreConfig)] = &[
@@ -99,6 +128,32 @@ fn scheduler_throughput(c: &mut Criterion) {
         });
         g.bench_function(&format!("event-traced/{label}"), |b| {
             b.iter(|| std::hint::black_box(run_subset(&specs, cfg, true)))
+        });
+        g.finish();
+    }
+
+    // SMT2: both pairing shapes at half the per-thread run length (same
+    // retired-µop total per pair as one single-thread run). The baseline
+    // machine matches the smt2/* trace-oracle rows.
+    {
+        let pairs = smt2_pairs();
+        let cfg = CoreConfig::golden_cove_like();
+        let (uops, _) = run_smt2_pairs(&pairs, &cfg, SimScratch::new());
+        let mut g = c.benchmark_group("scheduler");
+        g.throughput(Throughput::Elements(uops));
+        g.bench_function("event/smt2", |b| {
+            b.iter(|| {
+                let (retired, _) = run_smt2_pairs(&pairs, &cfg, SimScratch::new());
+                std::hint::black_box(retired)
+            })
+        });
+        g.bench_function("event-scratch/smt2", |b| {
+            let mut scratch = Some(SimScratch::new());
+            b.iter(|| {
+                let (retired, s) = run_smt2_pairs(&pairs, &cfg, scratch.take().expect("scratch"));
+                scratch = Some(s);
+                std::hint::black_box(retired)
+            })
         });
         g.finish();
     }

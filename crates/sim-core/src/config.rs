@@ -65,10 +65,12 @@ pub struct CoreConfig {
     /// off by default to keep runs lean.
     pub track_per_pc: bool,
     /// Event-driven scheduling shortcuts (idle-cycle fast-forward and the
-    /// issue-quiescence memo). On by default; a pure host-performance knob —
-    /// results and trace digests are bit-identical either way, which the
-    /// shortcut-validation tests assert by force-disabling it. Leave it on
-    /// outside those tests.
+    /// issue-quiescence memo), applied to single-thread and SMT2 runs
+    /// alike — the parity-free frontend rotor makes multi-thread idleness
+    /// monotonic, so whole SMT2 stall spans fast-forward too. On by
+    /// default; a pure host-performance knob — results and trace digests
+    /// are bit-identical either way, which the shortcut-validation tests
+    /// assert by force-disabling it. Leave it on outside those tests.
     pub event_shortcuts: bool,
 }
 

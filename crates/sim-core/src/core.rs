@@ -31,19 +31,27 @@
 //! come from per-thread ready queues fed by dependency wakeup (producers
 //! push consumers when they complete), and the store-search /
 //! disambiguation / flush paths walk per-thread store/load index rings
-//! instead of the whole ROB. Per-µop timing is locked by the scheduling
-//! trace oracle: committed golden digests (captured while the original
-//! full-scan scheduler still existed and cross-checked bit-identical
-//! against it) that any change to issue order, completion timing, or
-//! retire order must consciously re-bless. See [`crate::trace`] and
+//! instead of the whole ROB. Under SMT2, the fetch and rename slots are
+//! granted by a parity-free round-robin rotor (see
+//! [`crate::sched::FrontendRotor`]): hazard-blocked threads cede the slot
+//! within the cycle, and the pointers advance only on progress, so
+//! per-cycle frontend work is a pure function of architectural state and
+//! the idle-cycle fast-forward applies to multi-thread runs as well.
+//! Per-µop timing is locked by the scheduling
+//! trace oracle: committed golden digests that any change to issue
+//! order, completion timing, or retire order must consciously re-bless.
+//! The single-thread rows were captured while the original full-scan
+//! scheduler still existed and cross-checked bit-identical against it;
+//! the SMT2 rows were re-blessed when the frontend went parity-free
+//! (see `tests/README.md`). See [`crate::trace`] and
 //! `tests/trace_oracle.rs`.
 
 use crate::config::CoreConfig;
 use crate::pctab::PcCountTable;
-use crate::sched::{SimScratch, ThreadScratch};
+use crate::sched::{FrontendRotor, SimScratch, ThreadScratch};
 use crate::stats::CoreStats;
 use crate::trace::{self, StallClass, TraceRecorder, TraceSummary, UopTrace};
-use crate::uop::{Fetched, Tag, Uop, UopState};
+use crate::uop::{Fetched, Tag, Uop, UopStamps, UopState};
 use constable::{Constable, IdealConfig, LoadRename, StackState, XprfSlot};
 use sim_isa::{AluOp, ArchReg, BranchKind, DynInst, InstClass, OpKind, Pc};
 use sim_mem::{line_addr, EvictionSink, MemoryHierarchy, SnoopInjector};
@@ -80,13 +88,8 @@ struct RetiredUop {
     addr: u64,
     result: u64,
     vp_history: u64,
-    fetched_at: u64,
-    renamed_at: u64,
-    issued_at: u64,
-    issue_order: u64,
     complete_at: u64,
     xprf: Option<XprfSlot>,
-    rec: Option<DynInst>,
     stack_after: StackState,
 }
 
@@ -176,6 +179,19 @@ impl<'p> Thread<'p> {
 
     fn tag_addr(&self, addr: u64) -> u64 {
         addr + ((self.id as u64) << THREAD_TAG_SHIFT)
+    }
+
+    /// Functional record of an in-flight correct-path µop, addressed by
+    /// its dynamic sequence number. Records are fetched ahead into
+    /// `pending` and popped only when their µop retires, so every
+    /// in-flight µop's record is `pending[seq - front.seq]` — µops carry
+    /// the sequence, not a `DynInst` copy.
+    #[inline]
+    fn rec(&self, seq: u64) -> &DynInst {
+        let front = self.pending.front().expect("in-flight µop has a record");
+        let r = &self.pending[(seq - front.seq) as usize];
+        debug_assert_eq!(r.seq, seq, "pending ring out of sync");
+        r
     }
 
     fn tag_pc(&self, pc: u64) -> u64 {
@@ -269,6 +285,9 @@ pub struct Core<'p> {
     cfg: CoreConfig,
     threads: Vec<Thread<'p>>,
     window: Vec<Uop>,
+    /// Trace-only pipeline stamps, parallel to `window`; written only
+    /// when a tracer is attached (see [`UopStamps`]).
+    stamps: Vec<UopStamps>,
     free_slots: Vec<Tag>,
     events: crate::sched::CompletionQueue,
     /// Scratch: completions due this cycle (sorted into program order).
@@ -296,6 +315,13 @@ pub struct Core<'p> {
     now: u64,
     next_uid: u64,
     rename_block_until: u64,
+    /// Parity-free frontend thread selection (modelled state, reset per
+    /// run): round-robin pointers for the fetch and rename slots that
+    /// advance only when the selected thread makes progress. Selection is
+    /// a pure function of architectural state — never of `now` — which is
+    /// what makes SMT2 idleness monotonic and the idle fast-forward valid
+    /// for multi-thread runs.
+    rotor: FrontendRotor,
     /// In-flight (renamed, unretired) correct-path instances per load PC;
     /// feeds the EVES stride component's run-ahead distance.
     inflight_loads: PcCountTable,
@@ -388,6 +414,7 @@ impl<'p> Core<'p> {
             injector: SnoopInjector::new(cfg.snoop_rate_per_10k, cfg.seed),
             threads,
             window: scratch.window,
+            stamps: scratch.stamps,
             free_slots: scratch.free_slots,
             events: scratch.events,
             due: scratch.due,
@@ -400,6 +427,7 @@ impl<'p> Core<'p> {
             now: 0,
             next_uid: 1,
             rename_block_until: 0,
+            rotor: FrontendRotor::default(),
             inflight_loads: scratch.inflight_loads,
             issue_quiescent: false,
             cycle_work: false,
@@ -428,6 +456,7 @@ impl<'p> Core<'p> {
     pub fn into_scratch(self) -> SimScratch {
         SimScratch {
             window: self.window,
+            stamps: self.stamps,
             free_slots: self.free_slots,
             events: self.events,
             due: self.due,
@@ -464,16 +493,21 @@ impl<'p> Core<'p> {
             // Event-driven fast-forward: a cycle in which no phase did any
             // work leaves the core's state frozen — nothing can change
             // until the next time-gated event (a completion, the end of a
-            // rename-port stall, or the end of a fetch redirect). Jump
-            // `now` straight there; every skipped cycle would have been an
-            // exact no-op, so the cycle count (and with it every statistic)
-            // is unchanged. Single-thread only: under SMT2 the fetch and
-            // rename phases pick a thread by `now`-parity *before* hazard
-            // checks, so an idle cycle does not imply the next one is idle.
-            // `cfg.event_shortcuts = false` (the shortcut-validation knob)
-            // forces the plain cycle-by-cycle execution the trace-oracle
-            // suite compares this against.
-            if self.cfg.event_shortcuts && !self.cycle_work && self.threads.len() == 1 {
+            // rename-port stall, or the end of a fetch redirect, minimized
+            // across every thread). Jump `now` straight there; every
+            // skipped cycle would have been an exact no-op, so the cycle
+            // count (and with it every statistic) is unchanged. This holds
+            // for SMT2 as much as for single-thread runs because frontend
+            // thread selection is rotor state that only moves on progress,
+            // never a function of `now`: an idle cycle's selection decision
+            // replays identically until an event lands. Retire's intra-
+            // cycle thread order does read `now`-parity, but it only acts
+            // when some ROB head is Done, which requires a completion —
+            // an event that ends the span. `cfg.event_shortcuts = false`
+            // (the shortcut-validation knob) forces the plain
+            // cycle-by-cycle execution the trace-oracle suite compares
+            // this against.
+            if self.cfg.event_shortcuts && !self.cycle_work {
                 if let Some(next) = self.next_event_time() {
                     debug_assert!(next > self.now, "event in the past on an idle cycle");
                     // Idle cycles still leave one statistical trace: when
@@ -552,10 +586,16 @@ impl<'p> Core<'p> {
 
     fn fetch_phase(&mut self) {
         let nthreads = self.threads.len();
-        // Round-robin priority, but never waste the slot on a stalled or
-        // full thread when the other can make progress (ICOUNT-lite).
+        // 1 or 2 threads, always a power of two: rotate with a mask, not a
+        // hardware division.
+        let tmask = nthreads - 1;
+        // Parity-free round-robin: the rotor's thread has first claim on
+        // the slot, but a stalled or IDQ-full thread is skipped in the same
+        // cycle rather than burning it (ICOUNT-lite). The pointer advances
+        // only past a thread that actually fetched, so a skipped thread
+        // keeps its priority and selection never depends on `now` parity.
         let Some(tid) = (0..nthreads)
-            .map(|off| (self.now as usize + off) % nthreads)
+            .map(|off| (self.rotor.fetch + off) & tmask)
             .find(|&t| {
                 self.now >= self.threads[t].fetch_stall_until
                     && self.threads[t].idq.len() < self.cfg.idq_size
@@ -564,8 +604,24 @@ impl<'p> Core<'p> {
             return;
         };
         let mut budget = self.cfg.fetch_width.min(self.cfg.decode_width);
-        while budget > 0 && self.threads[tid].idq.len() < self.cfg.idq_size {
-            let th = &mut self.threads[tid];
+        // An eligible thread always delivers at least one µop (both the
+        // wrong-path and correct-path arms below push unconditionally), so
+        // the slot is used: rotate first claim to the other thread. The
+        // budget guard keeps the rotor frozen on cycles fetch cannot touch
+        // — a rotor write on a no-work cycle would break the idle-cycle
+        // fast-forward's fixed-point argument.
+        if budget > 0 {
+            self.rotor.fetch_progressed(tid, tmask);
+        }
+        // One disjoint-field borrow for the whole budget loop: `th` and
+        // `tage` are re-resolved once, not once per fetched µop.
+        let now = self.now;
+        let idq_cap = self.cfg.idq_size;
+        let wrong_path_fetch = self.cfg.wrong_path_fetch;
+        let th = &mut self.threads[tid];
+        let tage = &mut self.tage[tid];
+        let stats = &mut self.stats;
+        while budget > 0 && th.idq.len() < idq_cap {
             if let Some(wp_sidx) = th.wrong_path.as_ref().map(|wp| wp.next_sidx) {
                 // Wrong-path fetch: real static instructions from the
                 // predicted (wrong) target, following further predictions.
@@ -576,7 +632,7 @@ impl<'p> Core<'p> {
                     OpKind::Branch(BranchKind::Jump { target })
                     | OpKind::Branch(BranchKind::Call { target }) => target,
                     OpKind::Branch(BranchKind::Cond { target, .. }) => {
-                        if self.tage[tid].predict(pred_pc) {
+                        if tage.predict(pred_pc) {
                             target
                         } else {
                             sidx + 1
@@ -591,11 +647,11 @@ impl<'p> Core<'p> {
                     thread: tid,
                     sidx,
                     wrong_path: true,
-                    rec: None,
+                    seq: 0,
                     mispredicted: false,
-                    fetched_at: self.now,
+                    fetched_at: now,
                 });
-                self.stats.fetched_wrong_path += 1;
+                stats.fetched_wrong_path += 1;
                 self.cycle_work = true;
                 budget -= 1;
                 continue;
@@ -614,8 +670,8 @@ impl<'p> Core<'p> {
             if let OpKind::Branch(kind) = inst.kind {
                 match kind {
                     BranchKind::Cond { target, .. } => {
-                        pred_taken = self.tage[tid].predict(ppc);
-                        self.tage[tid].update(ppc, rec.taken);
+                        pred_taken = tage.predict(ppc);
+                        tage.update(ppc, rec.taken);
                         mispredicted = pred_taken != rec.taken;
                         wrong_target = if pred_taken { target } else { rec.sidx + 1 };
                     }
@@ -644,16 +700,16 @@ impl<'p> Core<'p> {
                 thread: tid,
                 sidx: rec.sidx,
                 wrong_path: false,
-                rec: Some(rec),
+                seq: rec.seq,
                 mispredicted,
-                fetched_at: self.now,
+                fetched_at: now,
             });
-            self.stats.fetched += 1;
+            stats.fetched += 1;
             self.cycle_work = true;
             budget -= 1;
             if mispredicted {
-                self.stats.branch_mispredicts += 1;
-                if self.cfg.wrong_path_fetch {
+                stats.branch_mispredicts += 1;
+                if wrong_path_fetch {
                     th.wrong_path = Some(WrongPath {
                         next_sidx: wrong_target,
                         cause_seq: rec.seq,
@@ -696,15 +752,49 @@ impl<'p> Core<'p> {
             return;
         }
         let nthreads = self.threads.len();
-        let Some(tid) = (0..nthreads)
-            .map(|off| (self.now as usize + 1 + off) % nthreads)
-            .find(|&t| !self.threads[t].idq.is_empty())
-        else {
+        let tmask = nthreads - 1;
+        if self.threads.iter().all(|t| t.idq.is_empty()) {
             return;
-        };
+        }
         let mut budget = self.cfg.rename_width;
         let mut loads_this_cycle = 0u32;
-        while budget > 0 {
+        // Parity-free selection: the rotor's thread has first claim on the
+        // rename slot; a thread whose IDQ is empty or whose front µop is
+        // hazard-blocked cedes the slot to the other thread *in the same
+        // cycle* instead of burning it, and the pointer advances only past
+        // a thread that renamed at least one µop — a blocked thread keeps
+        // its claim. The SLD read-port pool (`loads_this_cycle`) is a
+        // per-cycle resource shared across the attempts.
+        for off in 0..nthreads {
+            let tid = (self.rotor.rename + off) & tmask;
+            if self.threads[tid].idq.is_empty() {
+                continue;
+            }
+            if self.rename_from(tid, &mut budget, &mut loads_this_cycle) {
+                self.rotor.rename_progressed(tid, tmask);
+                break;
+            }
+        }
+        // SLD write-port pressure (§6.7.1): more rename-stage SLD updates
+        // than ports stall rename for the overflow cycles.
+        if let Some(c) = &mut self.cons {
+            let (_, writes) = c.end_cycle();
+            self.stats.sld_updates_per_cycle.record(u64::from(writes));
+            let ports = self.cfg_sld_write_ports();
+            if writes > ports {
+                let extra = u64::from(writes - ports).div_ceil(u64::from(ports.max(1)));
+                self.rename_block_until = self.now + 1 + extra;
+                self.stats.rename_stalls_sld_write += extra;
+            }
+        }
+    }
+
+    /// Renames µops from `tid`'s IDQ until the shared `budget` runs out or
+    /// the front µop hits a hazard. Returns whether anything renamed (the
+    /// rotor-advance / slot-ceding signal for [`Core::rename_phase`]).
+    fn rename_from(&mut self, tid: usize, budget: &mut u32, loads_this_cycle: &mut u32) -> bool {
+        let mut renamed_any = false;
+        while *budget > 0 {
             let th = &self.threads[tid];
             let Some(f) = th.idq.front() else { break };
             let inst = *th.program.inst(f.sidx);
@@ -723,7 +813,7 @@ impl<'p> Core<'p> {
             }
             if self.cons.is_some()
                 && inst.is_load()
-                && loads_this_cycle >= self.cfg.rename_width.min(self.sld_read_ports())
+                && *loads_this_cycle >= self.cfg.rename_width.min(self.sld_read_ports())
             {
                 self.stats.rename_stalls_sld_read += 1;
                 // The stall counter is observable state mutated this cycle,
@@ -736,23 +826,13 @@ impl<'p> Core<'p> {
             }
             let f = self.threads[tid].idq.pop_front().expect("checked above");
             if inst.is_load() {
-                loads_this_cycle += 1;
+                *loads_this_cycle += 1;
             }
             self.rename_one(tid, f, inst);
-            budget -= 1;
+            *budget -= 1;
+            renamed_any = true;
         }
-        // SLD write-port pressure (§6.7.1): more rename-stage SLD updates
-        // than ports stall rename for the overflow cycles.
-        if let Some(c) = &mut self.cons {
-            let (_, writes) = c.end_cycle();
-            self.stats.sld_updates_per_cycle.record(u64::from(writes));
-            let ports = self.cfg_sld_write_ports();
-            if writes > ports {
-                let extra = u64::from(writes - ports).div_ceil(u64::from(ports.max(1)));
-                self.rename_block_until = self.now + 1 + extra;
-                self.stats.rename_stalls_sld_write += extra;
-            }
-        }
+        renamed_any
     }
 
     fn sld_read_ports(&self) -> u32 {
@@ -780,58 +860,67 @@ impl<'p> Core<'p> {
         let uid = self.next_uid;
         self.next_uid += 1;
 
-        let (raw_pc, seq) = {
+        let raw_pc = inst.pc.0;
+        // One thread borrow for all the rename-time thread state.
+        let (seq, ppc, rob_pos, stack_before) = {
             let th = &mut self.threads[tid];
-            let seq = match &f.rec {
-                Some(r) => r.seq,
-                None => {
-                    th.wp_seq_counter += 1;
-                    u64::MAX / 2 + th.wp_seq_counter
-                }
+            let seq = if f.wrong_path {
+                th.wp_seq_counter += 1;
+                u64::MAX / 2 + th.wp_seq_counter
+            } else {
+                f.seq
             };
-            (inst.pc.0, seq)
+            (seq, th.tag_pc(raw_pc), th.rob_pushed, th.stack_rename)
         };
-        let ppc = self.threads[tid].tag_pc(raw_pc);
 
-        let mut u = Uop::empty();
-        u.valid = true;
-        u.uid = uid;
-        u.thread = tid;
-        u.seq = seq;
-        u.sidx = f.sidx;
-        u.pc = ppc;
-        u.cls = inst.class();
-        u.dst = inst.dst;
-        u.wrong_path = f.wrong_path;
-        u.rec = f.rec;
-        u.is_load = inst.is_load();
-        u.is_store = inst.is_store();
-        u.is_branch = inst.is_branch();
-        u.mispredicted = f.mispredicted;
-        u.rob_pos = self.threads[tid].rob_pushed;
-        u.fetched_at = f.fetched_at;
-        u.renamed_at = self.now;
-        if let OpKind::Load { size, .. } | OpKind::Store { size, .. } = inst.kind {
-            u.size = size;
+        // The slot comes off the free list already reset (the squash and
+        // retire paths guarantee it), so rename writes its fields straight
+        // into the slab — no quarter-KiB stack temporary and no slot copy.
+        let is_load = inst.is_load();
+        {
+            let w = &mut self.window[tag];
+            w.valid = true;
+            w.uid = uid;
+            w.thread = tid;
+            w.seq = seq;
+            w.sidx = f.sidx;
+            w.pc = ppc;
+            w.cls = inst.class();
+            w.dst = inst.dst;
+            w.wrong_path = f.wrong_path;
+            w.is_load = is_load;
+            w.is_store = inst.is_store();
+            w.is_branch = inst.is_branch();
+            w.mispredicted = f.mispredicted;
+            w.rob_pos = rob_pos;
+            if let OpKind::Load { size, .. } | OpKind::Store { size, .. } = inst.kind {
+                w.size = size;
+            }
+
+            // Baseline rename-stage folding (§8.1).
+            w.folded = match inst.kind {
+                OpKind::Nop => true,
+                OpKind::Mov => self.cfg.move_zero_elimination,
+                OpKind::MovImm => self.cfg.constant_folding,
+                OpKind::Branch(BranchKind::Jump { .. }) => self.cfg.branch_folding,
+                OpKind::Branch(BranchKind::Call { .. }) | OpKind::Branch(BranchKind::Ret) => {
+                    self.cfg.branch_folding
+                }
+                OpKind::Alu(AluOp::Xor) if inst.is_zero_idiom() => self.cfg.move_zero_elimination,
+                _ => false,
+            };
         }
 
-        // Baseline rename-stage folding (§8.1).
-        u.folded = match inst.kind {
-            OpKind::Nop => true,
-            OpKind::Mov => self.cfg.move_zero_elimination,
-            OpKind::MovImm => self.cfg.constant_folding,
-            OpKind::Branch(BranchKind::Jump { .. }) => self.cfg.branch_folding,
-            OpKind::Branch(BranchKind::Call { .. }) | OpKind::Branch(BranchKind::Ret) => {
-                self.cfg.branch_folding
-            }
-            OpKind::Alu(AluOp::Xor) if inst.is_zero_idiom() => self.cfg.move_zero_elimination,
-            _ => false,
-        };
-
-        let stack_before = self.threads[tid].stack_rename;
+        if self.tracer.is_some() {
+            self.stamps[tag] = UopStamps {
+                fetched_at: f.fetched_at,
+                renamed_at: self.now,
+                ..UopStamps::default()
+            };
+        }
 
         // ---------------- load-side speculation decisions -----------------
-        if u.is_load {
+        if is_load {
             let mem = *inst.mem_ref().expect("loads have a memory operand");
             // Constable (steps 1–3 of Fig 8).
             let wp_ok = self
@@ -841,7 +930,7 @@ impl<'p> Core<'p> {
                 .map(|c| c.wrong_path_updates)
                 .unwrap_or(false);
             if let Some(c) = &mut self.cons {
-                if !u.wrong_path || wp_ok {
+                if !f.wrong_path || wp_ok {
                     match c.rename_load(ppc, &mem, stack_before) {
                         LoadRename::Eliminated { addr, value, slot } => {
                             // Guard against the §6.5 race: if the store-set
@@ -862,40 +951,43 @@ impl<'p> Core<'p> {
                             if conflict {
                                 c.free_xprf(slot);
                             } else {
-                                u.eliminated = true;
-                                u.folded = true;
-                                u.xprf = Some(slot);
-                                u.addr = addr;
-                                u.addr_known = true;
-                                u.result = value;
+                                let w = &mut self.window[tag];
+                                w.eliminated = true;
+                                w.folded = true;
+                                w.xprf = Some(slot);
+                                w.addr = addr;
+                                w.addr_known = true;
+                                w.result = value;
                             }
                         }
-                        LoadRename::LikelyStable => u.likely_stable = true,
+                        LoadRename::LikelyStable => self.window[tag].likely_stable = true,
                         LoadRename::Normal => {}
                     }
                 }
             }
             // Ideal oracle configurations (Fig 7).
-            if let (Some(ideal), Some(rec)) = (self.cfg.ideal, &u.rec) {
-                if self.cfg.oracle.is_stable(raw_pc) {
-                    if let Some(acc) = rec.mem {
+            if let Some(ideal) = self.cfg.ideal {
+                if !f.wrong_path && self.cfg.oracle.is_stable(raw_pc) {
+                    if let Some(acc) = self.threads[tid].rec(seq).mem {
+                        let paddr = self.threads[tid].tag_addr(acc.addr);
+                        let w = &mut self.window[tag];
                         match ideal {
                             IdealConfig::IdealConstable => {
-                                u.eliminated = true;
-                                u.ideal_eliminated = true;
-                                u.folded = true;
-                                u.addr = self.threads[tid].tag_addr(acc.addr);
-                                u.addr_known = true;
-                                u.result = acc.value;
+                                w.eliminated = true;
+                                w.ideal_eliminated = true;
+                                w.folded = true;
+                                w.addr = paddr;
+                                w.addr_known = true;
+                                w.result = acc.value;
                             }
                             IdealConfig::IdealStableLvp => {
-                                u.value_predicted = true;
-                                u.vp_value = acc.value;
+                                w.value_predicted = true;
+                                w.vp_value = acc.value;
                             }
                             IdealConfig::IdealStableLvpNoFetch => {
-                                u.value_predicted = true;
-                                u.vp_value = acc.value;
-                                u.no_data_fetch = true;
+                                w.value_predicted = true;
+                                w.vp_value = acc.value;
+                                w.no_data_fetch = true;
                             }
                             IdealConfig::DoubleLoadWidth => {}
                         }
@@ -903,54 +995,67 @@ impl<'p> Core<'p> {
                 }
             }
             // EVES value prediction.
-            if !u.eliminated && !u.value_predicted && !u.wrong_path {
+            if !f.wrong_path && {
+                let w = &self.window[tag];
+                !w.eliminated && !w.value_predicted
+            } {
                 if let Some(e) = &mut self.eves {
                     self.stats.eves_lookups += 1;
                     let inflight = self.inflight_loads.get(ppc);
                     let hist = self.threads[tid].vp_history;
-                    u.vp_history = hist;
-                    if let Some(p) = e.predict(ppc, hist, inflight) {
-                        u.value_predicted = true;
-                        u.vp_value = p.value;
+                    let pred = e.predict(ppc, hist, inflight);
+                    let w = &mut self.window[tag];
+                    w.vp_history = hist;
+                    if let Some(p) = pred {
+                        w.value_predicted = true;
+                        w.vp_value = p.value;
                     }
                 }
             }
             // Memory Renaming: forward from the predicted producer store.
-            if !u.eliminated && !u.value_predicted && !u.wrong_path {
-                if let Some(m) = &self.mrn {
-                    if let Some(pred) = m.predict(ppc) {
-                        // Youngest in-flight correct-path store with that PC.
-                        let th = &self.threads[tid];
-                        let hit = th.stores.iter().rev().find_map(|&t| {
-                            let s = &self.window[t];
-                            (s.valid && s.is_store && !s.wrong_path && s.pc == pred.store_pc)
-                                .then(|| s.rec.and_then(|r| r.mem).map(|a| a.value))
-                                .flatten()
-                        });
-                        if let Some(v) = hit {
-                            u.mrn_forwarded = true;
-                            u.mrn_value = v;
+            if !f.wrong_path {
+                let blocked = {
+                    let w = &self.window[tag];
+                    w.eliminated || w.value_predicted
+                };
+                if !blocked {
+                    if let Some(m) = &self.mrn {
+                        if let Some(pred) = m.predict(ppc) {
+                            // Youngest in-flight correct-path store with that PC.
+                            let th = &self.threads[tid];
+                            let hit = th.stores.iter().rev().find_map(|&t| {
+                                let s = &self.window[t];
+                                (s.valid && s.is_store && !s.wrong_path && s.pc == pred.store_pc)
+                                    .then(|| th.rec(s.seq).mem.map(|a| a.value))
+                                    .flatten()
+                            });
+                            if let Some(v) = hit {
+                                let w = &mut self.window[tag];
+                                w.mrn_forwarded = true;
+                                w.mrn_value = v;
+                            }
                         }
                     }
                 }
             }
             // ELAR: stack loads resolve their address before rename.
-            if !u.eliminated {
+            if !self.window[tag].eliminated {
                 if let Some(el) = &mut self.elar {
                     if el.can_resolve(&mem) {
-                        u.elar_resolved = true;
+                        self.window[tag].elar_resolved = true;
                         self.stats.elar_resolved += 1;
                     }
                 }
             }
             // RFP: predict the address and stage the data early.
-            if !u.eliminated && !u.wrong_path {
+            if !f.wrong_path && !self.window[tag].eliminated {
                 if let Some(r) = &mut self.rfp {
                     if let Some(addr) = r.predict(ppc) {
                         let paddr = self.threads[tid].tag_addr(addr);
                         let out = self.mem.load(ppc, paddr, self.now, &mut self.evict);
-                        u.rfp_addr = Some(addr);
-                        u.rfp_ready_at = Some(self.now + out.latency);
+                        let w = &mut self.window[tag];
+                        w.rfp_addr = Some(addr);
+                        w.rfp_ready_at = Some(self.now + out.latency);
                         self.drain_evictions();
                     }
                 }
@@ -958,7 +1063,6 @@ impl<'p> Core<'p> {
         }
 
         // ---------------- dependences ------------------------------------
-        self.window[tag].assign_from(u);
         {
             // Data sources (registered straight off the operand lists — no
             // temporary collection).
@@ -1047,18 +1151,19 @@ impl<'p> Core<'p> {
         self.window[tag].stack_after = self.threads[tid].stack_rename;
 
         // ---------------- allocation -------------------------------------
+        // Folded correct-path non-loads produce their architectural result
+        // right here at rename (folded branches also resolve here; a folded
+        // mispredict — RAS underflow on Ret — redirects below).
+        let folded_result = {
+            let u = &self.window[tag];
+            (u.folded && !u.wrong_path && !u.is_load).then(|| self.threads[tid].rec(seq).dst_value)
+        };
         let u = &mut self.window[tag];
         if u.folded {
             u.state = UopState::Done;
             u.complete_at = self.now;
-            if let Some(rec) = &u.rec {
-                if !u.is_load {
-                    u.result = rec.dst_value;
-                }
-                if u.is_branch {
-                    // Folded branches resolve at rename; a folded mispredict
-                    // (RAS underflow on Ret) redirects immediately.
-                }
+            if let Some(v) = folded_result {
+                u.result = v;
             }
         } else {
             u.in_rs = true;
@@ -1074,7 +1179,11 @@ impl<'p> Core<'p> {
             u.in_lb = true;
             self.lb_used += 1;
             self.stats.lb_allocs += 1;
-            if !u.wrong_path {
+            // The in-flight count table has exactly one consumer — the
+            // EVES stride component's run-ahead distance — so the hash
+            // traffic (rename/retire/squash of every correct-path load)
+            // is skipped entirely on machines without EVES.
+            if !u.wrong_path && self.eves.is_some() {
                 self.inflight_loads.inc(u.pc);
             }
         }
@@ -1108,9 +1217,10 @@ impl<'p> Core<'p> {
 
         // Advance the speculative value-predictor history on conditional
         // branches (outcome known from the trace).
-        if let (OpKind::Branch(BranchKind::Cond { .. }), Some(rec)) = (inst.kind, &f.rec) {
+        if matches!(inst.kind, OpKind::Branch(BranchKind::Cond { .. })) && !f.wrong_path {
+            let taken = self.threads[tid].rec(seq).taken;
             let th = &mut self.threads[tid];
-            th.vp_history = (th.vp_history << 1) | u64::from(rec.taken);
+            th.vp_history = (th.vp_history << 1) | u64::from(taken);
         }
 
         // A folded mispredicted branch (e.g. polluted RAS return) resolves
@@ -1209,17 +1319,16 @@ impl<'p> Core<'p> {
                         continue;
                     }
                     let complete_at = self.now + self.cfg.agu_latency;
+                    self.stamp_issue(tag);
                     let u = &mut self.window[tag];
                     u.state = UopState::Issued;
                     u.in_rs = false;
                     u.complete_at = complete_at;
-                    u.issued_at = self.now;
-                    u.issue_order = self.issue_seq;
-                    let (seq, uid) = (u.seq, u.uid);
+                    let (seq, uid, tid, pos) = (u.seq, u.uid, u.thread, u.rob_pos);
                     self.issue_seq += 1;
                     self.rs_used -= 1;
                     self.push_completion(complete_at, seq, uid, tag);
-                    self.ready_remove(tag);
+                    self.threads[tid].ready.remove(&(pos, tag));
                     sta_used += 1;
                     std_used += 1;
                     budget -= 1;
@@ -1240,17 +1349,16 @@ impl<'p> Core<'p> {
                         _ => self.cfg.alu_latency,
                     };
                     let complete_at = self.now + lat;
+                    self.stamp_issue(tag);
                     let u = &mut self.window[tag];
                     u.state = UopState::Issued;
                     u.in_rs = false;
                     u.complete_at = complete_at;
-                    u.issued_at = self.now;
-                    u.issue_order = self.issue_seq;
-                    let (seq, uid) = (u.seq, u.uid);
+                    let (seq, uid, tid, pos) = (u.seq, u.uid, u.thread, u.rob_pos);
                     self.issue_seq += 1;
                     self.rs_used -= 1;
                     self.push_completion(complete_at, seq, uid, tag);
-                    self.ready_remove(tag);
+                    self.threads[tid].ready.remove(&(pos, tag));
                     alu_used += 1;
                     budget -= 1;
                     self.stats.alu_execs += 1;
@@ -1286,6 +1394,16 @@ impl<'p> Core<'p> {
     /// `fetch_stall_until` comparisons and the ROB fronts cannot change
     /// mid-span. That makes bulk-recording the span under one class
     /// bit-identical to classifying each cycle in turn.
+    ///
+    /// SMT attribution: classes describe the *core*, not one thread, and
+    /// the dominant blocker wins. A cycle counts as [`StallClass::Memory`]
+    /// if **any** thread's oldest µop is an issued load still in the
+    /// hierarchy (a DRAM-bound sibling dominates — it gates the span's
+    /// length even when the other thread is merely execution-stalled);
+    /// the window counts as empty only when **every** thread's ROB is, and
+    /// an empty core is a [`StallClass::FetchRedirect`] if any thread is
+    /// still riding out a redirect. These predicates are per-thread
+    /// disjunctions of frozen state, so they too are span-constant.
     fn classify_idle(&self) -> StallClass {
         if self.now < self.rename_block_until {
             return StallClass::RenameBlocked;
@@ -1317,7 +1435,7 @@ impl<'p> Core<'p> {
     /// end of a fetch redirect. `None` when nothing is pending (the cycle
     /// guard covers that pathological case).
     fn next_event_time(&self) -> Option<u64> {
-        let mut next = self.events.next_time().unwrap_or(u64::MAX);
+        let mut next = self.events.next_time(self.now).unwrap_or(u64::MAX);
         if self.rename_block_until > self.now {
             next = next.min(self.rename_block_until);
         }
@@ -1348,9 +1466,21 @@ impl<'p> Core<'p> {
         }
     }
 
-    /// Queues a completion event for the time-ordered event heap.
+    /// Queues a completion event on the calendar wheel.
     fn push_completion(&mut self, complete_at: u64, seq: u64, uid: u64, tag: Tag) {
-        self.events.push(complete_at, seq, uid, tag);
+        self.events.push(complete_at, seq, uid, tag, self.now);
+    }
+
+    /// Records issue-time trace stamps (no-op unless a tracer is
+    /// attached; `issue_seq` itself always advances — it is the modeled
+    /// global issue order, the stamp is just its observation).
+    #[inline]
+    fn stamp_issue(&mut self, tag: Tag) {
+        if self.tracer.is_some() {
+            let s = &mut self.stamps[tag];
+            s.issued_at = self.now;
+            s.issue_order = self.issue_seq;
+        }
     }
 
     /// Drops `tag` from its thread's ready queue.
@@ -1369,13 +1499,14 @@ impl<'p> Core<'p> {
             let u = &self.window[tag];
             (u.thread, u.seq, u.wrong_path, u.pc)
         };
-        let rec = self.window[tag].rec;
-        let (vaddr, value, size) = match (&rec, wrong_path) {
-            (Some(r), false) => {
-                let acc = r.mem.expect("correct-path load has an access");
-                (acc.addr, acc.value, acc.size)
-            }
-            _ => (0, 0, 8u8),
+        let (vaddr, value, size) = if wrong_path {
+            (0, 0, 8u8)
+        } else {
+            let acc = self.threads[tid]
+                .rec(seq)
+                .mem
+                .expect("correct-path load has an access");
+            (acc.addr, acc.value, acc.size)
         };
         let paddr = self.threads[tid].tag_addr(vaddr);
 
@@ -1441,12 +1572,11 @@ impl<'p> Core<'p> {
         }
 
         let complete_at = self.now + latency.max(1);
+        self.stamp_issue(tag);
         let u = &mut self.window[tag];
         u.state = UopState::Issued;
         u.in_rs = false;
         u.complete_at = complete_at;
-        u.issued_at = self.now;
-        u.issue_order = self.issue_seq;
         u.addr = paddr;
         u.addr_known = !wrong_path;
         u.result = value;
@@ -1480,25 +1610,33 @@ impl<'p> Core<'p> {
         self.issue_quiescent = false;
         self.cycle_work = true;
         // Mark done and wake consumers. The wakeup list is swapped into a
-        // reusable scratch buffer (capacities circulate; no allocation).
+        // reusable scratch buffer (capacities circulate; no allocation);
+        // µops nobody waits on — stores, branches, dead values — skip the
+        // swap dance entirely.
         debug_assert!(self.wake.is_empty());
-        {
+        let has_consumers = {
             let u = &mut self.window[tag];
             u.state = UopState::Done;
-            std::mem::swap(&mut self.wake, &mut u.consumers);
-        }
-        for &(ctag, cuid) in &self.wake {
-            let c = &mut self.window[ctag];
-            if c.valid && c.uid == cuid {
-                c.pending_deps = c.pending_deps.saturating_sub(1);
-                if c.pending_deps == 0 && c.state == UopState::Waiting {
-                    c.state = UopState::Ready;
-                    let (ctid, cpos) = (c.thread, c.rob_pos);
-                    self.threads[ctid].ready.insert((cpos, ctag));
+            !u.consumers.is_empty()
+        };
+        if has_consumers {
+            {
+                let u = &mut self.window[tag];
+                std::mem::swap(&mut self.wake, &mut u.consumers);
+            }
+            for &(ctag, cuid) in &self.wake {
+                let c = &mut self.window[ctag];
+                if c.valid && c.uid == cuid {
+                    c.pending_deps = c.pending_deps.saturating_sub(1);
+                    if c.pending_deps == 0 && c.state == UopState::Waiting {
+                        c.state = UopState::Ready;
+                        let (ctid, cpos) = (c.thread, c.rob_pos);
+                        self.threads[ctid].ready.insert((cpos, ctag));
+                    }
                 }
             }
+            self.wake.clear();
         }
-        self.wake.clear();
 
         let (tid, seq, wrong_path, is_store, is_load, is_branch, pc) = {
             let u = &self.window[tag];
@@ -1525,14 +1663,19 @@ impl<'p> Core<'p> {
 
         // Store address generation (Fig 8 step 9 + §6.5 disambiguation).
         if is_store && !wrong_path {
-            let (paddr, size) = {
+            let acc = *self.threads[tid]
+                .rec(seq)
+                .mem
+                .as_ref()
+                .expect("store access");
+            let paddr = self.threads[tid].tag_addr(acc.addr);
+            let size = acc.size;
+            {
                 let u = &mut self.window[tag];
-                let acc = u.rec.as_ref().and_then(|r| r.mem).expect("store access");
-                u.addr = self.threads[tid].tag_addr(acc.addr);
+                u.addr = paddr;
                 u.addr_known = true;
                 u.result = acc.value;
-                (u.addr, acc.size)
-            };
+            }
             if let Some(c) = &mut self.cons {
                 c.on_store_addr(paddr);
             }
@@ -1732,7 +1875,7 @@ impl<'p> Core<'p> {
     fn squash(&mut self, tag: Tag) {
         let u = &mut self.window[tag];
         debug_assert!(u.valid);
-        if u.is_load && !u.wrong_path {
+        if u.is_load && !u.wrong_path && self.eves.is_some() {
             let pc = u.pc;
             self.inflight_loads.dec_saturating(pc);
         }
@@ -1758,6 +1901,7 @@ impl<'p> Core<'p> {
     fn retire_phase(&mut self) {
         let mut budget = self.cfg.retire_width;
         let nthreads = self.threads.len();
+        let tmask = nthreads - 1;
         let mut made_progress = true;
         while budget > 0 && made_progress {
             made_progress = false;
@@ -1765,7 +1909,7 @@ impl<'p> Core<'p> {
                 if budget == 0 {
                     break;
                 }
-                let tid = (self.now as usize + off) % nthreads;
+                let tid = (self.now as usize + off) & tmask;
                 let Some(&tag) = self.threads[tid].rob.front() else {
                     continue;
                 };
@@ -1801,13 +1945,8 @@ impl<'p> Core<'p> {
                 addr: w.addr,
                 result: w.result,
                 vp_history: w.vp_history,
-                fetched_at: w.fetched_at,
-                renamed_at: w.renamed_at,
-                issued_at: w.issued_at,
-                issue_order: w.issue_order,
                 complete_at: w.complete_at,
                 xprf: w.xprf,
-                rec: w.rec,
                 stack_after: w.stack_after,
             }
         };
@@ -1826,15 +1965,16 @@ impl<'p> Core<'p> {
                     flags |= bit;
                 }
             }
+            let st = self.stamps[tag];
             tr.record_retire(UopTrace {
                 thread: tid as u8,
                 seq: u.seq,
                 pc: u.pc,
                 flags,
-                fetched_at: u.fetched_at,
-                renamed_at: u.renamed_at,
-                issued_at: u.issued_at,
-                issue_order: u.issue_order,
+                fetched_at: st.fetched_at,
+                renamed_at: st.renamed_at,
+                issued_at: st.issued_at,
+                issue_order: st.issue_order,
                 completed_at: u.complete_at,
                 retired_at: self.now,
                 addr: u.addr,
@@ -1855,7 +1995,14 @@ impl<'p> Core<'p> {
             }
         }
 
-        let rec = u.rec.expect("correct-path µop has a functional record");
+        // The retiring µop is its thread's oldest unretired instruction, so
+        // its functional record is the front of the fetched-ahead ring (it
+        // pops below, after the golden check and trainers are done with it).
+        let rec = *self.threads[tid]
+            .pending
+            .front()
+            .expect("correct-path µop has a functional record");
+        debug_assert_eq!(rec.seq, u.seq, "pending ring out of sync at retire");
 
         // Golden functional check (§8.5): every load's address and value —
         // including Constable-eliminated loads — must match the functional
@@ -1887,8 +2034,8 @@ impl<'p> Core<'p> {
             if u.mrn_forwarded {
                 self.stats.mrn_forwarded += 1;
             }
-            self.inflight_loads.dec_saturating(u.pc);
             if let Some(e) = &mut self.eves {
+                self.inflight_loads.dec_saturating(u.pc);
                 e.train(u.pc, u.vp_history, acc.value);
             }
             if let Some(m) = &mut self.mrn {

@@ -40,6 +40,14 @@ pub const NO_CYCLE: u64 = u64::MAX;
 /// of idle cycles the event-driven fast-forward skips classifies exactly as
 /// the same cycles executed one by one — the shortcut-validation tests rely
 /// on this to compare shortcut-enabled and shortcut-disabled digests.
+///
+/// Under SMT2 a class describes the whole core with the dominant blocker
+/// winning: a cycle is [`StallClass::Memory`] when *any* thread's oldest
+/// unretired µop is an issued load (the DRAM-bound sibling gates how long
+/// the core idles, regardless of what the other thread waits on), and the
+/// window counts as empty only when *every* thread's is. The per-thread
+/// disjunction keeps classification span-constant, so SMT2 fast-forward
+/// spans bulk-record exactly like single-thread ones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum StallClass {
@@ -48,13 +56,14 @@ pub enum StallClass {
     Active = 0,
     /// Rename is stalled waiting out SLD write-port pressure.
     RenameBlocked = 1,
-    /// The oldest unretired µop is an issued load still in the memory
-    /// hierarchy.
+    /// The oldest unretired µop (of any thread, under SMT) is an issued
+    /// load still in the memory hierarchy.
     Memory = 2,
     /// The oldest unretired µop is issued (non-load) or waiting on
     /// producers/ports: backend execution latency.
     Execution = 3,
-    /// The window is empty and fetch is riding out a redirect.
+    /// The window is empty (every thread's, under SMT) and fetch is riding
+    /// out a redirect.
     FetchRedirect = 4,
     /// The window is empty and the front end delivered nothing.
     FrontEnd = 5,

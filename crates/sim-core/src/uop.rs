@@ -1,7 +1,7 @@
 //! In-flight micro-op state for the out-of-order window.
 
 use constable::XprfSlot;
-use sim_isa::{ArchReg, DynInst, InstClass};
+use sim_isa::{ArchReg, InstClass};
 
 /// Index of a window slot (slab index). Tags are reused; pair with
 /// [`Uop::uid`] to detect stale references.
@@ -21,13 +21,20 @@ pub enum UopState {
 }
 
 /// A fetched-but-not-yet-renamed instruction (IDQ entry).
-#[derive(Debug, Clone)]
+///
+/// Carries no functional record: the record lives in the thread's
+/// fetched-ahead `pending` ring until retirement, and `seq` addresses it
+/// there (`Thread::rec`). Keeping the IDQ entry at a few words makes the
+/// per-µop fetch→rename handoff a couple of register moves instead of a
+/// `DynInst` copy.
+#[derive(Debug, Clone, Copy)]
 pub struct Fetched {
     pub thread: usize,
     pub sidx: u32,
     pub wrong_path: bool,
-    /// Functional record (correct path only).
-    pub rec: Option<DynInst>,
+    /// Dynamic sequence number (correct path only; 0 for wrong path —
+    /// rename assigns wrong-path µops a synthetic ordering sequence).
+    pub seq: u64,
     /// This branch was mispredicted at fetch; resolves at execution.
     pub mispredicted: bool,
     /// Cycle this entry was fetched (trace-oracle timestamp).
@@ -35,74 +42,85 @@ pub struct Fetched {
 }
 
 /// One in-flight µop.
+///
+/// `repr(C)` with a hand-ordered layout: the slab is the hottest memory
+/// in the simulator and a slot spans several cache lines, so the fields
+/// the per-cycle machinery probes on *other* µops — stale-tag checks
+/// (`valid`/`uid`), wakeup (`state`/`pending_deps`), the retire scan
+/// (`state`), store-search/disambiguation (`seq`/`addr`/`size` plus the
+/// class flags) — are packed into the first line; rename-only and
+/// trace-only fields fill the tail.
 #[derive(Debug, Clone)]
+#[repr(C)]
 pub struct Uop {
+    // ---- hot line: identity, lifecycle, and scan keys ----
     pub valid: bool,
+    pub state: UopState,
+    pub wrong_path: bool,
+    pub is_load: bool,
+    pub is_store: bool,
+    pub is_branch: bool,
+    pub mispredicted: bool,
+    pub in_rs: bool,
+    pub addr_known: bool,
+    pub folded: bool,
+    pub eliminated: bool,
+    pub size: u8,
+    pub cls: InstClass,
+    pub dst: Option<ArchReg>,
+    pub pending_deps: u32,
     /// Unique id; detects stale `Tag` references after slot reuse.
     pub uid: u64,
-    pub thread: usize,
     /// Per-thread dynamic sequence number (correct path). Wrong-path µops
     /// carry the sequence they would have had, for ordering only.
     pub seq: u64,
-    pub sidx: u32,
-    /// Predictor-visible PC (thread-tagged in SMT mode).
-    pub pc: u64,
-    pub cls: InstClass,
-    pub dst: Option<ArchReg>,
-    pub wrong_path: bool,
-    pub rec: Option<DynInst>,
-
-    // Dependency tracking.
-    pub pending_deps: u32,
-    pub consumers: Vec<(Tag, u64)>,
-    pub state: UopState,
-    pub in_rs: bool,
-    pub complete_at: u64,
+    pub addr: u64,
+    pub result: u64,
     /// Monotone per-thread ROB position (never reused while in flight);
     /// orders the ready queues in program order within each thread.
     pub rob_pos: u64,
+    pub complete_at: u64,
 
-    // Memory.
-    pub is_load: bool,
-    pub is_store: bool,
-    pub addr: u64,
-    pub size: u8,
-    pub addr_known: bool,
-    pub result: u64,
+    // ---- warm: wakeup list and per-µop bookkeeping ----
+    pub consumers: Vec<(Tag, u64)>,
+    pub thread: usize,
+    pub sidx: u32,
+    /// Predictor-visible PC (thread-tagged in SMT mode).
+    pub pc: u64,
+
+    // ---- speculation/optimization state (mostly load-only) ----
     pub in_lb: bool,
     pub in_sb: bool,
-
-    // Branches.
-    pub is_branch: bool,
-    pub mispredicted: bool,
-
-    // Speculation/optimization flags.
-    pub folded: bool,
-    pub eliminated: bool,
-    pub xprf: Option<XprfSlot>,
     pub likely_stable: bool,
     pub value_predicted: bool,
-    pub vp_value: u64,
-    /// Rename-time branch-history snapshot for the value predictor.
-    pub vp_history: u64,
     /// Eliminated by the offline oracle (Fig 7 headroom study): exempt from
     /// the disambiguation probe, as the paper's ideal configuration is.
     pub ideal_eliminated: bool,
     pub mrn_forwarded: bool,
-    pub mrn_value: u64,
     pub elar_resolved: bool,
-    pub rfp_ready_at: Option<u64>,
-    pub rfp_addr: Option<u64>,
     /// Ideal-LVP-with-data-fetch-elimination mode: execute address
     /// generation only, skip the L1-D access (Fig 7 configuration 2).
     pub no_data_fetch: bool,
+    pub xprf: Option<XprfSlot>,
+    pub vp_value: u64,
+    /// Rename-time branch-history snapshot for the value predictor.
+    pub vp_history: u64,
+    pub mrn_value: u64,
+    pub rfp_ready_at: Option<u64>,
+    pub rfp_addr: Option<u64>,
 
     /// Rename-time snapshot of the stack tracker *after* this µop
     /// (restored on flush).
     pub stack_after: constable::StackState,
+}
 
-    // Trace-oracle timestamps (plain stores on paths that already write the
-    // slot; read only when a tracer is attached).
+/// Trace-oracle pipeline stamps for one window slot, kept in a parallel
+/// cold slab (`Core::stamps`) rather than in [`Uop`]: they are written on
+/// the rename/issue paths **only when a tracer is attached** and read only
+/// at retirement by the tracer, so untraced runs — every benchmark and
+/// production sweep — pay neither the stores nor the slab footprint.
+#[derive(Debug, Clone, Copy)]
+pub struct UopStamps {
     /// Cycle fetched into the IDQ.
     pub fetched_at: u64,
     /// Cycle renamed into the window.
@@ -112,6 +130,17 @@ pub struct Uop {
     /// Global issue sequence number ([`crate::trace::NO_CYCLE`] while
     /// unissued).
     pub issue_order: u64,
+}
+
+impl Default for UopStamps {
+    fn default() -> Self {
+        UopStamps {
+            fetched_at: 0,
+            renamed_at: 0,
+            issued_at: crate::trace::NO_CYCLE,
+            issue_order: crate::trace::NO_CYCLE,
+        }
+    }
 }
 
 impl Uop {
@@ -127,7 +156,6 @@ impl Uop {
             cls: InstClass::Nop,
             dst: None,
             wrong_path: false,
-            rec: None,
             pending_deps: 0,
             consumers: Vec::new(),
             state: UopState::Waiting,
@@ -159,10 +187,6 @@ impl Uop {
             rfp_addr: None,
             no_data_fetch: false,
             stack_after: constable::StackState::default(),
-            fetched_at: 0,
-            renamed_at: 0,
-            issued_at: crate::trace::NO_CYCLE,
-            issue_order: crate::trace::NO_CYCLE,
         }
     }
 
@@ -173,17 +197,6 @@ impl Uop {
         let mut consumers = std::mem::take(&mut self.consumers);
         consumers.clear();
         *self = Uop::empty();
-        self.consumers = consumers;
-    }
-
-    /// Moves `src` into this slot, preserving the slot's consumer-list
-    /// capacity (rename-time slot initialization without heap traffic;
-    /// `src` carries a fresh, unallocated consumer list).
-    pub fn assign_from(&mut self, src: Uop) {
-        debug_assert!(src.consumers.is_empty());
-        let mut consumers = std::mem::take(&mut self.consumers);
-        consumers.clear();
-        *self = src;
         self.consumers = consumers;
     }
 
@@ -236,13 +249,6 @@ mod tests {
         assert!(!u.valid);
         assert!(u.consumers.is_empty());
         assert!(u.consumers.capacity() >= cap, "capacity lost on reset");
-
-        let mut src = Uop::empty();
-        src.valid = true;
-        src.uid = 42;
-        u.assign_from(src);
-        assert!(u.valid && u.uid == 42);
-        assert!(u.consumers.capacity() >= cap, "capacity lost on assign");
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! retired µop's timestamps and issue order, plus the per-cycle stall
 //! stream — must be bit-identical.
 //!
+//! Two shapes are fuzzed: single-thread runs, and SMT2 program pairs —
+//! the configuration the parity-free frontend rotor opened to the idle
+//! fast-forward, where a mis-skipped cycle would silently change the
+//! thread interleaving rather than just a latency.
+//!
 //! Failures report the first diverging µop record, which localizes the bug
 //! to one instruction rather than one aggregate counter.
 
@@ -67,12 +72,32 @@ fn random_workload(rng: &mut SmallRng) -> WorkloadSpec {
 }
 
 fn traced_run(program: &sim_workload::Program, cfg: CoreConfig) -> TraceSummary {
-    let mut core = Core::new(program, cfg);
+    traced_run_multi(&[program], cfg, N)
+}
+
+fn traced_run_multi(programs: &[&sim_workload::Program], cfg: CoreConfig, n: u64) -> TraceSummary {
+    let mut core = Core::new_multi(programs.to_vec(), cfg);
     core.attach_tracer(TraceRecorder::with_full_trace(true));
-    let r = core.run(N);
+    let r = core.run(n);
     assert!(!r.hit_cycle_guard, "cycle guard tripped");
     assert_eq!(r.stats.golden_mismatches, 0);
     core.take_trace().expect("tracer attached")
+}
+
+/// Asserts two full traces are bit-identical, reporting the first
+/// diverging µop record (and then the stall stream / digest) on failure.
+fn assert_traces_identical(fast: &TraceSummary, plain: &TraceSummary, ctx: &str) {
+    // Localize before comparing the digest: the first diverging record
+    // names the exact µop the shortcuts mis-skipped around.
+    assert_eq!(fast.records.len(), plain.records.len(), "{ctx}: uop count");
+    for (i, (f, p)) in fast.records.iter().zip(&plain.records).enumerate() {
+        assert_eq!(f, p, "{ctx}: first divergence at retired uop {i}");
+    }
+    assert_eq!(
+        fast.stall_cycles, plain.stall_cycles,
+        "{ctx}: stall classification"
+    );
+    assert_eq!(fast.digest, plain.digest, "{ctx}: digest");
 }
 
 #[test]
@@ -103,16 +128,44 @@ fn shortcuts_are_trace_invisible_on_random_programs_and_configs() {
             cfg.retire_width,
             cfg.rob_size,
         );
-        // Localize before comparing the digest: the first diverging record
-        // names the exact µop the shortcuts mis-skipped around.
-        assert_eq!(fast.records.len(), plain.records.len(), "{ctx}: uop count");
-        for (i, (f, p)) in fast.records.iter().zip(&plain.records).enumerate() {
-            assert_eq!(f, p, "{ctx}: first divergence at retired uop {i}");
-        }
-        assert_eq!(
-            fast.stall_cycles, plain.stall_cycles,
-            "{ctx}: stall classification"
+        assert_traces_identical(&fast, &plain, &ctx);
+    }
+}
+
+/// The SMT2 variant: seeded random program *pairs* (suite × suite,
+/// suite × memory-stress, stress × stress) under random configurations.
+/// A shortcut bug here would change which thread wins a frontend slot —
+/// the interleaving itself — so the full-trace diff is the right lens.
+#[test]
+fn shortcuts_are_trace_invisible_on_smt2_program_pairs() {
+    let mut rng = SmallRng::seed_from_u64(0x5347_D00D);
+    for case in 0..CASES {
+        let spec_a = random_workload(&mut rng);
+        let spec_b = random_workload(&mut rng);
+        let cfg = random_config(&mut rng);
+        let (pa, pb) = (spec_a.build(), spec_b.build());
+
+        let fast = traced_run_multi(&[&pa, &pb], cfg.clone(), N / 2);
+        let mut plain_cfg = cfg.clone();
+        plain_cfg.event_shortcuts = false;
+        let plain = traced_run_multi(&[&pa, &pb], plain_cfg, N / 2);
+
+        let ctx = format!(
+            "smt2 case {case}: pair=({}, {}) constable={} eves={} elar={} rfp={} wp={} \
+             snoop={} load_ports={} issue_w={} retire_w={} rob={}",
+            spec_a.name,
+            spec_b.name,
+            cfg.constable.is_some(),
+            cfg.eves,
+            cfg.elar,
+            cfg.rfp,
+            cfg.wrong_path_fetch,
+            cfg.snoop_rate_per_10k,
+            cfg.load_ports,
+            cfg.issue_width,
+            cfg.retire_width,
+            cfg.rob_size,
         );
-        assert_eq!(fast.digest, plain.digest, "{ctx}: digest");
+        assert_traces_identical(&fast, &plain, &ctx);
     }
 }

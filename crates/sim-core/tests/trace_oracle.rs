@@ -72,10 +72,12 @@ fn zero_sld_read_config() -> CoreConfig {
 
 /// The committed matrix. Covers the general category-balanced subset, the
 /// memory-stress workloads (hierarchy fast path + stall fast-forward),
-/// SMT2 pairings, Constable OFF/ON/AMT-I, every optional unit, the deep
-/// window, and the degenerate zero-SLD-read-port corner (which deadlocks
-/// into the cycle guard while mutating a stall counter every cycle — the
-/// exact state the idle fast-forward must not jump over).
+/// SMT2 pairings (including a memory-stress pair — the multi-thread
+/// fast-forward's acceptance shape), Constable OFF/ON/AMT-I, every
+/// optional unit, the deep window, and the degenerate zero-SLD-read-port
+/// corner (which deadlocks into the cycle guard while mutating a stall
+/// counter every cycle — the exact state the idle fast-forward must not
+/// jump over).
 fn matrix() -> Vec<Row> {
     let specs = suite_subset(4);
     let mut rows = Vec::new();
@@ -152,6 +154,20 @@ fn matrix() -> Vec<Row> {
                 n: N / 2,
             });
         }
+    }
+    // SMT2 memory stress: both threads deep in DRAM stalls at once — the
+    // shape the multi-thread idle fast-forward exists for, locked with
+    // Constable off and on.
+    for (label, cfg) in [
+        ("baseline", CoreConfig::golden_cove_like()),
+        ("constable", CoreConfig::golden_cove_like().with_constable()),
+    ] {
+        rows.push(Row {
+            name: format!("smt2/memstress/{label}"),
+            specs: vec![memory_stress(0xA110C), memory_stress(0xA110D)],
+            cfg,
+            n: N / 2,
+        });
     }
 
     // Degenerate corner: no SLD read ports deadlocks into the cycle guard.
@@ -288,12 +304,15 @@ fn shortcuts_disabled_match_goldens() {
             .clone()
     };
     // The fast-forward-heavy rows: long memory stalls (memstress), the
-    // stall-counter corner (zero-sld), and a general row with Constable's
-    // histogram-on-idle-cycles interaction.
+    // stall-counter corner (zero-sld), a general row with Constable's
+    // histogram-on-idle-cycles interaction, and every SMT2 pairing (the
+    // multi-thread fast-forward rides on the parity-free frontend rotor —
+    // these rows prove whole-span skipping is interleaving-invisible).
     for row in matrix() {
         let stressed = row.name.starts_with("memstress/")
             || row.name.starts_with("zero-sld-read")
-            || row.name.starts_with("constable/");
+            || row.name.starts_with("constable/")
+            || row.name.starts_with("smt2/");
         if !stressed {
             continue;
         }
@@ -319,8 +338,9 @@ fn scratch_recycling_matches_goldens() {
     let mut scratch = sim_core::SimScratch::new();
     let mut checked = 0;
     for row in matrix() {
-        // A representative interleaving of machine shapes, including SMT2
-        // (thread-scratch handoff) and the AMT-I eviction sink.
+        // A representative interleaving of machine shapes, including every
+        // SMT2 pairing (thread-scratch handoff across 1↔2-thread runs,
+        // plus the smt2/memstress cells) and the AMT-I eviction sink.
         let recycle = row.name.starts_with("baseline/")
             || row.name.starts_with("memstress/")
             || row.name.starts_with("smt2/");
@@ -348,5 +368,5 @@ fn scratch_recycling_matches_goldens() {
         scratch = core.into_scratch();
         checked += 1;
     }
-    assert!(checked >= 8, "recycling chain too short ({checked} rows)");
+    assert!(checked >= 12, "recycling chain too short ({checked} rows)");
 }

@@ -29,6 +29,15 @@ pub struct Tage {
     history: u64,
     /// Path randomness for allocation tie-breaking (deterministic LFSR).
     lfsr: u32,
+    /// Folded-history values for the current `history`, one (index, tag)
+    /// pair per component. `fold` is a per-chunk XOR loop and depends only
+    /// on the history register — not the PC — so the eight folds are
+    /// computed once per history change (`refresh_folds`) instead of on
+    /// every table probe; between branch outcomes (e.g. a run of
+    /// wrong-path predictions) every lookup reuses them.
+    folds_idx: [u64; NUM_TABLES],
+    folds_tag: [u64; NUM_TABLES],
+    folds_fresh: bool,
 }
 
 impl Tage {
@@ -39,7 +48,30 @@ impl Tage {
             tables: std::array::from_fn(|_| vec![TageEntry::default(); 1 << TABLE_BITS]),
             history: 0,
             lfsr: 0xace1,
+            folds_idx: [0; NUM_TABLES],
+            folds_tag: [0; NUM_TABLES],
+            folds_fresh: false,
         }
+    }
+
+    /// Recomputes the cached folds if the history register changed since
+    /// the last probe. A pure host-side memo: predictions and updates are
+    /// bit-identical to folding on every probe.
+    #[inline]
+    fn refresh_folds(&mut self) {
+        if self.folds_fresh {
+            return;
+        }
+        let history = self.history;
+        for ((len, fi), ft) in HIST_LENS
+            .iter()
+            .zip(self.folds_idx.iter_mut())
+            .zip(self.folds_tag.iter_mut())
+        {
+            *fi = Self::fold(history, *len, TABLE_BITS as u32);
+            *ft = Self::fold(history, *len, TAG_BITS);
+        }
+        self.folds_fresh = true;
     }
 
     fn fold(history: u64, len: u32, bits: u32) -> u64 {
@@ -52,16 +84,17 @@ impl Tage {
         folded
     }
 
+    /// Table index for component `t` (requires fresh folds).
     fn index(&self, pc: u64, t: usize) -> usize {
-        let folded = Self::fold(self.history, HIST_LENS[t], TABLE_BITS as u32);
-        ((pc >> 2) ^ folded ^ (pc >> (5 + t))) as usize & ((1 << TABLE_BITS) - 1)
+        ((pc >> 2) ^ self.folds_idx[t] ^ (pc >> (5 + t))) as usize & ((1 << TABLE_BITS) - 1)
     }
 
+    /// Partial tag for component `t` (requires fresh folds).
     fn tag(&self, pc: u64, t: usize) -> u16 {
-        let folded = Self::fold(self.history, HIST_LENS[t], TAG_BITS);
-        (((pc >> 2) ^ (folded << 1) ^ (pc >> 11)) & ((1 << TAG_BITS) - 1)) as u16
+        (((pc >> 2) ^ (self.folds_tag[t] << 1) ^ (pc >> 11)) & ((1 << TAG_BITS) - 1)) as u16
     }
 
+    /// Longest-history hitting component (requires fresh folds).
     fn provider(&self, pc: u64) -> Option<(usize, usize)> {
         (0..NUM_TABLES).rev().find_map(|t| {
             let idx = self.index(pc, t);
@@ -69,18 +102,26 @@ impl Tage {
         })
     }
 
-    /// Predicts the direction of the conditional branch at `pc`.
-    pub fn predict(&self, pc: u64) -> bool {
-        match self.provider(pc) {
+    /// Prediction given an already-resolved provider.
+    fn direction(&self, pc: u64, provider: Option<(usize, usize)>) -> bool {
+        match provider {
             Some((t, idx)) => self.tables[t][idx].ctr >= 0,
             None => self.bimodal[(pc >> 2) as usize & (self.bimodal.len() - 1)] >= 0,
         }
     }
 
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&mut self, pc: u64) -> bool {
+        self.refresh_folds();
+        let provider = self.provider(pc);
+        self.direction(pc, provider)
+    }
+
     /// Updates with the actual outcome and advances the global history.
     pub fn update(&mut self, pc: u64, taken: bool) {
-        let predicted = self.predict(pc);
+        self.refresh_folds();
         let provider = self.provider(pc);
+        let predicted = self.direction(pc, provider);
         match provider {
             Some((t, idx)) => {
                 let e = &mut self.tables[t][idx];
@@ -124,6 +165,7 @@ impl Tage {
             }
         }
         self.history = (self.history << 1) | u64::from(taken);
+        self.folds_fresh = false;
     }
 }
 
@@ -136,7 +178,7 @@ impl Default for Tage {
 /// Return-address stack used to predict `Ret` targets.
 #[derive(Debug, Clone, Default)]
 pub struct ReturnStack {
-    stack: Vec<u64>,
+    stack: std::collections::VecDeque<u64>,
 }
 
 impl ReturnStack {
@@ -145,17 +187,19 @@ impl ReturnStack {
         Self::default()
     }
 
-    /// Pushes the return PC of a call.
+    /// Pushes the return PC of a call, evicting the oldest entry at
+    /// capacity (O(1) ring ops; the `Vec::remove(0)` this replaces was an
+    /// O(depth) shift on every deep call).
     pub fn push(&mut self, ret_pc: u64) {
         if self.stack.len() >= 64 {
-            self.stack.remove(0);
+            self.stack.pop_front();
         }
-        self.stack.push(ret_pc);
+        self.stack.push_back(ret_pc);
     }
 
     /// Pops the predicted return target.
     pub fn pop(&mut self) -> Option<u64> {
-        self.stack.pop()
+        self.stack.pop_back()
     }
 }
 

@@ -27,10 +27,6 @@ const CONF_USE: u8 = 4;
 /// Writer-table geometry: 64K direct-mapped entries.
 const WRITER_BITS: u32 = 16;
 
-/// Address slot marking an empty writer entry (tagged simulator addresses
-/// never reach it).
-const NO_ADDR: u64 = u64::MAX;
-
 /// The MRN predictor: a store-load pair table trained from observed
 /// memory dataflow at load execution.
 #[derive(Debug, Clone)]
@@ -38,9 +34,12 @@ pub struct Mrn {
     pairs: Vec<PairEntry>,
     /// Last store PC to write each address (bounded training helper —
     /// hardware derives this from the store queue / memory cloaking table).
-    /// Direct-mapped `(addr, store_pc)` entries: one multiply-hash index
-    /// per executed store or load, no per-store heap traffic — the previous
-    /// `HashMap` paid SipHash plus growth on every retired store.
+    /// Direct-mapped `(addr + 1, store_pc)` entries: one multiply-hash
+    /// index per executed store or load, no per-store heap traffic — the
+    /// previous `HashMap` paid SipHash plus growth on every retired store.
+    /// The +1 bias makes the all-zero entry mean "empty" (tagged simulator
+    /// addresses never wrap), so construction is a zeroing `calloc`
+    /// instead of streaming a 1 MiB sentinel pattern per core build.
     last_writer: Vec<(u64, u64)>,
 }
 
@@ -49,7 +48,7 @@ impl Mrn {
     pub fn new() -> Self {
         Mrn {
             pairs: vec![PairEntry::default(); 1 << 10],
-            last_writer: vec![(NO_ADDR, 0); 1 << WRITER_BITS],
+            last_writer: vec![(0, 0); 1 << WRITER_BITS],
         }
     }
 
@@ -68,14 +67,14 @@ impl Mrn {
     /// direct-mapped collision simply forgets the older writer — bounded
     /// loss, exactly like the hardware table this stands in for.
     pub fn on_store(&mut self, store_pc: u64, addr: u64) {
-        self.last_writer[Self::writer_idx(addr)] = (addr, store_pc);
+        self.last_writer[Self::writer_idx(addr)] = (addr + 1, store_pc);
     }
 
     /// Trains on an executed load: associates it with the store that last
     /// wrote its address.
     pub fn on_load(&mut self, load_pc: u64, addr: u64) {
         let (slot_addr, writer) = self.last_writer[Self::writer_idx(addr)];
-        if slot_addr != addr {
+        if slot_addr != addr + 1 {
             return;
         }
         let idx = self.idx(load_pc);

@@ -56,7 +56,11 @@ const NO_PAGE: u64 = u64::MAX;
 /// simulation.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Page payloads, one contiguous slab (`slot * PAGE_SIZE ..`): cloning
+    /// a machine's image — every `Machine::new` clones its program's
+    /// prototype — is a single allocation and memcpy instead of one per
+    /// page.
+    pages: Vec<u8>,
     index: HashMap<u64, u32, BuildHasherDefault<PageHasher>>,
     mru_page: u64,
     mru_slot: u32,
@@ -97,8 +101,8 @@ impl Memory {
         let slot = match self.index.get(&page) {
             Some(&s) => s,
             None => {
-                let s = self.pages.len() as u32;
-                self.pages.push(Box::new([0u8; PAGE_SIZE]));
+                let s = (self.pages.len() / PAGE_SIZE) as u32;
+                self.pages.resize(self.pages.len() + PAGE_SIZE, 0);
                 self.index.insert(page, s);
                 s
             }
@@ -116,9 +120,10 @@ impl Memory {
             let Some(slot) = self.slot_of(addr >> PAGE_SHIFT) else {
                 return 0;
             };
-            let page = &self.pages[slot as usize];
+            let base = slot as usize * PAGE_SIZE;
             let mut buf = [0u8; 8];
-            buf[..usize::from(size)].copy_from_slice(&page[off..off + usize::from(size)]);
+            buf[..usize::from(size)]
+                .copy_from_slice(&self.pages[base + off..base + off + usize::from(size)]);
             return u64::from_le_bytes(buf);
         }
         // Page-straddling access: assemble byte-wise.
@@ -126,7 +131,7 @@ impl Memory {
         for i in 0..u64::from(size) {
             let a = addr + i;
             let b = match self.slot_of(a >> PAGE_SHIFT) {
-                Some(s) => self.pages[s as usize][(a as usize) & (PAGE_SIZE - 1)],
+                Some(s) => self.pages[s as usize * PAGE_SIZE + ((a as usize) & (PAGE_SIZE - 1))],
                 None => 0,
             };
             v |= u64::from(b) << (8 * i);
@@ -146,9 +151,10 @@ impl Memory {
             };
             self.mru_page = page_no;
             self.mru_slot = slot;
-            let page = &self.pages[slot as usize];
+            let base = slot as usize * PAGE_SIZE;
             let mut buf = [0u8; 8];
-            buf[..usize::from(size)].copy_from_slice(&page[off..off + usize::from(size)]);
+            buf[..usize::from(size)]
+                .copy_from_slice(&self.pages[base + off..base + off + usize::from(size)]);
             return u64::from_le_bytes(buf);
         }
         self.read(addr, size)
@@ -159,21 +165,22 @@ impl Memory {
         let off = (addr as usize) & (PAGE_SIZE - 1);
         if off + usize::from(size) <= PAGE_SIZE {
             let slot = self.slot_or_map(addr >> PAGE_SHIFT);
-            let page = &mut self.pages[slot as usize];
-            page[off..off + usize::from(size)]
+            let base = slot as usize * PAGE_SIZE;
+            self.pages[base + off..base + off + usize::from(size)]
                 .copy_from_slice(&value.to_le_bytes()[..usize::from(size)]);
             return;
         }
         for i in 0..u64::from(size) {
             let a = addr + i;
             let slot = self.slot_or_map(a >> PAGE_SHIFT);
-            self.pages[slot as usize][(a as usize) & (PAGE_SIZE - 1)] = (value >> (8 * i)) as u8;
+            self.pages[slot as usize * PAGE_SIZE + ((a as usize) & (PAGE_SIZE - 1))] =
+                (value >> (8 * i)) as u8;
         }
     }
 
     /// Number of touched pages.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.pages.len() / PAGE_SIZE
     }
 }
 
@@ -189,14 +196,29 @@ pub struct Machine<'p> {
     seq: u64,
 }
 
+impl Program {
+    /// The initial data image as a prototype [`Memory`], built once per
+    /// program and cloned by every [`Machine::new`]. Cloning the page slab
+    /// is straight memcpys; replaying `data_init` paid a page translation
+    /// per entry — tens of thousands of entries on the bigger kernels,
+    /// once per simulation run across the whole sweep layer.
+    fn data_image(&self) -> &Memory {
+        self.image.get_or_init(|| {
+            let mut mem = Memory::new();
+            for &(addr, value) in self.data_init() {
+                mem.write(addr, value, 8);
+            }
+            mem
+        })
+    }
+}
+
 impl<'p> Machine<'p> {
     /// Creates a machine at the program entry with the initial data image
-    /// applied and RSP pointing at the stack top.
+    /// applied (cloned from the program's cached prototype) and RSP
+    /// pointing at the stack top.
     pub fn new(program: &'p Program) -> Self {
-        let mut mem = Memory::new();
-        for &(addr, value) in program.data_init() {
-            mem.write(addr, value, 8);
-        }
+        let mem = program.data_image().clone();
         let mut regs = [0u64; ArchReg::NUM_APX];
         regs[ArchReg::RSP.index()] = STACK_TOP;
         regs[ArchReg::RBP.index()] = STACK_TOP;

@@ -26,6 +26,10 @@ pub struct Program {
     entry: u32,
     data_init: Vec<(u64, u64)>,
     apx: bool,
+    /// Lazily-built prototype of the initial memory image (see
+    /// `Program::data_image` in `exec.rs`): every `Machine::new` clones
+    /// this instead of replaying `data_init` write by write.
+    pub(crate) image: std::sync::OnceLock<crate::exec::Memory>,
 }
 
 impl Program {
@@ -341,6 +345,7 @@ impl ProgramBuilder {
         );
         Program {
             name: self.name,
+            image: std::sync::OnceLock::new(),
             insts: self.insts,
             entry,
             data_init: self.data_init,
