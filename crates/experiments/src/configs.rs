@@ -41,6 +41,60 @@ pub enum MachineKind {
 }
 
 impl MachineKind {
+    /// Every machine kind, for slug resolution and forensics sweeps.
+    pub const ALL: [MachineKind; 19] = [
+        MachineKind::Baseline,
+        MachineKind::Eves,
+        MachineKind::Constable,
+        MachineKind::EvesConstable,
+        MachineKind::EvesIdealConstable,
+        MachineKind::IdealStableLvp,
+        MachineKind::IdealStableLvpNoFetch,
+        MachineKind::DoubleLoadWidth,
+        MachineKind::IdealConstable,
+        MachineKind::Elar,
+        MachineKind::Rfp,
+        MachineKind::ElarConstable,
+        MachineKind::RfpConstable,
+        MachineKind::ConstableAmtI,
+        MachineKind::ConstableFullAddrAmt,
+        MachineKind::ConstableOnly(AddrMode::PcRelative),
+        MachineKind::ConstableOnly(AddrMode::StackRelative),
+        MachineKind::ConstableOnly(AddrMode::RegRelative),
+        MachineKind::ConstableCorrectPathOnly,
+    ];
+
+    /// Stable kebab-case identifier: the `cell` subcommand's machine
+    /// argument, and the vocabulary of quarantine repro lines.
+    pub fn slug(self) -> &'static str {
+        match self {
+            MachineKind::Baseline => "baseline",
+            MachineKind::Eves => "eves",
+            MachineKind::Constable => "constable",
+            MachineKind::EvesConstable => "eves-constable",
+            MachineKind::EvesIdealConstable => "eves-ideal-constable",
+            MachineKind::IdealStableLvp => "ideal-stable-lvp",
+            MachineKind::IdealStableLvpNoFetch => "ideal-stable-lvp-nofetch",
+            MachineKind::DoubleLoadWidth => "double-load-width",
+            MachineKind::IdealConstable => "ideal-constable",
+            MachineKind::Elar => "elar",
+            MachineKind::Rfp => "rfp",
+            MachineKind::ElarConstable => "elar-constable",
+            MachineKind::RfpConstable => "rfp-constable",
+            MachineKind::ConstableAmtI => "constable-amt-i",
+            MachineKind::ConstableFullAddrAmt => "constable-full-addr-amt",
+            MachineKind::ConstableOnly(AddrMode::PcRelative) => "constable-pc-only",
+            MachineKind::ConstableOnly(AddrMode::StackRelative) => "constable-stack-only",
+            MachineKind::ConstableOnly(AddrMode::RegRelative) => "constable-reg-only",
+            MachineKind::ConstableCorrectPathOnly => "constable-correct-path",
+        }
+    }
+
+    /// Inverse of [`MachineKind::slug`].
+    pub fn from_slug(slug: &str) -> Option<MachineKind> {
+        MachineKind::ALL.into_iter().find(|k| k.slug() == slug)
+    }
+
     /// Human-readable label used in tables.
     pub fn label(self) -> String {
         match self {

@@ -1,3 +1,8 @@
+// `CellFailure` is a cold quarantine record, constructed at most once per
+// failing cell and carrying its forensics by value; boxing the Err variant
+// would complicate every signature to optimize a path that never runs hot.
+#![allow(clippy::result_large_err)]
+
 //! # experiments — the paper's evaluation, regenerated
 //!
 //! One runner per table/figure of *Constable* (ISCA 2024). Each function in
@@ -39,13 +44,17 @@
 //! byte-identical figure text — asserted by `tests/sweep.rs` and measured
 //! by `cargo bench -p bench --bench sweep`.
 
+pub mod chaos;
 pub mod configs;
+pub mod fault;
 pub mod figures;
 pub mod runner;
 pub mod sweep;
 
+pub use chaos::{ChaosFault, ChaosPlan};
 pub use configs::MachineKind;
-pub use runner::{run_one, run_suite, run_suite_smt2, RunLength, RunOutcome};
+pub use fault::{CellFailure, CellOutcome};
+pub use runner::{run_one, run_suite, run_suite_smt2, RunLength, RunOutcome, WATCHDOG_BUDGET};
 pub use sweep::{SweepPool, SweepSession};
 
 /// The figure ids the harness understands, with their runners.
@@ -77,14 +86,15 @@ pub const FIGURES: &[&str] = &[
     "verify",
 ];
 
-/// Runs the figure named `id` against `session` and returns its report.
-/// Figures run in the same session share programs, analyses, and memoized
-/// simulation outcomes.
+/// Runs the figure named `id` against `session` and returns its report, or
+/// the first quarantined cell that kept it from completing (every other
+/// cell of the figure still ran; see [`SweepSession::failures`] for the
+/// full quarantine list). Figures run in the same session share programs,
+/// analyses, and memoized simulation outcomes.
 ///
 /// # Panics
-/// Panics on an unknown id (the binary validates first) or if any
-/// simulation fails its golden check.
-pub fn run_figure(id: &str, session: &SweepSession<'_>) -> String {
+/// Panics on an unknown id (the binary validates first).
+pub fn try_run_figure(id: &str, session: &SweepSession<'_>) -> Result<String, CellFailure> {
     match id {
         "fig3" => figures::fig3(session),
         "fig6" => figures::fig6(session),
@@ -105,11 +115,20 @@ pub fn run_figure(id: &str, session: &SweepSession<'_>) -> String {
         "fig21" => figures::fig21(session),
         "fig22" => figures::fig22(session),
         "fig23" | "fig24" => figures::fig23_24(session),
-        "table1" => figures::table1(),
-        "table3" => figures::table3(),
+        "table1" => Ok(figures::table1()),
+        "table3" => Ok(figures::table3()),
         "amt-granularity" => figures::amt_granularity(session),
         "xprf" => figures::xprf(session),
         "verify" => figures::verify(session),
         other => panic!("unknown figure id {other:?}; known: {FIGURES:?}"),
     }
+}
+
+/// [`try_run_figure`] for callers that treat a quarantined cell as fatal
+/// (benchmarks, equivalence tests).
+///
+/// # Panics
+/// Panics on an unknown id or any quarantined cell.
+pub fn run_figure(id: &str, session: &SweepSession<'_>) -> String {
+    try_run_figure(id, session).unwrap_or_else(|f| panic!("figure {id}: {f}"))
 }

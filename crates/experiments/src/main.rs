@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments -- <figure-id> [<figure-id>...] [--quick] [--subset N]
-//! experiments -- all [--quick]
+//! experiments -- all [--quick] [--chaos <seed>]
+//! experiments -- cell <workload> <machine-slug> [--depth-scale X] [--quick|--len N]
 //! experiments -- list
 //! ```
 //!
@@ -12,20 +13,45 @@
 //! is memoized, so `all` costs the union of distinct runs, not the sum of
 //! per-figure suites. Pass `--uncached` to bypass the session caches (the
 //! pre-memoization behavior, useful for A/B timing).
+//!
+//! ## Fault isolation
+//!
+//! A failing cell (golden mismatch, cycle-guard overrun, watchdog abort,
+//! worker panic) is *quarantined*: the figure that needs it reports the
+//! failure, every other figure still runs (`--keep-going`, the default for
+//! multi-figure invocations; `--fail-fast` stops at the first quarantined
+//! figure), and the binary ends with a quarantine table of per-cell
+//! diagnostics bundles. Exit codes: 0 all clean, 2 quarantined cells,
+//! 3 at least one watchdog abort. `--chaos <seed>` (or `SIM_CHAOS=<seed>`)
+//! deterministically injects worker panics, pipeline wedges, and digest
+//! corruption — the self-test of the quarantine machinery.
+//!
+//! The `cell` subcommand reruns one (workload, machine) cell in isolation
+//! with full forensics — the repro vehicle the quarantine table points at.
 
-use experiments::{run_figure, RunLength, SweepSession, FIGURES};
+use experiments::{
+    try_run_figure, ChaosPlan, MachineKind, RunLength, SweepSession, FIGURES, WATCHDOG_BUDGET,
+};
+use sim_core::{Core, TraceRecorder};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("cell") {
+        std::process::exit(run_cell(&args[1..]));
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut n = RunLength::full();
     let mut subset: Option<usize> = None;
     let mut uncached = false;
+    let mut keep_going: Option<bool> = None;
+    let mut chaos = ChaosPlan::from_env();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => n = RunLength::quick(),
             "--uncached" => uncached = true,
+            "--keep-going" => keep_going = Some(true),
+            "--fail-fast" => keep_going = Some(false),
             "--subset" => {
                 i += 1;
                 subset = Some(
@@ -33,6 +59,14 @@ fn main() {
                         .and_then(|s| s.parse().ok())
                         .expect("--subset requires a count"),
                 );
+            }
+            "--chaos" => {
+                i += 1;
+                let seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--chaos requires a u64 seed");
+                chaos = Some(ChaosPlan::new(seed));
             }
             "list" => {
                 for f in FIGURES {
@@ -46,25 +80,53 @@ fn main() {
         i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: experiments -- <figure-id>|all [--quick] [--subset N] [--uncached]");
+        eprintln!(
+            "usage: experiments -- <figure-id>|all [--quick] [--subset N] [--uncached] \
+             [--keep-going|--fail-fast] [--chaos <seed>]"
+        );
+        eprintln!("       experiments -- cell <workload> <machine-slug> [--depth-scale X] [--quick|--len N]");
         eprintln!("known figure ids: {FIGURES:?}");
+        std::process::exit(2);
+    }
+    // Keep going by default when several figures run: one quarantined cell
+    // must not cost the rest of the sweep.
+    let keep_going = keep_going.unwrap_or(ids.len() > 1);
+    if chaos.is_some() && uncached {
+        eprintln!("--chaos requires the cached (pooled) session; drop --uncached");
         std::process::exit(2);
     }
     let specs = match subset {
         Some(k) => sim_workload::suite_subset(k),
         None => sim_workload::suite(),
     };
-    let session = if uncached {
+    let mut session = if uncached {
         SweepSession::uncached(&specs, n)
     } else {
         SweepSession::new(&specs, n)
     };
+    if let Some(plan) = chaos {
+        eprintln!("[chaos mode: seed {}]", plan.seed());
+        session = session.with_chaos(plan);
+    }
     let sweep_started = std::time::Instant::now();
+    let mut quarantined_figures = 0usize;
     for id in ids {
         let started = std::time::Instant::now();
-        let report = run_figure(&id, &session);
-        println!("================ {id} ================");
-        println!("{report}");
+        match try_run_figure(&id, &session) {
+            Ok(report) => {
+                println!("================ {id} ================");
+                println!("{report}");
+            }
+            Err(f) => {
+                quarantined_figures += 1;
+                println!("================ {id} ================");
+                println!("QUARANTINED: {f}");
+                if !keep_going {
+                    eprintln!("[--fail-fast: stopping at the first quarantined figure]");
+                    break;
+                }
+            }
+        }
         eprintln!("[{id} took {:.1}s]", started.elapsed().as_secs_f64());
     }
     eprintln!(
@@ -72,4 +134,134 @@ fn main() {
         sweep_started.elapsed().as_secs_f64(),
         if uncached { ", uncached" } else { "" }
     );
+    let failures = session.failures();
+    if failures.is_empty() {
+        return; // exit 0: every cell clean
+    }
+    println!("================ quarantine ================");
+    println!(
+        "{} cell(s) quarantined ({} figure(s) affected); all other cells completed.",
+        failures.len(),
+        quarantined_figures
+    );
+    for f in &failures {
+        println!("  {f}");
+    }
+    let code = if failures.iter().any(|f| f.kind == "watchdog") {
+        3
+    } else {
+        2
+    };
+    std::process::exit(code);
+}
+
+/// `experiments -- cell <workload> <machine-slug> [--depth-scale X]
+/// [--quick|--len N]`: rerun one sweep cell in isolation with full
+/// forensics — config fingerprint, trace-oracle digest line, and the
+/// verification outcome (first-divergence report or frozen watchdog
+/// snapshot on failure). Exit codes match the sweep: 0 clean, 2 failed,
+/// 3 watchdog abort.
+fn run_cell(args: &[String]) -> i32 {
+    let usage =
+        "usage: experiments -- cell <workload> <machine-slug> [--depth-scale X] [--quick|--len N]";
+    let (mut workload, mut slug) = (None, None);
+    let mut depth = 1.0f64;
+    let mut n = RunLength::full();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => n = RunLength::quick(),
+            "--len" => {
+                i += 1;
+                n = RunLength(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--len requires an instruction count"),
+                );
+            }
+            "--depth-scale" => {
+                i += 1;
+                depth = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--depth-scale requires a number");
+            }
+            other if workload.is_none() => workload = Some(other.to_string()),
+            other if slug.is_none() => slug = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{usage}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let (Some(workload), Some(slug)) = (workload, slug) else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let Some(kind) = MachineKind::from_slug(&slug) else {
+        eprintln!("unknown machine slug {slug:?}; known slugs:");
+        for k in MachineKind::ALL {
+            eprintln!("  {}", k.slug());
+        }
+        return 2;
+    };
+    let suite = sim_workload::suite();
+    let by_name = |name: &str| {
+        suite.iter().find(|s| s.name == name).unwrap_or_else(|| {
+            eprintln!("unknown workload {name:?}; see `sim_workload::suite()` names");
+            std::process::exit(2);
+        })
+    };
+    // An SMT2 pair cell is named "a+b"; a single workload runs one thread.
+    let names: Vec<&str> = workload.split('+').collect();
+    let programs: Vec<_> = names.iter().map(|&name| by_name(name).build()).collect();
+    let oracle = if kind.needs_oracle() {
+        let report = load_inspector::analyze(&programs[0], n.0);
+        constable::IdealOracle::new(report.stable_pcs.iter().copied())
+    } else {
+        constable::IdealOracle::default()
+    };
+    let mut cfg = kind.config(oracle);
+    if depth != 1.0 {
+        cfg = cfg.with_depth_scale(depth);
+    }
+    let fingerprint = cfg.fingerprint();
+    cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
+    println!("cell: {workload} on {} (depth-scale {depth})", kind.slug());
+    println!("config fingerprint: {fingerprint:#018x}");
+    let per_thread = if programs.len() > 1 { n.0 / 2 } else { n.0 };
+    let mut core = Core::new_multi(programs.iter().collect(), cfg);
+    if programs.len() == 1 {
+        core.attach_tracer(TraceRecorder::new());
+    }
+    let result = core.run(per_thread);
+    if let Some(trace) = core.take_trace() {
+        println!(
+            "trace-oracle line: {} stats:{:#018x}",
+            trace.golden_line(&format!("{}/{}", kind.slug(), workload)),
+            result.stats_digest()
+        );
+    }
+    println!(
+        "retired {:?} in {} cycles (IPC {:.3}); {} loads checked",
+        result.retired_per_thread,
+        result.stats.cycles,
+        result.ipc(),
+        result.stats.retired_loads
+    );
+    match result.verify() {
+        Ok(()) => {
+            println!("PASS: cell is clean");
+            0
+        }
+        Err(e) => {
+            println!("FAIL [{}]: {e}", e.kind());
+            if e.kind() == "watchdog" {
+                3
+            } else {
+                2
+            }
+        }
+    }
 }

@@ -6,11 +6,19 @@
 //! every simulation it runs, so the µop slab, event heap, and per-cycle
 //! buffers are allocated once per worker rather than once per run.
 
+use crate::fault::{CellFailure, CellOutcome};
 use constable::IdealOracle;
 use sim_core::{Core, CoreConfig, SimResult, SimScratch};
 use sim_workload::{Category, WorkloadSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Forward-progress watchdog budget the harness runs every cell under: a
+/// cell in which no thread retires anything for this many cycles aborts
+/// with a frozen-state snapshot instead of spinning toward the (much
+/// larger) cycle guard. Far above any legitimate stall span — a dependent
+/// DRAM-miss chain is a few thousand cycles.
+pub const WATCHDOG_BUDGET: u64 = 200_000;
 
 /// How long each run is, in retired instructions per thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,17 +106,15 @@ where
 }
 
 /// Runs `specs` under the configuration produced by `mk` (which may use the
-/// workload's global-stable oracle), in parallel across CPU cores.
-///
-/// # Panics
-/// Panics if any run fails the golden functional check or trips the cycle
-/// guard — an incorrect simulation must never silently feed a figure.
+/// workload's global-stable oracle), in parallel across CPU cores. Each
+/// cell verifies independently: a failing cell yields its [`CellFailure`]
+/// bundle while the rest of the suite still completes.
 pub fn run_suite<F>(
     specs: &[WorkloadSpec],
     n: RunLength,
     with_oracle: bool,
     mk: F,
-) -> Vec<RunOutcome>
+) -> Vec<CellOutcome>
 where
     F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig + Sync,
 {
@@ -118,7 +124,7 @@ where
 }
 
 /// Runs a single workload under `mk`'s configuration.
-pub fn run_one<F>(spec: &WorkloadSpec, n: RunLength, with_oracle: bool, mk: &F) -> RunOutcome
+pub fn run_one<F>(spec: &WorkloadSpec, n: RunLength, with_oracle: bool, mk: &F) -> CellOutcome
 where
     F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig,
 {
@@ -126,14 +132,17 @@ where
 }
 
 /// [`run_one`] with a caller-provided scratch, returned after the run so a
-/// worker loop can reuse its allocations.
+/// worker loop can reuse its allocations. The cell runs under the
+/// [`WATCHDOG_BUDGET`] forward-progress watchdog and is verified with
+/// [`SimResult::verify`]; any failure comes back as a [`CellFailure`]
+/// keyed by the *logical* config fingerprint (pre-watchdog).
 pub fn run_one_with_scratch<F>(
     spec: &WorkloadSpec,
     n: RunLength,
     with_oracle: bool,
     mk: &F,
     scratch: SimScratch,
-) -> (RunOutcome, SimScratch)
+) -> (CellOutcome, SimScratch)
 where
     F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig,
 {
@@ -144,30 +153,33 @@ where
     } else {
         IdealOracle::default()
     };
-    let cfg = mk(spec, oracle);
+    let mut cfg = mk(spec, oracle);
+    let fingerprint = cfg.fingerprint();
+    cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
     let mut core = Core::new_multi_with_scratch(vec![&program], cfg, scratch);
     let result = core.run(n.0);
-    assert!(
-        !result.hit_cycle_guard,
-        "{}: cycle guard tripped",
-        spec.name
-    );
-    assert_eq!(
-        result.stats.golden_mismatches, 0,
-        "{}: golden functional check failed",
-        spec.name
-    );
-    let outcome = RunOutcome {
-        workload: spec.name.clone(),
-        category: spec.category,
-        result,
+    let scratch = core.into_scratch();
+    let cell = match result.verify() {
+        Ok(()) => Ok(RunOutcome {
+            workload: spec.name.clone(),
+            category: spec.category,
+            result,
+        }),
+        Err(e) => Err(CellFailure::from_error(
+            &spec.name,
+            fingerprint,
+            n,
+            &e,
+            false,
+        )),
     };
-    (outcome, core.into_scratch())
+    (cell, scratch)
 }
 
 /// Runs an SMT2 pairing: each workload paired with one from a different
 /// point of the suite (i ↔ i + len/2), both threads simulated together.
-pub fn run_suite_smt2<F>(specs: &[WorkloadSpec], n: RunLength, mk: F) -> Vec<RunOutcome>
+/// Verified per cell, like [`run_suite`].
+pub fn run_suite_smt2<F>(specs: &[WorkloadSpec], n: RunLength, mk: F) -> Vec<CellOutcome>
 where
     F: Fn(&WorkloadSpec) -> CoreConfig + Sync,
 {
@@ -178,17 +190,22 @@ where
         let (a, b) = (&specs[pairs[i].0], &specs[pairs[i].1]);
         let pa = a.build();
         let pb = b.build();
-        let cfg = mk(a);
+        let mut cfg = mk(a);
+        let fingerprint = cfg.fingerprint();
+        cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
         let mut core = Core::new_multi_with_scratch(vec![&pa, &pb], cfg, scratch);
         let result = core.run(n.0 / 2);
-        assert!(!result.hit_cycle_guard, "{}+{}: guard", a.name, b.name);
-        assert_eq!(result.stats.golden_mismatches, 0, "{}: golden", a.name);
-        let outcome = RunOutcome {
-            workload: format!("{}+{}", a.name, b.name),
-            category: a.category,
-            result,
+        let scratch = core.into_scratch();
+        let name = format!("{}+{}", a.name, b.name);
+        let cell = match result.verify() {
+            Ok(()) => Ok(RunOutcome {
+                workload: name,
+                category: a.category,
+                result,
+            }),
+            Err(e) => Err(CellFailure::from_error(&name, fingerprint, n, &e, false)),
         };
-        (outcome, core.into_scratch())
+        (cell, scratch)
     })
 }
 

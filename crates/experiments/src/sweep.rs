@@ -27,8 +27,10 @@
 //! the equivalence tests (and the `bench/sweep` harness) compare against:
 //! memoized output must be byte-identical.
 
+use crate::chaos::{ChaosFault, ChaosPlan};
 use crate::configs::MachineKind;
-use crate::runner::{self, RunLength, RunOutcome};
+use crate::fault::{CellFailure, CellOutcome};
+use crate::runner::{self, RunLength, RunOutcome, WATCHDOG_BUDGET};
 use constable::IdealOracle;
 use load_inspector::LoadReport;
 use sim_core::{Core, CoreConfig, SimScratch};
@@ -100,32 +102,66 @@ impl SweepPool {
     /// order. Blocks until the whole batch is done.
     ///
     /// # Panics
-    /// Panics if any job panicked on its worker (the underlying assertion
-    /// message is printed by the worker thread).
+    /// Panics if any job panicked on its worker (with that job's panic
+    /// payload). Sweep-cell work goes through
+    /// [`run_batch_guarded`](SweepPool::run_batch_guarded) instead, which
+    /// quarantines the panic.
     pub fn run_batch<T: Send + 'static>(&self, jobs: Vec<BatchJob<T>>) -> Vec<T> {
+        self.run_batch_guarded(jobs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|p| panic!("sweep job panicked on its worker: {p}")))
+            .collect()
+    }
+
+    /// [`run_batch`](SweepPool::run_batch) with a per-job panic boundary:
+    /// a job that panics yields `Err(payload)` in its slot while every
+    /// other job of the batch still completes. The panicking worker's
+    /// scratch is discarded (a partially-built core may have left it in an
+    /// arbitrary state) and replaced with a fresh one, then the worker goes
+    /// back to stealing jobs.
+    pub fn run_batch_guarded<T: Send + 'static>(
+        &self,
+        jobs: Vec<BatchJob<T>>,
+    ) -> Vec<Result<T, String>> {
         let total = jobs.len();
-        let (rtx, rrx) = mpsc::channel::<(usize, T)>();
+        let (rtx, rrx) = mpsc::channel::<(usize, Result<T, String>)>();
         let tx = self.tx.as_ref().expect("pool is live until dropped");
         for (i, job) in jobs.into_iter().enumerate() {
             let rtx = rtx.clone();
             tx.send(Box::new(move |scratch: &mut SimScratch| {
-                let out = job(scratch);
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(scratch)))
+                    .map_err(|payload| {
+                        // Poisoned-scratch disposal: the job died mid-build
+                        // or mid-run, so nothing in the scratch is trusted.
+                        *scratch = SimScratch::new();
+                        panic_message(payload)
+                    });
                 let _ = rtx.send((i, out));
             }))
             .expect("workers outlive the session");
         }
         drop(rtx);
-        let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<T, String>>> = (0..total).map(|_| None).collect();
         for _ in 0..total {
-            let (i, out) = rrx
-                .recv()
-                .expect("a sweep job panicked on its worker; see output above");
+            let (i, out) = rrx.recv().expect("guarded jobs always report");
             slots[i] = Some(out);
         }
         slots
             .into_iter()
             .map(|s| s.expect("every job reports exactly once"))
             .collect()
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` cases cover every
+/// `panic!`/`assert!` in the harness).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -152,10 +188,12 @@ struct SweepCache {
     programs: Mutex<HashMap<(usize, bool), Arc<Program>>>,
     /// `(workload index, apx, run length)` → load-inspector report.
     reports: Mutex<HashMap<(usize, bool, u64), Arc<LoadReport>>>,
-    /// `(workload index, config fingerprint)` → completed run.
-    outcomes: Mutex<HashMap<(usize, u64), RunOutcome>>,
+    /// `(workload index, config fingerprint)` → completed or quarantined
+    /// run. Failures memoize too: a cell that died once is reported once,
+    /// not retried by every later figure that asks for it.
+    outcomes: Mutex<HashMap<(usize, u64), CellOutcome>>,
     /// `(pair indices, config fingerprint)` → completed SMT2 run.
-    smt2: Mutex<HashMap<(usize, usize, u64), RunOutcome>>,
+    smt2: Mutex<HashMap<(usize, usize, u64), CellOutcome>>,
 }
 
 /// One figure-sweep invocation: the workload suite, the run length, and —
@@ -165,6 +203,11 @@ pub struct SweepSession<'s> {
     specs: &'s [WorkloadSpec],
     n: RunLength,
     cache: Option<SweepCache>,
+    /// Deterministic fault injection schedule (chaos mode), if enabled.
+    chaos: Option<ChaosPlan>,
+    /// Every quarantined cell of this session, in discovery order — the
+    /// source of the binary's final quarantine table.
+    failures: Mutex<Vec<CellFailure>>,
 }
 
 impl<'s> SweepSession<'s> {
@@ -181,6 +224,8 @@ impl<'s> SweepSession<'s> {
                 outcomes: Mutex::new(HashMap::new()),
                 smt2: Mutex::new(HashMap::new()),
             }),
+            chaos: None,
+            failures: Mutex::new(Vec::new()),
         }
     }
 
@@ -193,6 +238,50 @@ impl<'s> SweepSession<'s> {
             specs,
             n,
             cache: None,
+            chaos: None,
+            failures: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Enables deterministic chaos injection on this session's pooled
+    /// cells. Cached sessions only — the uncached reference path stays a
+    /// faithful replay of the pre-sweep harness.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        assert!(
+            self.cache.is_some(),
+            "chaos mode requires the cached (pooled) session"
+        );
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// The chaos plan, if this session injects faults.
+    pub fn chaos(&self) -> Option<ChaosPlan> {
+        self.chaos
+    }
+
+    /// Every cell quarantined so far, in discovery order.
+    pub fn failures(&self) -> Vec<CellFailure> {
+        self.failures.lock().expect("failures lock").clone()
+    }
+
+    /// Records a quarantined cell, once per (workload, fingerprint).
+    fn record_failure(&self, f: &CellFailure) {
+        let mut reg = self.failures.lock().expect("failures lock");
+        if !reg
+            .iter()
+            .any(|g| g.workload == f.workload && g.fingerprint == f.fingerprint)
+        {
+            reg.push(f.clone());
+        }
+    }
+
+    /// Records every `Err` of a freshly computed cell list.
+    fn record_cell_failures(&self, cells: &[CellOutcome]) {
+        for cell in cells {
+            if let Err(f) = cell {
+                self.record_failure(f);
+            }
         }
     }
 
@@ -368,22 +457,42 @@ impl<'s> SweepSession<'s> {
 
     // -------------------------------------------------------------- suites
 
-    /// Runs the whole suite under machine `kind`, memoized.
-    pub fn suite(&self, kind: MachineKind) -> Vec<RunOutcome> {
-        self.suites(&[kind]).pop().expect("one kind in, one out")
+    /// Runs the whole suite under machine `kind`, memoized. `Err` carries
+    /// the first quarantined cell; every healthy cell still completed (and
+    /// every failure is in [`failures`](SweepSession::failures)).
+    pub fn suite(&self, kind: MachineKind) -> Result<Vec<RunOutcome>, CellFailure> {
+        self.suites(&[kind]).map(|mut v| v.pop().expect("one kind"))
+    }
+
+    /// Per-cell results of the suite under machine `kind` — the quarantine
+    /// surface behind [`suite`](SweepSession::suite), for callers (tests,
+    /// forensics) that want failing and healthy cells side by side.
+    pub fn suite_cells(&self, kind: MachineKind) -> Vec<CellOutcome> {
+        if self.cache.is_none() {
+            let cells = runner::run_suite(self.specs, self.n, kind.needs_oracle(), |_, oracle| {
+                kind.config(oracle)
+            });
+            self.record_cell_failures(&cells);
+            return cells;
+        }
+        let sets = vec![self.configs_for(kind.needs_oracle(), |_, oracle| kind.config(oracle))];
+        self.run_config_sets(sets).pop().expect("one set")
     }
 
     /// Runs the suite under several machines at once: every missing
     /// (workload × config) cell across *all* kinds becomes one flat job
     /// list on the pool, so workers never idle at a config boundary.
-    pub fn suites(&self, kinds: &[MachineKind]) -> Vec<Vec<RunOutcome>> {
+    pub fn suites(&self, kinds: &[MachineKind]) -> Result<Vec<Vec<RunOutcome>>, CellFailure> {
         if self.cache.is_none() {
             return kinds
                 .iter()
                 .map(|&k| {
-                    runner::run_suite(self.specs, self.n, k.needs_oracle(), |_, oracle| {
-                        k.config(oracle)
-                    })
+                    let cells =
+                        runner::run_suite(self.specs, self.n, k.needs_oracle(), |_, oracle| {
+                            k.config(oracle)
+                        });
+                    self.record_cell_failures(&cells);
+                    cells.into_iter().collect()
                 })
                 .collect();
         }
@@ -392,22 +501,29 @@ impl<'s> SweepSession<'s> {
             .map(|&k| self.configs_for(k.needs_oracle(), |_, oracle| k.config(oracle)))
             .collect();
         self.run_config_sets(sets)
+            .into_iter()
+            .map(|cells| cells.into_iter().collect())
+            .collect()
     }
 
     /// Runs the suite under a custom per-workload configuration, memoized
     /// by config fingerprint (the general form behind Fig 6, Fig 17, and
     /// the Fig 20 sensitivity sweeps).
-    pub fn suite_with<F>(&self, with_oracle: bool, mk: F) -> Vec<RunOutcome>
+    pub fn suite_with<F>(&self, with_oracle: bool, mk: F) -> Result<Vec<RunOutcome>, CellFailure>
     where
         F: Fn(&WorkloadSpec, IdealOracle) -> CoreConfig + Sync,
     {
         if self.cache.is_none() {
-            return runner::run_suite(self.specs, self.n, with_oracle, mk);
+            let cells = runner::run_suite(self.specs, self.n, with_oracle, mk);
+            self.record_cell_failures(&cells);
+            return cells.into_iter().collect();
         }
         let sets = vec![self.configs_for(with_oracle, mk)];
         self.run_config_sets(sets)
             .pop()
             .expect("one set in, one out")
+            .into_iter()
+            .collect()
     }
 
     /// Builds the per-workload configs a suite run would use (attaching the
@@ -433,9 +549,10 @@ impl<'s> SweepSession<'s> {
     }
 
     /// The memoizing core: runs every (workload, config) cell not already
-    /// in the outcome cache as one flat pool batch, then assembles each
-    /// set's results in suite order.
-    fn run_config_sets(&self, sets: Vec<Vec<CoreConfig>>) -> Vec<Vec<RunOutcome>> {
+    /// in the outcome cache as one flat *guarded* pool batch (a panicking
+    /// cell quarantines instead of poisoning the batch), then assembles
+    /// each set's results in suite order.
+    fn run_config_sets(&self, sets: Vec<Vec<CoreConfig>>) -> Vec<Vec<CellOutcome>> {
         let cache = self.cache.as_ref().expect("cached mode only");
         self.ensure_programs(false);
         let keyed: Vec<Vec<(usize, u64)>> = sets
@@ -464,23 +581,39 @@ impl<'s> SweepSession<'s> {
         }
         if !missing.is_empty() {
             let n = self.n;
-            let jobs: Vec<BatchJob<RunOutcome>> = missing
+            let jobs: Vec<BatchJob<CellOutcome>> = missing
                 .iter()
-                .map(|((i, _), cfg)| {
+                .map(|((i, fp), cfg)| {
                     let program = self.program(*i);
                     let name = self.specs[*i].name.clone();
                     let category = self.specs[*i].category;
                     let cfg = cfg.clone();
-                    let job: BatchJob<RunOutcome> = Box::new(move |scratch| {
-                        run_pooled(&program, &name, category, cfg, n, scratch)
+                    let fp = *fp;
+                    let fault = self.chaos.and_then(|c| c.fault_for(&name, fp));
+                    let job: BatchJob<CellOutcome> = Box::new(move |scratch| {
+                        run_pooled(&program, &name, category, cfg, n, fp, fault, scratch)
                     });
                     job
                 })
                 .collect();
-            let outcomes = cache.pool.run_batch(jobs);
+            let outcomes = cache.pool.run_batch_guarded(jobs);
             let mut done = cache.outcomes.lock().expect("outcomes lock");
             for ((key, _), outcome) in missing.into_iter().zip(outcomes) {
-                done.entry(key).or_insert(outcome);
+                let (i, fp) = key;
+                let cell = outcome.unwrap_or_else(|payload| {
+                    // The job panicked on its worker: wrap the payload in a
+                    // quarantine bundle, re-asking the chaos plan whether
+                    // this cell was scheduled for an injected panic.
+                    let name = &self.specs[i].name;
+                    let injected = self
+                        .chaos
+                        .is_some_and(|c| c.fault_for(name, fp) == Some(ChaosFault::Panic));
+                    Err(CellFailure::from_panic(name, fp, self.n, payload, injected))
+                });
+                if let Err(f) = &cell {
+                    self.record_failure(f);
+                }
+                done.entry(key).or_insert(cell);
             }
         }
         let done = cache.outcomes.lock().expect("outcomes lock");
@@ -495,13 +628,16 @@ impl<'s> SweepSession<'s> {
     }
 
     /// Runs the SMT2 pairing (workload `i` co-scheduled with `i + half`),
-    /// memoized by pair and config fingerprint.
-    pub fn suite_smt2<F>(&self, mk: F) -> Vec<RunOutcome>
+    /// memoized by pair and config fingerprint. Quarantined per pair, like
+    /// the single-thread suites.
+    pub fn suite_smt2<F>(&self, mk: F) -> Result<Vec<RunOutcome>, CellFailure>
     where
         F: Fn(&WorkloadSpec) -> CoreConfig + Sync,
     {
         let Some(cache) = &self.cache else {
-            return runner::run_suite_smt2(self.specs, self.n, mk);
+            let cells = runner::run_suite_smt2(self.specs, self.n, mk);
+            self.record_cell_failures(&cells);
+            return cells.into_iter().collect();
         };
         self.ensure_programs(false);
         let half = self.specs.len() / 2;
@@ -517,35 +653,62 @@ impl<'s> SweepSession<'s> {
         };
         if !missing.is_empty() {
             let n = self.n;
-            let jobs: Vec<BatchJob<RunOutcome>> = missing
+            let jobs: Vec<BatchJob<CellOutcome>> = missing
                 .iter()
-                .map(|&(i, j, _)| {
+                .map(|&(i, j, fp)| {
                     let pa = self.program(i);
                     let pb = self.program(j);
                     let (na, nb) = (self.specs[i].name.clone(), self.specs[j].name.clone());
                     let category = self.specs[i].category;
-                    let cfg = mk(&self.specs[i]);
-                    let job: BatchJob<RunOutcome> = Box::new(move |scratch| {
+                    let mut cfg = mk(&self.specs[i]);
+                    let pair = format!("{na}+{nb}");
+                    let fault = self.chaos.and_then(|c| c.fault_for(&pair, fp));
+                    let job: BatchJob<CellOutcome> = Box::new(move |scratch| {
+                        if fault == Some(ChaosFault::Panic) {
+                            panic!("chaos: injected worker panic ({pair})");
+                        }
+                        cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
+                        if fault == Some(ChaosFault::Stall) {
+                            cfg.wedge_after_retire = Some(n.0 / 4);
+                        }
                         let s = std::mem::take(scratch);
                         let mut core = Core::new_multi_with_scratch(vec![&pa, &pb], cfg, s);
-                        let result = core.run(n.0 / 2);
-                        assert!(!result.hit_cycle_guard, "{na}+{nb}: guard");
-                        assert_eq!(result.stats.golden_mismatches, 0, "{na}: golden");
-                        let outcome = RunOutcome {
-                            workload: format!("{na}+{nb}"),
-                            category,
-                            result,
-                        };
+                        let mut result = core.run(n.0 / 2);
                         *scratch = core.into_scratch();
-                        outcome
+                        if fault == Some(ChaosFault::CorruptDigest) {
+                            result.stats.golden_mismatches += 1;
+                        }
+                        match result.verify() {
+                            Ok(()) => Ok(RunOutcome {
+                                workload: pair,
+                                category,
+                                result,
+                            }),
+                            Err(e) => {
+                                Err(CellFailure::from_error(&pair, fp, n, &e, fault.is_some()))
+                            }
+                        }
                     });
                     job
                 })
                 .collect();
-            let outcomes = cache.pool.run_batch(jobs);
+            let outcomes = cache.pool.run_batch_guarded(jobs);
             let mut done = cache.smt2.lock().expect("smt2 lock");
             for (key, outcome) in missing.into_iter().zip(outcomes) {
-                done.entry(key).or_insert(outcome);
+                let (i, j, fp) = key;
+                let cell = outcome.unwrap_or_else(|payload| {
+                    let pair = format!("{}+{}", self.specs[i].name, self.specs[j].name);
+                    let injected = self
+                        .chaos
+                        .is_some_and(|c| c.fault_for(&pair, fp) == Some(ChaosFault::Panic));
+                    Err(CellFailure::from_panic(
+                        &pair, fp, self.n, payload, injected,
+                    ))
+                });
+                if let Err(f) = &cell {
+                    self.record_failure(f);
+                }
+                done.entry(key).or_insert(cell);
             }
         }
         let done = cache.smt2.lock().expect("smt2 lock");
@@ -577,30 +740,47 @@ impl<'s> SweepSession<'s> {
 
 /// One pooled simulation: mirrors `runner::run_one_with_scratch`, except
 /// the program is the session's shared build and the oracle (if any) is
-/// already inside `cfg`.
+/// already inside `cfg`. `fp` is the logical fingerprint the memo filed
+/// the cell under (computed before the watchdog/chaos knobs below, which
+/// are harness instrumentation, not machine identity). Verification is
+/// per cell: a failing run returns its quarantine bundle.
+#[allow(clippy::too_many_arguments)]
 fn run_pooled(
     program: &Program,
     name: &str,
     category: Category,
-    cfg: CoreConfig,
+    mut cfg: CoreConfig,
     n: RunLength,
+    fp: u64,
+    fault: Option<ChaosFault>,
     scratch: &mut SimScratch,
-) -> RunOutcome {
+) -> CellOutcome {
+    if fault == Some(ChaosFault::Panic) {
+        panic!("chaos: injected worker panic ({name})");
+    }
+    cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
+    if fault == Some(ChaosFault::Stall) {
+        // Wedge the core halfway through: retirement stops, the pipeline
+        // starves, and the watchdog must abort with a frozen snapshot.
+        cfg.wedge_after_retire = Some(n.0 / 2);
+    }
     let s = std::mem::take(scratch);
     let mut core = Core::new_multi_with_scratch(vec![program], cfg, s);
-    let result = core.run(n.0);
-    assert!(!result.hit_cycle_guard, "{name}: cycle guard tripped");
-    assert_eq!(
-        result.stats.golden_mismatches, 0,
-        "{name}: golden functional check failed"
-    );
-    let outcome = RunOutcome {
-        workload: name.to_string(),
-        category,
-        result,
-    };
+    let mut result = core.run(n.0);
     *scratch = core.into_scratch();
-    outcome
+    if fault == Some(ChaosFault::CorruptDigest) {
+        // Simulated digest corruption: trip the §8.5 verification path
+        // without touching the (shared, memoized) simulation inputs.
+        result.stats.golden_mismatches += 1;
+    }
+    match result.verify() {
+        Ok(()) => Ok(RunOutcome {
+            workload: name.to_string(),
+            category,
+            result,
+        }),
+        Err(e) => Err(CellFailure::from_error(name, fp, n, &e, fault.is_some())),
+    }
 }
 
 #[cfg(test)]
@@ -639,8 +819,8 @@ mod tests {
         let r2 = session.report(1);
         assert!(Arc::ptr_eq(&r1, &r2), "report cache must share analyses");
 
-        let a = session.suite(MachineKind::Baseline);
-        let b = session.suite(MachineKind::Baseline);
+        let a = session.suite(MachineKind::Baseline).expect("clean suite");
+        let b = session.suite(MachineKind::Baseline).expect("clean suite");
         assert_eq!(a.len(), specs.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.workload, y.workload);
@@ -656,8 +836,8 @@ mod tests {
         let cached = SweepSession::new(&specs, n);
         let direct = SweepSession::uncached(&specs, n);
         for kind in [MachineKind::Baseline, MachineKind::Constable] {
-            let a = cached.suite(kind);
-            let b = direct.suite(kind);
+            let a = cached.suite(kind).expect("clean suite");
+            let b = direct.suite(kind).expect("clean suite");
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.workload, y.workload);
                 assert_eq!(

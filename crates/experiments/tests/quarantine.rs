@@ -1,0 +1,149 @@
+//! Fault isolation in the sweep engine: a panicking worker job must not
+//! take the pool (or any sibling cell) down with it, and deterministic
+//! chaos injection must quarantine exactly the planned cells while leaving
+//! every other cell byte-identical to a clean run.
+
+use constable::IdealOracle;
+use experiments::{sweep::BatchJob, ChaosPlan, MachineKind, RunLength, SweepPool, SweepSession};
+use sim_core::SimScratch;
+
+const N: RunLength = RunLength(4_000);
+const SUBSET: usize = 3;
+
+/// Machines whose config (and therefore chaos fingerprint) the test can
+/// reproduce without the session's load-inspector oracle.
+const KINDS: [MachineKind; 3] = [
+    MachineKind::Baseline,
+    MachineKind::Elar,
+    MachineKind::DoubleLoadWidth,
+];
+
+#[test]
+fn guarded_batch_isolates_a_panicking_job() {
+    let pool = SweepPool::new();
+    let jobs: Vec<BatchJob<usize>> = (0..8)
+        .map(|i| {
+            let job: BatchJob<usize> = Box::new(move |_: &mut SimScratch| {
+                if i == 3 {
+                    panic!("boom {i}");
+                }
+                i
+            });
+            job
+        })
+        .collect();
+    let out = pool.run_batch_guarded(jobs);
+    assert_eq!(out.len(), 8);
+    for (i, r) in out.iter().enumerate() {
+        if i == 3 {
+            let payload = r.as_ref().expect_err("job 3 panicked");
+            assert!(payload.contains("boom 3"), "payload: {payload}");
+        } else {
+            assert_eq!(*r.as_ref().expect("healthy job"), i, "order not preserved");
+        }
+    }
+    // The pool (and the poisoned worker's replaced scratch) must remain
+    // usable for the next batch.
+    let again: Vec<BatchJob<usize>> = (0..4)
+        .map(|i| {
+            let job: BatchJob<usize> = Box::new(move |_: &mut SimScratch| i * 10);
+            job
+        })
+        .collect();
+    assert_eq!(pool.run_batch(again), vec![0, 10, 20, 30]);
+}
+
+/// Finds a chaos seed guaranteed (by construction, deterministically) to
+/// inject at least one fault into the `KINDS x subset` cell matrix.
+fn seed_with_injection(specs: &[sim_workload::WorkloadSpec]) -> u64 {
+    let fps: Vec<(String, u64)> = specs
+        .iter()
+        .flat_map(|s| {
+            KINDS.iter().map(move |k| {
+                (
+                    s.name.clone(),
+                    k.config(IdealOracle::default()).fingerprint(),
+                )
+            })
+        })
+        .collect();
+    (0..)
+        .find(|&seed| {
+            let plan = ChaosPlan::new(seed);
+            fps.iter().any(|(n, fp)| plan.fault_for(n, *fp).is_some())
+        })
+        .expect("some seed injects")
+}
+
+#[test]
+fn chaos_quarantines_planned_cells_and_leaves_the_rest_byte_identical() {
+    let specs = sim_workload::suite_subset(SUBSET);
+    let seed = seed_with_injection(&specs);
+    let plan = ChaosPlan::new(seed);
+
+    let clean = SweepSession::new(&specs, N);
+    let chaotic = SweepSession::new(&specs, N).with_chaos(plan);
+
+    let mut injected = 0usize;
+    for kind in KINDS {
+        let reference = clean.suite_cells(kind);
+        let cells = chaotic.suite_cells(kind);
+        assert_eq!(reference.len(), cells.len());
+        for (r, c) in reference.iter().zip(&cells) {
+            let r = r.as_ref().expect("clean session must not fail");
+            match c {
+                Ok(c) => {
+                    // A cell chaos did not touch is bit-identical to the
+                    // clean run.
+                    assert_eq!(r.workload, c.workload);
+                    assert_eq!(
+                        r.result.stats_digest(),
+                        c.result.stats_digest(),
+                        "{}: untouched cell diverged from the clean run",
+                        c.workload
+                    );
+                    assert_eq!(r.result.stats.cycles, c.result.stats.cycles);
+                    assert_eq!(r.result.retired_per_thread, c.result.retired_per_thread);
+                }
+                Err(f) => {
+                    injected += 1;
+                    assert!(f.injected, "{f}: chaos failure not marked injected");
+                    assert!(
+                        plan.fault_for(&f.workload, f.fingerprint).is_some(),
+                        "{f}: quarantined cell was never scheduled by the plan"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        injected > 0,
+        "seed {seed} was chosen to inject at least once"
+    );
+    assert_eq!(
+        chaotic.failures().len(),
+        injected,
+        "failure registry disagrees with the per-cell outcomes"
+    );
+    assert!(
+        clean.failures().is_empty(),
+        "clean session recorded failures"
+    );
+}
+
+/// Memoization must hold failures too: re-asking for a quarantined suite
+/// returns the same recorded failures without growing the registry.
+#[test]
+fn quarantined_cells_are_memoized_not_retried() {
+    let specs = sim_workload::suite_subset(SUBSET);
+    let seed = seed_with_injection(&specs);
+    let session = SweepSession::new(&specs, N).with_chaos(ChaosPlan::new(seed));
+    for kind in KINDS {
+        let _ = session.suite_cells(kind);
+    }
+    let first = session.failures();
+    for kind in KINDS {
+        let _ = session.suite_cells(kind);
+    }
+    assert_eq!(session.failures(), first, "retry grew the quarantine list");
+}

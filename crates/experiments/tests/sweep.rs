@@ -72,8 +72,8 @@ fn fig14_memoized_is_byte_identical_to_uncached() {
 fn distinct_configs_occupy_distinct_memo_entries() {
     let specs = sim_workload::suite_subset(2);
     let session = SweepSession::new(&specs, N);
-    let base = session.suite(MachineKind::Baseline);
-    let cons = session.suite(MachineKind::Constable);
+    let base = session.suite(MachineKind::Baseline).expect("clean suite");
+    let cons = session.suite(MachineKind::Constable).expect("clean suite");
     for (b, c) in base.iter().zip(&cons) {
         assert_eq!(b.workload, c.workload);
         assert_eq!(c.result.stats.golden_mismatches, 0);

@@ -64,6 +64,20 @@ pub struct CoreConfig {
     /// Track per-PC load/elimination counts (Fig 17 coverage breakdown);
     /// off by default to keep runs lean.
     pub track_per_pc: bool,
+    /// Forward-progress watchdog: abort the run (freezing a state snapshot
+    /// into [`crate::SimResult::watchdog`]) when no thread retires anything
+    /// for this many cycles. `None` (the default) disables the check — the
+    /// golden/benchmark configurations never pay for it; the experiments
+    /// harness enables it so a wedged cell degrades to a structured error
+    /// long before the generous cycle guard would fire. Must be set well
+    /// above the longest legitimate no-retire span (a dependent DRAM-miss
+    /// chain is a few thousand cycles).
+    pub watchdog_no_retire: Option<u64>,
+    /// Fault-injection knob for watchdog/chaos tests: stop retiring (while
+    /// the rest of the pipeline keeps running and then starves) once this
+    /// many instructions have retired, wedging the core deterministically.
+    /// `None` always, outside chaos mode and the watchdog tests.
+    pub wedge_after_retire: Option<u64>,
     /// Event-driven scheduling shortcuts (idle-cycle fast-forward and the
     /// issue-quiescence memo), applied to single-thread and SMT2 runs
     /// alike — the parity-free frontend rotor makes multi-thread idleness
@@ -112,6 +126,8 @@ impl CoreConfig {
             wrong_path_fetch: true,
             seed: 0xC0FFEE,
             track_per_pc: false,
+            watchdog_no_retire: None,
+            wedge_after_retire: None,
             event_shortcuts: true,
         }
     }
@@ -302,6 +318,10 @@ mod tests {
         push("wrong_path_fetch", &|c| c.wrong_path_fetch = false);
         push("seed", &|c| c.seed = 0xC0FFEF);
         push("track_per_pc", &|c| c.track_per_pc = true);
+        push("watchdog_no_retire", &|c| {
+            c.watchdog_no_retire = Some(200_000)
+        });
+        push("wedge_after_retire", &|c| c.wedge_after_retire = Some(100));
         push("event_shortcuts", &|c| c.event_shortcuts = false);
 
         for i in 0..variants.len() {

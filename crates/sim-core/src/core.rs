@@ -128,6 +128,11 @@ struct Thread<'p> {
     stack_rename: StackState,
     stack_retired: StackState,
     last_writer: [Option<(Tag, u64)>; 32],
+    /// Per architectural register: `seq + 1` of the youngest correct-path
+    /// writer renamed so far (0 = none since the last flush repair). Feeds
+    /// the Constable arming-race guard: monitors are inserted at load
+    /// *writeback*, which cannot see writers that renamed after the load.
+    last_write_seq: [u64; 32],
     retired: u64,
     /// Speculative branch history for the value predictor (updated at
     /// rename of conditional branches with the trace outcome).
@@ -160,6 +165,7 @@ impl<'p> Thread<'p> {
             stack_rename: StackState::default(),
             stack_retired: StackState::default(),
             last_writer: [None; 32],
+            last_write_seq: [0; 32],
             retired: 0,
             vp_history: 0,
         }
@@ -209,12 +215,42 @@ pub struct SimResult {
     /// Hit the cycle guard before reaching the target (indicates a model
     /// problem; tests assert this is false).
     pub hit_cycle_guard: bool,
+    /// Forensics of the first §8.5 golden-check divergence, if any (always
+    /// populated when `stats.golden_mismatches > 0`).
+    pub first_mismatch: Option<crate::fault::GoldenMismatch>,
+    /// Frozen machine state captured by the forward-progress watchdog, if
+    /// it aborted this run (see [`CoreConfig::watchdog_no_retire`]).
+    pub watchdog: Option<crate::fault::FrozenSnapshot>,
 }
 
 impl SimResult {
     /// Instructions per cycle (aggregate across threads).
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()
+    }
+
+    /// Folds every failure condition of the run into one structured
+    /// [`SimError`](crate::SimError): watchdog abort, cycle-guard overrun,
+    /// or §8.5 golden divergence (with first-mismatch forensics). A clean
+    /// run returns `Ok(())`; callers that used to `assert!` on
+    /// `hit_cycle_guard`/`golden_mismatches` quarantine this instead.
+    pub fn verify(&self) -> Result<(), crate::fault::SimError> {
+        if let Some(snap) = &self.watchdog {
+            return Err(crate::fault::SimError::Watchdog(snap.clone()));
+        }
+        if self.hit_cycle_guard {
+            return Err(crate::fault::SimError::CycleGuard {
+                cycle: self.stats.cycles,
+                retired_per_thread: self.retired_per_thread.clone(),
+            });
+        }
+        if self.stats.golden_mismatches > 0 {
+            return Err(crate::fault::SimError::GoldenMismatch {
+                count: self.stats.golden_mismatches,
+                first: self.first_mismatch,
+            });
+        }
+        Ok(())
     }
 
     /// Digest over every statistic that scheduling order could perturb —
@@ -345,6 +381,12 @@ pub struct Core<'p> {
     /// Global issue sequence number: incremented once per issued µop, in
     /// issue order (trace-oracle observable).
     issue_seq: u64,
+    /// Forensics of the first golden-check divergence (cold: written at
+    /// most once per run).
+    first_mismatch: Option<crate::fault::GoldenMismatch>,
+    /// Cycle of the most recent retirement, any thread (forward-progress
+    /// watchdog input; only read when `cfg.watchdog_no_retire` is set).
+    last_retire_cycle: u64,
     /// Attached scheduling-trace recorder (see [`crate::trace`]); `None`
     /// (and therefore free) outside the trace-oracle tests.
     tracer: Option<TraceRecorder>,
@@ -433,6 +475,8 @@ impl<'p> Core<'p> {
             cycle_work: false,
             evict: scratch.evictions,
             issue_seq: 0,
+            first_mismatch: None,
+            last_retire_cycle: 0,
             tracer: None,
             cfg,
         }
@@ -473,6 +517,7 @@ impl<'p> Core<'p> {
     pub fn run(&mut self, target_per_thread: u64) -> SimResult {
         let guard = 400 * target_per_thread + 2_000_000;
         let mut hit_guard = false;
+        let mut watchdog = None;
         while self.threads.iter().any(|t| t.retired < target_per_thread) {
             self.cycle_work = false;
             self.complete_phase();
@@ -543,6 +588,16 @@ impl<'p> Core<'p> {
                 }
             }
             self.now += 1;
+            // Forward-progress watchdog: a run in which no thread retires
+            // anything for the configured budget is wedged (the budget sits
+            // far above any legitimate stall span); freeze a snapshot and
+            // abort instead of spinning to the much larger cycle guard.
+            if let Some(budget) = self.cfg.watchdog_no_retire {
+                if self.now - self.last_retire_cycle > budget {
+                    watchdog = Some(self.freeze_snapshot());
+                    break;
+                }
+            }
             if self.now >= guard {
                 hit_guard = true;
                 break;
@@ -569,6 +624,35 @@ impl<'p> Core<'p> {
             stats: self.stats.clone(),
             retired_per_thread: self.threads.iter().map(|t| t.retired).collect(),
             hit_cycle_guard: hit_guard,
+            first_mismatch: self.first_mismatch,
+            watchdog,
+        }
+    }
+
+    /// Captures the machine state the watchdog aborted on (cold path).
+    fn freeze_snapshot(&self) -> crate::fault::FrozenSnapshot {
+        crate::fault::FrozenSnapshot {
+            cycle: self.now,
+            last_retire_cycle: self.last_retire_cycle,
+            retired_per_thread: self.threads.iter().map(|t| t.retired).collect(),
+            rob_occupancy: self.threads.iter().map(|t| t.rob.len()).collect(),
+            rob_head: self
+                .threads
+                .iter()
+                .map(|t| {
+                    t.rob.front().map(|&tag| {
+                        let u = &self.window[tag];
+                        let state = match u.state {
+                            UopState::Waiting => "Waiting",
+                            UopState::Ready => "Ready",
+                            UopState::Issued => "Issued",
+                            UopState::Done => "Done",
+                        };
+                        (u.pc, state)
+                    })
+                })
+                .collect(),
+            next_event: self.next_event_time(),
         }
     }
 
@@ -1141,6 +1225,9 @@ impl<'p> Core<'p> {
             let pending = !self.window[tag].value_available();
             let th = &mut self.threads[tid];
             th.last_writer[dst.index()] = Some((tag, uid));
+            if !f.wrong_path {
+                th.last_write_seq[dst.index()] = seq + 1;
+            }
             let bit = 1u32 << dst.index();
             if pending {
                 th.writer_pending |= bit;
@@ -1606,6 +1693,44 @@ impl<'p> Core<'p> {
         self.due = due;
     }
 
+    /// Detects the Fig 8 *monitoring gap* at an arming load's writeback:
+    /// the RMT/AMT are populated here, out of order, so a younger µop that
+    /// renamed a write to one of the load's address registers — or a
+    /// younger store whose resolved address overlaps the load's bytes —
+    /// escaped the monitors entirely. Arming anyway would let the entry
+    /// serve this instance's (addr, value) after its inputs moved, which is
+    /// exactly the §8.5 divergence seen under ELAR and very deep windows.
+    /// RSP is exempt from the register check: eliminations re-validate the
+    /// rename-time stack view (`StackState`) on every lookup. Cold path —
+    /// runs only on arming attempts, never on plain trains or eliminations.
+    fn arm_monitor_gap(&self, tid: usize, tag: Tag, seq: u64) -> bool {
+        let th = &self.threads[tid];
+        let u = &self.window[tag];
+        let Some(mem) = th.program.inst(u.sidx).mem_ref() else {
+            return false;
+        };
+        for reg in mem.addr_regs() {
+            if reg != ArchReg::RSP && th.last_write_seq[reg.index()] > seq + 1 {
+                return true;
+            }
+        }
+        // In-order retirement keeps every younger store in the ring while
+        // this load is still in flight, so the scan is complete.
+        for &stag in &th.stores {
+            let s = &self.window[stag];
+            if s.valid
+                && s.is_store
+                && !s.wrong_path
+                && s.seq > seq
+                && s.addr_known
+                && u.mem_overlaps(s.addr, s.size)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
     fn complete_one(&mut self, tag: Tag) {
         self.issue_quiescent = false;
         self.cycle_work = true;
@@ -1727,16 +1852,30 @@ impl<'p> Core<'p> {
                 )
             };
             // Constable writeback: train confidence; arm likely-stable loads
-            // (Fig 8 steps 4–6).
+            // (Fig 8 steps 4–6). Arming installs the RMT/AMT monitors *now*,
+            // so anything younger that already renamed (register writers) or
+            // resolved an address (stores) slipped past them: train but do
+            // not arm when such a µop exists, or the entry would serve this
+            // instance's (addr, value) after state it never monitored moved.
             if !eliminated {
+                let arm_ok = !likely_stable || !self.arm_monitor_gap(tid, tag, seq);
+                if !arm_ok {
+                    self.stats.arm_guard_blocked += 1;
+                }
                 if let Some(c) = &mut self.cons {
                     let u = &self.window[tag];
                     let inst = self.threads[tid].program.inst(u.sidx);
                     if let Some(mem) = inst.mem_ref() {
                         let stack = u.stack_after;
                         let (paddr, pc_t) = (u.addr, u.pc);
-                        let pin =
-                            c.on_load_writeback(pc_t, mem, paddr, result, likely_stable, stack);
+                        let pin = c.on_load_writeback(
+                            pc_t,
+                            mem,
+                            paddr,
+                            result,
+                            likely_stable && arm_ok,
+                            stack,
+                        );
                         if pin {
                             self.stats.cv_pins += 1;
                         }
@@ -1854,15 +1993,17 @@ impl<'p> Core<'p> {
             .map(|&t| self.window[t].stack_after)
             .unwrap_or(th.stack_retired);
         th.last_writer = [None; 32];
+        th.last_write_seq = [0; 32];
         th.writer_pending = 0;
         for i in 0..self.threads[tid].rob.len() {
             let t = self.threads[tid].rob[i];
             let u = &self.window[t];
             if let Some(dst) = u.dst {
                 let pending = !u.value_available();
-                let (uid, bit) = (u.uid, 1u32 << dst.index());
+                let (uid, bit, wseq) = (u.uid, 1u32 << dst.index(), u.seq + 1);
                 let th = &mut self.threads[tid];
                 th.last_writer[dst.index()] = Some((t, uid));
+                th.last_write_seq[dst.index()] = wseq;
                 if pending {
                     th.writer_pending |= bit;
                 } else {
@@ -1899,6 +2040,16 @@ impl<'p> Core<'p> {
     // ---------------------------------------------------------------- retire
 
     fn retire_phase(&mut self) {
+        // Chaos/watchdog-test knob: stop retiring once the wedge point is
+        // reached — the frontend and backend keep running until they starve
+        // behind the frozen ROB head, deterministically wedging the run.
+        if self
+            .cfg
+            .wedge_after_retire
+            .is_some_and(|w| self.stats.retired >= w)
+        {
+            return;
+        }
         let mut budget = self.cfg.retire_width;
         let nthreads = self.threads.len();
         let tmask = nthreads - 1;
@@ -1926,6 +2077,7 @@ impl<'p> Core<'p> {
     fn retire_one(&mut self, tid: usize, tag: Tag) {
         self.issue_quiescent = false;
         self.cycle_work = true;
+        self.last_retire_cycle = self.now;
         let u = {
             let w = &self.window[tag];
             debug_assert!(!w.wrong_path, "wrong-path µop reached retirement");
@@ -2012,11 +2164,21 @@ impl<'p> Core<'p> {
             let expect_addr = self.threads[tid].tag_addr(acc.addr);
             if u.addr != expect_addr || u.result != acc.value {
                 self.stats.golden_mismatches += 1;
-                debug_assert!(
-                    false,
-                    "golden check failed at pc={:#x}: addr {:#x} vs {:#x}, value {:#x} vs {:#x}",
-                    u.pc, u.addr, expect_addr, u.result, acc.value
-                );
+                // Cold path: forensics of the first divergence only; the
+                // harness surfaces it through `SimResult::verify`.
+                if self.first_mismatch.is_none() {
+                    self.first_mismatch = Some(crate::fault::GoldenMismatch {
+                        thread: tid,
+                        seq: u.seq,
+                        pc: u.pc,
+                        addr: u.addr,
+                        expect_addr,
+                        value: u.result,
+                        expect_value: acc.value,
+                        eliminated: u.eliminated,
+                        cycle: self.now,
+                    });
+                }
             }
             self.stats.retired_loads += 1;
             if u.eliminated {

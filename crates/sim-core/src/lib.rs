@@ -18,6 +18,7 @@
 
 mod config;
 mod core;
+mod fault;
 mod hash;
 mod pctab;
 mod sched;
@@ -27,6 +28,7 @@ mod uop;
 
 pub use crate::core::{Core, SimResult};
 pub use config::CoreConfig;
+pub use fault::{FrozenSnapshot, GoldenMismatch, SimError};
 pub use hash::FastHashMap;
 pub use sched::SimScratch;
 pub use sim_mem::TraceDigest;

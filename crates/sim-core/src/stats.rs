@@ -47,6 +47,10 @@ pub struct CoreStats {
     pub rename_stalls_sld_write: u64,
     pub sld_updates_per_cycle: Histogram,
     pub cv_pins: u64,
+    /// Arming requests suppressed by the writeback-time monitoring-gap
+    /// guard (a younger register writer or overlapping store slipped in
+    /// between the load's rename and its writeback).
+    pub arm_guard_blocked: u64,
 
     // Prior works (Fig 15).
     pub elar_resolved: u64,
@@ -111,6 +115,7 @@ impl Default for CoreStats {
             rename_stalls_sld_write: 0,
             sld_updates_per_cycle: Histogram::new(&[1, 2, 3, 4]),
             cv_pins: 0,
+            arm_guard_blocked: 0,
             elar_resolved: 0,
             rfp_address_hits: 0,
             ordering_violations: 0,

@@ -25,7 +25,7 @@
 //! See `crates/sim-core/tests/README.md` for the row format.
 
 use sim_core::{Core, CoreConfig, SimResult, TraceRecorder, TraceSummary};
-use sim_workload::{memory_stress, suite_subset, Program, WorkloadSpec};
+use sim_workload::{memory_stress, suite, suite_subset, Program, WorkloadSpec};
 
 const N: u64 = 15_000;
 const GOLDEN_PATH: &str = concat!(
@@ -120,6 +120,40 @@ fn matrix() -> Vec<Row> {
         "deep-window/w0",
         w0,
         CoreConfig::golden_cove_like().with_depth_scale(2.0),
+    ));
+    // Regression rows for the two §8.5 divergences the arming-race guard
+    // fixed (ELAR's early address resolution and very deep windows both
+    // widen the rename→writeback monitoring gap), plus the same shapes on
+    // the generic w0 workload so the configurations stay locked even if
+    // the suite changes.
+    let full_suite = suite();
+    let by_name = |name: &str| {
+        full_suite
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from suite"))
+    };
+    let mut elar_cons = CoreConfig::golden_cove_like().with_constable();
+    elar_cons.elar = true;
+    rows.push(row(
+        "elar+constable/sap-sd.t1",
+        by_name("sap-sd.t1"),
+        elar_cons.clone(),
+    ));
+    rows.push(row("elar+constable/w0", w0, elar_cons));
+    rows.push(row(
+        "deep-window-constable/520.omnetpp_r.t1",
+        by_name("520.omnetpp_r.t1"),
+        CoreConfig::golden_cove_like()
+            .with_constable()
+            .with_depth_scale(3.0),
+    ));
+    rows.push(row(
+        "deep-window-constable/w0",
+        w0,
+        CoreConfig::golden_cove_like()
+            .with_constable()
+            .with_depth_scale(2.0),
     ));
 
     for seed in [0xA110Cu64, 0xA110D] {

@@ -103,6 +103,7 @@ fn machine_kind_traces_match_goldens() {
         MachineKind::Baseline,
         MachineKind::Constable,
         MachineKind::EvesConstable,
+        MachineKind::Elar,
         MachineKind::ElarConstable,
         MachineKind::RfpConstable,
         MachineKind::ConstableAmtI,
@@ -110,28 +111,44 @@ fn machine_kind_traces_match_goldens() {
         MachineKind::ConstableCorrectPathOnly,
     ];
     let specs = suite_subset(2);
-    let mut computed = Vec::new();
+    // Every machine kind, plus the deep-window Constable shape — the §8.5
+    // arming-race regression surface (the rename→writeback monitoring gap
+    // widens with window depth).
+    let mut cells: Vec<(String, constable_repro::sim_core::CoreConfig)> = Vec::new();
     for kind in kinds {
+        let prefix = kind.label().replace(' ', "_").replace(['(', ')'], "");
         for spec in &specs {
-            let program = spec.build();
-            let mut core = Core::new(&program, kind.config(Default::default()));
-            core.attach_tracer(TraceRecorder::new());
-            let r = core.run(12_000);
-            let trace = core.take_trace().expect("tracer attached");
-            assert!(!r.hit_cycle_guard);
-            assert_eq!(r.stats.golden_mismatches, 0);
-            let name = format!(
-                "{}/{}",
-                kind.label().replace(' ', "_").replace(['(', ')'], ""),
-                spec.name
-            );
-            let line = format!(
-                "{} stats:{:#018x}",
-                trace.golden_line(&name),
-                r.stats_digest()
-            );
-            computed.push((name, line));
+            cells.push((
+                format!("{}/{}", prefix, spec.name),
+                kind.config(Default::default()),
+            ));
         }
+    }
+    for spec in &specs {
+        cells.push((
+            format!("deep-window-Constable/{}", spec.name),
+            MachineKind::Constable
+                .config(Default::default())
+                .with_depth_scale(3.0),
+        ));
+    }
+    let mut computed = Vec::new();
+    for (name, cfg) in cells {
+        let spec_name = name.split('/').nth(1).expect("cell name");
+        let spec = specs.iter().find(|s| s.name == spec_name).expect("spec");
+        let program = spec.build();
+        let mut core = Core::new(&program, cfg);
+        core.attach_tracer(TraceRecorder::new());
+        let r = core.run(12_000);
+        let trace = core.take_trace().expect("tracer attached");
+        assert!(!r.hit_cycle_guard);
+        assert_eq!(r.stats.golden_mismatches, 0);
+        let line = format!(
+            "{} stats:{:#018x}",
+            trace.golden_line(&name),
+            r.stats_digest()
+        );
+        computed.push((name, line));
     }
     if std::env::var_os("SIM_TRACE_BLESS").is_some() {
         let mut out = String::from(
