@@ -68,6 +68,49 @@ if [[ "${1:-}" != "--fast" ]]; then
         exit 1
     fi
 
+    # Persistent-store smoke: a cold run populates the store (exit 0), then
+    # a *second process* must answer every memoizable cell from disk (zero
+    # misses) with byte-identical figure text.
+    step "store smoke (cold populate, warm cross-process replay)"
+    store_dir=$(mktemp -d "${TMPDIR:-/tmp}/constable-store-ci.XXXXXX")
+    trap 'rm -rf "$store_dir"' EXIT
+    cargo run -q --release -p experiments -- \
+        --all --quick --subset 3 --store-dir "$store_dir" >"$store_dir/cold.txt"
+    warm_err=$(cargo run -q --release -p experiments -- \
+        --all --quick --subset 3 --store-dir "$store_dir" 2>&1 >"$store_dir/warm.txt")
+    if ! grep -q " 0 misses," <<<"$warm_err"; then
+        echo "FAIL: warm store run recomputed cells (store summary: $warm_err)" >&2
+        exit 1
+    fi
+    if ! cmp -s "$store_dir/cold.txt" "$store_dir/warm.txt"; then
+        echo "FAIL: warm store run produced different figure text" >&2
+        exit 1
+    fi
+
+    # I/O-chaos smoke: a cold run under seeded storage-fault injection
+    # (torn writes, bit flips, journal truncation) leaves damaged records;
+    # the warm run must detect every one, list it in the quarantine table
+    # as chaos-injected, and exit nonzero — while still completing every
+    # figure. The store recovery machinery's end-to-end self-test.
+    step "store smoke (io-chaos corruption + recovery)"
+    iochaos_dir=$(mktemp -d "${TMPDIR:-/tmp}/constable-iochaos-ci.XXXXXX")
+    trap 'rm -rf "$store_dir" "$iochaos_dir"' EXIT
+    cargo run -q --release -p experiments -- \
+        --all --quick --subset 3 --store-dir "$iochaos_dir" --io-chaos 42 >/dev/null
+    if iochaos_out=$(cargo run -q --release -p experiments -- \
+        --all --quick --subset 3 --store-dir "$iochaos_dir" --io-chaos 42 2>/dev/null); then
+        echo "FAIL: warm io-chaos run exited 0 — storage injection or detection is broken" >&2
+        exit 1
+    fi
+    if ! grep -q "store-.*chaos-injected\|chaos-injected.*store-" <<<"$iochaos_out"; then
+        echo "FAIL: io-chaos quarantine table lacks injected store defects" >&2
+        exit 1
+    fi
+    if ! grep -q "================ verify ================" <<<"$iochaos_out"; then
+        echo "FAIL: io-chaos sweep did not complete every figure" >&2
+        exit 1
+    fi
+
     # Golden freshness: re-running the bless generators must leave the
     # committed golden files byte-identical. The normal test run already
     # fails on digest mismatches; this additionally catches a stale or

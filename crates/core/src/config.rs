@@ -69,6 +69,65 @@ impl ConstableConfig {
         }
     }
 
+    /// Appends the stable on-disk key encoding of every field to `out`
+    /// (little-endian, declaration order) — part of the result-store key
+    /// format, which must survive process restarts and rebuilds, unlike
+    /// `Hash`-based fingerprints. The destructuring is deliberately
+    /// exhaustive: adding a field breaks this function at compile time,
+    /// forcing the new field into the encoding (and a
+    /// `result_store::KEY_FORMAT_VERSION` bump, enforced by the key-format
+    /// guard test in `result-store`).
+    pub fn stable_encode(&self, out: &mut Vec<u8>) {
+        let ConstableConfig {
+            sld_sets,
+            sld_ways,
+            confidence_threshold,
+            confidence_max,
+            sld_read_ports,
+            sld_write_ports,
+            rmt_stack_depth,
+            rmt_other_depth,
+            amt_sets,
+            amt_ways,
+            amt_pcs_per_entry,
+            amt_full_address,
+            amt_invalidate_on_l1_evict,
+            xprf_entries,
+            mode_filter,
+            wrong_path_updates,
+        } = self;
+        for v in [
+            *sld_sets as u64,
+            *sld_ways as u64,
+            u64::from(*confidence_threshold),
+            u64::from(*confidence_max),
+            u64::from(*sld_read_ports),
+            u64::from(*sld_write_ports),
+            *rmt_stack_depth as u64,
+            *rmt_other_depth as u64,
+            *amt_sets as u64,
+            *amt_ways as u64,
+            *amt_pcs_per_entry as u64,
+            u64::from(*amt_full_address),
+            u64::from(*amt_invalidate_on_l1_evict),
+            *xprf_entries as u64,
+            // Addressing modes encoded by paper presentation order, 0 = no
+            // filter.
+            match mode_filter {
+                None => 0,
+                Some(m) => {
+                    1 + AddrMode::ALL
+                        .iter()
+                        .position(|x| x == m)
+                        .expect("known mode") as u64
+                }
+            },
+            u64::from(*wrong_path_updates),
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
     /// Total SLD entries.
     pub fn sld_entries(&self) -> usize {
         self.sld_sets * self.sld_ways
@@ -97,5 +156,26 @@ mod tests {
         assert_eq!(c.amt_entries(), 256);
         assert_eq!(c.confidence_threshold, 30);
         assert_eq!(c.xprf_entries, 32);
+    }
+
+    #[test]
+    fn stable_encoding_separates_fields_and_is_deterministic() {
+        let enc = |c: &ConstableConfig| {
+            let mut v = Vec::new();
+            c.stable_encode(&mut v);
+            v
+        };
+        let a = ConstableConfig::paper();
+        assert_eq!(enc(&a), enc(&a.clone()));
+        let b = ConstableConfig {
+            mode_filter: Some(AddrMode::StackRelative),
+            ..ConstableConfig::paper()
+        };
+        let c = ConstableConfig {
+            mode_filter: Some(AddrMode::RegRelative),
+            ..ConstableConfig::paper()
+        };
+        assert_ne!(enc(&a), enc(&b));
+        assert_ne!(enc(&b), enc(&c));
     }
 }

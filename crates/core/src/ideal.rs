@@ -35,6 +35,15 @@ impl IdealOracle {
     pub fn is_empty(&self) -> bool {
         self.stable.is_empty()
     }
+
+    /// The PC set in sorted order — the canonical form used wherever the
+    /// oracle must encode identically regardless of insertion order (the
+    /// `Hash` impl below, and the result store's stable key encoding).
+    pub fn sorted_pcs(&self) -> Vec<u64> {
+        let mut pcs: Vec<u64> = self.stable.iter().copied().collect();
+        pcs.sort_unstable();
+        pcs
+    }
 }
 
 /// Content hash, independent of the set's internal iteration order, so two
@@ -42,8 +51,7 @@ impl IdealOracle {
 /// `CoreConfig::fingerprint` (run-memoization keys in the sweep harness).
 impl std::hash::Hash for IdealOracle {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        let mut pcs: Vec<u64> = self.stable.iter().copied().collect();
-        pcs.sort_unstable();
+        let pcs = self.sorted_pcs();
         state.write_usize(pcs.len());
         for pc in pcs {
             state.write_u64(pc);
@@ -64,6 +72,19 @@ pub enum IdealConfig {
     DoubleLoadWidth,
     /// Eliminate both address generation and data fetch (the full headroom).
     IdealConstable,
+}
+
+impl IdealConfig {
+    /// Stable one-byte code for the result store's key encoding (explicit
+    /// match, never the compiler-assigned discriminant).
+    pub fn stable_code(self) -> u8 {
+        match self {
+            IdealConfig::IdealStableLvp => 1,
+            IdealConfig::IdealStableLvpNoFetch => 2,
+            IdealConfig::DoubleLoadWidth => 3,
+            IdealConfig::IdealConstable => 4,
+        }
+    }
 }
 
 #[cfg(test)]

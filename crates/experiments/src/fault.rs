@@ -62,6 +62,43 @@ impl CellFailure {
         )
     }
 
+    /// Builds the bundle for a persistent-store defect discovered while
+    /// answering (or failing to answer) this cell from disk: the damaged
+    /// record is already quarantined inside the store; this entry carries
+    /// its forensics (defect class, file, offset, expected/actual
+    /// checksum) into the end-of-run quarantine table. The cell itself
+    /// recomputes as a miss — store damage never costs correctness.
+    pub fn from_store_defect(
+        defect: &result_store::StoreDefect,
+        workload: &str,
+        fingerprint: u64,
+        n: RunLength,
+    ) -> Self {
+        Self::build(
+            workload,
+            fingerprint,
+            n,
+            defect.kind.slug(),
+            defect.detail(),
+            defect.injected,
+        )
+    }
+
+    /// Builds the bundle for a store that could not be opened at all
+    /// (unreadable directory, lock timeout): the sweep runs store-less,
+    /// and the environmental failure still lands in the quarantine table.
+    pub fn from_store_error(dir: &str, detail: String) -> Self {
+        CellFailure {
+            workload: "(store)".to_string(),
+            machine: dir.to_string(),
+            fingerprint: 0,
+            kind: "store-io",
+            detail,
+            injected: false,
+            repro: None,
+        }
+    }
+
     /// Builds the bundle for a job that panicked on its pool worker.
     pub fn from_panic(
         workload: &str,

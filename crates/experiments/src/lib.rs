@@ -48,12 +48,14 @@ pub mod chaos;
 pub mod configs;
 pub mod fault;
 pub mod figures;
+pub mod persist;
 pub mod runner;
 pub mod sweep;
 
 pub use chaos::{ChaosFault, ChaosPlan};
 pub use configs::MachineKind;
 pub use fault::{CellFailure, CellOutcome};
+pub use persist::{decode_outcome, encode_outcome, store_key, PAYLOAD_VERSION};
 pub use runner::{run_one, run_suite, run_suite_smt2, RunLength, RunOutcome, WATCHDOG_BUDGET};
 pub use sweep::{SweepPool, SweepSession};
 

@@ -14,6 +14,17 @@
 //! per-figure suites. Pass `--uncached` to bypass the session caches (the
 //! pre-memoization behavior, useful for A/B timing).
 //!
+//! ## Persistent store
+//!
+//! `--store-dir <path>` (or `SIM_STORE=<path>`) attaches a crash-safe
+//! on-disk result store: memoizable cells are answered from disk across
+//! processes, keyed by a stable versioned encoding of (workload
+//! parameters, full config, run length) and verified by checksum + stats
+//! digest on every hit. Store damage quarantines (with forensics) and
+//! recomputes — it never corrupts a figure. `--io-chaos <seed>` (or
+//! `SIM_IO_CHAOS=<seed>`) layers deterministic storage-fault injection
+//! (torn writes, bit flips, journal truncation, lock contention) on top.
+//!
 //! ## Fault isolation
 //!
 //! A failing cell (golden mismatch, cycle-guard overrun, watchdog abort,
@@ -45,6 +56,10 @@ fn main() {
     let mut uncached = false;
     let mut keep_going: Option<bool> = None;
     let mut chaos = ChaosPlan::from_env();
+    let mut store_dir: Option<String> = std::env::var("SIM_STORE").ok().filter(|s| !s.is_empty());
+    let mut io_chaos: Option<u64> = std::env::var("SIM_IO_CHAOS")
+        .ok()
+        .and_then(|s| s.parse().ok());
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +67,22 @@ fn main() {
             "--uncached" => uncached = true,
             "--keep-going" => keep_going = Some(true),
             "--fail-fast" => keep_going = Some(false),
+            "--store-dir" => {
+                i += 1;
+                store_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .expect("--store-dir requires a directory path"),
+                );
+            }
+            "--io-chaos" => {
+                i += 1;
+                io_chaos = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--io-chaos requires a u64 seed"),
+                );
+            }
             "--subset" => {
                 i += 1;
                 subset = Some(
@@ -82,7 +113,7 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments -- <figure-id>|all [--quick] [--subset N] [--uncached] \
-             [--keep-going|--fail-fast] [--chaos <seed>]"
+             [--keep-going|--fail-fast] [--chaos <seed>] [--store-dir <path>] [--io-chaos <seed>]"
         );
         eprintln!("       experiments -- cell <workload> <machine-slug> [--depth-scale X] [--quick|--len N]");
         eprintln!("known figure ids: {FIGURES:?}");
@@ -93,6 +124,14 @@ fn main() {
     let keep_going = keep_going.unwrap_or(ids.len() > 1);
     if chaos.is_some() && uncached {
         eprintln!("--chaos requires the cached (pooled) session; drop --uncached");
+        std::process::exit(2);
+    }
+    if store_dir.is_some() && uncached {
+        eprintln!("--store-dir requires the cached (pooled) session; drop --uncached");
+        std::process::exit(2);
+    }
+    if io_chaos.is_some() && store_dir.is_none() {
+        eprintln!("--io-chaos injects storage faults; it requires --store-dir (or SIM_STORE)");
         std::process::exit(2);
     }
     let specs = match subset {
@@ -107,6 +146,29 @@ fn main() {
     if let Some(plan) = chaos {
         eprintln!("[chaos mode: seed {}]", plan.seed());
         session = session.with_chaos(plan);
+    }
+    if let Some(dir) = &store_dir {
+        let plan = io_chaos.map(result_store::IoChaosPlan::new);
+        if let Some(p) = &plan {
+            eprintln!("[io-chaos mode: seed {}]", p.seed());
+        }
+        match result_store::ResultStore::open(std::path::Path::new(dir), plan) {
+            Ok(store) => {
+                eprintln!("[store: {dir} ({} record(s))]", store.len());
+                session = session.with_store(store);
+            }
+            Err(e) => {
+                // An unusable store directory degrades to a store-less
+                // sweep (results stay correct) but still lands in the
+                // quarantine table — silent non-persistence would defeat
+                // the point of asking for a store.
+                eprintln!("[store: {dir} unusable: {e}]");
+                session.record_store_failure(&experiments::CellFailure::from_store_error(
+                    dir,
+                    e.to_string(),
+                ));
+            }
+        }
     }
     let sweep_started = std::time::Instant::now();
     let mut quarantined_figures = 0usize;
@@ -134,6 +196,13 @@ fn main() {
         sweep_started.elapsed().as_secs_f64(),
         if uncached { ", uncached" } else { "" }
     );
+    session.finish_store();
+    if let Some(stats) = session.store_stats() {
+        eprintln!(
+            "[store: {} hits, {} misses, {} writes, {} quarantined]",
+            stats.hits, stats.misses, stats.writes, stats.quarantined
+        );
+    }
     let failures = session.failures();
     if failures.is_empty() {
         return; // exit 0: every cell clean
@@ -215,7 +284,9 @@ fn run_cell(args: &[String]) -> i32 {
     };
     // An SMT2 pair cell is named "a+b"; a single workload runs one thread.
     let names: Vec<&str> = workload.split('+').collect();
-    let programs: Vec<_> = names.iter().map(|&name| by_name(name).build()).collect();
+    let cell_specs: Vec<&sim_workload::WorkloadSpec> =
+        names.iter().map(|&name| by_name(name)).collect();
+    let programs: Vec<_> = cell_specs.iter().map(|s| s.build()).collect();
     let oracle = if kind.needs_oracle() {
         let report = load_inspector::analyze(&programs[0], n.0);
         constable::IdealOracle::new(report.stable_pcs.iter().copied())
@@ -226,10 +297,21 @@ fn run_cell(args: &[String]) -> i32 {
     if depth != 1.0 {
         cfg = cfg.with_depth_scale(depth);
     }
+    // Fingerprint and store key both describe the *logical* cell config,
+    // before the watchdog knob below (harness instrumentation, not
+    // machine identity).
     let fingerprint = cfg.fingerprint();
+    let store_key = experiments::store_key(&cell_specs, &cfg, n);
     cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
     println!("cell: {workload} on {} (depth-scale {depth})", kind.slug());
     println!("config fingerprint: {fingerprint:#018x}");
+    println!(
+        "store key: {:#018x} (format v{}, {} bytes; object {})",
+        store_key.hash(),
+        result_store::KEY_FORMAT_VERSION,
+        store_key.bytes().len(),
+        store_key.object_name()
+    );
     let per_thread = if programs.len() > 1 { n.0 / 2 } else { n.0 };
     let mut core = Core::new_multi(programs.iter().collect(), cfg);
     if programs.len() == 1 {
@@ -249,6 +331,10 @@ fn run_cell(args: &[String]) -> i32 {
         result.stats.cycles,
         result.ipc(),
         result.stats.retired_loads
+    );
+    println!(
+        "elimination: {} eliminated, {} violations, arm_guard_blocked {}",
+        result.stats.loads_eliminated, result.stats.elim_violations, result.stats.arm_guard_blocked
     );
     match result.verify() {
         Ok(()) => {

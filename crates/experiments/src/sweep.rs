@@ -30,9 +30,11 @@
 use crate::chaos::{ChaosFault, ChaosPlan};
 use crate::configs::MachineKind;
 use crate::fault::{CellFailure, CellOutcome};
+use crate::persist;
 use crate::runner::{self, RunLength, RunOutcome, WATCHDOG_BUDGET};
 use constable::IdealOracle;
 use load_inspector::LoadReport;
+use result_store::{GetOutcome, ResultStore, StoreDefectKind, StoreStats};
 use sim_core::{Core, CoreConfig, SimScratch};
 use sim_workload::{Category, Program, WorkloadSpec};
 use std::collections::HashMap;
@@ -205,6 +207,12 @@ pub struct SweepSession<'s> {
     cache: Option<SweepCache>,
     /// Deterministic fault injection schedule (chaos mode), if enabled.
     chaos: Option<ChaosPlan>,
+    /// Persistent on-disk result store, if attached: memoizable cells are
+    /// answered from disk (after checksum + digest verification) before
+    /// any pool time is spent, and freshly computed clean cells are
+    /// written back. Store damage quarantines and recomputes — it never
+    /// fails a figure.
+    store: Mutex<Option<ResultStore>>,
     /// Every quarantined cell of this session, in discovery order — the
     /// source of the binary's final quarantine table.
     failures: Mutex<Vec<CellFailure>>,
@@ -225,6 +233,7 @@ impl<'s> SweepSession<'s> {
                 smt2: Mutex::new(HashMap::new()),
             }),
             chaos: None,
+            store: Mutex::new(None),
             failures: Mutex::new(Vec::new()),
         }
     }
@@ -239,6 +248,7 @@ impl<'s> SweepSession<'s> {
             n,
             cache: None,
             chaos: None,
+            store: Mutex::new(None),
             failures: Mutex::new(Vec::new()),
         }
     }
@@ -258,6 +268,137 @@ impl<'s> SweepSession<'s> {
     /// The chaos plan, if this session injects faults.
     pub fn chaos(&self) -> Option<ChaosPlan> {
         self.chaos
+    }
+
+    /// Attaches a persistent result store. Cached sessions only — the
+    /// uncached reference path stays a faithful replay of the pre-sweep
+    /// harness. Defects the store found while opening (a torn journal
+    /// tail) land in the quarantine registry immediately.
+    pub fn with_store(self, mut store: ResultStore) -> Self {
+        assert!(
+            self.cache.is_some(),
+            "the result store requires the cached (pooled) session"
+        );
+        for defect in store.take_open_defects() {
+            self.record_failure(&CellFailure::from_store_defect(
+                &defect, "(store)", 0, self.n,
+            ));
+        }
+        *self.store.lock().expect("store lock") = Some(store);
+        self
+    }
+
+    /// The store's hit/miss/write/quarantine counters, if one is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store
+            .lock()
+            .expect("store lock")
+            .as_ref()
+            .map(ResultStore::stats)
+    }
+
+    /// Records an externally detected store failure (e.g. the store
+    /// directory could not be opened) in the quarantine registry.
+    pub fn record_store_failure(&self, failure: &CellFailure) {
+        self.record_failure(failure);
+    }
+
+    /// Applies end-of-run store chaos (journal-tail truncation), if an
+    /// I/O chaos plan scheduled it. Called by the binary after the last
+    /// figure so the *next* open exercises replay recovery.
+    pub fn finish_store(&self) {
+        if let Some(store) = self.store.lock().expect("store lock").as_mut() {
+            if let Err(e) = store.apply_close_chaos() {
+                eprintln!("[store: close-time chaos injection failed: {e}]");
+            }
+        }
+    }
+
+    /// Tries to answer one cell from the store. A verified hit returns the
+    /// decoded outcome; damage (checksum mismatch, torn record, version
+    /// skew, digest disagreement) is quarantined inside the store, filed
+    /// in the failure registry with forensics, and answered `None` so the
+    /// cell recomputes.
+    fn store_lookup(
+        &self,
+        store: &mut ResultStore,
+        specs: &[&WorkloadSpec],
+        cfg: &CoreConfig,
+        fp: u64,
+    ) -> Option<RunOutcome> {
+        let key = persist::store_key(specs, cfg, self.n);
+        let name = specs
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        match store.get(&key) {
+            GetOutcome::Hit {
+                payload,
+                stats_digest,
+            } => match persist::decode_outcome(&payload) {
+                Ok(outcome) => {
+                    let actual = outcome.result.stats_digest();
+                    if actual == stats_digest && outcome.workload == name {
+                        return Some(outcome);
+                    }
+                    // The payload passed its checksum but decodes to a
+                    // different run (or workload) than the header promised.
+                    let defect = store.quarantine(
+                        &key,
+                        StoreDefectKind::DigestMismatch,
+                        stats_digest,
+                        actual,
+                    );
+                    self.record_failure(&CellFailure::from_store_defect(
+                        &defect, &name, fp, self.n,
+                    ));
+                    None
+                }
+                Err(persist::PayloadError::Version { found }) => {
+                    let defect = store.quarantine(
+                        &key,
+                        StoreDefectKind::VersionSkew,
+                        u64::from(persist::PAYLOAD_VERSION),
+                        u64::from(found),
+                    );
+                    self.record_failure(&CellFailure::from_store_defect(
+                        &defect, &name, fp, self.n,
+                    ));
+                    None
+                }
+                Err(persist::PayloadError::Malformed(_)) => {
+                    let defect = store.quarantine(&key, StoreDefectKind::Corrupt, 0, 0);
+                    self.record_failure(&CellFailure::from_store_defect(
+                        &defect, &name, fp, self.n,
+                    ));
+                    None
+                }
+            },
+            GetOutcome::Miss => None,
+            GetOutcome::Defect(defect) => {
+                self.record_failure(&CellFailure::from_store_defect(&defect, &name, fp, self.n));
+                None
+            }
+        }
+    }
+
+    /// Writes one freshly computed, verified-clean cell back to the store.
+    /// Write failures are reported but never fail the cell — the result is
+    /// already in the in-process memo.
+    fn store_put(
+        &self,
+        store: &mut ResultStore,
+        specs: &[&WorkloadSpec],
+        cfg: &CoreConfig,
+        outcome: &RunOutcome,
+    ) {
+        let key = persist::store_key(specs, cfg, self.n);
+        let payload = persist::encode_outcome(outcome);
+        let digest = outcome.result.stats_digest();
+        if let Err(e) = store.put(&key, &payload, digest) {
+            eprintln!("[store: write failed for {}: {e}]", outcome.workload);
+        }
     }
 
     /// Every cell quarantined so far, in discovery order.
@@ -579,6 +720,25 @@ impl<'s> SweepSession<'s> {
                 }
             }
         }
+        // Answer store-resident cells before spending pool time: a
+        // verified hit goes straight into the outcome memo; a damaged
+        // record quarantines (with forensics in the failure registry) and
+        // falls through to recompute.
+        if !missing.is_empty() {
+            let mut guard = self.store.lock().expect("store lock");
+            if let Some(store) = guard.as_mut() {
+                let mut done = cache.outcomes.lock().expect("outcomes lock");
+                missing.retain(|((i, fp), cfg)| {
+                    match self.store_lookup(store, &[&self.specs[*i]], cfg, *fp) {
+                        Some(outcome) => {
+                            done.entry((*i, *fp)).or_insert(Ok(outcome));
+                            false
+                        }
+                        None => true,
+                    }
+                });
+            }
+        }
         if !missing.is_empty() {
             let n = self.n;
             let jobs: Vec<BatchJob<CellOutcome>> = missing
@@ -598,7 +758,8 @@ impl<'s> SweepSession<'s> {
                 .collect();
             let outcomes = cache.pool.run_batch_guarded(jobs);
             let mut done = cache.outcomes.lock().expect("outcomes lock");
-            for ((key, _), outcome) in missing.into_iter().zip(outcomes) {
+            let mut store_guard = self.store.lock().expect("store lock");
+            for ((key, cfg), outcome) in missing.into_iter().zip(outcomes) {
                 let (i, fp) = key;
                 let cell = outcome.unwrap_or_else(|payload| {
                     // The job panicked on its worker: wrap the payload in a
@@ -612,6 +773,11 @@ impl<'s> SweepSession<'s> {
                 });
                 if let Err(f) = &cell {
                     self.record_failure(f);
+                }
+                // Persist freshly computed clean cells (the store only
+                // ever holds verified-Ok outcomes).
+                if let (Ok(run), Some(store)) = (&cell, store_guard.as_mut()) {
+                    self.store_put(store, &[&self.specs[i]], &cfg, run);
                 }
                 done.entry(key).or_insert(cell);
             }
@@ -644,13 +810,32 @@ impl<'s> SweepSession<'s> {
         let keys: Vec<(usize, usize, u64)> = (0..half)
             .map(|i| (i, i + half, mk(&self.specs[i]).fingerprint()))
             .collect();
-        let missing: Vec<(usize, usize, u64)> = {
+        let mut missing: Vec<(usize, usize, u64)> = {
             let done = cache.smt2.lock().expect("smt2 lock");
             keys.iter()
                 .filter(|k| !done.contains_key(k))
                 .copied()
                 .collect()
         };
+        // Store-resident pairs answer from disk exactly like single-thread
+        // cells: the key covers both specs and the pair config.
+        if !missing.is_empty() {
+            let mut guard = self.store.lock().expect("store lock");
+            if let Some(store) = guard.as_mut() {
+                let mut done = cache.smt2.lock().expect("smt2 lock");
+                missing.retain(|&(i, j, fp)| {
+                    let cfg = mk(&self.specs[i]);
+                    let pair = [&self.specs[i], &self.specs[j]];
+                    match self.store_lookup(store, &pair, &cfg, fp) {
+                        Some(outcome) => {
+                            done.entry((i, j, fp)).or_insert(Ok(outcome));
+                            false
+                        }
+                        None => true,
+                    }
+                });
+            }
+        }
         if !missing.is_empty() {
             let n = self.n;
             let jobs: Vec<BatchJob<CellOutcome>> = missing
@@ -694,6 +879,7 @@ impl<'s> SweepSession<'s> {
                 .collect();
             let outcomes = cache.pool.run_batch_guarded(jobs);
             let mut done = cache.smt2.lock().expect("smt2 lock");
+            let mut store_guard = self.store.lock().expect("store lock");
             for (key, outcome) in missing.into_iter().zip(outcomes) {
                 let (i, j, fp) = key;
                 let cell = outcome.unwrap_or_else(|payload| {
@@ -707,6 +893,10 @@ impl<'s> SweepSession<'s> {
                 });
                 if let Err(f) = &cell {
                     self.record_failure(f);
+                }
+                if let (Ok(run), Some(store)) = (&cell, store_guard.as_mut()) {
+                    let cfg = mk(&self.specs[i]);
+                    self.store_put(store, &[&self.specs[i], &self.specs[j]], &cfg, run);
                 }
                 done.entry(key).or_insert(cell);
             }

@@ -1,0 +1,209 @@
+//! End-to-end tests of the persistent result store, run against the real
+//! `experiments` binary so persistence is exercised **across processes**:
+//! the keys must survive process death, and a warm process must answer
+//! every memoizable cell from disk with byte-identical figure text.
+
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const FIGS: &[&str] = &["fig11", "fig14"];
+
+fn run(store: Option<&Path>, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    cmd.args(FIGS).args(["--quick", "--subset", "2"]);
+    if let Some(dir) = store {
+        cmd.arg("--store-dir").arg(dir);
+    }
+    cmd.args(extra);
+    // The binary also reads these from the environment; tests must not
+    // inherit a store from the invoking shell.
+    cmd.env_remove("SIM_STORE").env_remove("SIM_IO_CHAOS");
+    cmd.output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+/// The figure rows of a run: stdout up to the quarantine table (if any).
+fn figure_text(out: &Output) -> String {
+    let s = stdout(out);
+    match s.find("================ quarantine") {
+        Some(at) => s[..at].to_string(),
+        None => s,
+    }
+}
+
+fn store_counters(out: &Output) -> (u64, u64, u64, u64) {
+    // "[store: H hits, M misses, W writes, Q quarantined]"
+    let err = stderr(out);
+    let line = err
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("[store: ") && l.contains("hits"))
+        .unwrap_or_else(|| panic!("no store summary in stderr:\n{err}"));
+    let nums: Vec<u64> = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap())
+        .collect();
+    (nums[0], nums[1], nums[2], nums[3])
+}
+
+fn tmp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("constable-store-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_process_answers_every_cell_from_disk_bit_identically() {
+    let dir = tmp_store("persist");
+    let reference = run(None, &[]);
+    assert!(reference.status.success());
+
+    let cold = run(Some(&dir), &[]);
+    assert!(cold.status.success(), "cold run: {}", stderr(&cold));
+    let (hits, misses, writes, quarantined) = store_counters(&cold);
+    assert_eq!(hits, 0, "cold store cannot hit");
+    assert!(
+        misses > 0 && writes == misses,
+        "cold run populates every cell"
+    );
+    assert_eq!(quarantined, 0);
+
+    // A different process, a fresh binary invocation: every memoizable
+    // cell must come from the store, and the figure text must be
+    // byte-identical to both the cold run and the store-less reference.
+    let warm = run(Some(&dir), &[]);
+    assert!(warm.status.success(), "warm run: {}", stderr(&warm));
+    let (hits, misses, writes, _) = store_counters(&warm);
+    assert_eq!(misses, 0, "warm run must answer everything from the store");
+    assert_eq!(writes, 0);
+    assert!(hits > 0);
+    assert_eq!(
+        stdout(&warm),
+        stdout(&cold),
+        "figure text must not depend on the store"
+    );
+    assert_eq!(stdout(&warm), stdout(&reference));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_record_and_torn_journal_quarantine_with_forensics() {
+    let dir = tmp_store("corrupt");
+    let cold = run(Some(&dir), &[]);
+    assert!(cold.status.success(), "cold run: {}", stderr(&cold));
+
+    // Flip one payload bit in one record and tear the journal tail — the
+    // two damage classes the recovery machinery must classify separately.
+    let mut objects: Vec<PathBuf> = fs::read_dir(dir.join("objects"))
+        .expect("objects dir")
+        .map(|e| e.unwrap().path())
+        .collect();
+    objects.sort();
+    let victim = objects.first().expect("store has records");
+    let mut bytes = fs::read(victim).unwrap();
+    let n = bytes.len();
+    bytes[n - 9] ^= 0x04;
+    fs::write(victim, &bytes).unwrap();
+    let journal = dir.join("journal.log");
+    let jlen = fs::metadata(&journal).unwrap().len();
+    OpenOptions::new()
+        .write(true)
+        .open(&journal)
+        .unwrap()
+        .set_len(jlen - 7)
+        .unwrap();
+
+    let damaged = run(Some(&dir), &[]);
+    assert_eq!(
+        damaged.status.code(),
+        Some(2),
+        "store damage must exit 2 (quarantined), not fail figures"
+    );
+    let (_, _, _, quarantined) = store_counters(&damaged);
+    assert_eq!(quarantined, 1, "exactly the bit-flipped record quarantines");
+    let table = stdout(&damaged);
+    assert!(table.contains("store-corrupt"), "{table}");
+    assert!(table.contains("store-journal"), "{table}");
+    assert!(
+        table.contains("expected 0x") && table.contains("actual 0x"),
+        "forensics must carry the checksum pair: {table}"
+    );
+    // The damaged file moved aside with its name preserved.
+    assert!(dir
+        .join("quarantine")
+        .join(victim.file_name().unwrap())
+        .exists());
+
+    // Every figure row is still bit-identical: damage costs recomputes,
+    // never correctness.
+    assert_eq!(figure_text(&damaged), figure_text(&cold));
+
+    // The rerun healed the store (recomputed + rewrote the damaged cells):
+    // one more process answers clean again from disk.
+    let healed = run(Some(&dir), &[]);
+    assert!(healed.status.success(), "healed run: {}", stderr(&healed));
+    let (_, misses, _, _) = store_counters(&healed);
+    assert_eq!(misses, 0);
+    assert_eq!(stdout(&healed), stdout(&cold));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn io_chaos_injects_detects_and_marks_damage() {
+    let dir = tmp_store("iochaos");
+    let cold = run(Some(&dir), &["--io-chaos", "42"]);
+    assert!(
+        cold.status.success(),
+        "cold chaos run writes damage but reads nothing: {}",
+        stderr(&cold)
+    );
+
+    let warm = run(Some(&dir), &["--io-chaos", "42"]);
+    assert_eq!(
+        warm.status.code(),
+        Some(2),
+        "chaos-damaged records must surface as quarantined cells"
+    );
+    let (_, _, _, quarantined) = store_counters(&warm);
+    assert!(quarantined > 0);
+    let table = stdout(&warm);
+    assert!(
+        table.contains("chaos-injected"),
+        "the same seed must recognise its own injections: {table}"
+    );
+    // Undamaged cells still answer from the store; figure rows identical.
+    assert_eq!(figure_text(&warm), figure_text(&cold));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cell_subcommand_prints_a_cross_process_stable_store_key() {
+    let key_line = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["cell", "sysmark-chrome.t1", "constable", "--quick"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        stdout(&out)
+            .lines()
+            .find(|l| l.starts_with("store key:"))
+            .expect("cell prints its store key")
+            .to_string()
+    };
+    let a = key_line();
+    let b = key_line();
+    assert_eq!(a, b, "store key must be identical across processes");
+    assert!(a.contains("format v1"), "{a}");
+}

@@ -1,0 +1,364 @@
+//! Append-only, self-checking index journal.
+//!
+//! The journal is the store's index: one fixed-size entry per mutation,
+//! appended (with fsync) after the object write it describes has already
+//! landed atomically. Replay on open rebuilds the live index; a torn or
+//! corrupt tail is truncated away (the object files themselves are the
+//! ground truth and are re-verified on every hit), and the damage is
+//! reported so the harness can surface it as a quarantined defect.
+//!
+//! Entry layout (fixed [`ENTRY_LEN`] bytes, all words LE):
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  op (1 = Put, 2 = Delete)
+//!      1     8  key hash
+//!      9     8  payload checksum (0 for Delete)
+//!     17     8  stats digest     (0 for Delete)
+//!     25     8  entry checksum: FNV-1a over bytes 0..25
+//! ```
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use sim_mem::TraceDigest;
+
+/// Fixed size of one journal entry.
+pub const ENTRY_LEN: usize = 33;
+
+/// Journal file name inside the store root.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// What a journal entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOp {
+    /// An object for this key hash was written (or rewritten).
+    Put,
+    /// The object was removed (quarantined or invalidated).
+    Delete,
+}
+
+/// One replayed journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEntry {
+    pub op: JournalOp,
+    pub key_hash: u64,
+    pub payload_checksum: u64,
+    pub stats_digest: u64,
+}
+
+impl JournalEntry {
+    pub fn put(key_hash: u64, payload_checksum: u64, stats_digest: u64) -> Self {
+        JournalEntry {
+            op: JournalOp::Put,
+            key_hash,
+            payload_checksum,
+            stats_digest,
+        }
+    }
+
+    pub fn delete(key_hash: u64) -> Self {
+        JournalEntry {
+            op: JournalOp::Delete,
+            key_hash,
+            payload_checksum: 0,
+            stats_digest: 0,
+        }
+    }
+
+    fn encode(&self) -> [u8; ENTRY_LEN] {
+        let mut out = [0u8; ENTRY_LEN];
+        out[0] = match self.op {
+            JournalOp::Put => 1,
+            JournalOp::Delete => 2,
+        };
+        out[1..9].copy_from_slice(&self.key_hash.to_le_bytes());
+        out[9..17].copy_from_slice(&self.payload_checksum.to_le_bytes());
+        out[17..25].copy_from_slice(&self.stats_digest.to_le_bytes());
+        let checksum = TraceDigest::of_bytes(&out[..25]);
+        out[25..33].copy_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        debug_assert_eq!(bytes.len(), ENTRY_LEN);
+        let stored = u64::from_le_bytes(bytes[25..33].try_into().unwrap());
+        if stored != TraceDigest::of_bytes(&bytes[..25]) {
+            return None;
+        }
+        let op = match bytes[0] {
+            1 => JournalOp::Put,
+            2 => JournalOp::Delete,
+            _ => return None,
+        };
+        Some(JournalEntry {
+            op,
+            key_hash: u64::from_le_bytes(bytes[1..9].try_into().unwrap()),
+            payload_checksum: u64::from_le_bytes(bytes[9..17].try_into().unwrap()),
+            stats_digest: u64::from_le_bytes(bytes[17..25].try_into().unwrap()),
+        })
+    }
+}
+
+/// What replay found wrong with the journal tail, if anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailDamage {
+    /// Byte offset at which the journal was truncated back to health.
+    pub offset: u64,
+    /// Bytes discarded past that offset.
+    pub discarded: u64,
+}
+
+/// The live journal: an index of key hash → latest Put entry, plus the
+/// open append handle.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    /// Latest surviving Put per key hash.
+    live: HashMap<u64, JournalEntry>,
+    /// Entries replayed from disk (live + superseded), for compaction
+    /// accounting.
+    replayed: usize,
+}
+
+impl Journal {
+    /// Opens (creating if absent) and replays the journal in `root`.
+    /// A torn or corrupt tail is truncated in place and reported.
+    pub fn open(root: &Path) -> io::Result<(Self, Option<TailDamage>)> {
+        let path = root.join(JOURNAL_FILE);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+
+        let mut live = HashMap::new();
+        let mut good = 0usize;
+        let mut replayed = 0usize;
+        while good + ENTRY_LEN <= bytes.len() {
+            match JournalEntry::decode(&bytes[good..good + ENTRY_LEN]) {
+                Some(entry) => {
+                    match entry.op {
+                        JournalOp::Put => {
+                            live.insert(entry.key_hash, entry);
+                        }
+                        JournalOp::Delete => {
+                            live.remove(&entry.key_hash);
+                        }
+                    }
+                    replayed += 1;
+                    good += ENTRY_LEN;
+                }
+                // First bad entry: everything from here on is the torn tail.
+                None => break,
+            }
+        }
+
+        let damage = if good < bytes.len() {
+            // Truncate the file back to the last healthy entry so the next
+            // append starts from a clean boundary.
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(good as u64)?;
+            f.sync_all()?;
+            Some(TailDamage {
+                offset: good as u64,
+                discarded: (bytes.len() - good) as u64,
+            })
+        } else {
+            None
+        };
+
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            Journal {
+                path,
+                file,
+                live,
+                replayed,
+            },
+            damage,
+        ))
+    }
+
+    /// Appends one entry and fsyncs.
+    pub fn append(&mut self, entry: JournalEntry) -> io::Result<()> {
+        self.file.write_all(&entry.encode())?;
+        self.file.sync_all()?;
+        match entry.op {
+            JournalOp::Put => {
+                self.live.insert(entry.key_hash, entry);
+            }
+            JournalOp::Delete => {
+                self.live.remove(&entry.key_hash);
+            }
+        }
+        self.replayed += 1;
+        Ok(())
+    }
+
+    /// Latest live Put entry for a key hash.
+    pub fn lookup(&self, key_hash: u64) -> Option<&JournalEntry> {
+        self.live.get(&key_hash)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// True when enough dead weight has accumulated that compaction on the
+    /// next open would be worthwhile.
+    pub fn wants_compaction(&self) -> bool {
+        self.replayed >= 64 && self.replayed >= self.live.len().saturating_mul(2)
+    }
+
+    /// Rewrites the journal to only the live entries, atomically
+    /// (tmp → fsync → rename), in sorted key-hash order for determinism.
+    pub fn compact(&mut self, tmp_dir: &Path) -> io::Result<()> {
+        let mut entries: Vec<JournalEntry> = self.live.values().copied().collect();
+        entries.sort_by_key(|e| e.key_hash);
+        let mut buf = Vec::with_capacity(entries.len() * ENTRY_LEN);
+        for e in &entries {
+            buf.extend_from_slice(&e.encode());
+        }
+        let tmp = tmp_dir.join("journal.compact");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.replayed = entries.len();
+        Ok(())
+    }
+
+    /// Reads the raw on-disk journal bytes (test/forensics helper).
+    pub fn raw_len(&self) -> io::Result<u64> {
+        Ok(fs::metadata(&self.path)?.len())
+    }
+
+    /// Drains every live entry's key hash (used by recovery scans).
+    pub fn live_hashes(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.live.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("constable-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn replays_puts_and_deletes() {
+        let root = tmp_root("replay");
+        {
+            let (mut j, damage) = Journal::open(&root).unwrap();
+            assert!(damage.is_none());
+            j.append(JournalEntry::put(1, 10, 100)).unwrap();
+            j.append(JournalEntry::put(2, 20, 200)).unwrap();
+            j.append(JournalEntry::delete(1)).unwrap();
+            j.append(JournalEntry::put(2, 21, 201)).unwrap();
+        }
+        let (j, damage) = Journal::open(&root).unwrap();
+        assert!(damage.is_none());
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.lookup(2).unwrap().payload_checksum, 21);
+        assert!(j.lookup(1).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let root = tmp_root("tail");
+        {
+            let (mut j, _) = Journal::open(&root).unwrap();
+            j.append(JournalEntry::put(1, 10, 100)).unwrap();
+            j.append(JournalEntry::put(2, 20, 200)).unwrap();
+        }
+        // Tear the last entry.
+        let path = root.join(JOURNAL_FILE);
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let (j, damage) = Journal::open(&root).unwrap();
+        let damage = damage.unwrap();
+        assert_eq!(damage.offset, ENTRY_LEN as u64);
+        assert_eq!(damage.discarded, ENTRY_LEN as u64 - 5);
+        assert_eq!(j.len(), 1);
+        assert!(j.lookup(1).is_some());
+        assert!(j.lookup(2).is_none());
+        // The file itself was healed: reopen sees no damage.
+        drop(j);
+        let (_, damage) = Journal::open(&root).unwrap();
+        assert!(damage.is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_mid_entry_drops_the_rest() {
+        let root = tmp_root("mid");
+        {
+            let (mut j, _) = Journal::open(&root).unwrap();
+            for k in 0..4 {
+                j.append(JournalEntry::put(k, k, k)).unwrap();
+            }
+        }
+        let path = root.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[ENTRY_LEN + 3] ^= 0x40; // flip a bit in entry #1
+        fs::write(&path, &bytes).unwrap();
+
+        let (j, damage) = Journal::open(&root).unwrap();
+        let damage = damage.unwrap();
+        assert_eq!(damage.offset, ENTRY_LEN as u64);
+        assert_eq!(j.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_keeps_only_live_entries() {
+        let root = tmp_root("compact");
+        let tmp = root.join("tmp");
+        fs::create_dir_all(&tmp).unwrap();
+        let (mut j, _) = Journal::open(&root).unwrap();
+        for round in 0..40u64 {
+            for k in 0..4u64 {
+                j.append(JournalEntry::put(k, round, round)).unwrap();
+            }
+        }
+        assert!(j.wants_compaction());
+        j.compact(&tmp).unwrap();
+        assert_eq!(j.raw_len().unwrap(), 4 * ENTRY_LEN as u64);
+        assert!(!j.wants_compaction());
+        // Still appendable and replayable after compaction.
+        j.append(JournalEntry::put(9, 9, 9)).unwrap();
+        drop(j);
+        let (j, damage) = Journal::open(&root).unwrap();
+        assert!(damage.is_none());
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.lookup(2).unwrap().payload_checksum, 39);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,658 @@
+//! The store proper: directory layout, locking, atomic writes, verified
+//! reads, quarantine, and recovery.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! LOCK          pid lock file (create_new; stale locks stolen)
+//! journal.log   append-only index (see `journal`)
+//! objects/      one record file per cell, named <key-hash>.rec
+//! quarantine/   damaged record files, moved aside with forensics
+//! tmp/          staging for atomic writes (tmp → fsync → rename)
+//! ```
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::chaos::{IoChaosPlan, IoFault};
+use crate::journal::{Journal, JournalEntry};
+use crate::key::StoreKey;
+use crate::record::{self, RecordError, HEADER_LEN};
+
+/// Classified store damage, for forensics and quarantine tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreDefectKind {
+    /// Payload or key bytes fail their checksum (bit rot / injected flip).
+    Corrupt,
+    /// Record file shorter than its header claims (torn write).
+    Torn,
+    /// Record format version skew (valid header, different version).
+    VersionSkew,
+    /// Journal tail was torn or corrupt and has been truncated away.
+    JournalTail,
+    /// Journal lists a live object whose file is gone.
+    MissingObject,
+    /// I/O error reading the object file.
+    Unreadable,
+    /// Decoded payload disagrees with the header's stats digest (caller-
+    /// detected, via [`ResultStore::quarantine`]).
+    DigestMismatch,
+}
+
+impl StoreDefectKind {
+    /// Stable slug used in quarantine tables and CI greps.
+    pub fn slug(self) -> &'static str {
+        match self {
+            StoreDefectKind::Corrupt => "store-corrupt",
+            StoreDefectKind::Torn => "store-torn",
+            StoreDefectKind::VersionSkew => "store-version",
+            StoreDefectKind::JournalTail => "store-journal",
+            StoreDefectKind::MissingObject => "store-missing",
+            StoreDefectKind::Unreadable => "store-io",
+            StoreDefectKind::DigestMismatch => "store-digest",
+        }
+    }
+}
+
+/// One detected store defect, with enough forensics to point at the
+/// damaged bytes: the key hash, the file involved, the byte offset of the
+/// damage, and the expected/actual checksum pair where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreDefect {
+    pub kind: StoreDefectKind,
+    pub key_hash: u64,
+    pub path: PathBuf,
+    pub offset: u64,
+    pub expected: u64,
+    pub actual: u64,
+    /// True when a configured [`IoChaosPlan`] scheduled damage here, so
+    /// injected faults are distinguishable from organic ones in the table.
+    pub injected: bool,
+}
+
+impl StoreDefect {
+    /// One-line forensics string for quarantine tables.
+    pub fn detail(&self) -> String {
+        format!(
+            "{} at {} offset {} (expected {:#018x}, actual {:#018x})",
+            self.kind.slug(),
+            self.path.display(),
+            self.offset,
+            self.expected,
+            self.actual,
+        )
+    }
+}
+
+/// Result of a [`ResultStore::get`].
+#[derive(Debug)]
+pub enum GetOutcome {
+    /// Verified hit: payload checksum and embedded key bytes both match.
+    Hit { payload: Vec<u8>, stats_digest: u64 },
+    /// Key not present (or a hash collision with different key bytes).
+    Miss,
+    /// The record was damaged; it has been quarantined and the caller
+    /// should recompute the cell as a miss.
+    Defect(StoreDefect),
+}
+
+/// Counters for the run summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub writes: u64,
+    pub quarantined: u64,
+    pub collisions: u64,
+    pub compactions: u64,
+}
+
+const LOCK_FILE: &str = "LOCK";
+const LOCK_ATTEMPTS: u32 = 40;
+const LOCK_RETRY: Duration = Duration::from_millis(50);
+
+/// The open store. All methods degrade on damage — they quarantine and
+/// report, never panic, so a corrupted store can only cost recomputes.
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    journal: Journal,
+    chaos: Option<IoChaosPlan>,
+    stats: StoreStats,
+    /// Defects found during open (journal-tail damage), drained by the
+    /// harness once.
+    open_defects: Vec<StoreDefect>,
+    locked: bool,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `root`: takes the pid lock,
+    /// replays + heals the journal, and compacts it when it has grown
+    /// mostly dead. Fails only on environmental errors (unreadable or
+    /// uncreatable directory, lock timeout) — record damage never fails an
+    /// open.
+    pub fn open(root: &Path, chaos: Option<IoChaosPlan>) -> io::Result<Self> {
+        fs::create_dir_all(root)?;
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+
+        acquire_lock(root, chaos.as_ref())?;
+        let (mut journal, tail_damage) = match Journal::open(root) {
+            Ok(ok) => ok,
+            Err(e) => {
+                let _ = fs::remove_file(root.join(LOCK_FILE));
+                return Err(e);
+            }
+        };
+
+        let mut stats = StoreStats::default();
+        let mut open_defects = Vec::new();
+        if let Some(damage) = tail_damage {
+            let injected = chaos
+                .as_ref()
+                .is_some_and(|p| p.truncate_journal_tail().is_some());
+            open_defects.push(StoreDefect {
+                kind: StoreDefectKind::JournalTail,
+                key_hash: 0,
+                path: root.join(crate::journal::JOURNAL_FILE),
+                offset: damage.offset,
+                expected: 0,
+                actual: damage.discarded,
+                injected,
+            });
+        }
+        if journal.wants_compaction() {
+            journal.compact(&root.join("tmp"))?;
+            stats.compactions += 1;
+        }
+
+        Ok(ResultStore {
+            root: root.to_path_buf(),
+            journal,
+            chaos,
+            stats,
+            open_defects,
+            locked: true,
+        })
+    }
+
+    /// Defects detected while opening (torn journal tail), at most once.
+    pub fn take_open_defects(&mut self) -> Vec<StoreDefect> {
+        std::mem::take(&mut self.open_defects)
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Number of live records in the index.
+    pub fn len(&self) -> usize {
+        self.journal.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.journal.is_empty()
+    }
+
+    fn object_path(&self, key: &StoreKey) -> PathBuf {
+        self.root.join("objects").join(key.object_name())
+    }
+
+    fn defect(
+        &self,
+        kind: StoreDefectKind,
+        key_hash: u64,
+        path: PathBuf,
+        offset: u64,
+        expected: u64,
+        actual: u64,
+    ) -> StoreDefect {
+        let injected = self
+            .chaos
+            .as_ref()
+            .is_some_and(|p| p.fault_for_put(key_hash).is_some());
+        StoreDefect {
+            kind,
+            key_hash,
+            path,
+            offset,
+            expected,
+            actual,
+            injected,
+        }
+    }
+
+    /// Moves a damaged object into `quarantine/` and drops it from the
+    /// index. Best-effort: quarantine must never introduce new failures.
+    fn quarantine_object(&mut self, key_hash: u64, path: &Path) {
+        if path.exists() {
+            let dest = self
+                .root
+                .join("quarantine")
+                .join(path.file_name().unwrap_or_default());
+            let _ = fs::rename(path, &dest);
+        }
+        let _ = self.journal.append(JournalEntry::delete(key_hash));
+        self.stats.quarantined += 1;
+    }
+
+    /// Verified read. Damage is quarantined and reported; the caller
+    /// treats [`GetOutcome::Defect`] as a miss plus a registry entry.
+    pub fn get(&mut self, key: &StoreKey) -> GetOutcome {
+        let key_hash = key.hash();
+        if self.journal.lookup(key_hash).is_none() {
+            self.stats.misses += 1;
+            return GetOutcome::Miss;
+        }
+        let path = self.object_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let defect = self.defect(
+                    StoreDefectKind::MissingObject,
+                    key_hash,
+                    path.clone(),
+                    0,
+                    0,
+                    0,
+                );
+                self.quarantine_object(key_hash, &path);
+                self.stats.misses += 1;
+                return GetOutcome::Defect(defect);
+            }
+            Err(_) => {
+                let defect =
+                    self.defect(StoreDefectKind::Unreadable, key_hash, path.clone(), 0, 0, 0);
+                self.quarantine_object(key_hash, &path);
+                self.stats.misses += 1;
+                return GetOutcome::Defect(defect);
+            }
+        };
+        match record::decode_record(&bytes) {
+            Ok((header, rec_key, payload)) => {
+                if rec_key != key.bytes() {
+                    // Hash collision or key-format drift: the embedded key
+                    // disagrees, so this record is not ours. A clean miss —
+                    // the record stays for its rightful owner.
+                    self.stats.collisions += 1;
+                    self.stats.misses += 1;
+                    return GetOutcome::Miss;
+                }
+                self.stats.hits += 1;
+                GetOutcome::Hit {
+                    payload: payload.to_vec(),
+                    stats_digest: header.stats_digest,
+                }
+            }
+            Err(err) => {
+                let (kind, offset, expected, actual) = classify(&err, bytes.len());
+                let defect = self.defect(kind, key_hash, path.clone(), offset, expected, actual);
+                self.quarantine_object(key_hash, &path);
+                self.stats.misses += 1;
+                GetOutcome::Defect(defect)
+            }
+        }
+    }
+
+    /// Durable write: record staged in `tmp/`, fsynced, renamed into
+    /// `objects/`, then journaled. A configured chaos plan may damage the
+    /// just-written record (that is its job); the journal entry still
+    /// records the clean checksum so the damage is caught on read.
+    pub fn put(&mut self, key: &StoreKey, payload: &[u8], stats_digest: u64) -> io::Result<()> {
+        let key_hash = key.hash();
+        let rec = record::encode_record(key.bytes(), payload, stats_digest);
+        let payload_checksum = sim_mem::TraceDigest::of_bytes(payload);
+
+        let final_path = self.object_path(key);
+        let tmp_path = self.root.join("tmp").join(key.object_name());
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(&rec)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+
+        if let Some(plan) = self.chaos {
+            match plan.fault_for_put(key_hash) {
+                Some(IoFault::TornWrite) => {
+                    let tear = plan.tear_len(key_hash).min(rec.len() as u64 - 1);
+                    let f = OpenOptions::new().write(true).open(&final_path)?;
+                    f.set_len(rec.len() as u64 - tear)?;
+                    f.sync_all()?;
+                }
+                Some(IoFault::BitFlip) => {
+                    let mut bytes = fs::read(&final_path)?;
+                    let body_start = HEADER_LEN + key.bytes().len();
+                    if bytes.len() > body_start {
+                        let span = (bytes.len() - body_start) as u64 * 8;
+                        let bit = plan.flip_bit_index(key_hash) % span;
+                        bytes[body_start + (bit / 8) as usize] ^= 1 << (bit % 8);
+                        fs::write(&final_path, &bytes)?;
+                    }
+                }
+                None => {}
+            }
+        }
+
+        self.journal
+            .append(JournalEntry::put(key_hash, payload_checksum, stats_digest))?;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Caller-detected damage (e.g. the decoded payload's recomputed stats
+    /// digest disagrees with the header): quarantine the record and return
+    /// the forensics entry.
+    pub fn quarantine(
+        &mut self,
+        key: &StoreKey,
+        kind: StoreDefectKind,
+        expected: u64,
+        actual: u64,
+    ) -> StoreDefect {
+        let key_hash = key.hash();
+        let path = self.object_path(key);
+        let defect = self.defect(
+            kind,
+            key_hash,
+            path.clone(),
+            HEADER_LEN as u64,
+            expected,
+            actual,
+        );
+        self.quarantine_object(key_hash, &path);
+        defect
+    }
+
+    /// Applies end-of-run chaos (journal-tail truncation) if scheduled.
+    /// Called by the harness when a chaos run finishes, so the *next* open
+    /// exercises replay recovery. No-op without a chaos plan.
+    pub fn apply_close_chaos(&mut self) -> io::Result<()> {
+        let Some(plan) = self.chaos else {
+            return Ok(());
+        };
+        if let Some(tear) = plan.truncate_journal_tail() {
+            let len = self.journal.raw_len()?;
+            if len > tear {
+                let path = self.root.join(crate::journal::JOURNAL_FILE);
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(len - tear)?;
+                f.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ResultStore {
+    fn drop(&mut self) {
+        if self.locked {
+            let _ = fs::remove_file(self.root.join(LOCK_FILE));
+        }
+    }
+}
+
+fn classify(err: &RecordError, file_len: usize) -> (StoreDefectKind, u64, u64, u64) {
+    match *err {
+        RecordError::Truncated { len } => (
+            StoreDefectKind::Torn,
+            len as u64,
+            HEADER_LEN as u64,
+            len as u64,
+        ),
+        RecordError::BadMagic => (StoreDefectKind::Corrupt, 0, 0, 0),
+        RecordError::VersionSkew { found } => (
+            StoreDefectKind::VersionSkew,
+            8,
+            u64::from(record::FORMAT_VERSION),
+            u64::from(found),
+        ),
+        RecordError::HeaderChecksum { expected, actual } => (
+            StoreDefectKind::Corrupt,
+            (HEADER_LEN - 8) as u64,
+            expected,
+            actual,
+        ),
+        RecordError::TornBody { expected_len, .. } => (
+            StoreDefectKind::Torn,
+            file_len as u64,
+            expected_len as u64,
+            file_len as u64,
+        ),
+        RecordError::PayloadChecksum {
+            expected,
+            actual,
+            offset,
+        } => (StoreDefectKind::Corrupt, offset as u64, expected, actual),
+        RecordError::KeyHashMismatch { expected, actual } => (
+            StoreDefectKind::Corrupt,
+            HEADER_LEN as u64,
+            expected,
+            actual,
+        ),
+    }
+}
+
+/// Takes the store's pid lock, retrying briefly and stealing locks whose
+/// owning process no longer exists.
+fn acquire_lock(root: &Path, chaos: Option<&IoChaosPlan>) -> io::Result<()> {
+    let path = root.join(LOCK_FILE);
+    let mut contention = chaos.map_or(0, IoChaosPlan::lock_contention_attempts);
+    for _ in 0..LOCK_ATTEMPTS {
+        if contention > 0 {
+            // Injected contention: behave exactly as if another process
+            // held the lock for the first few attempts.
+            contention -= 1;
+            std::thread::sleep(LOCK_RETRY);
+            continue;
+        }
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                let _ = f.sync_all();
+                return Ok(());
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if lock_is_stale(&path) {
+                    let _ = fs::remove_file(&path);
+                    continue;
+                }
+                std::thread::sleep(LOCK_RETRY);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::WouldBlock,
+        format!("store lock {} held by a live process", path.display()),
+    ))
+}
+
+/// A lock is stale when its owning pid no longer exists (or the lock file
+/// itself is torn/empty — a crash between create and write).
+fn lock_is_stale(path: &Path) -> bool {
+    match fs::read_to_string(path) {
+        Ok(s) => match s.trim().parse::<u32>() {
+            Ok(pid) => pid != std::process::id() && !Path::new(&format!("/proc/{pid}")).exists(),
+            Err(_) => true,
+        },
+        // Vanished between the create_new failure and this read.
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("constable-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> StoreKey {
+        let mut k = StoreKey::new();
+        k.push_u64(n);
+        k
+    }
+
+    #[test]
+    fn put_get_round_trips_across_reopen() {
+        let root = tmp_root("roundtrip");
+        {
+            let mut s = ResultStore::open(&root, None).unwrap();
+            s.put(&key(1), b"alpha", 0xA).unwrap();
+            s.put(&key(2), b"beta", 0xB).unwrap();
+            assert_eq!(s.stats().writes, 2);
+        }
+        let mut s = ResultStore::open(&root, None).unwrap();
+        assert!(s.take_open_defects().is_empty());
+        assert_eq!(s.len(), 2);
+        match s.get(&key(1)) {
+            GetOutcome::Hit {
+                payload,
+                stats_digest,
+            } => {
+                assert_eq!(payload, b"alpha");
+                assert_eq!(stats_digest, 0xA);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(s.get(&key(3)), GetOutcome::Miss));
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bit_flip_is_quarantined_with_forensics_then_misses() {
+        let root = tmp_root("flip");
+        let mut s = ResultStore::open(&root, None).unwrap();
+        s.put(&key(5), &[0x55u8; 128], 0x5).unwrap();
+        let obj = root.join("objects").join(key(5).object_name());
+        let mut bytes = fs::read(&obj).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x20;
+        fs::write(&obj, &bytes).unwrap();
+
+        match s.get(&key(5)) {
+            GetOutcome::Defect(d) => {
+                assert_eq!(d.kind, StoreDefectKind::Corrupt);
+                assert_ne!(d.expected, d.actual);
+                assert!(!d.injected);
+                assert!(d.detail().contains("store-corrupt"));
+            }
+            other => panic!("expected defect, got {other:?}"),
+        }
+        // The damaged file moved to quarantine and the index forgot it.
+        assert!(!obj.exists());
+        assert!(root.join("quarantine").join(key(5).object_name()).exists());
+        assert!(matches!(s.get(&key(5)), GetOutcome::Miss));
+        assert_eq!(s.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_record_and_missing_object_degrade_to_defects() {
+        let root = tmp_root("torn");
+        let mut s = ResultStore::open(&root, None).unwrap();
+        s.put(&key(7), &[1u8; 256], 0x7).unwrap();
+        s.put(&key(8), &[2u8; 256], 0x8).unwrap();
+
+        let obj7 = root.join("objects").join(key(7).object_name());
+        let len = fs::metadata(&obj7).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&obj7).unwrap();
+        f.set_len(len - 40).unwrap();
+        drop(f);
+        fs::remove_file(root.join("objects").join(key(8).object_name())).unwrap();
+
+        assert!(matches!(
+            s.get(&key(7)),
+            GetOutcome::Defect(StoreDefect {
+                kind: StoreDefectKind::Torn,
+                ..
+            })
+        ));
+        assert!(matches!(
+            s.get(&key(8)),
+            GetOutcome::Defect(StoreDefect {
+                kind: StoreDefectKind::MissingObject,
+                ..
+            })
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn chaos_injected_damage_is_detected_and_marked_injected() {
+        let root = tmp_root("chaos");
+        let plan = IoChaosPlan::new(0xC0FFEE);
+        let mut s = ResultStore::open(&root, Some(plan)).unwrap();
+        // Find keys the plan damages (and one it leaves alone).
+        let mut hurt = None;
+        let mut clean = None;
+        for n in 0..512u64 {
+            let k = key(n);
+            match plan.fault_for_put(k.hash()) {
+                Some(_) if hurt.is_none() => hurt = Some(k),
+                None if clean.is_none() => clean = Some(k),
+                _ => {}
+            }
+            if hurt.is_some() && clean.is_some() {
+                break;
+            }
+        }
+        let (hurt, clean) = (hurt.unwrap(), clean.unwrap());
+        s.put(&hurt, &[9u8; 200], 0x9).unwrap();
+        s.put(&clean, &[3u8; 200], 0x3).unwrap();
+
+        match s.get(&hurt) {
+            GetOutcome::Defect(d) => assert!(d.injected, "chaos damage must be marked injected"),
+            other => panic!("expected defect on chaos-damaged record, got {other:?}"),
+        }
+        assert!(matches!(s.get(&clean), GetOutcome::Hit { .. }));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn close_chaos_tears_the_journal_and_reopen_heals_it() {
+        let root = tmp_root("closechaos");
+        // Find a seed whose plan schedules journal truncation.
+        let plan = (0..64u64)
+            .map(IoChaosPlan::new)
+            .find(|p| p.truncate_journal_tail().is_some())
+            .unwrap();
+        {
+            let mut s = ResultStore::open(&root, Some(plan)).unwrap();
+            // Use a chaos-clean key so only the journal tear matters.
+            let k = (0..512u64)
+                .map(key)
+                .find(|k| plan.fault_for_put(k.hash()).is_none())
+                .unwrap();
+            s.put(&k, b"fine", 0xF).unwrap();
+            s.apply_close_chaos().unwrap();
+        }
+        let mut s = ResultStore::open(&root, None).unwrap();
+        let defects = s.take_open_defects();
+        assert_eq!(defects.len(), 1);
+        assert_eq!(defects[0].kind, StoreDefectKind::JournalTail);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn second_open_while_locked_times_out_and_stale_locks_are_stolen() {
+        let root = tmp_root("lock");
+        fs::create_dir_all(&root).unwrap();
+        // Plant a stale lock owned by a pid that cannot exist.
+        fs::write(root.join("LOCK"), "4194999999\n").unwrap();
+        let s = ResultStore::open(&root, None).unwrap();
+        drop(s);
+        assert!(!root.join("LOCK").exists(), "lock released on drop");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,101 @@
+//! Key-format drift guard.
+//!
+//! The store's keys are assembled from the *stable* field encoders
+//! (`WorkloadSpec::stable_key_encode`, `CoreConfig::stable_encode` and the
+//! encoders it calls into) under [`result_store::KEY_FORMAT_VERSION`].
+//! Old records must never be *misread* after an encoder change — they must
+//! miss cleanly, which the version prefix guarantees **only if the version
+//! is actually bumped**.
+//!
+//! Two layers of protection:
+//!
+//! 1. The encoders exhaustively destructure their structs, so adding a
+//!    field is a *compile* error until the encoder is updated.
+//! 2. This test pins, per key-format version, the struct sizes, the
+//!    encoded lengths, and a golden digest of a fixed configuration's
+//!    encoding. Updating an encoder (or a struct) without bumping
+//!    `KEY_FORMAT_VERSION` trips an assertion that says exactly what to
+//!    do. Bumping the version requires adding a new pin row here — the
+//!    review moment the guard exists to force.
+
+use result_store::KEY_FORMAT_VERSION;
+use sim_core::CoreConfig;
+use sim_mem::TraceDigest;
+use sim_workload::WorkloadSpec;
+
+/// One pin row per key-format version:
+/// (version, size_of CoreConfig, encoded config length,
+///  encoded workload length, golden digest of both encodings).
+/// NEVER edit an existing row — add a new one when the version bumps.
+const PINS: &[(u8, usize, usize, usize, u64)] = &[(1, 448, 328, 78, 0x03d9_2cf9_e466_07cb)];
+
+fn fixed_spec() -> WorkloadSpec {
+    // First suite workload: generation parameters are part of the repo's
+    // golden surface already, so this is a stable anchor.
+    sim_workload::suite().remove(0)
+}
+
+fn encodings() -> (Vec<u8>, Vec<u8>) {
+    let mut cfg_bytes = Vec::new();
+    CoreConfig::default().stable_encode(&mut cfg_bytes);
+    let mut spec_bytes = Vec::new();
+    fixed_spec().stable_key_encode(&mut spec_bytes);
+    (cfg_bytes, spec_bytes)
+}
+
+#[test]
+fn key_layout_is_pinned_to_the_format_version() {
+    let (_, _, pinned_cfg_len, pinned_spec_len, pinned_digest) =
+        *PINS.iter().find(|(v, ..)| *v == KEY_FORMAT_VERSION).expect(
+            "KEY_FORMAT_VERSION has no pin row: add one to PINS in key_guard.rs \
+             with the new layout's lengths and golden digest",
+        );
+
+    let (cfg_bytes, spec_bytes) = encodings();
+    let bump = "the stable key layout changed — bump result_store::KEY_FORMAT_VERSION \
+                and add a new pin row (old records must miss, not be misread)";
+    assert_eq!(cfg_bytes.len(), pinned_cfg_len, "{bump}");
+    assert_eq!(spec_bytes.len(), pinned_spec_len, "{bump}");
+
+    let mut d = TraceDigest::new();
+    d.update_bytes(&cfg_bytes);
+    d.update_bytes(&spec_bytes);
+    assert_eq!(
+        d.finish(),
+        pinned_digest,
+        "stable encoding bytes changed for the same inputs — {bump}"
+    );
+}
+
+#[test]
+fn config_struct_growth_requires_a_version_bump() {
+    // A new CoreConfig field almost always changes the struct size; the
+    // exhaustive destructure in stable_encode catches the rest at compile
+    // time. Either way the fix is the same: extend the encoder AND bump
+    // KEY_FORMAT_VERSION, then pin the new layout above.
+    let (_, pinned_size, ..) = *PINS
+        .iter()
+        .find(|(v, ..)| *v == KEY_FORMAT_VERSION)
+        .expect("pin row exists (asserted above)");
+    assert_eq!(
+        core::mem::size_of::<CoreConfig>(),
+        pinned_size,
+        "CoreConfig layout changed without a key-format version bump: update \
+         CoreConfig::stable_encode, bump result_store::KEY_FORMAT_VERSION, and \
+         add a pin row in key_guard.rs"
+    );
+}
+
+#[test]
+fn version_prefix_separates_formats() {
+    // Two keys that differ only in format version must address different
+    // objects — that is the mechanism that turns layout changes into clean
+    // misses.
+    let (cfg_bytes, spec_bytes) = encodings();
+    let mut v1 = vec![KEY_FORMAT_VERSION];
+    v1.extend_from_slice(&spec_bytes);
+    v1.extend_from_slice(&cfg_bytes);
+    let mut v2 = v1.clone();
+    v2[0] = KEY_FORMAT_VERSION + 1;
+    assert_ne!(TraceDigest::of_bytes(&v1), TraceDigest::of_bytes(&v2));
+}

@@ -148,6 +148,124 @@ impl CoreConfig {
         h.finish()
     }
 
+    /// Appends the stable on-disk key encoding of **every** configuration
+    /// field to `out` — the `CoreConfig` component of the result-store key
+    /// format. Unlike [`CoreConfig::fingerprint`] (a `Hash`-derived value
+    /// that is only stable within one process/build), this is an explicit
+    /// little-endian byte encoding in declaration order, so two processes
+    /// — or two builds — produce byte-identical keys for the same machine.
+    ///
+    /// The destructuring is exhaustive on purpose: adding a `CoreConfig`
+    /// field breaks this function at compile time, forcing the new field
+    /// into the encoding; the key-format guard test in `result-store`
+    /// additionally fails until `result_store::KEY_FORMAT_VERSION` is
+    /// bumped, so old store entries can never be misread as the new layout.
+    pub fn stable_encode(&self, out: &mut Vec<u8>) {
+        let CoreConfig {
+            fetch_width,
+            decode_width,
+            rename_width,
+            issue_width,
+            retire_width,
+            idq_size,
+            rob_size,
+            rs_size,
+            lb_size,
+            sb_size,
+            alu_ports,
+            load_ports,
+            sta_ports,
+            std_ports,
+            alu_latency,
+            mul_latency,
+            div_latency,
+            agu_latency,
+            redirect_bubbles,
+            mem,
+            mrn,
+            move_zero_elimination,
+            constant_folding,
+            branch_folding,
+            eves,
+            elar,
+            rfp,
+            constable,
+            ideal,
+            oracle,
+            snoop_rate_per_10k,
+            wrong_path_fetch,
+            seed,
+            track_per_pc,
+            watchdog_no_retire,
+            wedge_after_retire,
+            event_shortcuts,
+        } = self;
+        for v in [
+            u64::from(*fetch_width),
+            u64::from(*decode_width),
+            u64::from(*rename_width),
+            u64::from(*issue_width),
+            u64::from(*retire_width),
+            *idq_size as u64,
+            *rob_size as u64,
+            *rs_size as u64,
+            *lb_size as u64,
+            *sb_size as u64,
+            u64::from(*alu_ports),
+            u64::from(*load_ports),
+            u64::from(*sta_ports),
+            u64::from(*std_ports),
+            *alu_latency,
+            *mul_latency,
+            *div_latency,
+            *agu_latency,
+            *redirect_bubbles,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        mem.stable_encode(out);
+        for b in [
+            *mrn,
+            *move_zero_elimination,
+            *constant_folding,
+            *branch_folding,
+            *eves,
+            *elar,
+            *rfp,
+        ] {
+            out.push(u8::from(b));
+        }
+        match constable {
+            None => out.push(0),
+            Some(c) => {
+                out.push(1);
+                c.stable_encode(out);
+            }
+        }
+        out.push(ideal.map_or(0, |i| i.stable_code()));
+        // Oracle PC set in sorted order (insertion-order independent, like
+        // the fingerprint's order-independent hash).
+        let pcs = oracle.sorted_pcs();
+        out.extend_from_slice(&(pcs.len() as u64).to_le_bytes());
+        for pc in pcs {
+            out.extend_from_slice(&pc.to_le_bytes());
+        }
+        out.extend_from_slice(&u64::from(*snoop_rate_per_10k).to_le_bytes());
+        out.push(u8::from(*wrong_path_fetch));
+        out.extend_from_slice(&seed.to_le_bytes());
+        out.push(u8::from(*track_per_pc));
+        for opt in [watchdog_no_retire, wedge_after_retire] {
+            match opt {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        out.push(u8::from(*event_shortcuts));
+    }
+
     /// Baseline + Constable (the paper's headline configuration).
     pub fn with_constable(mut self) -> Self {
         self.constable = Some(ConstableConfig::paper());
@@ -216,11 +334,8 @@ mod tests {
         assert_eq!(a.fingerprint(), a.fingerprint());
     }
 
-    /// Every field that can differ between two machine configurations must
-    /// produce a distinct fingerprint — a collision would silently alias
-    /// two different simulations in the sweep memo.
-    #[test]
-    fn fingerprint_separates_every_config_field() {
+    /// One config per mutable field, for the separation tests below.
+    fn field_variants() -> Vec<(&'static str, CoreConfig)> {
         use constable::{ConstableConfig, IdealConfig, IdealOracle};
 
         let base = CoreConfig::golden_cove_like;
@@ -323,7 +438,15 @@ mod tests {
         });
         push("wedge_after_retire", &|c| c.wedge_after_retire = Some(100));
         push("event_shortcuts", &|c| c.event_shortcuts = false);
+        variants
+    }
 
+    /// Every field that can differ between two machine configurations must
+    /// produce a distinct fingerprint — a collision would silently alias
+    /// two different simulations in the sweep memo.
+    #[test]
+    fn fingerprint_separates_every_config_field() {
+        let variants = field_variants();
         for i in 0..variants.len() {
             for j in (i + 1)..variants.len() {
                 assert_ne!(
@@ -335,5 +458,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The stable key encoding must separate every config field too — it is
+    /// the on-disk memo key of the result store, where an alias would serve
+    /// one machine's persisted results to a different machine.
+    #[test]
+    fn stable_encoding_separates_every_config_field() {
+        let enc = |c: &CoreConfig| {
+            let mut v = Vec::new();
+            c.stable_encode(&mut v);
+            v
+        };
+        let variants = field_variants();
+        for i in 0..variants.len() {
+            for j in (i + 1)..variants.len() {
+                assert_ne!(
+                    enc(&variants[i].1),
+                    enc(&variants[j].1),
+                    "stable-encoding collision between {} and {}",
+                    variants[i].0,
+                    variants[j].0
+                );
+            }
+        }
+        // Deterministic and clone-invariant, like the fingerprint.
+        let a = CoreConfig::golden_cove_like().with_constable();
+        assert_eq!(enc(&a), enc(&a.clone()));
+        // Oracle encoding is insertion-order independent.
+        use constable::IdealOracle;
+        let mut x = CoreConfig::golden_cove_like();
+        x.oracle = IdealOracle::new([0x400u64, 0x404, 0x5000]);
+        let mut y = CoreConfig::golden_cove_like();
+        y.oracle = IdealOracle::new([0x5000u64, 0x400, 0x404]);
+        assert_eq!(enc(&x), enc(&y));
     }
 }

@@ -58,6 +58,28 @@ impl TraceDigest {
         }
     }
 
+    /// Folds raw bytes into the digest, in order. Byte streams compose with
+    /// the word API: `update(v)` is exactly
+    /// `update_bytes(&v.to_le_bytes())`, so a digest over a byte encoding
+    /// (the result-store key/checksum machinery) and one over the
+    /// equivalent word stream agree.
+    pub fn update_bytes(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s ^= u64::from(b);
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// One-shot digest of a byte slice.
+    #[must_use]
+    pub fn of_bytes(bytes: &[u8]) -> u64 {
+        let mut d = TraceDigest::new();
+        d.update_bytes(bytes);
+        d.finish()
+    }
+
     /// The digest value so far. The digest remains usable; `finish` is a
     /// read, not a terminator.
     #[must_use]
@@ -102,6 +124,22 @@ mod tests {
             }
         }
         assert_eq!(TraceDigest::of(words), expect);
+    }
+
+    #[test]
+    fn byte_and_word_streams_compose() {
+        let mut a = TraceDigest::new();
+        a.update(0xDEAD_BEEF_0BAD_F00D);
+        a.update_bytes(&[1, 2, 3]);
+        let mut b = TraceDigest::new();
+        b.update_bytes(&0xDEAD_BEEF_0BAD_F00Du64.to_le_bytes());
+        b.update_bytes(&[1]);
+        b.update_bytes(&[2, 3]);
+        assert_eq!(a.finish(), b.finish());
+        assert_eq!(
+            TraceDigest::of_bytes(&42u64.to_le_bytes()),
+            TraceDigest::of([42])
+        );
     }
 
     #[test]

@@ -21,6 +21,36 @@ pub struct DramConfig {
     pub t_bus: u64,
 }
 
+impl DramConfig {
+    /// Appends the stable on-disk key encoding of every field to `out`
+    /// (little-endian, declaration order), for the result-store key format.
+    /// Exhaustive destructuring: adding a field breaks this at compile time.
+    pub fn stable_encode(&self, out: &mut Vec<u8>) {
+        let DramConfig {
+            channels,
+            ranks,
+            banks,
+            row_bytes,
+            t_cas,
+            t_rcd,
+            t_rp,
+            t_bus,
+        } = self;
+        for v in [
+            *channels as u64,
+            *ranks as u64,
+            *banks as u64,
+            *row_bytes,
+            *t_cas,
+            *t_rcd,
+            *t_rp,
+            *t_bus,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
 impl Default for DramConfig {
     fn default() -> Self {
         // 22 ns at 3.2 GHz ≈ 70 cycles.

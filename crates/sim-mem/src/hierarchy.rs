@@ -141,6 +141,44 @@ pub struct MemConfig {
 }
 
 impl MemConfig {
+    /// Appends the stable on-disk key encoding of every field to `out`
+    /// (little-endian, declaration order), for the result-store key format.
+    /// Exhaustive destructuring: adding a field breaks this at compile
+    /// time, forcing it into the encoding and a
+    /// `result_store::KEY_FORMAT_VERSION` bump.
+    pub fn stable_encode(&self, out: &mut Vec<u8>) {
+        let MemConfig {
+            l1_bytes,
+            l1_ways,
+            l1_latency,
+            l2_bytes,
+            l2_ways,
+            l2_latency,
+            llc_bytes,
+            llc_ways,
+            llc_latency,
+            dram,
+            l1_prefetch,
+            l2_prefetch,
+        } = self;
+        for v in [
+            *l1_bytes,
+            *l1_ways as u64,
+            *l1_latency,
+            *l2_bytes,
+            *l2_ways as u64,
+            *l2_latency,
+            *llc_bytes,
+            *llc_ways as u64,
+            *llc_latency,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        dram.stable_encode(out);
+        out.push(u8::from(*l1_prefetch));
+        out.push(u8::from(*l2_prefetch));
+    }
+
     /// The baseline hierarchy of Table 2: 48 KB/12-way L1-D (5 cycles) with
     /// a PC-stride prefetcher; 2 MB/16-way L2 (12-cycle round trip) with
     /// stride + streamer + SPP; 3 MB/12-way LLC (50-cycle data round trip)

@@ -57,6 +57,43 @@ impl Histogram {
         self.sum += u128::from(value) * u128::from(n);
     }
 
+    /// Rebuilds a histogram from its raw parts, the inverse of
+    /// ([`bounds`](Histogram::bounds), [`bucket_counts`](Histogram::bucket_counts),
+    /// [`sum_raw`](Histogram::sum_raw)) — the persistence path of the
+    /// result store. `total` is re-derived from `counts`.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is not strictly increasing or `counts` does not
+    /// have exactly one entry more than `bounds`.
+    pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>, sum: u128) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert_eq!(
+            counts.len(),
+            bounds.len() + 1,
+            "counts must cover every bucket plus overflow"
+        );
+        let total = counts.iter().sum();
+        Histogram {
+            bounds,
+            counts,
+            total,
+            sum,
+        }
+    }
+
+    /// Exclusive per-bucket upper bounds (the overflow bucket follows).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Raw sum of all samples, for exact round-trips of [`mean`](Histogram::mean).
+    pub fn sum_raw(&self) -> u128 {
+        self.sum
+    }
+
     /// Per-bucket sample counts (the last entry is the overflow bucket).
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
@@ -164,6 +201,25 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_bounds() {
         let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let mut h = Histogram::new(&[50, 100, 250]);
+        for v in [10, 75, 300, 300, 50] {
+            h.record(v);
+        }
+        let back =
+            Histogram::from_parts(h.bounds().to_vec(), h.bucket_counts().to_vec(), h.sum_raw());
+        assert_eq!(back, h);
+        assert_eq!(back.total(), h.total());
+        assert_eq!(back.mean().to_bits(), h.mean().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn from_parts_rejects_short_counts() {
+        let _ = Histogram::from_parts(vec![10, 20], vec![1, 2], 0);
     }
 
     #[test]

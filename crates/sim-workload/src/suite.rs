@@ -133,6 +133,43 @@ impl WorkloadSpec {
         self
     }
 
+    /// Appends the stable on-disk key encoding of this spec to `out`: the
+    /// trace name (length-prefixed), category, generation seed, the full
+    /// kernel-mix weights, and the APX flag — everything [`build`]
+    /// (WorkloadSpec::build) is a deterministic function of, plus the name
+    /// (which labels the persisted outcome). Part of the result-store key
+    /// format: explicit little-endian bytes, stable across processes and
+    /// builds, with kernel kinds encoded by their [`KernelKind::ALL`]
+    /// position rather than compiler-assigned discriminants. Exhaustive
+    /// destructuring: adding a spec field breaks this at compile time.
+    pub fn stable_key_encode(&self, out: &mut Vec<u8>) {
+        let WorkloadSpec {
+            name,
+            category,
+            seed,
+            weights,
+            apx,
+        } = self;
+        out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        let cat = Category::ALL
+            .iter()
+            .position(|c| c == category)
+            .expect("known category") as u8;
+        out.push(cat);
+        out.extend_from_slice(&seed.to_le_bytes());
+        out.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+        for (kind, weight) in weights {
+            let k = KernelKind::ALL
+                .iter()
+                .position(|x| x == kind)
+                .expect("known kernel kind") as u8;
+            out.push(k);
+            out.extend_from_slice(&weight.to_le_bytes());
+        }
+        out.push(u8::from(*apx));
+    }
+
     /// [`WorkloadSpec::build`] wrapped in an [`Arc`](std::sync::Arc), for
     /// harnesses that share one program across many simulations (the sweep
     /// session caches these so each trace is assembled exactly once per
@@ -390,6 +427,23 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 90);
+    }
+
+    #[test]
+    fn stable_keys_are_deterministic_and_distinct() {
+        let enc = |s: &WorkloadSpec| {
+            let mut v = Vec::new();
+            s.stable_key_encode(&mut v);
+            v
+        };
+        let s = suite();
+        assert_eq!(enc(&s[0]), enc(&s[0].clone()));
+        let mut keys: Vec<Vec<u8>> = s.iter().map(enc).collect();
+        keys.push(enc(&s[0].clone().with_apx(true)));
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "workload key collision");
     }
 
     #[test]
