@@ -48,13 +48,16 @@ pub mod chaos;
 pub mod configs;
 pub mod fault;
 pub mod figures;
+pub mod jobs;
 pub mod persist;
 pub mod runner;
 pub mod sweep;
+pub mod wire;
 
 pub use chaos::{ChaosFault, ChaosPlan};
 pub use configs::MachineKind;
 pub use fault::{CellFailure, CellOutcome};
+pub use jobs::{figure_cells, figure_kinds, sweep_cells, CellSpec, JobContext};
 pub use persist::{decode_outcome, encode_outcome, store_key, PAYLOAD_VERSION};
 pub use runner::{run_one, run_suite, run_suite_smt2, RunLength, RunOutcome, WATCHDOG_BUDGET};
 pub use sweep::{SweepPool, SweepSession};

@@ -4,6 +4,7 @@
 //! experiments -- <figure-id> [<figure-id>...] [--quick] [--subset N]
 //! experiments -- all [--quick] [--chaos <seed>]
 //! experiments -- cell <workload> <machine-slug> [--depth-scale X] [--quick|--len N]
+//! experiments -- client <addr> <request...>   # talk to a sweep-server
 //! experiments -- list
 //! ```
 //!
@@ -45,21 +46,41 @@ use experiments::{
 };
 use sim_core::{Core, TraceRecorder};
 
+/// Reads an env var holding a u64 seed. A set-but-unparseable value is a
+/// hard usage error, not a silently ignored request: `SIM_CHAOS=oops`
+/// running *without* chaos would report a clean sweep the caller believes
+/// was fault-injected.
+fn env_seed(var: &str) -> Option<u64> {
+    let v = std::env::var(var).ok()?;
+    let t = v.trim();
+    if t.is_empty() {
+        return None;
+    }
+    match t.parse() {
+        Ok(seed) => Some(seed),
+        Err(_) => {
+            eprintln!("{var}={v:?} is not a u64 seed");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("cell") {
         std::process::exit(run_cell(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("client") {
+        std::process::exit(run_client(&args[1..]));
     }
     let mut ids: Vec<String> = Vec::new();
     let mut n = RunLength::full();
     let mut subset: Option<usize> = None;
     let mut uncached = false;
     let mut keep_going: Option<bool> = None;
-    let mut chaos = ChaosPlan::from_env();
+    let mut chaos = env_seed("SIM_CHAOS").map(ChaosPlan::new);
     let mut store_dir: Option<String> = std::env::var("SIM_STORE").ok().filter(|s| !s.is_empty());
-    let mut io_chaos: Option<u64> = std::env::var("SIM_IO_CHAOS")
-        .ok()
-        .and_then(|s| s.parse().ok());
+    let mut io_chaos: Option<u64> = env_seed("SIM_IO_CHAOS");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -116,6 +137,10 @@ fn main() {
              [--keep-going|--fail-fast] [--chaos <seed>] [--store-dir <path>] [--io-chaos <seed>]"
         );
         eprintln!("       experiments -- cell <workload> <machine-slug> [--depth-scale X] [--quick|--len N]");
+        eprintln!(
+            "       experiments -- client <addr> cell <workload> <slug> | figure <id> | sweep \
+             | ping | shutdown [--deadline-ms N] [--attempts N]"
+        );
         eprintln!("known figure ids: {FIGURES:?}");
         std::process::exit(2);
     }
@@ -336,6 +361,7 @@ fn run_cell(args: &[String]) -> i32 {
         "elimination: {} eliminated, {} violations, arm_guard_blocked {}",
         result.stats.loads_eliminated, result.stats.elim_violations, result.stats.arm_guard_blocked
     );
+    print_store_provenance(&store_key, result.stats_digest());
     match result.verify() {
         Ok(()) => {
             println!("PASS: cell is clean");
@@ -348,6 +374,190 @@ fn run_cell(args: &[String]) -> i32 {
             } else {
                 2
             }
+        }
+    }
+}
+
+/// With `SIM_STORE` set, `cell` also reports whether the persistent store
+/// already holds this cell and whether the stored digest matches the run
+/// just performed — the provenance line a quarantine investigation starts
+/// from. The probe opens the store *shared* (read-through, no healing, no
+/// lock), so it is safe beside a live server or sweep on the same
+/// directory.
+fn print_store_provenance(store_key: &result_store::StoreKey, fresh_digest: u64) {
+    let Some(dir) = std::env::var("SIM_STORE").ok().filter(|s| !s.is_empty()) else {
+        return;
+    };
+    let mut store = match result_store::ResultStore::open_shared(std::path::Path::new(&dir), None) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("store probe: {dir} unusable ({e})");
+            return;
+        }
+    };
+    match store.get(store_key) {
+        result_store::GetOutcome::Hit {
+            payload,
+            stats_digest,
+        } => {
+            let agrees = if stats_digest == fresh_digest {
+                "matches this run"
+            } else {
+                "DISAGREES with this run"
+            };
+            match experiments::decode_outcome(&payload) {
+                Ok(outcome) => println!(
+                    "store probe: HIT in {dir} — {} cycles, digest {stats_digest:#018x} ({agrees})",
+                    outcome.result.stats.cycles
+                ),
+                Err(e) => println!(
+                    "store probe: HIT in {dir} but payload undecodable ({e}); digest \
+                     {stats_digest:#018x} ({agrees})"
+                ),
+            }
+        }
+        result_store::GetOutcome::Miss => {
+            println!("store probe: MISS in {dir} — this cell has never been persisted");
+        }
+        result_store::GetOutcome::Defect(d) => {
+            println!(
+                "store probe: DAMAGED record in {dir} ({}); it was quarantined, a sweep would \
+                 recompute",
+                d.kind.slug()
+            );
+        }
+    }
+}
+
+/// `experiments -- client <addr> <request> [--deadline-ms N] [--attempts N]
+/// [--quiet]`: drive a sweep-server over the checksummed frame protocol
+/// ([`experiments::wire`]), retrying through backpressure and wire damage.
+/// Requests: `cell <workload> <slug>`, `figure <id>`, `sweep`, `ping`,
+/// `shutdown`. Exit codes mirror the sweep: 0 every cell clean, 2 failed
+/// cells in the answer, 3 any watchdog/deadline abort, 4 transport gave up.
+fn run_client(args: &[String]) -> i32 {
+    use experiments::wire;
+    let usage = "usage: experiments -- client <addr> cell <workload> <slug> | figure <id> | \
+                 sweep | ping | shutdown [--deadline-ms N] [--attempts N] [--quiet]";
+    let mut positional: Vec<String> = Vec::new();
+    let mut deadline_ms: u32 = 0;
+    let mut attempts: u32 = 10;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--deadline-ms requires a millisecond count");
+            }
+            "--attempts" => {
+                i += 1;
+                attempts = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--attempts requires a count");
+            }
+            "--quiet" => quiet = true,
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let Some((addr, request)) = positional.split_first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let frame = match request {
+        [cmd, workload, slug] if cmd == "cell" => wire::Frame::Job {
+            workload: workload.clone(),
+            slug: slug.clone(),
+            deadline_ms,
+        },
+        [cmd, id] if cmd == "figure" => wire::Frame::Figure {
+            id: id.clone(),
+            deadline_ms,
+        },
+        [cmd] if cmd == "sweep" => wire::Frame::Sweep { deadline_ms },
+        [cmd] if cmd == "ping" => {
+            return match wire::send_ping(addr, 0x5157_4545) {
+                Ok(()) => {
+                    println!("server at {addr} is alive");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("ping failed: {e}");
+                    4
+                }
+            };
+        }
+        [cmd] if cmd == "shutdown" => {
+            return match wire::send_shutdown(addr) {
+                Ok(()) => {
+                    println!("server at {addr} is draining");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("shutdown failed: {e}");
+                    4
+                }
+            };
+        }
+        _ => {
+            eprintln!("{usage}");
+            return 2;
+        }
+    };
+    let started = std::time::Instant::now();
+    match wire::run_request(addr, &frame, attempts) {
+        Ok(report) => {
+            if !quiet {
+                for c in &report.cells {
+                    match c.status {
+                        wire::CellStatus::Computed => println!(
+                            "{} {}: {} cycles, {} retired, digest {:#018x} (computed)",
+                            c.workload, c.slug, c.cycles, c.retired, c.stats_digest
+                        ),
+                        wire::CellStatus::FromStore => println!(
+                            "{} {}: {} cycles, {} retired, digest {:#018x} (store)",
+                            c.workload, c.slug, c.cycles, c.retired, c.stats_digest
+                        ),
+                        wire::CellStatus::Failed => println!(
+                            "{} {}: FAILED [{}] {}",
+                            c.workload, c.slug, c.fail_kind, c.detail
+                        ),
+                    }
+                }
+            }
+            eprintln!(
+                "[{} cell(s): {} computed, {} from store, {} failed; {} attempt(s), {:.1}s]",
+                report.total,
+                report.computed,
+                report.from_store,
+                report.failed,
+                report.attempts,
+                started.elapsed().as_secs_f64()
+            );
+            let failed: Vec<_> = report
+                .cells
+                .iter()
+                .filter(|c| c.status == wire::CellStatus::Failed)
+                .collect();
+            if failed.is_empty() {
+                0
+            } else if failed
+                .iter()
+                .any(|c| c.fail_kind == "watchdog" || c.fail_kind == "deadline")
+            {
+                3
+            } else {
+                2
+            }
+        }
+        Err(e) => {
+            eprintln!("request failed after {attempts} attempt(s): {e}");
+            4
         }
     }
 }

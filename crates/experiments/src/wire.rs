@@ -1,0 +1,681 @@
+//! Length-prefixed, checksummed frame protocol of the sweep job server,
+//! plus the retrying client the `experiments -- client` subcommand (and
+//! the server's own tests) drive it with.
+//!
+//! ## Frame layout (all words LE)
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic 0x50575343 ("CSWP")
+//!      4     1  frame type
+//!      5     1  flags (reserved, 0)
+//!      6     4  payload length (max 1 MiB)
+//!     10     n  payload
+//!   10+n     8  checksum: FNV-1a over bytes 4..10+n (type..payload)
+//! ```
+//!
+//! Strings inside payloads are a u32 LE length followed by UTF-8 bytes.
+//! Anything that fails to parse — wrong magic, oversized length, checksum
+//! mismatch, short read — surfaces as `io::ErrorKind::InvalidData` (torn
+//! tail reads as `UnexpectedEof`); the peer treats the connection as dead
+//! and reconnects. A frame is never partially interpreted.
+//!
+//! ## Conversation
+//!
+//! Client sends [`Frame::Hello`], server answers [`Frame::HelloAck`] (or
+//! [`Frame::Error`] on version skew). Each request frame (`Job`, `Figure`,
+//! `Sweep`) is answered by a stream of [`Frame::Cell`] frames — one per
+//! cell, in completion order, each marked computed / from-store / failed —
+//! terminated by one [`Frame::Done`] carrying the totals. An overloaded
+//! server answers the *whole request* with [`Frame::RetryAfter`] and keeps
+//! the connection open. Failures travel as data: a quarantined cell is a
+//! `Cell` frame with `CellStatus::Failed` plus its kind and detail, never
+//! a dropped connection.
+
+use sim_mem::TraceDigest;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Frame magic: "CSWP" read as a little-endian u32.
+pub const MAGIC: u32 = 0x5057_5343;
+
+/// Protocol version spoken by this build (checked by HELLO/HELLO_ACK).
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on payload length — anything larger is corruption.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// How one answered cell was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Freshly simulated by a worker shard.
+    Computed,
+    /// Answered from the persistent result store (or the in-flight dedup).
+    FromStore,
+    /// Quarantined: the reply carries the failure kind and detail.
+    Failed,
+}
+
+impl CellStatus {
+    fn encode(self) -> u8 {
+        match self {
+            CellStatus::Computed => 0,
+            CellStatus::FromStore => 1,
+            CellStatus::Failed => 2,
+        }
+    }
+
+    fn decode(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => CellStatus::Computed,
+            1 => CellStatus::FromStore,
+            2 => CellStatus::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// One cell's answer, as it travels the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellReply {
+    pub workload: String,
+    pub slug: String,
+    pub status: CellStatus,
+    pub cycles: u64,
+    pub retired: u64,
+    pub stats_digest: u64,
+    /// Failure class (`deadline`, `watchdog`, `panic`, …); empty unless
+    /// `status == Failed`.
+    pub fail_kind: String,
+    /// Failure detail; empty unless `status == Failed`.
+    pub detail: String,
+}
+
+/// Every frame of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    // client → server
+    Hello {
+        proto: u32,
+    },
+    /// One cell: a workload name (`"a"` or `"a+b"`) on a machine slug.
+    Job {
+        workload: String,
+        slug: String,
+        deadline_ms: u32,
+    },
+    /// Every cell of a figure's (workload × machine) matrix.
+    Figure {
+        id: String,
+        deadline_ms: u32,
+    },
+    /// The full matrix: every machine kind × every suite workload.
+    Sweep {
+        deadline_ms: u32,
+    },
+    Ping {
+        token: u64,
+    },
+    /// Graceful drain: finish in-flight work, flush, exit.
+    Shutdown,
+    // server → client
+    HelloAck {
+        proto: u32,
+    },
+    Cell(CellReply),
+    Done {
+        total: u32,
+        computed: u32,
+        from_store: u32,
+        failed: u32,
+    },
+    Error {
+        code: u16,
+        message: String,
+    },
+    RetryAfter {
+        millis: u32,
+    },
+    Pong {
+        token: u64,
+    },
+}
+
+const T_HELLO: u8 = 0x01;
+const T_JOB: u8 = 0x02;
+const T_FIGURE: u8 = 0x03;
+const T_PING: u8 = 0x04;
+const T_SHUTDOWN: u8 = 0x05;
+const T_SWEEP: u8 = 0x06;
+const T_HELLO_ACK: u8 = 0x81;
+const T_CELL: u8 = 0x82;
+const T_DONE: u8 = 0x83;
+const T_ERROR: u8 = 0x84;
+const T_RETRY_AFTER: u8 = 0x85;
+const T_PONG: u8 = 0x86;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(bad("payload shorter than its fields"));
+        };
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("non-UTF-8 string"))
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in payload"))
+        }
+    }
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("wire: {what}"))
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => T_HELLO,
+            Frame::Job { .. } => T_JOB,
+            Frame::Figure { .. } => T_FIGURE,
+            Frame::Sweep { .. } => T_SWEEP,
+            Frame::Ping { .. } => T_PING,
+            Frame::Shutdown => T_SHUTDOWN,
+            Frame::HelloAck { .. } => T_HELLO_ACK,
+            Frame::Cell(_) => T_CELL,
+            Frame::Done { .. } => T_DONE,
+            Frame::Error { .. } => T_ERROR,
+            Frame::RetryAfter { .. } => T_RETRY_AFTER,
+            Frame::Pong { .. } => T_PONG,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Hello { proto } | Frame::HelloAck { proto } => put_u32(&mut p, *proto),
+            Frame::Job {
+                workload,
+                slug,
+                deadline_ms,
+            } => {
+                put_str(&mut p, workload);
+                put_str(&mut p, slug);
+                put_u32(&mut p, *deadline_ms);
+            }
+            Frame::Figure { id, deadline_ms } => {
+                put_str(&mut p, id);
+                put_u32(&mut p, *deadline_ms);
+            }
+            Frame::Sweep { deadline_ms } => put_u32(&mut p, *deadline_ms),
+            Frame::Ping { token } | Frame::Pong { token } => put_u64(&mut p, *token),
+            Frame::Shutdown => {}
+            Frame::Cell(c) => {
+                put_str(&mut p, &c.workload);
+                put_str(&mut p, &c.slug);
+                p.push(c.status.encode());
+                put_u64(&mut p, c.cycles);
+                put_u64(&mut p, c.retired);
+                put_u64(&mut p, c.stats_digest);
+                put_str(&mut p, &c.fail_kind);
+                put_str(&mut p, &c.detail);
+            }
+            Frame::Done {
+                total,
+                computed,
+                from_store,
+                failed,
+            } => {
+                put_u32(&mut p, *total);
+                put_u32(&mut p, *computed);
+                put_u32(&mut p, *from_store);
+                put_u32(&mut p, *failed);
+            }
+            Frame::Error { code, message } => {
+                p.extend_from_slice(&code.to_le_bytes());
+                put_str(&mut p, message);
+            }
+            Frame::RetryAfter { millis } => put_u32(&mut p, *millis),
+        }
+        p
+    }
+
+    /// Serialises the frame (header + payload + checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(18 + payload.len());
+        put_u32(&mut out, MAGIC);
+        out.push(self.type_byte());
+        out.push(0); // flags
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        let checksum = TraceDigest::of_bytes(&out[4..]);
+        put_u64(&mut out, checksum);
+        out
+    }
+
+    fn decode(ty: u8, payload: &[u8]) -> io::Result<Frame> {
+        let mut c = Cursor {
+            buf: payload,
+            at: 0,
+        };
+        let frame = match ty {
+            T_HELLO => Frame::Hello { proto: c.u32()? },
+            T_HELLO_ACK => Frame::HelloAck { proto: c.u32()? },
+            T_JOB => Frame::Job {
+                workload: c.str()?,
+                slug: c.str()?,
+                deadline_ms: c.u32()?,
+            },
+            T_FIGURE => Frame::Figure {
+                id: c.str()?,
+                deadline_ms: c.u32()?,
+            },
+            T_SWEEP => Frame::Sweep {
+                deadline_ms: c.u32()?,
+            },
+            T_PING => Frame::Ping { token: c.u64()? },
+            T_PONG => Frame::Pong { token: c.u64()? },
+            T_SHUTDOWN => Frame::Shutdown,
+            T_CELL => Frame::Cell(CellReply {
+                workload: c.str()?,
+                slug: c.str()?,
+                status: CellStatus::decode(c.u8()?).ok_or_else(|| bad("bad cell status"))?,
+                cycles: c.u64()?,
+                retired: c.u64()?,
+                stats_digest: c.u64()?,
+                fail_kind: c.str()?,
+                detail: c.str()?,
+            }),
+            T_DONE => Frame::Done {
+                total: c.u32()?,
+                computed: c.u32()?,
+                from_store: c.u32()?,
+                failed: c.u32()?,
+            },
+            T_ERROR => Frame::Error {
+                code: c.u16()?,
+                message: c.str()?,
+            },
+            T_RETRY_AFTER => Frame::RetryAfter { millis: c.u32()? },
+            other => return Err(bad(&format!("unknown frame type {other:#04x}"))),
+        };
+        c.done()?;
+        Ok(frame)
+    }
+}
+
+/// Writes one frame (single `write_all` — the encoding is one buffer).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Reads one frame, verifying magic, length bound, and checksum. A clean
+/// EOF *before any byte* of a frame surfaces as `UnexpectedEof` with the
+/// message `"wire: eof"` so callers can tell an orderly close from a torn
+/// frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut head = [0u8; 10];
+    let mut got = 0;
+    while got < head.len() {
+        let n = r.read(&mut head[got..])?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                if got == 0 {
+                    "wire: eof"
+                } else {
+                    "wire: torn header"
+                },
+            ));
+        }
+        got += n;
+    }
+    if u32::from_le_bytes(head[0..4].try_into().unwrap()) != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let ty = head[4];
+    let len = u32::from_le_bytes(head[6..10].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(bad("oversized payload"));
+    }
+    let mut rest = vec![0u8; len as usize + 8];
+    r.read_exact(&mut rest)
+        .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "wire: torn frame"))?;
+    let stored = u64::from_le_bytes(rest[len as usize..].try_into().unwrap());
+    let mut sum_buf = Vec::with_capacity(6 + len as usize);
+    sum_buf.extend_from_slice(&head[4..10]);
+    sum_buf.extend_from_slice(&rest[..len as usize]);
+    if stored != TraceDigest::of_bytes(&sum_buf) {
+        return Err(bad("checksum mismatch"));
+    }
+    Frame::decode(ty, &rest[..len as usize])
+}
+
+/// What a completed client request returns: every cell (sorted by
+/// (workload, slug) for stable presentation), the server's DONE totals,
+/// and how many connection attempts it took.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    pub cells: Vec<CellReply>,
+    pub total: u32,
+    pub computed: u32,
+    pub from_store: u32,
+    pub failed: u32,
+    pub attempts: u32,
+}
+
+/// Runs one request against a server, retrying (fresh connection, short
+/// backoff) on torn frames, checksum damage, disconnects, and RETRY_AFTER
+/// backpressure — the net-chaos survival loop. Cells received across
+/// attempts are merged by (workload, slug): the server's store + dedup
+/// make a re-request cheap, and re-received cells simply overwrite.
+pub fn run_request(addr: &str, request: &Frame, max_attempts: u32) -> io::Result<ClientReport> {
+    let mut cells: std::collections::BTreeMap<(String, String), CellReply> =
+        std::collections::BTreeMap::new();
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 1..=max_attempts.max(1) {
+        match one_attempt(addr, request, &mut cells) {
+            Ok(done) => {
+                let Frame::Done {
+                    total,
+                    computed,
+                    from_store,
+                    failed,
+                } = done
+                else {
+                    unreachable!("one_attempt only returns Done");
+                };
+                return Ok(ClientReport {
+                    cells: cells.into_values().collect(),
+                    total,
+                    computed,
+                    from_store,
+                    failed,
+                    attempts: attempt,
+                });
+            }
+            Err(RequestError::Backoff(ms)) => {
+                std::thread::sleep(Duration::from_millis(u64::from(ms).min(2_000)));
+            }
+            Err(RequestError::Io(e)) => {
+                last_err = Some(e);
+                // Brief, growing backoff before the reconnect.
+                std::thread::sleep(Duration::from_millis(25 * u64::from(attempt)));
+            }
+            Err(RequestError::Fatal(e)) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::TimedOut,
+            "request not answered within the attempt budget",
+        )
+    }))
+}
+
+enum RequestError {
+    /// Server said RETRY_AFTER: back off, then re-request.
+    Backoff(u32),
+    /// Transport damage: reconnect and re-request.
+    Io(io::Error),
+    /// Server rejected the request itself (unknown figure, version skew):
+    /// retrying cannot help.
+    Fatal(io::Error),
+}
+
+fn one_attempt(
+    addr: &str,
+    request: &Frame,
+    cells: &mut std::collections::BTreeMap<(String, String), CellReply>,
+) -> Result<Frame, RequestError> {
+    let mut stream = TcpStream::connect(addr).map_err(RequestError::Io)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(RequestError::Io)?;
+    stream.set_nodelay(true).ok();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            proto: PROTO_VERSION,
+        },
+    )
+    .map_err(RequestError::Io)?;
+    match read_frame(&mut stream).map_err(RequestError::Io)? {
+        Frame::HelloAck { proto } if proto == PROTO_VERSION => {}
+        Frame::HelloAck { proto } => {
+            return Err(RequestError::Fatal(bad(&format!(
+                "server speaks protocol {proto}, this client {PROTO_VERSION}"
+            ))));
+        }
+        Frame::Error { code, message } => {
+            return Err(RequestError::Fatal(bad(&format!(
+                "server error {code}: {message}"
+            ))));
+        }
+        other => {
+            return Err(RequestError::Io(bad(&format!(
+                "expected HELLO_ACK, got {other:?}"
+            ))));
+        }
+    }
+    write_frame(&mut stream, request).map_err(RequestError::Io)?;
+    loop {
+        match read_frame(&mut stream).map_err(RequestError::Io)? {
+            Frame::Cell(c) => {
+                cells.insert((c.workload.clone(), c.slug.clone()), c);
+            }
+            done @ Frame::Done { .. } => return Ok(done),
+            Frame::RetryAfter { millis } => return Err(RequestError::Backoff(millis)),
+            Frame::Error { code, message } => {
+                return Err(RequestError::Fatal(bad(&format!(
+                    "server error {code}: {message}"
+                ))));
+            }
+            other => {
+                return Err(RequestError::Io(bad(&format!(
+                    "unexpected frame mid-stream: {other:?}"
+                ))));
+            }
+        }
+    }
+}
+
+/// Liveness probe: one PING whose PONG must echo the token.
+pub fn send_ping(addr: &str, token: u64) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            proto: PROTO_VERSION,
+        },
+    )?;
+    match read_frame(&mut stream)? {
+        Frame::HelloAck { .. } => {}
+        other => return Err(bad(&format!("expected HELLO_ACK, got {other:?}"))),
+    }
+    write_frame(&mut stream, &Frame::Ping { token })?;
+    match read_frame(&mut stream)? {
+        Frame::Pong { token: echoed } if echoed == token => Ok(()),
+        Frame::Pong { token: echoed } => Err(bad(&format!(
+            "PONG echoed {echoed:#x}, expected {token:#x}"
+        ))),
+        other => Err(bad(&format!("expected PONG, got {other:?}"))),
+    }
+}
+
+/// Sends a single control frame (SHUTDOWN) and returns once the server has
+/// acknowledged by closing the connection.
+pub fn send_shutdown(addr: &str) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            proto: PROTO_VERSION,
+        },
+    )?;
+    match read_frame(&mut stream)? {
+        Frame::HelloAck { .. } => {}
+        other => return Err(bad(&format!("expected HELLO_ACK, got {other:?}"))),
+    }
+    write_frame(&mut stream, &Frame::Shutdown)?;
+    // The server closes the connection once the drain is underway.
+    match read_frame(&mut stream) {
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(()),
+        Err(e) => Err(e),
+        Ok(Frame::Done { .. }) => Ok(()),
+        Ok(other) => Err(bad(&format!("unexpected SHUTDOWN reply: {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let bytes = f.encode();
+        let got = read_frame(&mut &bytes[..]).expect("roundtrip");
+        assert_eq!(got, f);
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        roundtrip(Frame::Hello { proto: 1 });
+        roundtrip(Frame::HelloAck { proto: 7 });
+        roundtrip(Frame::Job {
+            workload: "a+b".into(),
+            slug: "constable".into(),
+            deadline_ms: 250,
+        });
+        roundtrip(Frame::Figure {
+            id: "fig11".into(),
+            deadline_ms: 0,
+        });
+        roundtrip(Frame::Sweep { deadline_ms: 9 });
+        roundtrip(Frame::Ping { token: 0xdead });
+        roundtrip(Frame::Pong { token: 0xbeef });
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Cell(CellReply {
+            workload: "w".into(),
+            slug: "baseline".into(),
+            status: CellStatus::Failed,
+            cycles: 1,
+            retired: 2,
+            stats_digest: 3,
+            fail_kind: "deadline".into(),
+            detail: "expired".into(),
+        }));
+        roundtrip(Frame::Done {
+            total: 4,
+            computed: 1,
+            from_store: 2,
+            failed: 1,
+        });
+        roundtrip(Frame::Error {
+            code: 2,
+            message: "unknown figure".into(),
+        });
+        roundtrip(Frame::RetryAfter { millis: 150 });
+    }
+
+    #[test]
+    fn damage_is_rejected_not_misread() {
+        let good = Frame::Figure {
+            id: "fig11".into(),
+            deadline_ms: 0,
+        }
+        .encode();
+
+        // Flipped payload bit → checksum mismatch.
+        let mut flipped = good.clone();
+        let mid = 12;
+        flipped[mid] ^= 0x10;
+        let e = read_frame(&mut &flipped[..]).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+
+        // Torn tail → UnexpectedEof, not a partial parse.
+        let torn = &good[..good.len() - 3];
+        let e = read_frame(&mut &torn[..]).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Wrong magic.
+        let mut wrong = good.clone();
+        wrong[0] ^= 0xFF;
+        let e = read_frame(&mut &wrong[..]).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+
+        // Oversized length claim.
+        let mut huge = good;
+        huge[6..10].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let e = read_frame(&mut &huge[..]).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+
+        // Clean EOF before any byte is distinguishable.
+        let empty: &[u8] = &[];
+        let e = read_frame(&mut &empty[..]).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(e.to_string().contains("eof"));
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_from_one_stream() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&Frame::Ping { token: 1 }.encode());
+        buf.extend_from_slice(&Frame::Ping { token: 2 }.encode());
+        let mut r: &[u8] = &buf;
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Ping { token: 1 });
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Ping { token: 2 });
+        let e = read_frame(&mut r).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

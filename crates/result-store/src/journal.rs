@@ -111,12 +111,16 @@ pub struct TailDamage {
     pub discarded: u64,
 }
 
-/// The live journal: an index of key hash → latest Put entry, plus the
-/// open append handle.
+/// The live journal: an index of key hash → latest Put entry, plus (in
+/// exclusive mode) the open append handle.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: File,
+    /// Persistent append handle. `Some` for an exclusively-opened journal;
+    /// `None` for a shared open, where every append opens the file fresh
+    /// (`O_APPEND`) so a concurrent compaction's rename can never strand
+    /// this process's entries on an orphaned inode.
+    file: Option<File>,
     /// Latest surviving Put per key hash.
     live: HashMap<u64, JournalEntry>,
     /// Entries replayed from disk (live + superseded), for compaction
@@ -127,7 +131,29 @@ pub struct Journal {
 impl Journal {
     /// Opens (creating if absent) and replays the journal in `root`.
     /// A torn or corrupt tail is truncated in place and reported.
+    /// Requires exclusive ownership of the store (the pid lock): the heal
+    /// truncation would destroy a concurrent writer's in-progress append.
     pub fn open(root: &Path) -> io::Result<(Self, Option<TailDamage>)> {
+        let (mut journal, damage) = Self::replay(root, true)?;
+        journal.file = Some(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&journal.path)?,
+        );
+        Ok((journal, damage))
+    }
+
+    /// Opens and replays the journal *without* healing or keeping an
+    /// append handle — the shared (lock-free) mode. What looks like a torn
+    /// tail may be another process's append in flight, so replay simply
+    /// stops there; nothing on disk is modified and no damage is reported
+    /// (the next exclusive open heals a genuinely torn tail).
+    pub fn open_shared(root: &Path) -> io::Result<Self> {
+        Ok(Self::replay(root, false)?.0)
+    }
+
+    fn replay(root: &Path, heal: bool) -> io::Result<(Self, Option<TailDamage>)> {
         let path = root.join(JOURNAL_FILE);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
@@ -157,7 +183,7 @@ impl Journal {
             }
         }
 
-        let damage = if good < bytes.len() {
+        let damage = if heal && good < bytes.len() {
             // Truncate the file back to the last healthy entry so the next
             // append starts from a clean boundary.
             let f = OpenOptions::new().write(true).open(&path)?;
@@ -171,11 +197,10 @@ impl Journal {
             None
         };
 
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok((
             Journal {
                 path,
-                file,
+                file: None,
                 live,
                 replayed,
             },
@@ -183,10 +208,25 @@ impl Journal {
         ))
     }
 
-    /// Appends one entry and fsyncs.
+    /// Appends one entry and fsyncs. In shared mode the file is opened
+    /// fresh for each append: the 33-byte `O_APPEND` write lands atomically
+    /// at the current end of whichever file generation is live, so
+    /// concurrent processes interleave whole self-checking entries.
     pub fn append(&mut self, entry: JournalEntry) -> io::Result<()> {
-        self.file.write_all(&entry.encode())?;
-        self.file.sync_all()?;
+        match &mut self.file {
+            Some(f) => {
+                f.write_all(&entry.encode())?;
+                f.sync_all()?;
+            }
+            None => {
+                let mut f = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?;
+                f.write_all(&entry.encode())?;
+                f.sync_all()?;
+            }
+        }
         match entry.op {
             JournalOp::Put => {
                 self.live.insert(entry.key_hash, entry);
@@ -235,10 +275,12 @@ impl Journal {
             f.sync_all()?;
         }
         fs::rename(&tmp, &self.path)?;
-        self.file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
+        self.file = Some(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?,
+        );
         self.replayed = entries.len();
         Ok(())
     }

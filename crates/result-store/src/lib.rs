@@ -42,7 +42,9 @@ pub use chaos::{IoChaosPlan, IoFault};
 pub use journal::{Journal, JournalEntry, JournalOp};
 pub use key::StoreKey;
 pub use record::{RecordHeader, FORMAT_VERSION};
-pub use store::{GetOutcome, ResultStore, StoreDefect, StoreDefectKind, StoreStats};
+pub use store::{
+    process_alive, GetOutcome, OpenMode, ResultStore, StoreDefect, StoreDefectKind, StoreStats,
+};
 
 /// Version of the **key** byte layout: the tuple
 /// (`WorkloadSpec::stable_key_encode`, `CoreConfig::stable_encode`, run

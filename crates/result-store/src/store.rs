@@ -113,6 +113,20 @@ const LOCK_FILE: &str = "LOCK";
 const LOCK_ATTEMPTS: u32 = 40;
 const LOCK_RETRY: Duration = Duration::from_millis(50);
 
+/// How the store was opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Sole owner: holds the pid lock, heals the journal tail on open,
+    /// compacts when worthwhile.
+    Exclusive,
+    /// Lock-free reader/writer sharing the directory with other processes.
+    /// Never heals, truncates, or compacts (what looks like damage may be
+    /// another process's write in flight); reads through to object files
+    /// the in-memory index has not seen; appends via fresh `O_APPEND`
+    /// handles so a concurrent compaction cannot strand its entries.
+    Shared,
+}
+
 /// The open store. All methods degrade on damage — they quarantine and
 /// report, never panic, so a corrupted store can only cost recomputes.
 #[derive(Debug)]
@@ -124,7 +138,7 @@ pub struct ResultStore {
     /// Defects found during open (journal-tail damage), drained by the
     /// harness once.
     open_defects: Vec<StoreDefect>,
-    locked: bool,
+    mode: OpenMode,
 }
 
 impl ResultStore {
@@ -134,10 +148,7 @@ impl ResultStore {
     /// uncreatable directory, lock timeout) — record damage never fails an
     /// open.
     pub fn open(root: &Path, chaos: Option<IoChaosPlan>) -> io::Result<Self> {
-        fs::create_dir_all(root)?;
-        fs::create_dir_all(root.join("objects"))?;
-        fs::create_dir_all(root.join("quarantine"))?;
-        fs::create_dir_all(root.join("tmp"))?;
+        create_layout(root)?;
 
         acquire_lock(root, chaos.as_ref())?;
         let (mut journal, tail_damage) = match Journal::open(root) {
@@ -175,8 +186,32 @@ impl ResultStore {
             chaos,
             stats,
             open_defects,
-            locked: true,
+            mode: OpenMode::Exclusive,
         })
+    }
+
+    /// Opens the store at `root` in [`OpenMode::Shared`]: no lock taken, no
+    /// journal heal or compaction, and `get` reads through to object files
+    /// the replayed index has not seen. Safe to hold concurrently with an
+    /// exclusive owner or other shared openers — interleaved damage can
+    /// only cost recomputes, never wrong answers (every hit re-verifies
+    /// the record's checksums and embedded key bytes).
+    pub fn open_shared(root: &Path, chaos: Option<IoChaosPlan>) -> io::Result<Self> {
+        create_layout(root)?;
+        let journal = Journal::open_shared(root)?;
+        Ok(ResultStore {
+            root: root.to_path_buf(),
+            journal,
+            chaos,
+            stats: StoreStats::default(),
+            open_defects: Vec::new(),
+            mode: OpenMode::Shared,
+        })
+    }
+
+    /// How this handle was opened.
+    pub fn mode(&self) -> OpenMode {
+        self.mode
     }
 
     /// Defects detected while opening (torn journal tail), at most once.
@@ -243,7 +278,8 @@ impl ResultStore {
     /// treats [`GetOutcome::Defect`] as a miss plus a registry entry.
     pub fn get(&mut self, key: &StoreKey) -> GetOutcome {
         let key_hash = key.hash();
-        if self.journal.lookup(key_hash).is_none() {
+        let indexed = self.journal.lookup(key_hash).is_some();
+        if !indexed && self.mode == OpenMode::Exclusive {
             self.stats.misses += 1;
             return GetOutcome::Miss;
         }
@@ -251,6 +287,12 @@ impl ResultStore {
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                if !indexed {
+                    // Shared-mode read-through probe: nothing promised this
+                    // record exists, so its absence is a plain miss.
+                    self.stats.misses += 1;
+                    return GetOutcome::Miss;
+                }
                 let defect = self.defect(
                     StoreDefectKind::MissingObject,
                     key_hash,
@@ -307,7 +349,16 @@ impl ResultStore {
         let payload_checksum = sim_mem::TraceDigest::of_bytes(payload);
 
         let final_path = self.object_path(key);
-        let tmp_path = self.root.join("tmp").join(key.object_name());
+        // Stage under a name unique to this process *and* this write, so
+        // two processes (or two puts of colliding hashes) sharing the store
+        // can never scribble over each other's staging file mid-fsync.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp_path = self.root.join("tmp").join(format!(
+            "{}.{}.{}",
+            key.object_name(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
         {
             let mut f = File::create(&tmp_path)?;
             f.write_all(&rec)?;
@@ -389,10 +440,18 @@ impl ResultStore {
 
 impl Drop for ResultStore {
     fn drop(&mut self) {
-        if self.locked {
+        if self.mode == OpenMode::Exclusive {
             let _ = fs::remove_file(self.root.join(LOCK_FILE));
         }
     }
+}
+
+fn create_layout(root: &Path) -> io::Result<()> {
+    fs::create_dir_all(root)?;
+    fs::create_dir_all(root.join("objects"))?;
+    fs::create_dir_all(root.join("quarantine"))?;
+    fs::create_dir_all(root.join("tmp"))?;
+    Ok(())
 }
 
 fn classify(err: &RecordError, file_len: usize) -> (StoreDefectKind, u64, u64, u64) {
@@ -476,12 +535,27 @@ fn acquire_lock(root: &Path, chaos: Option<&IoChaosPlan>) -> io::Result<()> {
 fn lock_is_stale(path: &Path) -> bool {
     match fs::read_to_string(path) {
         Ok(s) => match s.trim().parse::<u32>() {
-            Ok(pid) => pid != std::process::id() && !Path::new(&format!("/proc/{pid}")).exists(),
+            Ok(pid) => pid != std::process::id() && !process_alive(pid),
             Err(_) => true,
         },
         // Vanished between the create_new failure and this read.
         Err(_) => false,
     }
+}
+
+/// Whether a process with this pid exists, as far as this platform can
+/// tell. On Linux `/proc/<pid>` is authoritative. Elsewhere there is no
+/// dependency-free probe, so the answer is conservatively `true`: a lock
+/// is never stolen from a process that might still be alive (the worst
+/// case is a lock-timeout error the operator resolves by deleting LOCK).
+#[cfg(target_os = "linux")]
+pub fn process_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn process_alive(_pid: u32) -> bool {
+    true
 }
 
 #[cfg(test)]
@@ -642,6 +716,93 @@ mod tests {
         assert_eq!(defects.len(), 1);
         assert_eq!(defects[0].kind, StoreDefectKind::JournalTail);
         let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shared_open_reads_through_past_a_stale_index() {
+        let root = tmp_root("shared-rt");
+        // The shared handle opens first, so its replayed index is empty.
+        let mut shared = ResultStore::open_shared(&root, None).unwrap();
+        assert_eq!(shared.mode(), OpenMode::Shared);
+        assert!(matches!(shared.get(&key(1)), GetOutcome::Miss));
+
+        // An exclusive owner (a concurrent CLI process, in spirit) writes.
+        let mut owner = ResultStore::open(&root, None).unwrap();
+        owner.put(&key(1), b"written-by-owner", 0x11).unwrap();
+
+        // The shared handle sees it without reopening: read-through.
+        match shared.get(&key(1)) {
+            GetOutcome::Hit {
+                payload,
+                stats_digest,
+            } => {
+                assert_eq!(payload, b"written-by-owner");
+                assert_eq!(stats_digest, 0x11);
+            }
+            other => panic!("expected read-through hit, got {other:?}"),
+        }
+        // And records it never heard of stay plain misses, not defects.
+        assert!(matches!(shared.get(&key(2)), GetOutcome::Miss));
+        assert_eq!(shared.stats().hits, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shared_open_ignores_the_lock_and_its_writes_survive_replay() {
+        let root = tmp_root("shared-wr");
+        let owner = ResultStore::open(&root, None).unwrap();
+        // Shared open succeeds while the pid lock is held and live.
+        let mut shared = ResultStore::open_shared(&root, None).unwrap();
+        shared.put(&key(9), b"from-shared", 0x99).unwrap();
+        match shared.get(&key(9)) {
+            GetOutcome::Hit { payload, .. } => assert_eq!(payload, b"from-shared"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        drop(shared);
+        drop(owner);
+        // A later exclusive open replays the shared handle's journal append.
+        let mut reopened = ResultStore::open(&root, None).unwrap();
+        assert!(reopened.take_open_defects().is_empty());
+        assert!(matches!(reopened.get(&key(9)), GetOutcome::Hit { .. }));
+        drop(reopened);
+        // Only exclusive handles touch the LOCK file: the shared drop left
+        // it alone, and the last exclusive drop removed it.
+        assert!(!root.join("LOCK").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shared_open_never_heals_a_torn_journal_tail() {
+        let root = tmp_root("shared-tail");
+        {
+            let mut s = ResultStore::open(&root, None).unwrap();
+            s.put(&key(1), b"one", 0x1).unwrap();
+            s.put(&key(2), b"two", 0x2).unwrap();
+        }
+        // Tear the journal tail: could equally be an append in flight.
+        let jpath = root.join(crate::journal::JOURNAL_FILE);
+        let len = fs::metadata(&jpath).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&jpath).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let mut shared = ResultStore::open_shared(&root, None).unwrap();
+        assert!(shared.take_open_defects().is_empty());
+        assert_eq!(
+            fs::metadata(&jpath).unwrap().len(),
+            len - 5,
+            "shared open must leave the journal bytes untouched"
+        );
+        // The torn entry's record is still served via read-through.
+        assert!(matches!(shared.get(&key(2)), GetOutcome::Hit { .. }));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn process_alive_sees_self_and_not_an_impossible_pid() {
+        assert!(process_alive(std::process::id()));
+        #[cfg(target_os = "linux")]
+        assert!(!process_alive(4_194_999));
     }
 
     #[test]

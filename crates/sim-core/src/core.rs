@@ -387,6 +387,13 @@ pub struct Core<'p> {
     /// Cycle of the most recent retirement, any thread (forward-progress
     /// watchdog input; only read when `cfg.watchdog_no_retire` is set).
     last_retire_cycle: u64,
+    /// Wall-clock deadline for the whole run, if one was attached with
+    /// [`Core::set_deadline`]: polled every few thousand loop iterations
+    /// (one `Instant::now()` call, invisible on the hot path), and on
+    /// expiry the run aborts through the watchdog freeze path with
+    /// [`crate::fault::FreezeCause::Deadline`]. `None` (and free) outside
+    /// deadline-carrying server requests.
+    deadline: Option<std::time::Instant>,
     /// Attached scheduling-trace recorder (see [`crate::trace`]); `None`
     /// (and therefore free) outside the trace-oracle tests.
     tracer: Option<TraceRecorder>,
@@ -477,9 +484,20 @@ impl<'p> Core<'p> {
             issue_seq: 0,
             first_mismatch: None,
             last_retire_cycle: 0,
+            deadline: None,
             tracer: None,
             cfg,
         }
+    }
+
+    /// Attaches a wall-clock deadline to the next [`Core::run`]: once it
+    /// passes, the run aborts cleanly with a frozen snapshot whose
+    /// [`SimError::kind`](crate::SimError::kind) is `"deadline"` — the
+    /// abandonment path a serving layer uses for per-request budgets. The
+    /// timed-out core is dismantled like any watchdog abort (scratch
+    /// recoverable via [`Core::into_scratch`]); nothing leaks.
+    pub fn set_deadline(&mut self, at: std::time::Instant) {
+        self.deadline = Some(at);
     }
 
     /// Attaches a scheduling-trace recorder; the next [`Core::run`] feeds
@@ -518,6 +536,11 @@ impl<'p> Core<'p> {
         let guard = 400 * target_per_thread + 2_000_000;
         let mut hit_guard = false;
         let mut watchdog = None;
+        // Deadline polling cadence: one `Instant::now()` per this many loop
+        // iterations. Coarse enough to be invisible, fine enough that an
+        // expired request is abandoned within a few milliseconds.
+        const DEADLINE_POLL_MASK: u64 = 8191;
+        let mut iters: u64 = 0;
         while self.threads.iter().any(|t| t.retired < target_per_thread) {
             self.cycle_work = false;
             self.complete_phase();
@@ -594,9 +617,21 @@ impl<'p> Core<'p> {
             // abort instead of spinning to the much larger cycle guard.
             if let Some(budget) = self.cfg.watchdog_no_retire {
                 if self.now - self.last_retire_cycle > budget {
-                    watchdog = Some(self.freeze_snapshot());
+                    watchdog = Some(self.freeze_snapshot(crate::fault::FreezeCause::NoRetire));
                     break;
                 }
+            }
+            // Wall-clock deadline hook, beside the watchdog: polled on a
+            // coarse iteration cadence so healthy runs pay one branch on a
+            // `None` option per cycle and nothing else.
+            if let Some(at) = self.deadline {
+                // Polling at iteration 0 means an already-expired budget
+                // aborts before any work, however short the run.
+                if iters & DEADLINE_POLL_MASK == 0 && std::time::Instant::now() >= at {
+                    watchdog = Some(self.freeze_snapshot(crate::fault::FreezeCause::Deadline));
+                    break;
+                }
+                iters += 1;
             }
             if self.now >= guard {
                 hit_guard = true;
@@ -629,9 +664,11 @@ impl<'p> Core<'p> {
         }
     }
 
-    /// Captures the machine state the watchdog aborted on (cold path).
-    fn freeze_snapshot(&self) -> crate::fault::FrozenSnapshot {
+    /// Captures the machine state the watchdog/deadline aborted on (cold
+    /// path).
+    fn freeze_snapshot(&self, cause: crate::fault::FreezeCause) -> crate::fault::FrozenSnapshot {
         crate::fault::FrozenSnapshot {
+            cause,
             cycle: self.now,
             last_retire_cycle: self.last_retire_cycle,
             retired_per_thread: self.threads.iter().map(|t| t.retired).collect(),

@@ -1,0 +1,135 @@
+//! Deterministic wire-level and worker fault injection.
+//!
+//! A [`NetChaosPlan`] is a pure function of its seed, like the sweep
+//! engine's `ChaosPlan` and the store's `IoChaosPlan`:
+//!
+//! * **wire faults** are keyed `(seed, connection id)` — each connection
+//!   draws at most *one* scheduled fault (torn frame, disconnect, stall,
+//!   corrupt byte) at a drawn frame index, so a retrying client makes
+//!   progress: every reconnect is a fresh draw, roughly a third of which
+//!   are clean, and cells answered before the fault land in the store;
+//! * **worker panics** are keyed `(seed, cell key hash, attempt)` and are
+//!   only ever scheduled for attempt 0 — a supervised retry of the same
+//!   cell always runs clean, which is what makes "every request is
+//!   eventually answered" a theorem of the plan rather than luck.
+//!
+//! The same seed therefore produces the same faults on the same
+//! connection/cell schedule, and a CI soak either always passes or always
+//! fails — never flakes.
+
+/// One scheduled wire fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Write a prefix of the frame, then drop the connection — the peer
+    /// sees a torn frame (`UnexpectedEof` mid-frame).
+    TornFrame,
+    /// Drop the connection before the frame — the peer sees a clean EOF
+    /// where a frame was due.
+    Disconnect,
+    /// Stall mid-stream for a few hundred milliseconds, then continue —
+    /// exercises read timeouts without killing the stream.
+    Stall,
+    /// Flip one payload byte — the peer's checksum rejects the frame.
+    CorruptByte,
+}
+
+/// Where in a connection's outgoing frame stream its fault (if any) fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFault {
+    pub fault: NetFault,
+    /// 0-based index into the frames the server writes on this connection.
+    pub frame_index: u64,
+}
+
+/// Seeded, deterministic chaos schedule for the server.
+#[derive(Debug, Clone, Copy)]
+pub struct NetChaosPlan {
+    seed: u64,
+}
+
+// splitmix64: the same tiny mixer the sweep/store chaos plans use.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl NetChaosPlan {
+    pub fn new(seed: u64) -> Self {
+        NetChaosPlan { seed }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The single wire fault scheduled for `conn_id`, if any. Roughly 2/3
+    /// of connections draw one; which frame it hits is drawn from the
+    /// first 24 frames (early enough to fire on short streams too).
+    pub fn wire_fault(&self, conn_id: u64) -> Option<WireFault> {
+        let draw = mix(self.seed ^ mix(conn_id.wrapping_add(0xc0de)));
+        if draw % 16 < 6 {
+            return None; // clean connection
+        }
+        let fault = match (draw >> 8) % 4 {
+            0 => NetFault::TornFrame,
+            1 => NetFault::Disconnect,
+            2 => NetFault::Stall,
+            _ => NetFault::CorruptByte,
+        };
+        Some(WireFault {
+            fault,
+            frame_index: (draw >> 16) % 24,
+        })
+    }
+
+    /// Whether the worker picking up `key_hash` on retry `attempt` should
+    /// panic before simulating. Scheduled only at `attempt == 0`, for
+    /// roughly 1/5 of cells — the supervised requeue always completes.
+    pub fn worker_panic(&self, key_hash: u64, attempt: u32) -> bool {
+        attempt == 0 && mix(self.seed ^ mix(key_hash)) % 16 < 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let a = NetChaosPlan::new(42);
+        let b = NetChaosPlan::new(42);
+        let c = NetChaosPlan::new(43);
+        let fa: Vec<_> = (0..64).map(|id| a.wire_fault(id)).collect();
+        let fb: Vec<_> = (0..64).map(|id| b.wire_fault(id)).collect();
+        let fc: Vec<_> = (0..64).map(|id| c.wire_fault(id)).collect();
+        assert_eq!(fa, fb);
+        assert_ne!(fa, fc, "different seeds must differ somewhere in 64 draws");
+    }
+
+    #[test]
+    fn some_connections_are_clean_and_some_faulty() {
+        let plan = NetChaosPlan::new(7);
+        let faulty = (0..256).filter(|&id| plan.wire_fault(id).is_some()).count();
+        assert!(
+            (64..=224).contains(&faulty),
+            "fault rate drifted: {faulty}/256"
+        );
+    }
+
+    #[test]
+    fn worker_panics_never_survive_a_retry() {
+        let plan = NetChaosPlan::new(99);
+        let panicking = (0..256u64)
+            .map(mix)
+            .filter(|&k| plan.worker_panic(k, 0))
+            .count();
+        assert!(panicking > 10, "seed 99 schedules some panics: {panicking}");
+        for k in (0..256u64).map(mix) {
+            for attempt in 1..4 {
+                assert!(!plan.worker_panic(k, attempt), "retries must run clean");
+            }
+        }
+    }
+}

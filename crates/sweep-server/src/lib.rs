@@ -1,0 +1,707 @@
+//! # sweep-server — a fault-tolerant job server for sweep cells
+//!
+//! A std-only threaded TCP server that executes the same (workload ×
+//! machine) cells as the `experiments` sweep engine, one request at a
+//! time, surviving everything the harness can throw at it:
+//!
+//! * requests arrive over the length-prefixed, checksummed frame protocol
+//!   of [`experiments::wire`] and stream per-cell results back
+//!   incrementally;
+//! * identical in-flight cells are **deduped** by their stable result-store
+//!   key (the same key `result-store` files them under), and repeats are
+//!   answered **from the store** at warm-rerender speed;
+//! * per-request **deadlines** ride into the simulator core
+//!   ([`sim_core::Core::set_deadline`]); an expired cell is abandoned
+//!   cleanly through the watchdog/quarantine path and returned as a
+//!   failure *datum*, never a dropped connection;
+//! * worker shards run under a **supervisor** ([`supervisor`]): a panicked
+//!   shard is joined, its poisoned scratch discarded with the thread, its
+//!   task requeued with exponential backoff (bounded retries, then a
+//!   `CellFailure`-style reply), and a fresh shard spawned;
+//! * the queue is **bounded** with all-or-nothing admission — overload is
+//!   answered with a RETRY_AFTER frame, not a wedged accept loop — and
+//!   idle/slow-client socket timeouts mean a slow-loris client costs one
+//!   connection handler, never a worker;
+//! * SIGTERM (or a SHUTDOWN frame) triggers a **graceful drain**: stop
+//!   accepting, answer everything already admitted, flush the store, exit
+//!   0/2/3 like the sweep binary;
+//! * `--net-chaos <seed>` injects deterministic wire faults (torn frames,
+//!   disconnects, stalls, corrupt bytes) and worker panics ([`chaos`]) so
+//!   every recovery path above is exercised end to end in CI.
+
+pub mod chaos;
+pub mod queue;
+pub mod signal;
+pub mod supervisor;
+
+use chaos::{NetChaosPlan, NetFault, WireFault};
+use experiments::wire::{self, CellReply, CellStatus, Frame};
+use experiments::{decode_outcome, CellSpec, JobContext, RunLength};
+use queue::BoundedQueue;
+use result_store::{GetOutcome, ResultStore, StoreKey};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error-frame codes the server emits.
+pub mod error_code {
+    /// HELLO carried a protocol version this build does not speak.
+    pub const VERSION_SKEW: u16 = 1;
+    /// Unknown figure id / workload / machine slug in a request.
+    pub const BAD_REQUEST: u16 = 2;
+    /// The server is draining and admits no new work.
+    pub const DRAINING: u16 = 3;
+    /// A frame arrived that makes no sense at this point of the dialogue.
+    pub const PROTOCOL: u16 = 4;
+}
+
+/// Everything configurable about a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free one (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker shard count (each owns one `SimScratch`).
+    pub shards: usize,
+    /// Bounded queue capacity — the load-shedding threshold.
+    pub queue_capacity: usize,
+    /// Supervised retries per cell after worker panics, before the cell is
+    /// answered as a `panic` failure.
+    pub max_retries: u32,
+    /// Instructions per cell.
+    pub run_length: RunLength,
+    /// Restrict the suite to its first N workloads (`None` = all 90).
+    pub subset: Option<usize>,
+    /// Persistent result store directory (opened *shared*: a concurrent
+    /// `experiments --store-dir` CLI on the same directory is fine).
+    pub store_dir: Option<PathBuf>,
+    /// Storage-fault injection seed (requires `store_dir`).
+    pub io_chaos: Option<u64>,
+    /// Wire/worker fault injection seed.
+    pub net_chaos: Option<u64>,
+    /// How long a connection may sit idle between frames before it is
+    /// dropped (also the slow-loris bound on partial frames).
+    pub idle_timeout: Duration,
+    /// How long one outgoing write may stall before the client is dropped.
+    pub write_timeout: Duration,
+    /// Whether to install the raw-syscall SIGTERM watcher (the binary
+    /// does; in-process tests drain via [`ServerHandle::drain`] instead).
+    pub watch_sigterm: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 2,
+            queue_capacity: 256,
+            max_retries: 3,
+            run_length: RunLength::quick(),
+            subset: None,
+            store_dir: None,
+            io_chaos: None,
+            net_chaos: None,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            watch_sigterm: false,
+        }
+    }
+}
+
+/// Lifetime counters, snapshotted into the [`ExitReport`].
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub computed: AtomicU64,
+    pub store_hits: AtomicU64,
+    pub failed: AtomicU64,
+    pub watchdog_aborts: AtomicU64,
+    pub deadline_aborts: AtomicU64,
+    pub sheds: AtomicU64,
+    pub shard_restarts: AtomicU64,
+    pub injected_panics: AtomicU64,
+    pub requests: AtomicU64,
+    pub connections: AtomicU64,
+}
+
+/// What a drained server reports on exit.
+#[derive(Debug, Clone)]
+pub struct ExitReport {
+    pub computed: u64,
+    pub store_hits: u64,
+    pub failed: u64,
+    pub watchdog_aborts: u64,
+    pub deadline_aborts: u64,
+    pub sheds: u64,
+    pub shard_restarts: u64,
+    pub injected_panics: u64,
+    pub requests: u64,
+    pub connections: u64,
+    /// Process exit code, sweep-compatible: 0 every cell clean, 2 failed
+    /// cells were served, 3 at least one watchdog abort.
+    pub exit_code: i32,
+}
+
+/// One queued unit of work. Cloned into the shard's published slot so the
+/// supervisor can requeue it if the shard dies mid-cell.
+#[derive(Debug, Clone)]
+pub struct Task {
+    pub cell: CellSpec,
+    pub key: StoreKey,
+    pub deadline: Option<Instant>,
+    pub attempt: u32,
+}
+
+/// State shared by the accept loop, connection handlers, workers, and the
+/// supervisor.
+pub struct Shared {
+    pub ctx: JobContext,
+    pub queue: BoundedQueue<Task>,
+    /// key hash → the reply senders of every request waiting on that cell.
+    pub inflight: Mutex<HashMap<u64, Vec<mpsc::Sender<CellReply>>>>,
+    pub store: Mutex<Option<ResultStore>>,
+    pub chaos: Option<NetChaosPlan>,
+    pub draining: AtomicBool,
+    pub queue_closed: AtomicBool,
+    pub active_requests: AtomicUsize,
+    pub max_retries: u32,
+    pub counters: Counters,
+}
+
+impl Shared {
+    /// Removes the cell's waiter list and fans the reply out to all of
+    /// them. A waiter whose connection died just drops the send.
+    pub fn deliver(&self, key_hash: u64, reply: CellReply) {
+        let waiters = self
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(&key_hash)
+            .unwrap_or_default();
+        for w in waiters {
+            let _ = w.send(reply.clone());
+        }
+    }
+
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Bind errors surface from [`Server::spawn`]; after
+/// that, the server runs until drained.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    run: std::thread::JoinHandle<ExitReport>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Triggers a graceful drain, as SIGTERM or a SHUTDOWN frame would.
+    pub fn drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Access to the live counters (tests).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Waits for the drain to complete and returns the exit report.
+    pub fn join(self) -> ExitReport {
+        self.run.join().expect("server run loop panicked")
+    }
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns shards + supervisor (+ SIGTERM watcher if asked), and
+    /// returns a handle. The caller decides process-level concerns (the
+    /// binary blocks on [`ServerHandle::join`] and exits with the code).
+    pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let specs = match cfg.subset {
+            Some(k) => sim_workload::suite_subset(k),
+            None => sim_workload::suite(),
+        };
+        let io_plan = cfg.io_chaos.map(result_store::IoChaosPlan::new);
+        let store =
+            match &cfg.store_dir {
+                // Shared open: read-through, no healing, no LOCK — a CLI sweep
+                // holding the exclusive lock on the same directory coexists.
+                Some(dir) => Some(ResultStore::open_shared(dir, io_plan).map_err(|e| {
+                    io::Error::new(e.kind(), format!("store {}: {e}", dir.display()))
+                })?),
+                None => None,
+            };
+        let shared = Arc::new(Shared {
+            ctx: JobContext::new(specs, cfg.run_length),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            inflight: Mutex::new(HashMap::new()),
+            store: Mutex::new(store),
+            chaos: cfg.net_chaos.map(NetChaosPlan::new),
+            draining: AtomicBool::new(false),
+            queue_closed: AtomicBool::new(false),
+            active_requests: AtomicUsize::new(0),
+            max_retries: cfg.max_retries,
+            counters: Counters::default(),
+        });
+        let supervisor = supervisor::spawn(Arc::clone(&shared), cfg.shards);
+        if cfg.watch_sigterm {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sigterm-watcher".into())
+                .spawn(move || {
+                    while !s.is_draining() {
+                        if signal::wait_sigterm(Duration::from_millis(200)) {
+                            eprintln!("[sweep-server] SIGTERM: draining");
+                            s.begin_drain();
+                        }
+                    }
+                })?;
+        }
+        let s = Arc::clone(&shared);
+        let run = std::thread::Builder::new()
+            .name("accept-loop".into())
+            .spawn(move || run_loop(listener, s, supervisor, cfg))?;
+        Ok(ServerHandle { addr, shared, run })
+    }
+}
+
+fn run_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    supervisor: std::thread::JoinHandle<()>,
+    cfg: ServerConfig,
+) -> ExitReport {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    let mut conn_id: u64 = 0;
+    while !shared.is_draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                conn_id += 1;
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let s = Arc::clone(&shared);
+                let c = cfg.clone();
+                let id = conn_id;
+                let _ = std::thread::Builder::new()
+                    .name(format!("conn-{id}"))
+                    .spawn(move || {
+                        let _ = handle_connection(&s, stream, id, &c);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                eprintln!("[sweep-server] accept error: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    drop(listener); // stop accepting: refused, not queued
+
+    // Drain: every admitted cell has an inflight entry; wait until all are
+    // answered. No new admissions arrive (handlers check the drain flag),
+    // so this strictly shrinks — modulo the benign race of a request that
+    // passed the flag check just as it flipped, which simply extends the
+    // wait until it, too, is answered.
+    loop {
+        let outstanding = shared.inflight.lock().expect("inflight lock").len();
+        if outstanding == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Give connection handlers a bounded moment to flush their streams
+    // (the replies are already computed and stored; a stalled client's
+    // write timeout caps this).
+    let flush_deadline = Instant::now() + cfg.write_timeout + Duration::from_secs(2);
+    while shared.active_requests.load(Ordering::SeqCst) > 0 && Instant::now() < flush_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Retire the shards and the supervisor.
+    shared.queue_closed.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    supervisor.join().expect("supervisor panicked");
+    // Flush the store: dropping the handle closes the journal append
+    // handle; every append was already written straight through, so the
+    // journal is replayable by the next open.
+    *shared.store.lock().expect("store lock") = None;
+
+    let c = &shared.counters;
+    let failed = c.failed.load(Ordering::Relaxed);
+    let watchdog = c.watchdog_aborts.load(Ordering::Relaxed);
+    ExitReport {
+        computed: c.computed.load(Ordering::Relaxed),
+        store_hits: c.store_hits.load(Ordering::Relaxed),
+        failed,
+        watchdog_aborts: watchdog,
+        deadline_aborts: c.deadline_aborts.load(Ordering::Relaxed),
+        sheds: c.sheds.load(Ordering::Relaxed),
+        shard_restarts: c.shard_restarts.load(Ordering::Relaxed),
+        injected_panics: c.injected_panics.load(Ordering::Relaxed),
+        requests: c.requests.load(Ordering::Relaxed),
+        connections: c.connections.load(Ordering::Relaxed),
+        exit_code: if watchdog > 0 {
+            3
+        } else if failed > 0 {
+            2
+        } else {
+            0
+        },
+    }
+}
+
+/// Server-side frame writer that injects this connection's scheduled wire
+/// fault (if any) at its drawn frame index.
+struct ChaosWriter<'a> {
+    stream: &'a TcpStream,
+    fault: Option<WireFault>,
+    frame_idx: u64,
+}
+
+impl<'a> ChaosWriter<'a> {
+    fn new(stream: &'a TcpStream, fault: Option<WireFault>) -> Self {
+        ChaosWriter {
+            stream,
+            fault,
+            frame_idx: 0,
+        }
+    }
+
+    fn write(&mut self, frame: &Frame) -> io::Result<()> {
+        let idx = self.frame_idx;
+        self.frame_idx += 1;
+        let mut bytes = frame.encode();
+        if let Some(wf) = self.fault {
+            if wf.frame_index == idx {
+                match wf.fault {
+                    NetFault::TornFrame => {
+                        let half = bytes.len() / 2;
+                        let _ = (&mut self.stream).write_all(&bytes[..half]);
+                        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "net-chaos: torn frame",
+                        ));
+                    }
+                    NetFault::Disconnect => {
+                        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "net-chaos: disconnect",
+                        ));
+                    }
+                    NetFault::Stall => {
+                        std::thread::sleep(Duration::from_millis(300));
+                        // then write the frame intact
+                    }
+                    NetFault::CorruptByte => {
+                        // Flip the checksum's last byte: the client's
+                        // verifier must reject the frame, never misread it.
+                        let last = bytes.len() - 1;
+                        bytes[last] ^= 0x40;
+                    }
+                }
+            }
+        }
+        (&mut self.stream).write_all(&bytes)?;
+        (&mut self.stream).flush()
+    }
+}
+
+fn handle_connection(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    conn_id: u64,
+    cfg: &ServerConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(cfg.idle_timeout))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    stream.set_nodelay(true).ok();
+    let fault = shared.chaos.and_then(|p| p.wire_fault(conn_id));
+    let mut reader = &stream;
+    let mut writer = ChaosWriter::new(&stream, fault);
+    match wire::read_frame(&mut reader)? {
+        Frame::Hello { proto } if proto == wire::PROTO_VERSION => {
+            writer.write(&Frame::HelloAck {
+                proto: wire::PROTO_VERSION,
+            })?;
+        }
+        Frame::Hello { proto } => {
+            writer.write(&Frame::Error {
+                code: error_code::VERSION_SKEW,
+                message: format!(
+                    "server speaks protocol {}, not {proto}",
+                    wire::PROTO_VERSION
+                ),
+            })?;
+            return Ok(());
+        }
+        _ => {
+            writer.write(&Frame::Error {
+                code: error_code::PROTOCOL,
+                message: "expected HELLO".to_string(),
+            })?;
+            return Ok(());
+        }
+    }
+    loop {
+        let frame = match wire::read_frame(&mut reader) {
+            Ok(f) => f,
+            // Clean close, idle timeout, or garbage: drop the connection.
+            Err(_) => return Ok(()),
+        };
+        match frame {
+            Frame::Ping { token } => writer.write(&Frame::Pong { token })?,
+            Frame::Shutdown => {
+                eprintln!("[sweep-server] SHUTDOWN frame: draining");
+                shared.begin_drain();
+                return Ok(());
+            }
+            req @ (Frame::Job { .. } | Frame::Figure { .. } | Frame::Sweep { .. }) => {
+                if shared.is_draining() {
+                    writer.write(&Frame::Error {
+                        code: error_code::DRAINING,
+                        message: "server is draining".to_string(),
+                    })?;
+                    return Ok(());
+                }
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                shared.active_requests.fetch_add(1, Ordering::SeqCst);
+                let out = handle_request(shared, &mut writer, req);
+                shared.active_requests.fetch_sub(1, Ordering::SeqCst);
+                out?;
+                if shared.is_draining() {
+                    // Don't let an idle keep-alive connection outlive the
+                    // drain window.
+                    return Ok(());
+                }
+            }
+            _ => {
+                writer.write(&Frame::Error {
+                    code: error_code::PROTOCOL,
+                    message: "unexpected frame".to_string(),
+                })?;
+            }
+        }
+    }
+}
+
+/// Expands the request into cells, answers what the store already holds,
+/// dedupes against in-flight work, admits the rest (all or nothing), then
+/// streams replies as they complete.
+fn handle_request(
+    shared: &Arc<Shared>,
+    writer: &mut ChaosWriter<'_>,
+    req: Frame,
+) -> io::Result<()> {
+    let (cells, deadline_ms) = match expand_request(shared, &req) {
+        Ok(pair) => pair,
+        Err(message) => {
+            return writer.write(&Frame::Error {
+                code: error_code::BAD_REQUEST,
+                message,
+            });
+        }
+    };
+    let deadline =
+        (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+
+    let mut ready: Vec<CellReply> = Vec::new(); // answered before any queueing
+    let mut to_compute: Vec<(CellSpec, StoreKey)> = Vec::new();
+    let mut seen = HashSet::new();
+    for cell in cells {
+        if !seen.insert((cell.workload.clone(), cell.kind.slug())) {
+            continue; // same cell twice in one request
+        }
+        let Some(key) = shared.ctx.store_key_for(&cell) else {
+            ready.push(failure_reply(
+                &cell,
+                "panic",
+                format!("unresolvable workload {:?}", cell.workload),
+            ));
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        if let Some(reply) = store_lookup(shared, &cell, &key) {
+            ready.push(reply);
+            continue;
+        }
+        to_compute.push((cell, key));
+    }
+
+    // Admission: register waiters and enqueue new tasks under the inflight
+    // lock, so a concurrent delivery can't slip between "join this entry"
+    // and "push its task". All-or-nothing: a refused batch registers
+    // nothing and the whole request is shed.
+    let (tx, rx) = mpsc::channel::<CellReply>();
+    let expected = {
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        let mut new_tasks = Vec::new();
+        let mut creates: Vec<u64> = Vec::new();
+        let mut joins = Vec::new();
+        for (cell, key) in &to_compute {
+            let hash = key.hash();
+            if inflight.contains_key(&hash) || creates.contains(&hash) {
+                joins.push(hash);
+            } else {
+                creates.push(hash);
+                new_tasks.push(Task {
+                    cell: cell.clone(),
+                    key: key.clone(),
+                    deadline,
+                    attempt: 0,
+                });
+            }
+        }
+        if shared.queue.try_push_all(new_tasks).is_err() {
+            drop(inflight);
+            shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
+            return writer.write(&Frame::RetryAfter { millis: 250 });
+        }
+        for hash in &creates {
+            inflight.insert(*hash, vec![tx.clone()]);
+        }
+        for hash in &joins {
+            inflight
+                .get_mut(hash)
+                .expect("joined entry exists")
+                .push(tx.clone());
+        }
+        creates.len() + joins.len()
+    };
+    drop(tx);
+
+    // Stream: store/failure answers first, then computed cells in
+    // completion order.
+    let mut totals = (0u32, 0u32, 0u32); // computed, from_store, failed
+    let bump = |c: &CellReply, totals: &mut (u32, u32, u32)| match c.status {
+        CellStatus::Computed => totals.0 += 1,
+        CellStatus::FromStore => totals.1 += 1,
+        CellStatus::Failed => totals.2 += 1,
+    };
+    for c in &ready {
+        bump(c, &mut totals);
+        writer.write(&Frame::Cell(c.clone()))?;
+    }
+    for _ in 0..expected {
+        // Generous bound: every admitted task is answered by a worker or
+        // the supervisor; this cap only breaks a truly wedged server.
+        match rx.recv_timeout(Duration::from_secs(600)) {
+            Ok(c) => {
+                bump(&c, &mut totals);
+                writer.write(&Frame::Cell(c))?;
+            }
+            Err(_) => {
+                return writer.write(&Frame::Error {
+                    code: error_code::PROTOCOL,
+                    message: "server lost a cell (wedge guard)".to_string(),
+                });
+            }
+        }
+    }
+    writer.write(&Frame::Done {
+        total: totals.0 + totals.1 + totals.2,
+        computed: totals.0,
+        from_store: totals.1,
+        failed: totals.2,
+    })
+}
+
+/// Request frame → flat cell list (+ deadline), or a BAD_REQUEST message.
+fn expand_request(shared: &Arc<Shared>, req: &Frame) -> Result<(Vec<CellSpec>, u32), String> {
+    match req {
+        Frame::Job {
+            workload,
+            slug,
+            deadline_ms,
+        } => {
+            let Some(kind) = experiments::MachineKind::from_slug(slug) else {
+                return Err(format!("unknown machine slug {slug:?}"));
+            };
+            if shared.ctx.resolve(workload).is_none() {
+                return Err(format!("unknown workload {workload:?}"));
+            }
+            Ok((vec![CellSpec::new(workload.clone(), kind)], *deadline_ms))
+        }
+        Frame::Figure { id, deadline_ms } => {
+            match experiments::figure_cells(id, shared.ctx.specs()) {
+                Some(cells) => Ok((cells, *deadline_ms)),
+                None => Err(format!(
+                    "figure {id:?} is not a (workload x machine) matrix this server can expand"
+                )),
+            }
+        }
+        Frame::Sweep { deadline_ms } => {
+            Ok((experiments::sweep_cells(shared.ctx.specs()), *deadline_ms))
+        }
+        _ => Err("not a request frame".to_string()),
+    }
+}
+
+/// Store probe at admission and again at execution time (the cell may
+/// have landed in the store between the two — another process, or an
+/// earlier attempt whose client vanished). `None` = miss (or no store).
+pub(crate) fn store_lookup(
+    shared: &Arc<Shared>,
+    cell: &CellSpec,
+    key: &StoreKey,
+) -> Option<CellReply> {
+    let mut guard = shared.store.lock().expect("store lock");
+    let store = guard.as_mut()?;
+    match store.get(key) {
+        GetOutcome::Hit {
+            payload,
+            stats_digest,
+        } => match decode_outcome(&payload) {
+            Ok(outcome) => {
+                shared.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+                Some(CellReply {
+                    workload: cell.workload.clone(),
+                    slug: cell.kind.slug().to_string(),
+                    status: CellStatus::FromStore,
+                    cycles: outcome.result.stats.cycles,
+                    retired: outcome.result.stats.retired,
+                    stats_digest,
+                    fail_kind: String::new(),
+                    detail: String::new(),
+                })
+            }
+            Err(_) => None, // undecodable payload: recompute (and overwrite)
+        },
+        // Miss, or a defect the store already quarantined: recompute.
+        GetOutcome::Miss | GetOutcome::Defect(_) => None,
+    }
+}
+
+/// A `Failed` reply for a cell, in the CellFailure vocabulary.
+pub(crate) fn failure_reply(cell: &CellSpec, kind: &str, detail: String) -> CellReply {
+    CellReply {
+        workload: cell.workload.clone(),
+        slug: cell.kind.slug().to_string(),
+        status: CellStatus::Failed,
+        cycles: 0,
+        retired: 0,
+        stats_digest: 0,
+        fail_kind: kind.to_string(),
+        detail,
+    }
+}

@@ -1,0 +1,119 @@
+//! The `sweep-server` binary.
+//!
+//! ```text
+//! sweep-server [--addr HOST:PORT] [--shards N] [--queue N] [--retries N]
+//!              [--quick|--len N] [--subset N]
+//!              [--store-dir PATH] [--io-chaos SEED] [--net-chaos SEED]
+//!              [--idle-timeout-ms N] [--write-timeout-ms N]
+//! ```
+//!
+//! Runs until SIGTERM or a wire-level SHUTDOWN frame, then drains
+//! gracefully and exits with the sweep-compatible code: 0 every served
+//! cell clean, 2 failed cells were served, 3 at least one watchdog abort.
+//!
+//! Flag validation is strict, mirroring the `experiments` binary: a chaos
+//! flag without the feature it injects into (`--io-chaos` without
+//! `--store-dir`) is a usage error, not a silent no-op — and so is an
+//! unparseable `SIM_STORE`-style environment seed.
+
+use experiments::RunLength;
+use std::time::Duration;
+use sweep_server::{signal, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep-server [--addr HOST:PORT] [--shards N] [--queue N] [--retries N] \
+         [--quick|--len N] [--subset N] [--store-dir PATH] [--io-chaos SEED] \
+         [--net-chaos SEED] [--idle-timeout-ms N] [--write-timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
+    *i += 1;
+    match args.get(*i).and_then(|s| s.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} requires a valid value");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    // Before any thread exists, so every thread inherits the blocked mask
+    // and SIGTERM becomes a drain trigger instead of a kill.
+    let sigterm_ok = signal::block_sigterm();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServerConfig {
+        run_length: RunLength::quick(),
+        watch_sigterm: sigterm_ok,
+        ..ServerConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => cfg.addr = parse(&args, &mut i, "--addr"),
+            "--shards" => cfg.shards = parse(&args, &mut i, "--shards"),
+            "--queue" => cfg.queue_capacity = parse(&args, &mut i, "--queue"),
+            "--retries" => cfg.max_retries = parse(&args, &mut i, "--retries"),
+            "--quick" => cfg.run_length = RunLength::quick(),
+            "--len" => cfg.run_length = RunLength(parse(&args, &mut i, "--len")),
+            "--subset" => cfg.subset = Some(parse(&args, &mut i, "--subset")),
+            "--store-dir" => {
+                cfg.store_dir = Some(std::path::PathBuf::from(parse::<String>(
+                    &args,
+                    &mut i,
+                    "--store-dir",
+                )));
+            }
+            "--io-chaos" => cfg.io_chaos = Some(parse(&args, &mut i, "--io-chaos")),
+            "--net-chaos" => cfg.net_chaos = Some(parse(&args, &mut i, "--net-chaos")),
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Duration::from_millis(parse(&args, &mut i, "--idle-timeout-ms"));
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout =
+                    Duration::from_millis(parse(&args, &mut i, "--write-timeout-ms"));
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    // Chaos flags without the feature they inject into are usage errors:
+    // a soak that silently ran fault-free would certify nothing.
+    if cfg.io_chaos.is_some() && cfg.store_dir.is_none() {
+        eprintln!("--io-chaos injects storage faults; it requires --store-dir");
+        std::process::exit(2);
+    }
+
+    let handle = match Server::spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("sweep-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    let report = handle.join();
+    eprintln!(
+        "[sweep-server] drained: {} computed, {} from store, {} failed ({} watchdog, {} \
+         deadline), {} sheds, {} shard restarts ({} injected panics), {} requests on {} \
+         connections",
+        report.computed,
+        report.store_hits,
+        report.failed,
+        report.watchdog_aborts,
+        report.deadline_aborts,
+        report.sheds,
+        report.shard_restarts,
+        report.injected_panics,
+        report.requests,
+        report.connections,
+    );
+    std::process::exit(report.exit_code);
+}

@@ -1,0 +1,154 @@
+//! Bounded MPMC work queue with explicit, all-or-nothing admission.
+//!
+//! Backpressure is a *frame*, not a stall: a request whose cells don't all
+//! fit is refused atomically ([`BoundedQueue::try_push_all`]) and the
+//! client told to come back ([`crate::wire`]'s RETRY_AFTER), instead of a
+//! connection handler blocking on a full queue while holding a socket.
+//! The supervisor's crash requeues use [`BoundedQueue::push_unbounded`]:
+//! work that was *already admitted* must never be shed by its own retry.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Outcome of a [`BoundedQueue::pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    Item(T),
+    /// Nothing arrived within the timeout; the queue is still open.
+    TimedOut,
+    /// The queue is closed *and drained* — the worker should exit.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Mutex+Condvar bounded queue (std has no bounded channel).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits every item or none: if the batch would exceed capacity (or
+    /// the queue is closed), the whole batch comes back untouched and the
+    /// caller sheds the request. One lock acquisition — two racing
+    /// admissions cannot interleave into a half-admitted request.
+    pub fn try_push_all(&self, batch: Vec<T>) -> Result<(), Vec<T>> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.items.len() + batch.len() > self.capacity {
+            return Err(batch);
+        }
+        inner.items.extend(batch);
+        drop(inner);
+        self.ready.notify_all();
+        Ok(())
+    }
+
+    /// Enqueues past the capacity bound (and even past `close`): the
+    /// supervisor's requeue of a crashed shard's task. The task was
+    /// admitted once; its retry must not be shed, and a drain must still
+    /// answer it.
+    pub fn push_unbounded(&self, item: T) {
+        self.inner.lock().expect("queue lock").items.push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Waits up to `timeout` for an item. After [`BoundedQueue::close`],
+    /// pops keep draining queued items and report [`Popped::Closed`] only
+    /// once empty — admitted work completes through a drain.
+    pub fn pop(&self, timeout: Duration) -> Popped<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Popped::Item(item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let (next, result) = self.ready.wait_timeout(inner, timeout).expect("queue lock");
+            inner = next;
+            if result.timed_out() {
+                return match inner.items.pop_front() {
+                    Some(item) => Popped::Item(item),
+                    None if inner.closed => Popped::Closed,
+                    None => Popped::TimedOut,
+                };
+            }
+        }
+    }
+
+    /// Refuses all further admissions and wakes every waiting worker.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_is_all_or_nothing() {
+        let q = BoundedQueue::new(3);
+        assert!(q.try_push_all(vec![1, 2]).is_ok());
+        let refused = q.try_push_all(vec![3, 4]).expect_err("would overflow");
+        assert_eq!(refused, vec![3, 4]);
+        assert_eq!(q.len(), 2, "refused batch left no residue");
+        assert!(q.try_push_all(vec![3]).is_ok());
+    }
+
+    #[test]
+    fn unbounded_push_ignores_capacity_and_close() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push_all(vec![1]).is_ok());
+        q.push_unbounded(2);
+        q.close();
+        q.push_unbounded(3);
+        assert!(q.try_push_all(vec![4]).is_err(), "closed refuses admission");
+        let t = Duration::from_millis(10);
+        assert_eq!(q.pop(t), Popped::Item(1));
+        assert_eq!(q.pop(t), Popped::Item(2));
+        assert_eq!(q.pop(t), Popped::Item(3));
+        assert_eq!(q.pop(t), Popped::Closed);
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push_unbounded(7u32);
+        assert_eq!(h.join().unwrap(), Popped::Item(7));
+        assert_eq!(q.pop(Duration::from_millis(5)), Popped::TimedOut);
+    }
+}

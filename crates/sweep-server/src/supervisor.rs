@@ -1,0 +1,222 @@
+//! Worker shards and the supervisor that keeps them alive.
+//!
+//! A shard is one thread owning one `SimScratch`. It does **not**
+//! `catch_unwind`: a panic (injected by net-chaos, or real) kills the
+//! thread, and the scratch — possibly poisoned mid-simulation — dies with
+//! it. The supervisor polls its shards, joins the corpse, requeues the
+//! task the shard had published to its slot (attempt + 1, exponential
+//! backoff), and spawns a replacement with a *fresh* scratch. A task that
+//! exhausts its retries is answered as a `panic` failure — data, not an
+//! outage. This is the same poisoned-scratch-disposal discipline as the
+//! sweep pool's `run_batch_guarded`, expressed at thread granularity.
+
+use crate::queue::Popped;
+use crate::{failure_reply, Shared, Task};
+use experiments::wire::{CellReply, CellStatus};
+use experiments::{encode_outcome, CellOutcome};
+use sim_core::SimScratch;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One supervised worker.
+struct Shard {
+    handle: JoinHandle<()>,
+    /// The task the shard is currently executing — what the supervisor
+    /// recovers if the shard dies. `None` between tasks.
+    slot: Arc<Mutex<Option<Task>>>,
+}
+
+fn spawn_shard(shared: Arc<Shared>, serial: u64) -> Shard {
+    let slot: Arc<Mutex<Option<Task>>> = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let handle = std::thread::Builder::new()
+        .name(format!("shard-{serial}"))
+        .spawn(move || worker_loop(&shared, &slot2))
+        .expect("spawn shard");
+    Shard { handle, slot }
+}
+
+fn worker_loop(shared: &Arc<Shared>, slot: &Arc<Mutex<Option<Task>>>) {
+    // Fresh scratch per shard incarnation: a respawn after a panic never
+    // reuses state the dying simulation may have poisoned.
+    let mut scratch = SimScratch::new();
+    loop {
+        let task = match shared.queue.pop(Duration::from_millis(200)) {
+            Popped::Item(t) => t,
+            Popped::TimedOut => continue,
+            Popped::Closed => return,
+        };
+        *slot.lock().expect("slot lock") = Some(task.clone());
+        // Execution-time store re-check: keeps "each distinct cell
+        // simulates at most once" true even across the admission races
+        // (a delivery landing between a request's store probe and its
+        // inflight registration).
+        if let Some(reply) = crate::store_lookup(shared, &task.cell, &task.key) {
+            *slot.lock().expect("slot lock") = None;
+            shared.deliver(task.key.hash(), reply);
+            continue;
+        }
+        if let Some(plan) = shared.chaos {
+            if plan.worker_panic(task.key.hash(), task.attempt) {
+                shared
+                    .counters
+                    .injected_panics
+                    .fetch_add(1, Ordering::Relaxed);
+                // Escapes on purpose: the supervisor's restart path is the
+                // thing under test. The slot still holds the task.
+                panic!("net-chaos: injected worker panic on {}", task.cell);
+            }
+        }
+        let outcome = shared.ctx.run_cell(&task.cell, &mut scratch, task.deadline);
+        let reply = conclude(shared, &task, outcome);
+        *slot.lock().expect("slot lock") = None;
+        shared.deliver(task.key.hash(), reply);
+    }
+}
+
+/// Turns a finished cell into its wire reply, persisting successes.
+fn conclude(shared: &Arc<Shared>, task: &Task, outcome: CellOutcome) -> CellReply {
+    match outcome {
+        Ok(run) => {
+            let digest = run.result.stats_digest();
+            if let Some(store) = shared.store.lock().expect("store lock").as_mut() {
+                let payload = encode_outcome(&run);
+                if let Err(e) = store.put(&task.key, &payload, digest) {
+                    eprintln!("[sweep-server] store write failed for {}: {e}", task.cell);
+                }
+            }
+            shared.counters.computed.fetch_add(1, Ordering::Relaxed);
+            CellReply {
+                workload: run.workload.clone(),
+                slug: task.cell.kind.slug().to_string(),
+                status: CellStatus::Computed,
+                cycles: run.result.stats.cycles,
+                retired: run.result.stats.retired,
+                stats_digest: digest,
+                fail_kind: String::new(),
+                detail: String::new(),
+            }
+        }
+        Err(f) => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            match f.kind {
+                "watchdog" => {
+                    shared
+                        .counters
+                        .watchdog_aborts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                "deadline" => {
+                    shared
+                        .counters
+                        .deadline_aborts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            failure_reply(&task.cell, f.kind, f.detail)
+        }
+    }
+}
+
+/// Spawns `shards` workers plus the supervisor thread that owns them.
+/// The supervisor exits once the queue is closed, fully drained, and every
+/// shard has retired cleanly.
+pub fn spawn(shared: Arc<Shared>, shards: usize) -> JoinHandle<()> {
+    let n = shards.max(1);
+    std::thread::Builder::new()
+        .name("supervisor".into())
+        .spawn(move || supervise(&shared, n))
+        .expect("spawn supervisor")
+}
+
+fn supervise(shared: &Arc<Shared>, n: usize) {
+    let mut serial: u64 = 0;
+    let mut spawn_next = |shared: &Arc<Shared>| {
+        serial += 1;
+        spawn_shard(Arc::clone(shared), serial)
+    };
+    let mut shards: Vec<Shard> = (0..n).map(|_| spawn_next(shared)).collect();
+    // Crash requeues being back-off-delayed; released when due.
+    let mut delayed: Vec<(Instant, Task)> = Vec::new();
+    loop {
+        let now = Instant::now();
+        delayed.retain(|(due, task)| {
+            if *due <= now {
+                shared.queue.push_unbounded(task.clone());
+                false
+            } else {
+                true
+            }
+        });
+
+        let mut alive = Vec::with_capacity(shards.len());
+        for shard in shards {
+            if !shard.handle.is_finished() {
+                alive.push(shard);
+                continue;
+            }
+            match shard.handle.join() {
+                Ok(()) => {} // clean retirement (queue closed + drained)
+                Err(payload) => {
+                    shared
+                        .counters
+                        .shard_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                    let msg = panic_text(payload.as_ref());
+                    if let Some(task) = shard.slot.lock().expect("slot lock").take() {
+                        let attempt = task.attempt + 1;
+                        if attempt > shared.max_retries {
+                            // Retries exhausted: the cell is answered as a
+                            // failure datum, in CellFailure vocabulary.
+                            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                            shared.deliver(
+                                task.key.hash(),
+                                failure_reply(
+                                    &task.cell,
+                                    "panic",
+                                    format!(
+                                        "worker panicked {attempt} time(s), retries exhausted: \
+                                         {msg}"
+                                    ),
+                                ),
+                            );
+                        } else {
+                            // Exponential backoff: 50ms, 100ms, 200ms, …
+                            let backoff = Duration::from_millis(25u64 << attempt.min(6));
+                            delayed.push((Instant::now() + backoff, Task { attempt, ..task }));
+                        }
+                    }
+                    // Replace the dead shard (fresh scratch) — even during
+                    // a drain: its requeued task still needs a worker.
+                    alive.push(spawn_next(shared));
+                }
+            }
+        }
+        shards = alive;
+
+        if shards.is_empty() {
+            let closed = shared.queue_closed.load(Ordering::SeqCst);
+            if closed && delayed.is_empty() && shared.queue.is_empty() {
+                return;
+            }
+            // Work still exists (a requeue landed after every shard
+            // retired): bring one back.
+            shards.push(spawn_next(shared));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Best-effort panic payload rendering (same shape as the sweep pool's).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

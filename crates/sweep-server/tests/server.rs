@@ -1,0 +1,355 @@
+//! End-to-end tests of the sweep job server: deduplication, deadlines,
+//! load shedding, slow clients, graceful drain, and the seeded net-chaos
+//! soak (the acceptance gate: every request answered, zero wedges, all
+//! results bit-identical to a chaos-free run).
+//!
+//! ## Net-chaos methodology
+//!
+//! The soak runs the full (machine × workload) matrix through a server
+//! whose wire layer and workers are under seeded fault injection
+//! ([`sweep_server::chaos::NetChaosPlan`]): torn frames, mid-stream
+//! disconnects, stalls, corrupt bytes, and worker panics. The client is
+//! the same retrying loop the `experiments -- client` subcommand uses.
+//! Verification is *differential*: an identical request against a
+//! chaos-free server must produce byte-identical per-cell stats digests —
+//! chaos may cost retries and latency, never answers or correctness.
+
+use experiments::wire::{self, CellStatus, Frame};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use sweep_server::{Server, ServerConfig};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("sweep-server-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create tmp dir");
+    d
+}
+
+fn base_config() -> ServerConfig {
+    ServerConfig {
+        run_length: experiments::RunLength(4_000),
+        subset: Some(2),
+        shards: 2,
+        ..ServerConfig::default()
+    }
+}
+
+fn digests_of(report: &wire::ClientReport) -> BTreeMap<(String, String), u64> {
+    report
+        .cells
+        .iter()
+        .map(|c| ((c.workload.clone(), c.slug.clone()), c.stats_digest))
+        .collect()
+}
+
+#[test]
+fn cold_then_warm_then_drain_with_replayable_journal() {
+    let dir = tmp_dir("warm");
+    let handle = Server::spawn(ServerConfig {
+        store_dir: Some(dir.clone()),
+        ..base_config()
+    })
+    .expect("spawn");
+    let addr = handle.addr();
+
+    let fig = Frame::Figure {
+        id: "fig9a".into(),
+        deadline_ms: 0,
+    };
+    let cold = wire::run_request(&addr, &fig, 3).expect("cold request");
+    assert_eq!(cold.total, 2, "fig9a = Constable x 2 workloads");
+    assert_eq!(cold.computed, 2);
+    assert_eq!(cold.failed, 0);
+
+    let warm = wire::run_request(&addr, &fig, 3).expect("warm request");
+    assert_eq!(warm.from_store, 2, "repeat must be answered from the store");
+    assert_eq!(warm.computed, 0);
+    assert_eq!(
+        digests_of(&cold),
+        digests_of(&warm),
+        "store answers must be bit-identical to the computed ones"
+    );
+
+    handle.drain();
+    let report = handle.join();
+    assert_eq!(report.exit_code, 0, "{report:?}");
+    assert_eq!(report.computed, 2);
+    assert_eq!(report.store_hits, 2);
+
+    // The drained journal replays cleanly into an exclusive open.
+    let mut store = result_store::ResultStore::open(&dir, None).expect("reopen");
+    assert!(store.take_open_defects().is_empty(), "journal damaged");
+    assert_eq!(store.len(), 2, "both computed cells persisted");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_requests_are_deduped() {
+    let dir = tmp_dir("dedupe");
+    let handle = Server::spawn(ServerConfig {
+        store_dir: Some(dir.clone()),
+        ..base_config()
+    })
+    .expect("spawn");
+    let addr = handle.addr();
+    let fig = Frame::Figure {
+        id: "fig9a".into(),
+        deadline_ms: 0,
+    };
+    let a1 = addr.clone();
+    let f1 = fig.clone();
+    let t = std::thread::spawn(move || wire::run_request(&a1, &f1, 3).expect("thread request"));
+    let r2 = wire::run_request(&addr, &fig, 3).expect("main request");
+    let r1 = t.join().expect("client thread");
+    assert_eq!(r1.total, 2);
+    assert_eq!(r2.total, 2);
+    assert_eq!(digests_of(&r1), digests_of(&r2));
+    // Between in-flight dedup and the store, each distinct cell simulated
+    // exactly once for the two identical requests.
+    let computed = handle.shared().counters.computed.load(Ordering::Relaxed);
+    assert_eq!(computed, 2, "dedup/store must prevent recomputation");
+    handle.drain();
+    assert_eq!(handle.join().exit_code, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn expired_deadline_comes_back_as_a_deadline_failure_datum() {
+    let handle = Server::spawn(ServerConfig {
+        run_length: experiments::RunLength(150_000),
+        ..base_config()
+    })
+    .expect("spawn");
+    let addr = handle.addr();
+    let req = Frame::Job {
+        workload: "sysmark-chrome.t1".into(),
+        slug: "baseline".into(),
+        deadline_ms: 1,
+    };
+    let r = wire::run_request(&addr, &req, 3).expect("request must be answered");
+    assert_eq!(r.total, 1);
+    assert_eq!(r.failed, 1, "{:?}", r.cells);
+    assert_eq!(r.cells[0].status, CellStatus::Failed);
+    assert_eq!(r.cells[0].fail_kind, "deadline", "{:?}", r.cells[0]);
+
+    // The same cell without a deadline still runs clean on the same shard
+    // (the abandoned run's scratch was recovered, not poisoned).
+    let clean = wire::run_request(
+        &addr,
+        &Frame::Job {
+            workload: "sysmark-chrome.t1".into(),
+            slug: "baseline".into(),
+            deadline_ms: 0,
+        },
+        3,
+    )
+    .expect("clean request");
+    assert_eq!(clean.computed, 1, "{:?}", clean.cells);
+
+    handle.drain();
+    let report = handle.join();
+    assert!(report.deadline_aborts >= 1, "{report:?}");
+    assert_eq!(report.watchdog_aborts, 0, "deadline is not a watchdog");
+    assert_eq!(report.exit_code, 2, "failures were served: exit 2");
+}
+
+#[test]
+fn overload_is_shed_with_retry_after_not_a_wedge() {
+    let handle = Server::spawn(ServerConfig {
+        queue_capacity: 1,
+        shards: 1,
+        ..base_config()
+    })
+    .expect("spawn");
+    let addr = handle.addr();
+    // 10 cells can never fit a capacity-1 queue: every attempt is shed.
+    let big = Frame::Figure {
+        id: "fig11".into(),
+        deadline_ms: 0,
+    };
+    let err = wire::run_request(&addr, &big, 2).expect_err("must be shed");
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+    assert!(
+        handle.shared().counters.sheds.load(Ordering::Relaxed) >= 2,
+        "sheds must be counted"
+    );
+    // A request that fits is still served — the server is healthy.
+    let small = Frame::Job {
+        workload: "sysmark-chrome.t1".into(),
+        slug: "baseline".into(),
+        deadline_ms: 0,
+    };
+    let r = wire::run_request(&addr, &small, 3).expect("small request");
+    assert_eq!(r.total, 1);
+    assert_eq!(r.failed, 0);
+    handle.drain();
+    handle.join();
+}
+
+#[test]
+fn slow_loris_client_is_dropped_and_costs_no_worker() {
+    let handle = Server::spawn(ServerConfig {
+        idle_timeout: Duration::from_millis(400),
+        ..base_config()
+    })
+    .expect("spawn");
+    let addr = handle.addr();
+
+    // A client that sends half a header and stalls.
+    let mut loris = TcpStream::connect(&addr).expect("connect");
+    loris
+        .write_all(&[0x43, 0x53, 0x57])
+        .expect("partial header");
+    let started = Instant::now();
+
+    // Meanwhile a healthy client is served normally.
+    let r = wire::run_request(
+        &addr,
+        &Frame::Job {
+            workload: "sysmark-chrome.t1".into(),
+            slug: "baseline".into(),
+            deadline_ms: 0,
+        },
+        3,
+    )
+    .expect("healthy client");
+    assert_eq!(r.computed + r.from_store, 1);
+
+    // The stalled connection is dropped within the idle timeout (+margin),
+    // not held forever.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut buf = [0u8; 16];
+    use std::io::Read;
+    let n = loris.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server must close the stalled connection");
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "drop took {:?}",
+        started.elapsed()
+    );
+    handle.drain();
+    assert_eq!(handle.join().exit_code, 0);
+}
+
+#[test]
+fn drain_mid_request_answers_everything_already_admitted() {
+    let dir = tmp_dir("drain");
+    let handle = Server::spawn(ServerConfig {
+        store_dir: Some(dir.clone()),
+        subset: Some(3),
+        ..base_config()
+    })
+    .expect("spawn");
+    let addr = handle.addr();
+    let a2 = addr.clone();
+    let t = std::thread::spawn(move || {
+        wire::run_request(
+            &a2,
+            &Frame::Figure {
+                id: "fig11".into(),
+                deadline_ms: 0,
+            },
+            1,
+        )
+    });
+    // Let the request get admitted, then pull the plug mid-flight.
+    std::thread::sleep(Duration::from_millis(30));
+    handle.drain();
+    let r = t
+        .join()
+        .expect("client thread")
+        .expect("admitted request must complete through the drain");
+    assert_eq!(r.total, 15, "fig11 x 3 workloads");
+    assert_eq!(r.failed, 0);
+    let report = handle.join();
+    assert_eq!(report.exit_code, 0, "{report:?}");
+    // New connections are refused after the drain.
+    assert!(
+        TcpStream::connect(&addr).is_err()
+            || wire::run_request(&addr, &Frame::Ping { token: 1 }, 1).is_err(),
+        "a drained server must not accept new work"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance soak: ≥100 cells through a chaos-injected server, every
+/// request answered, zero wedges, results bit-identical to a clean run.
+#[test]
+fn net_chaos_soak_answers_every_cell_bit_identically() {
+    let subset = 6; // 19 machine kinds x 6 workloads = 114 cells
+    let sweep = Frame::Sweep { deadline_ms: 0 };
+
+    // Reference: chaos-free server.
+    let clean_dir = tmp_dir("soak-clean");
+    let clean = Server::spawn(ServerConfig {
+        subset: Some(subset),
+        store_dir: Some(clean_dir.clone()),
+        ..base_config()
+    })
+    .expect("spawn clean");
+    let clean_report = wire::run_request(&clean.addr(), &sweep, 5).expect("clean sweep");
+    assert_eq!(clean_report.cells.len(), 114);
+    assert_eq!(clean_report.failed, 0);
+    clean.drain();
+    assert_eq!(clean.join().exit_code, 0);
+
+    // Under chaos: same request, seeded wire + worker faults.
+    let chaos_dir = tmp_dir("soak-chaos");
+    let chaotic = Server::spawn(ServerConfig {
+        subset: Some(subset),
+        store_dir: Some(chaos_dir.clone()),
+        net_chaos: Some(42),
+        ..base_config()
+    })
+    .expect("spawn chaotic");
+    let addr = chaotic.addr();
+    let soak = wire::run_request(&addr, &sweep, 50).expect("chaos sweep must complete");
+    assert_eq!(
+        soak.cells.len(),
+        114,
+        "every cell must be answered despite chaos"
+    );
+    for c in &soak.cells {
+        assert_ne!(
+            c.status,
+            CellStatus::Failed,
+            "injected faults must never surface as failed cells: {c:?}"
+        );
+    }
+    assert_eq!(
+        digests_of(&clean_report),
+        digests_of(&soak),
+        "chaos must cost retries, never correctness"
+    );
+
+    let counters = &chaotic.shared().counters;
+    assert!(
+        counters.injected_panics.load(Ordering::Relaxed) > 0,
+        "seed 42 must schedule worker panics over 114 cells"
+    );
+    assert_eq!(
+        counters.shard_restarts.load(Ordering::Relaxed),
+        counters.injected_panics.load(Ordering::Relaxed),
+        "every injected panic is one supervised restart"
+    );
+    assert!(soak.attempts > 1, "wire faults must have forced retries");
+
+    chaotic.drain();
+    let report = chaotic.join();
+    assert_eq!(report.exit_code, 0, "soak must end clean: {report:?}");
+    // Both stores replay and agree on the record count.
+    for dir in [&clean_dir, &chaos_dir] {
+        let mut store = result_store::ResultStore::open(dir, None).expect("reopen");
+        assert!(store.take_open_defects().is_empty());
+        assert_eq!(store.len(), 114, "{}", dir.display());
+    }
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+}

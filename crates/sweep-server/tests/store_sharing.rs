@@ -1,0 +1,107 @@
+//! Cross-process store sharing: one live server (shared open, no LOCK)
+//! and one `experiments --store-dir` CLI sweep (exclusive open, takes the
+//! LOCK) on the *same* store directory, with bit-identical results.
+//!
+//! Requires the `experiments` binary, which `cargo build --release` (the
+//! tier-1 gate that precedes `cargo test` in CI) has already produced; if
+//! it is missing — e.g. a bare `cargo test -p sweep-server` on a clean
+//! tree — the test skips rather than reporting a false failure.
+
+use experiments::wire::{self, Frame};
+use std::process::Command;
+use std::sync::atomic::Ordering;
+use sweep_server::{Server, ServerConfig};
+
+/// `target/release/experiments`, resolved relative to this test binary
+/// (`target/release/deps/store_sharing-…`).
+fn experiments_bin() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let release = exe.parent()?.parent()?;
+    let bin = release.join("experiments");
+    bin.exists().then_some(bin)
+}
+
+#[test]
+fn server_and_cli_share_one_store_directory() {
+    let Some(bin) = experiments_bin() else {
+        eprintln!("skipping: experiments binary not built (run `cargo build --release` first)");
+        return;
+    };
+    let dir = std::env::temp_dir().join(format!("sweep-server-shared-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+
+    // The server opens the store SHARED: no LOCK file, read-through gets.
+    let handle = Server::spawn(ServerConfig {
+        run_length: experiments::RunLength::quick(),
+        subset: Some(1),
+        store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let addr = handle.addr();
+
+    // 1. The server computes fig9a's cells and persists them.
+    let fig = Frame::Figure {
+        id: "fig9a".into(),
+        deadline_ms: 0,
+    };
+    let served = wire::run_request(&addr, &fig, 3).expect("server request");
+    assert_eq!(served.computed, 1, "fig9a x 1 workload, computed fresh");
+    assert!(
+        !dir.join("LOCK").exists(),
+        "a shared open must never create the LOCK"
+    );
+
+    // 2. While the server stays up, the CLI runs the same figure against
+    //    the same directory. It takes the exclusive LOCK (no contention —
+    //    the server holds none) and answers its cell from the server's
+    //    record: a cross-process store hit.
+    let out = Command::new(&bin)
+        .args(["fig9a", "--quick", "--subset", "1", "--store-dir"])
+        .arg(&dir)
+        .output()
+        .expect("run experiments CLI");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "CLI failed: {stderr}\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        stderr.contains("1 hits"),
+        "CLI must hit the server-written record: {stderr}"
+    );
+    assert!(
+        !dir.join("LOCK").exists(),
+        "the CLI must release the LOCK on exit"
+    );
+
+    // 3. The server answers the same figure again — from the store, with
+    //    digests bit-identical to its own computed run (the journal now
+    //    also carries the CLI's appends; replay must handle both writers).
+    let warm = wire::run_request(&addr, &fig, 3).expect("warm request");
+    assert_eq!(warm.from_store, 1);
+    let served_digest = served.cells[0].stats_digest;
+    let warm_digest = warm.cells[0].stats_digest;
+    assert_eq!(
+        served_digest, warm_digest,
+        "cross-process round trip must be bit-identical"
+    );
+    assert_eq!(
+        handle.shared().counters.computed.load(Ordering::Relaxed),
+        1,
+        "nothing recomputed after the CLI ran"
+    );
+
+    handle.drain();
+    assert_eq!(handle.join().exit_code, 0);
+
+    // 4. The directory survives both writers: an exclusive reopen replays
+    //    the journal without defects.
+    let mut store = result_store::ResultStore::open(&dir, None).expect("reopen");
+    assert!(store.take_open_defects().is_empty(), "journal damaged");
+    assert!(!store.is_empty());
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
