@@ -54,6 +54,22 @@ if [[ "${1:-}" != "--fast" ]]; then
     # per-cell quarantine machinery.
     step "sweep smoke (--all, zero quarantine)"
     cargo run -q --release -p experiments -- --all --quick --subset 4 >/dev/null
+
+    # Lockstep-batching smoke: the multi-config grid figures (8 configs per
+    # workload in fig20, five SMT2 machines per pair in fig14) must render
+    # byte-identical text with config-lockstep batching on (the default)
+    # and off (`--no-batch`, every cell scalar). Batch composition is an
+    # implementation detail — any visible difference is a lockstep bug.
+    step "sweep smoke (lockstep batching A/B)"
+    batched_out=$(cargo run -q --release -p experiments -- \
+        fig14 fig20a fig20b --quick --subset 3)
+    scalar_out=$(cargo run -q --release -p experiments -- \
+        fig14 fig20a fig20b --quick --subset 3 --no-batch)
+    if [[ "$batched_out" != "$scalar_out" ]]; then
+        echo "FAIL: batched grid figures differ from the scalar path" >&2
+        diff <(echo "$batched_out") <(echo "$scalar_out") >&2 || true
+        exit 1
+    fi
     step "sweep smoke (--all under chaos)"
     if chaos_out=$(cargo run -q --release -p experiments -- --all --quick --subset 4 --chaos 42 2>/dev/null); then
         echo "FAIL: chaos sweep exited 0 — injection or quarantine is broken" >&2

@@ -37,12 +37,22 @@ const SWEEP: &[&str] = &[
     "amt-granularity",
     "verify",
 ];
+/// The multi-config sensitivity figures — where config-lockstep batching
+/// (one shared functional record tape feeding every grid member) does its
+/// work: fig20a/fig20b run 8 configs per workload, fig14 five SMT2
+/// machines per pair. `sweep/grid-batched` vs `sweep/grid-scalar` is the
+/// fetch-once/simulate-many acceptance pair (≥1.5× on the full run).
+const GRID: &[&str] = &["fig14", "fig20a", "fig20b"];
 /// Tiny run length so every bench iteration terminates quickly.
 const BENCH_LEN: RunLength = RunLength(6_000);
 const SUBSET: usize = 3;
 
 fn run_sweep(session: &SweepSession<'_>) -> usize {
     SWEEP.iter().map(|id| run_figure(id, session).len()).sum()
+}
+
+fn run_grid(session: &SweepSession<'_>) -> usize {
+    GRID.iter().map(|id| run_figure(id, session).len()).sum()
 }
 
 fn sweep_throughput(c: &mut Criterion) {
@@ -58,6 +68,14 @@ fn sweep_throughput(c: &mut Criterion) {
                 run_figure(id, &cached),
                 run_figure(id, &direct),
                 "{id}: memoized sweep output diverged from the uncached path"
+            );
+        }
+        let scalar = SweepSession::new(&specs, BENCH_LEN).without_batching();
+        for id in GRID {
+            assert_eq!(
+                run_figure(id, &cached),
+                run_figure(id, &scalar),
+                "{id}: lockstep-batched grid output diverged from the scalar path"
             );
         }
     }
@@ -82,6 +100,22 @@ fn sweep_throughput(c: &mut Criterion) {
     run_sweep(&warm);
     c.bench_function("sweep/memoized-warm", |b| {
         b.iter(|| std::hint::black_box(run_sweep(&warm)))
+    });
+
+    // The batching A/B: identical memoizing sessions, identical figure set,
+    // the only difference is whether same-workload cells share one
+    // functional record tape (CoreBatch lockstep) or each re-execute it.
+    c.bench_function("sweep/grid-scalar", |b| {
+        b.iter(|| {
+            let session = SweepSession::new(&specs, BENCH_LEN).without_batching();
+            std::hint::black_box(run_grid(&session))
+        })
+    });
+    c.bench_function("sweep/grid-batched", |b| {
+        b.iter(|| {
+            let session = SweepSession::new(&specs, BENCH_LEN);
+            std::hint::black_box(run_grid(&session))
+        })
     });
 }
 

@@ -14,7 +14,7 @@
 use crate::configs::MachineKind;
 use crate::fault::CellFailure;
 use crate::runner::{category_speedups, geomean_speedup, RunOutcome};
-use crate::sweep::{BatchJob, SweepSession};
+use crate::sweep::{BatchJob, MkOracleConfig, MkPairConfig, SweepSession};
 use sim_core::{Core, SimScratch};
 use sim_isa::AddrMode;
 use sim_stats::{geomean, pct, speedup, BoxStats, Table};
@@ -392,17 +392,27 @@ pub fn fig13(session: &SweepSession<'_>) -> Result<String, CellFailure> {
 
 /// Fig 14: SMT2 speedups of EVES, Constable, and EVES+Constable.
 pub fn fig14(session: &SweepSession<'_>) -> Result<String, CellFailure> {
-    let base = session.suite_smt2(|_| MachineKind::Baseline.config(Default::default()))?;
     let kinds = [
         MachineKind::Eves,
         MachineKind::Constable,
         MachineKind::EvesConstable,
     ];
+    // All four pairings in one grid call: per pair, the baseline and the
+    // three machines run as one lockstep batch off shared record tapes.
+    let mks: Vec<Box<MkPairConfig<'_>>> = std::iter::once(MachineKind::Baseline)
+        .chain(kinds)
+        .map(|k| {
+            let mk: Box<MkPairConfig<'_>> = Box::new(move |_| k.config(Default::default()));
+            mk
+        })
+        .collect();
+    let mk_refs: Vec<&MkPairConfig<'_>> = mks.iter().map(|b| b.as_ref()).collect();
+    let mut grid = session.suite_smt2_grid(&mk_refs)?;
+    let base = grid.remove(0);
     let mut text = String::from("Fig 14: speedup over the baseline (SMT2, throughput)\n");
     let mut t = Table::new(["config", "geomean speedup"]);
-    for k in kinds {
-        let res = session.suite_smt2(|_| k.config(Default::default()))?;
-        t.row([k.label(), speedup(geomean_speedup(&base, &res))]);
+    for (k, res) in kinds.iter().zip(&grid) {
+        t.row([k.label(), speedup(geomean_speedup(&base, res))]);
     }
     text.push_str(&t.render());
     Ok(text)
@@ -700,21 +710,26 @@ pub fn fig20a(session: &SweepSession<'_>) -> Result<String, CellFailure> {
     let mut text =
         String::from("Fig 20(a): load execution width sweep (speedup vs 3-wide baseline)\n");
     let mut t = Table::new(["load width", "baseline system", "constable"]);
-    for width in [3u32, 4, 5, 6] {
-        let b = session.suite_with(false, |_, o| {
-            let mut c = MachineKind::Baseline.config(o);
-            c.load_ports = width;
-            c
-        })?;
-        let c = session.suite_with(false, |_, o| {
-            let mut c = MachineKind::Constable.config(o);
-            c.load_ports = width;
-            c
-        })?;
+    let widths = [3u32, 4, 5, 6];
+    // The whole 4×2 sensitivity grid in one call: per workload, all eight
+    // configs run as one lockstep batch off a shared record tape.
+    let mut mks: Vec<Box<MkOracleConfig<'_>>> = Vec::new();
+    for &width in &widths {
+        for kind in [MachineKind::Baseline, MachineKind::Constable] {
+            mks.push(Box::new(move |_, o| {
+                let mut c = kind.config(o);
+                c.load_ports = width;
+                c
+            }));
+        }
+    }
+    let mk_refs: Vec<&MkOracleConfig<'_>> = mks.iter().map(|b| b.as_ref()).collect();
+    let grid = session.suite_grid(false, &mk_refs)?;
+    for (k, &width) in widths.iter().enumerate() {
         t.row([
             width.to_string(),
-            speedup(geomean_speedup(&base, &b)),
-            speedup(geomean_speedup(&base, &c)),
+            speedup(geomean_speedup(&base, &grid[2 * k])),
+            speedup(geomean_speedup(&base, &grid[2 * k + 1])),
         ]);
     }
     text.push_str(&t.render());
@@ -726,17 +741,20 @@ pub fn fig20b(session: &SweepSession<'_>) -> Result<String, CellFailure> {
     let base = session.suite(MachineKind::Baseline)?;
     let mut text = String::from("Fig 20(b): pipeline depth sweep (speedup vs 1x baseline)\n");
     let mut t = Table::new(["depth scale", "baseline system", "constable"]);
-    for scale in [1.0f64, 2.0, 3.0, 4.0] {
-        let b = session.suite_with(false, |_, o| {
-            MachineKind::Baseline.config(o).with_depth_scale(scale)
-        })?;
-        let c = session.suite_with(false, |_, o| {
-            MachineKind::Constable.config(o).with_depth_scale(scale)
-        })?;
+    let scales = [1.0f64, 2.0, 3.0, 4.0];
+    let mut mks: Vec<Box<MkOracleConfig<'_>>> = Vec::new();
+    for &scale in &scales {
+        for kind in [MachineKind::Baseline, MachineKind::Constable] {
+            mks.push(Box::new(move |_, o| kind.config(o).with_depth_scale(scale)));
+        }
+    }
+    let mk_refs: Vec<&MkOracleConfig<'_>> = mks.iter().map(|b| b.as_ref()).collect();
+    let grid = session.suite_grid(false, &mk_refs)?;
+    for (k, &scale) in scales.iter().enumerate() {
         t.row([
             format!("{scale}x"),
-            speedup(geomean_speedup(&base, &b)),
-            speedup(geomean_speedup(&base, &c)),
+            speedup(geomean_speedup(&base, &grid[2 * k])),
+            speedup(geomean_speedup(&base, &grid[2 * k + 1])),
         ]);
     }
     text.push_str(&t.render());

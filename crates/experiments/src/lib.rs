@@ -60,7 +60,7 @@ pub use fault::{CellFailure, CellOutcome};
 pub use jobs::{figure_cells, figure_kinds, sweep_cells, CellSpec, JobContext};
 pub use persist::{decode_outcome, encode_outcome, store_key, PAYLOAD_VERSION};
 pub use runner::{run_one, run_suite, run_suite_smt2, RunLength, RunOutcome, WATCHDOG_BUDGET};
-pub use sweep::{SweepPool, SweepSession};
+pub use sweep::{MkOracleConfig, MkPairConfig, SweepPool, SweepSession};
 
 /// The figure ids the harness understands, with their runners.
 pub const FIGURES: &[&str] = &[

@@ -13,7 +13,9 @@
 //! (workload, configuration) simulation — the Baseline suite above all —
 //! is memoized, so `all` costs the union of distinct runs, not the sum of
 //! per-figure suites. Pass `--uncached` to bypass the session caches (the
-//! pre-memoization behavior, useful for A/B timing).
+//! pre-memoization behavior, useful for A/B timing), or `--no-batch` to
+//! keep the caches but run every missing cell scalar instead of in
+//! config-lockstep batches (byte-identical either way).
 //!
 //! ## Persistent store
 //!
@@ -77,6 +79,7 @@ fn main() {
     let mut n = RunLength::full();
     let mut subset: Option<usize> = None;
     let mut uncached = false;
+    let mut no_batch = false;
     let mut keep_going: Option<bool> = None;
     let mut chaos = env_seed("SIM_CHAOS").map(ChaosPlan::new);
     let mut store_dir: Option<String> = std::env::var("SIM_STORE").ok().filter(|s| !s.is_empty());
@@ -86,6 +89,7 @@ fn main() {
         match args[i].as_str() {
             "--quick" => n = RunLength::quick(),
             "--uncached" => uncached = true,
+            "--no-batch" => no_batch = true,
             "--keep-going" => keep_going = Some(true),
             "--fail-fast" => keep_going = Some(false),
             "--store-dir" => {
@@ -134,7 +138,8 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments -- <figure-id>|all [--quick] [--subset N] [--uncached] \
-             [--keep-going|--fail-fast] [--chaos <seed>] [--store-dir <path>] [--io-chaos <seed>]"
+             [--no-batch] [--keep-going|--fail-fast] [--chaos <seed>] [--store-dir <path>] \
+             [--io-chaos <seed>]"
         );
         eprintln!("       experiments -- cell <workload> <machine-slug> [--depth-scale X] [--quick|--len N]");
         eprintln!(
@@ -168,6 +173,11 @@ fn main() {
     } else {
         SweepSession::new(&specs, n)
     };
+    // `--no-batch` runs every missing cell scalar (the pre-lockstep engine):
+    // the A/B knob behind the batching byte-identity smoke in ci.sh.
+    if no_batch {
+        session = session.without_batching();
+    }
     if let Some(plan) = chaos {
         eprintln!("[chaos mode: seed {}]", plan.seed());
         session = session.with_chaos(plan);

@@ -35,7 +35,7 @@ use crate::runner::{self, RunLength, RunOutcome, WATCHDOG_BUDGET};
 use constable::IdealOracle;
 use load_inspector::LoadReport;
 use result_store::{GetOutcome, ResultStore, StoreDefectKind, StoreStats};
-use sim_core::{Core, CoreConfig, SimScratch};
+use sim_core::{Core, CoreBatch, CoreConfig, SimScratch};
 use sim_workload::{Category, Program, WorkloadSpec};
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -49,6 +49,22 @@ type Job = Box<dyn FnOnce(&mut SimScratch) + Send + 'static>;
 /// A batch job producing a `T` (boxed so heterogeneous figures can share
 /// the pool).
 pub type BatchJob<T> = Box<dyn FnOnce(&mut SimScratch) -> T + Send>;
+
+/// A grid column for [`SweepSession::suite_grid`]: builds one machine per
+/// workload, receiving the workload's cached ideal oracle.
+pub type MkOracleConfig<'a> = dyn Fn(&WorkloadSpec, IdealOracle) -> CoreConfig + Sync + 'a;
+
+/// A grid column for [`SweepSession::suite_smt2_grid`]: builds one machine
+/// per SMT2 pair (keyed by the pair's first workload).
+pub type MkPairConfig<'a> = dyn Fn(&WorkloadSpec) -> CoreConfig + Sync + 'a;
+
+/// A sweep cell keyed for memo write-back: ((workload index, config
+/// fingerprint), the config itself).
+type KeyedCell = ((usize, u64), CoreConfig);
+
+/// An SMT2 sweep cell keyed for memo write-back: ((first workload index,
+/// second workload index, config fingerprint), the config itself).
+type KeyedPairCell = ((usize, usize, u64), CoreConfig);
 
 /// Persistent work-stealing pool: one worker per host core, each owning a
 /// [`SimScratch`] that is threaded through every job it executes. Jobs are
@@ -216,6 +232,11 @@ pub struct SweepSession<'s> {
     /// Every quarantined cell of this session, in discovery order — the
     /// source of the binary's final quarantine table.
     failures: Mutex<Vec<CellFailure>>,
+    /// Whether same-workload cells of one pool submission run as lockstep
+    /// [`CoreBatch`]es off a shared functional record tape (on by
+    /// default). Off, every cell runs scalar — the A/B knob
+    /// `bench/sweep` measures the batched path against.
+    batch: bool,
 }
 
 impl<'s> SweepSession<'s> {
@@ -235,6 +256,7 @@ impl<'s> SweepSession<'s> {
             chaos: None,
             store: Mutex::new(None),
             failures: Mutex::new(Vec::new()),
+            batch: true,
         }
     }
 
@@ -250,7 +272,18 @@ impl<'s> SweepSession<'s> {
             chaos: None,
             store: Mutex::new(None),
             failures: Mutex::new(Vec::new()),
+            batch: false,
         }
+    }
+
+    /// Disables config-lockstep batching: every missing cell runs scalar,
+    /// as the pre-batching engine did. Output is bit-identical either way
+    /// (locked by the trace-oracle goldens and the equivalence tests);
+    /// this knob exists so `bench/sweep` can time the two paths against
+    /// each other.
+    pub fn without_batching(mut self) -> Self {
+        self.batch = false;
+        self
     }
 
     /// Enables deterministic chaos injection on this session's pooled
@@ -667,6 +700,38 @@ impl<'s> SweepSession<'s> {
             .collect()
     }
 
+    /// [`suite_with`](SweepSession::suite_with) over several config makers
+    /// at once: one flat submission covering every (workload × maker)
+    /// cell, so a sensitivity sweep's whole grid reaches
+    /// [`run_config_sets`] together and same-workload cells batch in
+    /// config lockstep (Fig 20's depth/port scaling, Fig 14's pairings).
+    /// Results are per maker, in maker order — identical to calling
+    /// `suite_with` once per maker.
+    pub fn suite_grid(
+        &self,
+        with_oracle: bool,
+        mks: &[&MkOracleConfig<'_>],
+    ) -> Result<Vec<Vec<RunOutcome>>, CellFailure> {
+        if self.cache.is_none() {
+            return mks
+                .iter()
+                .map(|mk| {
+                    let cells = runner::run_suite(self.specs, self.n, with_oracle, |s, o| mk(s, o));
+                    self.record_cell_failures(&cells);
+                    cells.into_iter().collect()
+                })
+                .collect();
+        }
+        let sets: Vec<Vec<CoreConfig>> = mks
+            .iter()
+            .map(|mk| self.configs_for(with_oracle, |s, o| mk(s, o)))
+            .collect();
+        self.run_config_sets(sets)
+            .into_iter()
+            .map(|cells| cells.into_iter().collect())
+            .collect()
+    }
+
     /// Builds the per-workload configs a suite run would use (attaching the
     /// cached oracle when requested). Missing reports are batch-computed on
     /// the pool first, so a cold oracle-needing figure analyzes its
@@ -741,45 +806,109 @@ impl<'s> SweepSession<'s> {
         }
         if !missing.is_empty() {
             let n = self.n;
-            let jobs: Vec<BatchJob<CellOutcome>> = missing
-                .iter()
-                .map(|((i, fp), cfg)| {
-                    let program = self.program(*i);
-                    let name = self.specs[*i].name.clone();
-                    let category = self.specs[*i].category;
-                    let cfg = cfg.clone();
-                    let fp = *fp;
-                    let fault = self.chaos.and_then(|c| c.fault_for(&name, fp));
-                    let job: BatchJob<CellOutcome> = Box::new(move |scratch| {
-                        run_pooled(&program, &name, category, cfg, n, fp, fault, scratch)
+            // Fetch once, simulate many: group the surviving flat list by
+            // workload — every group member runs the same program, so its
+            // functional record stream is shared state, not per-cell work.
+            // Groups of ≥2 execute as lockstep [`CoreBatch`] jobs off one
+            // shared tape (chunked so a huge grid still load-balances
+            // across workers); chaos-faulted cells and singletons run on
+            // the scalar path. Store/memo hits never get here — they were
+            // retained out of `missing` above — so a warm-peeled member
+            // shrinks its batch without touching the siblings' inputs.
+            let mut groups: Vec<(usize, Vec<KeyedCell>)> = Vec::new();
+            for (key, cfg) in missing {
+                match groups.iter_mut().find(|(w, _)| *w == key.0) {
+                    Some((_, v)) => v.push((key, cfg)),
+                    None => groups.push((key.0, vec![(key, cfg)])),
+                }
+            }
+            let mut jobs: Vec<BatchJob<Vec<CellOutcome>>> = Vec::new();
+            let mut job_keys: Vec<Vec<KeyedCell>> = Vec::new();
+            for (i, members) in groups {
+                let program = self.program(i);
+                let name = self.specs[i].name.clone();
+                let category = self.specs[i].category;
+                let (mut scalar, mut lockstep): (Vec<_>, Vec<_>) =
+                    members.into_iter().partition(|&((_, fp), _)| {
+                        self.chaos.is_some_and(|c| c.fault_for(&name, fp).is_some())
                     });
-                    job
-                })
-                .collect();
+                if !self.batch || lockstep.len() == 1 {
+                    scalar.append(&mut lockstep);
+                }
+                for (key, cfg) in scalar {
+                    let program = Arc::clone(&program);
+                    let name = name.clone();
+                    let job_cfg = cfg.clone();
+                    let fp = key.1;
+                    let fault = self.chaos.and_then(|c| c.fault_for(&name, fp));
+                    let job: BatchJob<Vec<CellOutcome>> = Box::new(move |scratch| {
+                        vec![run_pooled(
+                            &program, &name, category, job_cfg, n, fp, fault, scratch,
+                        )]
+                    });
+                    jobs.push(job);
+                    job_keys.push(vec![(key, cfg)]);
+                }
+                for chunk in lockstep.chunks(MAX_LOCKSTEP) {
+                    let keyed = chunk.to_vec();
+                    let program = Arc::clone(&program);
+                    let name = name.clone();
+                    let cells: Vec<(u64, CoreConfig)> = keyed
+                        .iter()
+                        .map(|((_, fp), cfg)| (*fp, cfg.clone()))
+                        .collect();
+                    let job: BatchJob<Vec<CellOutcome>> = Box::new(move |scratch| {
+                        run_pooled_lockstep(&[&program], &name, category, cells, n.0, n, scratch)
+                    });
+                    jobs.push(job);
+                    job_keys.push(keyed);
+                }
+            }
             let outcomes = cache.pool.run_batch_guarded(jobs);
             let mut done = cache.outcomes.lock().expect("outcomes lock");
             let mut store_guard = self.store.lock().expect("store lock");
-            for ((key, cfg), outcome) in missing.into_iter().zip(outcomes) {
-                let (i, fp) = key;
-                let cell = outcome.unwrap_or_else(|payload| {
-                    // The job panicked on its worker: wrap the payload in a
-                    // quarantine bundle, re-asking the chaos plan whether
-                    // this cell was scheduled for an injected panic.
-                    let name = &self.specs[i].name;
-                    let injected = self
-                        .chaos
-                        .is_some_and(|c| c.fault_for(name, fp) == Some(ChaosFault::Panic));
-                    Err(CellFailure::from_panic(name, fp, self.n, payload, injected))
-                });
-                if let Err(f) = &cell {
-                    self.record_failure(f);
+            for (keys, outcome) in job_keys.into_iter().zip(outcomes) {
+                match outcome {
+                    Ok(cells) => {
+                        debug_assert_eq!(cells.len(), keys.len(), "one outcome per member");
+                        for ((key, cfg), cell) in keys.into_iter().zip(cells) {
+                            let (i, _) = key;
+                            if let Err(f) = &cell {
+                                self.record_failure(f);
+                            }
+                            // Persist freshly computed clean cells (the
+                            // store only ever holds verified-Ok outcomes).
+                            if let (Ok(run), Some(store)) = (&cell, store_guard.as_mut()) {
+                                self.store_put(store, &[&self.specs[i]], &cfg, run);
+                            }
+                            done.entry(key).or_insert(cell);
+                        }
+                    }
+                    Err(payload) => {
+                        // The job panicked on its worker: wrap the payload
+                        // in a quarantine bundle for every member (scalar
+                        // jobs have one), re-asking the chaos plan whether
+                        // the cell was scheduled for an injected panic.
+                        for (key, _) in keys {
+                            let (i, fp) = key;
+                            let name = &self.specs[i].name;
+                            let injected = self
+                                .chaos
+                                .is_some_and(|c| c.fault_for(name, fp) == Some(ChaosFault::Panic));
+                            let cell = Err(CellFailure::from_panic(
+                                name,
+                                fp,
+                                self.n,
+                                payload.clone(),
+                                injected,
+                            ));
+                            if let Err(f) = &cell {
+                                self.record_failure(f);
+                            }
+                            done.entry(key).or_insert(cell);
+                        }
+                    }
                 }
-                // Persist freshly computed clean cells (the store only
-                // ever holds verified-Ok outcomes).
-                if let (Ok(run), Some(store)) = (&cell, store_guard.as_mut()) {
-                    self.store_put(store, &[&self.specs[i]], &cfg, run);
-                }
-                done.entry(key).or_insert(cell);
             }
         }
         let done = cache.outcomes.lock().expect("outcomes lock");
@@ -800,33 +929,64 @@ impl<'s> SweepSession<'s> {
     where
         F: Fn(&WorkloadSpec) -> CoreConfig + Sync,
     {
+        self.suite_smt2_grid(&[&mk])
+            .map(|mut v| v.pop().expect("one maker in, one out"))
+    }
+
+    /// [`suite_smt2`](SweepSession::suite_smt2) over several config makers
+    /// at once (Fig 14's four machine pairings): every missing
+    /// (pair × maker) cell reaches the pool as one submission, and
+    /// same-pair cells run as lockstep batches sharing both threads'
+    /// functional record tapes. Results are per maker, in maker order —
+    /// identical to calling `suite_smt2` once per maker.
+    pub fn suite_smt2_grid(
+        &self,
+        mks: &[&MkPairConfig<'_>],
+    ) -> Result<Vec<Vec<RunOutcome>>, CellFailure> {
         let Some(cache) = &self.cache else {
-            let cells = runner::run_suite_smt2(self.specs, self.n, mk);
-            self.record_cell_failures(&cells);
-            return cells.into_iter().collect();
+            return mks
+                .iter()
+                .map(|mk| {
+                    let cells = runner::run_suite_smt2(self.specs, self.n, |s| mk(s));
+                    self.record_cell_failures(&cells);
+                    cells.into_iter().collect()
+                })
+                .collect();
         };
         self.ensure_programs(false);
         let half = self.specs.len() / 2;
-        let keys: Vec<(usize, usize, u64)> = (0..half)
-            .map(|i| (i, i + half, mk(&self.specs[i]).fingerprint()))
+        let keyed: Vec<Vec<(usize, usize, u64)>> = mks
+            .iter()
+            .map(|mk| {
+                (0..half)
+                    .map(|i| (i, i + half, mk(&self.specs[i]).fingerprint()))
+                    .collect()
+            })
             .collect();
-        let mut missing: Vec<(usize, usize, u64)> = {
+        // Flat missing list, deduplicated across makers, each entry
+        // carrying its config (fingerprints don't invert).
+        let mut missing: Vec<((usize, usize, u64), CoreConfig)> = Vec::new();
+        {
             let done = cache.smt2.lock().expect("smt2 lock");
-            keys.iter()
-                .filter(|k| !done.contains_key(k))
-                .copied()
-                .collect()
-        };
+            let mut queued: std::collections::HashSet<(usize, usize, u64)> =
+                std::collections::HashSet::new();
+            for (mk, keys) in mks.iter().zip(&keyed) {
+                for &key in keys {
+                    if !done.contains_key(&key) && queued.insert(key) {
+                        missing.push((key, mk(&self.specs[key.0])));
+                    }
+                }
+            }
+        }
         // Store-resident pairs answer from disk exactly like single-thread
         // cells: the key covers both specs and the pair config.
         if !missing.is_empty() {
             let mut guard = self.store.lock().expect("store lock");
             if let Some(store) = guard.as_mut() {
                 let mut done = cache.smt2.lock().expect("smt2 lock");
-                missing.retain(|&(i, j, fp)| {
-                    let cfg = mk(&self.specs[i]);
+                missing.retain(|&((i, j, fp), ref cfg)| {
                     let pair = [&self.specs[i], &self.specs[j]];
-                    match self.store_lookup(store, &pair, &cfg, fp) {
+                    match self.store_lookup(store, &pair, cfg, fp) {
                         Some(outcome) => {
                             done.entry((i, j, fp)).or_insert(Ok(outcome));
                             false
@@ -838,72 +998,118 @@ impl<'s> SweepSession<'s> {
         }
         if !missing.is_empty() {
             let n = self.n;
-            let jobs: Vec<BatchJob<CellOutcome>> = missing
-                .iter()
-                .map(|&(i, j, fp)| {
-                    let pa = self.program(i);
-                    let pb = self.program(j);
-                    let (na, nb) = (self.specs[i].name.clone(), self.specs[j].name.clone());
-                    let category = self.specs[i].category;
-                    let mut cfg = mk(&self.specs[i]);
-                    let pair = format!("{na}+{nb}");
-                    let fault = self.chaos.and_then(|c| c.fault_for(&pair, fp));
-                    let job: BatchJob<CellOutcome> = Box::new(move |scratch| {
-                        if fault == Some(ChaosFault::Panic) {
-                            panic!("chaos: injected worker panic ({pair})");
-                        }
-                        cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
-                        if fault == Some(ChaosFault::Stall) {
-                            cfg.wedge_after_retire = Some(n.0 / 4);
-                        }
-                        let s = std::mem::take(scratch);
-                        let mut core = Core::new_multi_with_scratch(vec![&pa, &pb], cfg, s);
-                        let mut result = core.run(n.0 / 2);
-                        *scratch = core.into_scratch();
-                        if fault == Some(ChaosFault::CorruptDigest) {
-                            result.stats.golden_mismatches += 1;
-                        }
-                        match result.verify() {
-                            Ok(()) => Ok(RunOutcome {
-                                workload: pair,
-                                category,
-                                result,
-                            }),
-                            Err(e) => {
-                                Err(CellFailure::from_error(&pair, fp, n, &e, fault.is_some()))
-                            }
-                        }
+            // Same grouping as `run_config_sets`, keyed by pair: members
+            // of one pair share both programs, so lockstep batches share
+            // two record tapes (one per hardware thread).
+            let mut groups: Vec<((usize, usize), Vec<KeyedPairCell>)> = Vec::new();
+            for (key, cfg) in missing {
+                match groups.iter_mut().find(|(p, _)| *p == (key.0, key.1)) {
+                    Some((_, v)) => v.push((key, cfg)),
+                    None => groups.push(((key.0, key.1), vec![(key, cfg)])),
+                }
+            }
+            let mut jobs: Vec<BatchJob<Vec<CellOutcome>>> = Vec::new();
+            let mut job_keys: Vec<Vec<KeyedPairCell>> = Vec::new();
+            for ((i, j), members) in groups {
+                let pa = self.program(i);
+                let pb = self.program(j);
+                let pair = format!("{}+{}", self.specs[i].name, self.specs[j].name);
+                let category = self.specs[i].category;
+                let (mut scalar, mut lockstep): (Vec<_>, Vec<_>) =
+                    members.into_iter().partition(|&((_, _, fp), _)| {
+                        self.chaos.is_some_and(|c| c.fault_for(&pair, fp).is_some())
                     });
-                    job
-                })
-                .collect();
+                if !self.batch || lockstep.len() == 1 {
+                    scalar.append(&mut lockstep);
+                }
+                for (key, cfg) in scalar {
+                    let pa = Arc::clone(&pa);
+                    let pb = Arc::clone(&pb);
+                    let pair = pair.clone();
+                    let job_cfg = cfg.clone();
+                    let fp = key.2;
+                    let fault = self.chaos.and_then(|c| c.fault_for(&pair, fp));
+                    let job: BatchJob<Vec<CellOutcome>> = Box::new(move |scratch| {
+                        vec![run_pooled_smt2(
+                            &pa, &pb, &pair, category, job_cfg, n, fp, fault, scratch,
+                        )]
+                    });
+                    jobs.push(job);
+                    job_keys.push(vec![(key, cfg)]);
+                }
+                for chunk in lockstep.chunks(MAX_LOCKSTEP) {
+                    let keyed = chunk.to_vec();
+                    let pa = Arc::clone(&pa);
+                    let pb = Arc::clone(&pb);
+                    let pair = pair.clone();
+                    let cells: Vec<(u64, CoreConfig)> = keyed
+                        .iter()
+                        .map(|((_, _, fp), cfg)| (*fp, cfg.clone()))
+                        .collect();
+                    let job: BatchJob<Vec<CellOutcome>> = Box::new(move |scratch| {
+                        run_pooled_lockstep(
+                            &[&pa, &pb],
+                            &pair,
+                            category,
+                            cells,
+                            n.0 / 2,
+                            n,
+                            scratch,
+                        )
+                    });
+                    jobs.push(job);
+                    job_keys.push(keyed);
+                }
+            }
             let outcomes = cache.pool.run_batch_guarded(jobs);
             let mut done = cache.smt2.lock().expect("smt2 lock");
             let mut store_guard = self.store.lock().expect("store lock");
-            for (key, outcome) in missing.into_iter().zip(outcomes) {
-                let (i, j, fp) = key;
-                let cell = outcome.unwrap_or_else(|payload| {
-                    let pair = format!("{}+{}", self.specs[i].name, self.specs[j].name);
-                    let injected = self
-                        .chaos
-                        .is_some_and(|c| c.fault_for(&pair, fp) == Some(ChaosFault::Panic));
-                    Err(CellFailure::from_panic(
-                        &pair, fp, self.n, payload, injected,
-                    ))
-                });
-                if let Err(f) = &cell {
-                    self.record_failure(f);
+            for (keys, outcome) in job_keys.into_iter().zip(outcomes) {
+                match outcome {
+                    Ok(cells) => {
+                        debug_assert_eq!(cells.len(), keys.len(), "one outcome per member");
+                        for ((key, cfg), cell) in keys.into_iter().zip(cells) {
+                            let (i, j, _) = key;
+                            if let Err(f) = &cell {
+                                self.record_failure(f);
+                            }
+                            if let (Ok(run), Some(store)) = (&cell, store_guard.as_mut()) {
+                                self.store_put(store, &[&self.specs[i], &self.specs[j]], &cfg, run);
+                            }
+                            done.entry(key).or_insert(cell);
+                        }
+                    }
+                    Err(payload) => {
+                        for (key, _) in keys {
+                            let (i, j, fp) = key;
+                            let pair = format!("{}+{}", self.specs[i].name, self.specs[j].name);
+                            let injected = self
+                                .chaos
+                                .is_some_and(|c| c.fault_for(&pair, fp) == Some(ChaosFault::Panic));
+                            let cell = Err(CellFailure::from_panic(
+                                &pair,
+                                fp,
+                                self.n,
+                                payload.clone(),
+                                injected,
+                            ));
+                            if let Err(f) = &cell {
+                                self.record_failure(f);
+                            }
+                            done.entry(key).or_insert(cell);
+                        }
+                    }
                 }
-                if let (Ok(run), Some(store)) = (&cell, store_guard.as_mut()) {
-                    let cfg = mk(&self.specs[i]);
-                    self.store_put(store, &[&self.specs[i], &self.specs[j]], &cfg, run);
-                }
-                done.entry(key).or_insert(cell);
             }
         }
         let done = cache.smt2.lock().expect("smt2 lock");
-        keys.iter()
-            .map(|key| done.get(key).expect("just computed").clone())
+        keyed
+            .iter()
+            .map(|keys| {
+                keys.iter()
+                    .map(|key| done.get(key).expect("just computed").clone())
+                    .collect()
+            })
             .collect()
     }
 
@@ -927,6 +1133,14 @@ impl<'s> SweepSession<'s> {
         }
     }
 }
+
+/// Largest lockstep batch one pool job runs. Bounds the tape spread a
+/// single slow member can force, keeps a wide grid row load-balancing
+/// across workers instead of serializing behind one giant batch, and caps
+/// the live-core memory footprint: measured on the fig20 grids, width 4
+/// runs a cold-scratch round ~15% faster than width 8 (fewer
+/// simultaneously growing ROB/queue/tape allocations) and is parity warm.
+const MAX_LOCKSTEP: usize = 4;
 
 /// One pooled simulation: mirrors `runner::run_one_with_scratch`, except
 /// the program is the session's shared build and the oracle (if any) is
@@ -971,6 +1185,88 @@ fn run_pooled(
         }),
         Err(e) => Err(CellFailure::from_error(name, fp, n, &e, fault.is_some())),
     }
+}
+
+/// [`run_pooled`] for an SMT2 pair: two programs co-scheduled on one core,
+/// half the run length per thread (same convention as
+/// `runner::run_suite_smt2`), chaos wedging at a quarter so the stall
+/// lands mid-run.
+#[allow(clippy::too_many_arguments)]
+fn run_pooled_smt2(
+    pa: &Program,
+    pb: &Program,
+    pair: &str,
+    category: Category,
+    mut cfg: CoreConfig,
+    n: RunLength,
+    fp: u64,
+    fault: Option<ChaosFault>,
+    scratch: &mut SimScratch,
+) -> CellOutcome {
+    if fault == Some(ChaosFault::Panic) {
+        panic!("chaos: injected worker panic ({pair})");
+    }
+    cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
+    if fault == Some(ChaosFault::Stall) {
+        cfg.wedge_after_retire = Some(n.0 / 4);
+    }
+    let s = std::mem::take(scratch);
+    let mut core = Core::new_multi_with_scratch(vec![pa, pb], cfg, s);
+    let mut result = core.run(n.0 / 2);
+    *scratch = core.into_scratch();
+    if fault == Some(ChaosFault::CorruptDigest) {
+        result.stats.golden_mismatches += 1;
+    }
+    match result.verify() {
+        Ok(()) => Ok(RunOutcome {
+            workload: pair.to_string(),
+            category,
+            result,
+        }),
+        Err(e) => Err(CellFailure::from_error(pair, fp, n, &e, fault.is_some())),
+    }
+}
+
+/// One pooled lockstep batch: every `(fingerprint, config)` member runs
+/// `programs` (one per hardware thread) off shared functional record
+/// tapes via [`CoreBatch`], to `target` retired instructions per thread.
+/// Mirrors [`run_pooled`] member-for-member — same watchdog default, same
+/// per-cell verification — minus the chaos knobs, which the caller peels
+/// to the scalar path so an injected fault stays confined to its own
+/// cell. Each member's result is bit-identical to its scalar run (locked
+/// by the trace-oracle goldens and fuzzed by `shortcut_fuzz`).
+fn run_pooled_lockstep(
+    programs: &[&Program],
+    name: &str,
+    category: Category,
+    members: Vec<(u64, CoreConfig)>,
+    target: u64,
+    n: RunLength,
+    scratch: &mut SimScratch,
+) -> Vec<CellOutcome> {
+    let cfgs: Vec<CoreConfig> = members
+        .iter()
+        .map(|(_, cfg)| {
+            let mut cfg = cfg.clone();
+            cfg.watchdog_no_retire.get_or_insert(WATCHDOG_BUDGET);
+            cfg
+        })
+        .collect();
+    let mut batch = CoreBatch::with_scratch(programs.to_vec(), cfgs, scratch);
+    let results = batch.run_all(target);
+    batch.recycle_into(scratch);
+    members
+        .into_iter()
+        .zip(results)
+        .map(|((fp, _), result)| match result.verify() {
+            Ok(()) => Ok(RunOutcome {
+                workload: name.to_string(),
+                category,
+                result,
+            }),
+            Err(e) => Err(CellFailure::from_error(name, fp, n, &e, false)),
+        })
+        .collect()
 }
 
 #[cfg(test)]

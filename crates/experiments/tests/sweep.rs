@@ -2,7 +2,7 @@
 //! figure text **byte-identical** to the direct uncached `run_suite` path,
 //! no matter how many figures share (and therefore reuse) its caches.
 
-use experiments::{run_figure, MachineKind, RunLength, SweepSession};
+use experiments::{run_figure, MachineKind, MkOracleConfig, RunLength, SweepSession};
 
 const N: RunLength = RunLength(6_000);
 const SUBSET: usize = 4;
@@ -63,6 +63,69 @@ fn instrumented_figures_are_byte_identical_to_uncached() {
 #[test]
 fn fig14_memoized_is_byte_identical_to_uncached() {
     assert_byte_identical(&["fig14"]);
+}
+
+/// The sensitivity grids — the widest lockstep batches in the figure set
+/// (8 configs per workload off one shared record tape).
+#[test]
+fn fig20_grids_are_byte_identical_to_uncached() {
+    assert_byte_identical(&["fig20a", "fig20b"]);
+}
+
+/// A memo hit for one batch member must not perturb its siblings: after
+/// pre-warming exactly one config of a grid, the next sweep peels that
+/// member out of the lockstep batch — the survivors run in a *smaller*
+/// batch than a cold session would use, and must still produce
+/// bit-identical stats. This is the warm-peel regression the batching
+/// engine has to hold (batch composition is an implementation detail,
+/// never an observable).
+#[test]
+fn warm_peeled_batch_members_match_cold_grid() {
+    let specs = sim_workload::suite_subset(SUBSET);
+    let mut mks: Vec<Box<MkOracleConfig>> = Vec::new();
+    for kind in [MachineKind::Baseline, MachineKind::Constable] {
+        for scale in [1.0f64, 2.0] {
+            mks.push(Box::new(move |_, o| kind.config(o).with_depth_scale(scale)));
+        }
+    }
+    let mk_refs: Vec<&MkOracleConfig> = mks.iter().map(|b| b.as_ref()).collect();
+
+    // Cold reference: all four configs batch together from scratch.
+    let cold_session = SweepSession::new(&specs, N);
+    let cold = cold_session
+        .suite_grid(false, &mk_refs)
+        .expect("clean cold grid");
+
+    // Warm run: member 2 is memoized first (runs alone), so the grid sweep
+    // batches only the remaining three configs per workload.
+    let warm_session = SweepSession::new(&specs, N);
+    let peeled = warm_session
+        .suite_with(false, |s, o| mk_refs[2](s, o))
+        .expect("clean pre-warm");
+    let warm = warm_session
+        .suite_grid(false, &mk_refs)
+        .expect("clean warm grid");
+
+    for (p, w) in peeled.iter().zip(&warm[2]) {
+        assert_eq!(p.workload, w.workload);
+        assert_eq!(
+            p.result.stats, w.result.stats,
+            "{}: memo hit mutated",
+            p.workload
+        );
+    }
+    for (k, (c_col, w_col)) in cold.iter().zip(&warm).enumerate() {
+        for (c, w) in c_col.iter().zip(w_col) {
+            assert_eq!(c.workload, w.workload);
+            assert!(!w.result.hit_cycle_guard);
+            assert_eq!(
+                c.result.stats, w.result.stats,
+                "config {k} / {}: peeled-batch stats diverged from cold batch",
+                c.workload
+            );
+            assert_eq!(c.result.retired_per_thread, w.result.retired_per_thread);
+        }
+    }
 }
 
 /// Two different machine configurations must never alias in the run memo:

@@ -1,0 +1,160 @@
+//! Config-lockstep batching: one functional execution, N timing models.
+//!
+//! Every cell of a sweep row simulates the *same program* under a
+//! different [`CoreConfig`]. The functional record stream is a pure
+//! function of the program — identical across all N configs — so
+//! re-deriving it per cell (one data-image clone plus one architectural
+//! execution each) is redundant frontend work. [`CoreBatch`] runs the N
+//! cores off one shared [`RecordStream`] tape per thread slot: members
+//! advance in bounded round-robin slices, and after each sweep the tape is
+//! trimmed to the slowest member's record frontier, so the buffered window
+//! tracks the *spread* between configs (typically a few thousand records)
+//! rather than the run length.
+//!
+//! Correctness is structural, not probabilistic: a member built on a
+//! shared tape consumes bit-identical records to one built on a private
+//! machine, and slicing only changes when the host regains control (all
+//! loop state lives in the [`Core`]), so every member reproduces its
+//! committed trace-oracle digest bit-for-bit. `tests/trace_oracle.rs`
+//! locks this against the committed golden matrix and
+//! `tests/shortcut_fuzz.rs` fuzzes batched-vs-scalar equivalence over
+//! random config sets.
+
+use crate::config::CoreConfig;
+use crate::core::{Core, SimResult};
+use crate::sched::SimScratch;
+use sim_workload::{Program, RecordStream};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Round-robin slice length, in core loop iterations (≈ cycles, counting a
+/// fast-forwarded idle span as one). Small enough that the shared tape
+/// stays a few thousand records long; large enough that slice switching is
+/// noise next to the simulated work.
+const SLICE_CYCLES: u64 = 2048;
+
+/// A batch of per-config cores in config-lockstep over shared functional
+/// record tapes (one per thread slot; two under SMT2). See the module
+/// docs for the rationale and the correctness argument.
+pub struct CoreBatch<'p> {
+    members: Vec<Core<'p>>,
+    tapes: Vec<Rc<RefCell<RecordStream<'p>>>>,
+}
+
+impl<'p> CoreBatch<'p> {
+    /// Builds one core per config, all running `programs` (one program per
+    /// thread slot — SMT2 batches pair the same two programs in every
+    /// member) off shared record tapes.
+    ///
+    /// # Panics
+    /// Panics if `cfgs` is empty or `programs` is not 1 or 2 long.
+    pub fn new(programs: Vec<&'p Program>, cfgs: Vec<CoreConfig>) -> Self {
+        let mut scratch = SimScratch::new();
+        Self::with_scratch(programs, cfgs, &mut scratch)
+    }
+
+    /// Like [`CoreBatch::new`], but drawing member scratches from
+    /// `scratch` (member 0 takes the scratch itself, the rest pop from its
+    /// sibling bank) and returning them via [`CoreBatch::recycle_into`] —
+    /// a worker that loops (build → run → recycle) performs no
+    /// steady-state allocation however the batch sizes vary.
+    pub fn with_scratch(
+        programs: Vec<&'p Program>,
+        cfgs: Vec<CoreConfig>,
+        scratch: &mut SimScratch,
+    ) -> Self {
+        assert!(!cfgs.is_empty(), "a batch needs at least one member");
+        let tapes: Vec<_> = programs
+            .iter()
+            .map(|p| Rc::new(RefCell::new(RecordStream::new(p))))
+            .collect();
+        let mut bank = std::mem::take(&mut scratch.bank);
+        let members = cfgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                let s = if i == 0 {
+                    std::mem::take(scratch)
+                } else {
+                    bank.pop().unwrap_or_default()
+                };
+                Core::new_shared_with_scratch(programs.clone(), &tapes, cfg, s)
+            })
+            .collect();
+        CoreBatch { members, tapes }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the batch has no members (never true for a constructed
+    /// batch; provided for the `len` idiom).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Mutable access to member `i` (attach tracers or deadlines before
+    /// [`CoreBatch::run_all`]).
+    pub fn member_mut(&mut self, i: usize) -> &mut Core<'p> {
+        &mut self.members[i]
+    }
+
+    /// Runs every member to `target_per_thread` retired instructions per
+    /// thread (or its guard/watchdog/deadline abort), interleaving bounded
+    /// slices so the shared tapes stay short. Results are in member order.
+    /// Each member's result is bit-identical to what a standalone
+    /// [`Core::run`] with the same config would produce.
+    pub fn run_all(&mut self, target_per_thread: u64) -> Vec<SimResult> {
+        let n = self.members.len();
+        let mut running = vec![true; n];
+        let mut results: Vec<Option<SimResult>> = (0..n).map(|_| None).collect();
+        let mut live = n;
+        while live > 0 {
+            for i in 0..n {
+                if running[i] && !self.members[i].run_slice(target_per_thread, SLICE_CYCLES) {
+                    results[i] = Some(self.members[i].seal_result());
+                    running[i] = false;
+                    live -= 1;
+                }
+            }
+            if live == 0 {
+                break;
+            }
+            // Trim each tape below the slowest live member's frontier:
+            // finished members re-read nothing, so only live ones bound it.
+            for (slot, tape) in self.tapes.iter().enumerate() {
+                let keep = self
+                    .members
+                    .iter()
+                    .zip(&running)
+                    .filter(|&(_, &r)| r)
+                    .map(|(m, _)| m.record_frontier(slot))
+                    .min();
+                if let Some(keep) = keep {
+                    tape.borrow_mut().trim(keep);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every member sealed"))
+            .collect()
+    }
+
+    /// Dismantles the batch, returning member 0's scratch to `*scratch`
+    /// and the siblings' to its bank (the inverse of
+    /// [`CoreBatch::with_scratch`]).
+    pub fn recycle_into(self, scratch: &mut SimScratch) {
+        let mut members = self.members.into_iter();
+        let mut first = members
+            .next()
+            .expect("a batch has at least one member")
+            .into_scratch();
+        let mut bank = std::mem::take(&mut first.bank);
+        bank.extend(members.map(Core::into_scratch));
+        *scratch = first;
+        scratch.bank = bank;
+    }
+}

@@ -56,8 +56,10 @@ use constable::{Constable, IdealConfig, LoadRename, StackState, XprfSlot};
 use sim_isa::{AluOp, ArchReg, BranchKind, DynInst, InstClass, OpKind, Pc};
 use sim_mem::{line_addr, EvictionSink, MemoryHierarchy, SnoopInjector};
 use sim_predictors::{Elar, Eves, Mrn, ReturnStack, StoreSets, Tage};
-use sim_workload::{Machine, Program};
+use sim_workload::{Machine, Program, RecordStream};
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 /// Address-space tag shift for SMT threads (thread 1's physical addresses
 /// and predictor-visible PCs are offset to model distinct address spaces).
@@ -93,11 +95,45 @@ struct RetiredUop {
     stack_after: StackState,
 }
 
+/// Where a thread's functional records come from: a private [`Machine`]
+/// (the scalar path — every record is produced exactly once, in order), or
+/// a [`RecordStream`] tape shared with the sibling members of a
+/// [`crate::CoreBatch`] running the same program under different configs
+/// (records are produced once *per batch* and re-read by sequence number).
+/// Both sources yield bit-identical records for a given sequence number —
+/// the stream is a pure function of the program — so the choice is
+/// invisible to the timing model and to every committed digest.
+#[derive(Debug)]
+enum RecordSource<'p> {
+    Own(Box<Machine<'p>>),
+    Shared(Rc<RefCell<RecordStream<'p>>>),
+}
+
+impl<'p> RecordSource<'p> {
+    /// The record with sequence number `seq`. Callers pull strictly
+    /// monotonically (flush recovery rewinds into the already-buffered
+    /// `pending` ring, never into the source).
+    #[inline]
+    fn next(&mut self, seq: u64) -> DynInst {
+        match self {
+            RecordSource::Own(m) => {
+                debug_assert_eq!(m.executed(), seq, "scalar record source out of sync");
+                m.step()
+            }
+            RecordSource::Shared(tape) => tape.borrow_mut().get(seq),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Thread<'p> {
     id: usize,
     program: &'p Program,
-    machine: Machine<'p>,
+    source: RecordSource<'p>,
+    /// Next record sequence number to pull from `source`. Monotone
+    /// nondecreasing — wrong-path flushes rewind `cursor` into `pending`,
+    /// never the pull point — which is what lets a shared source trim.
+    pulled: u64,
     /// Fetched-ahead functional records; front = oldest unretired.
     pending: VecDeque<DynInst>,
     /// Index into `pending` of the next record to fetch.
@@ -142,11 +178,18 @@ struct Thread<'p> {
 impl<'p> Thread<'p> {
     /// Builds a thread around recycled queue allocations (`ts` buffers are
     /// cleared by `SimScratch::reset_for_run` before they get here).
-    fn new(id: usize, program: &'p Program, rob_cap: usize, ts: ThreadScratch) -> Self {
+    fn new(
+        id: usize,
+        program: &'p Program,
+        rob_cap: usize,
+        ts: ThreadScratch,
+        source: RecordSource<'p>,
+    ) -> Self {
         Thread {
             id,
             program,
-            machine: Machine::new(program),
+            source,
+            pulled: 0,
             pending: ts.pending,
             cursor: 0,
             rob: ts.rob,
@@ -397,6 +440,21 @@ pub struct Core<'p> {
     /// Attached scheduling-trace recorder (see [`crate::trace`]); `None`
     /// (and therefore free) outside the trace-oracle tests.
     tracer: Option<TraceRecorder>,
+    /// Whether `SIM_VP_DEBUG` was set when the core was built; the
+    /// vp_wrong forensics path checks this cached bool instead of paying
+    /// an environment lookup per misprediction event.
+    vp_debug: bool,
+    /// Sliced-run abort state, carried across [`Core::run_slice`] calls:
+    /// set when the cycle guard trips / the watchdog or deadline freezes,
+    /// consumed by [`Core::seal_result`].
+    hit_guard: bool,
+    watchdog_snap: Option<crate::fault::FrozenSnapshot>,
+    /// Deadline poll cadence counter (persists across slices so the
+    /// polling rate is independent of slice length).
+    poll_iters: u64,
+    /// Sibling scratch bank carried through the run untouched so
+    /// [`Core::into_scratch`] hands it back (see `SimScratch::bank`).
+    scratch_bank: Vec<SimScratch>,
 }
 
 // Thin alias so the field reads naturally.
@@ -429,6 +487,39 @@ impl<'p> Core<'p> {
     pub fn new_multi_with_scratch(
         programs: Vec<&'p Program>,
         cfg: CoreConfig,
+        scratch: SimScratch,
+    ) -> Self {
+        let sources = programs
+            .iter()
+            .map(|p| RecordSource::Own(Box::new(Machine::new(p))))
+            .collect();
+        Self::build(programs, sources, cfg, scratch)
+    }
+
+    /// Like [`Core::new_multi_with_scratch`], but pulling functional
+    /// records from shared [`RecordStream`] tapes (one per thread slot)
+    /// instead of a private machine — the constructor [`crate::CoreBatch`]
+    /// uses to run N configs of the same program off one functional
+    /// execution. Record streams are pure functions of the program, so the
+    /// resulting timing (and every digest) is identical to the scalar path.
+    pub(crate) fn new_shared_with_scratch(
+        programs: Vec<&'p Program>,
+        tapes: &[Rc<RefCell<RecordStream<'p>>>],
+        cfg: CoreConfig,
+        scratch: SimScratch,
+    ) -> Self {
+        assert_eq!(programs.len(), tapes.len(), "one tape per thread slot");
+        let sources = tapes
+            .iter()
+            .map(|t| RecordSource::Shared(Rc::clone(t)))
+            .collect();
+        Self::build(programs, sources, cfg, scratch)
+    }
+
+    fn build(
+        programs: Vec<&'p Program>,
+        sources: Vec<RecordSource<'p>>,
+        cfg: CoreConfig,
         mut scratch: SimScratch,
     ) -> Self {
         assert!(
@@ -447,9 +538,11 @@ impl<'p> Core<'p> {
         );
         let threads: Vec<Thread<'p>> = programs
             .iter()
+            .zip(sources)
             .enumerate()
-            .map(|(i, p)| Thread::new(i, p, rob_cap, scratch.take_thread()))
+            .map(|(i, (p, src))| Thread::new(i, p, rob_cap, scratch.take_thread(), src))
             .collect();
+        let bank = std::mem::take(&mut scratch.bank);
         let nthreads = threads.len();
         Core {
             mem: MemoryHierarchy::new(cfg.mem),
@@ -486,6 +579,11 @@ impl<'p> Core<'p> {
             last_retire_cycle: 0,
             deadline: None,
             tracer: None,
+            vp_debug: std::env::var_os("SIM_VP_DEBUG").is_some(),
+            hit_guard: false,
+            watchdog_snap: None,
+            poll_iters: 0,
+            scratch_bank: bank,
             cfg,
         }
     }
@@ -527,21 +625,41 @@ impl<'p> Core<'p> {
             evictions: self.evict,
             inflight_loads: self.inflight_loads,
             threads: self.threads.into_iter().map(Thread::into_scratch).collect(),
+            bank: self.scratch_bank,
         }
     }
 
     /// Runs until every thread has retired `target_per_thread` instructions
     /// (or a generous cycle guard trips).
     pub fn run(&mut self, target_per_thread: u64) -> SimResult {
+        while self.run_slice(target_per_thread, u64::MAX) {}
+        self.seal_result()
+    }
+
+    /// Advances the model by at most `cycle_budget` loop iterations toward
+    /// `target_per_thread` retired instructions per thread. Returns `true`
+    /// while the run needs more slices, `false` once it finished (target
+    /// reached, cycle guard, watchdog, or deadline — recorded in fields
+    /// that [`Core::seal_result`] consumes).
+    ///
+    /// This is the whole former `run` loop with a resumable budget bolted
+    /// on: all loop state lives in the core, so slicing changes *when* the
+    /// host regains control, never what the model computes — a sliced run
+    /// is bit-identical to a monolithic one. [`crate::CoreBatch`] uses it
+    /// to round-robin bounded slices across lockstep members so their
+    /// shared record tape stays short.
+    pub(crate) fn run_slice(&mut self, target_per_thread: u64, cycle_budget: u64) -> bool {
         let guard = 400 * target_per_thread + 2_000_000;
-        let mut hit_guard = false;
-        let mut watchdog = None;
         // Deadline polling cadence: one `Instant::now()` per this many loop
         // iterations. Coarse enough to be invisible, fine enough that an
         // expired request is abandoned within a few milliseconds.
         const DEADLINE_POLL_MASK: u64 = 8191;
-        let mut iters: u64 = 0;
+        let mut spent: u64 = 0;
         while self.threads.iter().any(|t| t.retired < target_per_thread) {
+            if spent >= cycle_budget {
+                return true;
+            }
+            spent += 1;
             self.cycle_work = false;
             self.complete_phase();
             self.retire_phase();
@@ -617,8 +735,9 @@ impl<'p> Core<'p> {
             // abort instead of spinning to the much larger cycle guard.
             if let Some(budget) = self.cfg.watchdog_no_retire {
                 if self.now - self.last_retire_cycle > budget {
-                    watchdog = Some(self.freeze_snapshot(crate::fault::FreezeCause::NoRetire));
-                    break;
+                    self.watchdog_snap =
+                        Some(self.freeze_snapshot(crate::fault::FreezeCause::NoRetire));
+                    return false;
                 }
             }
             // Wall-clock deadline hook, beside the watchdog: polled on a
@@ -627,17 +746,26 @@ impl<'p> Core<'p> {
             if let Some(at) = self.deadline {
                 // Polling at iteration 0 means an already-expired budget
                 // aborts before any work, however short the run.
-                if iters & DEADLINE_POLL_MASK == 0 && std::time::Instant::now() >= at {
-                    watchdog = Some(self.freeze_snapshot(crate::fault::FreezeCause::Deadline));
-                    break;
+                if self.poll_iters & DEADLINE_POLL_MASK == 0 && std::time::Instant::now() >= at {
+                    self.watchdog_snap =
+                        Some(self.freeze_snapshot(crate::fault::FreezeCause::Deadline));
+                    return false;
                 }
-                iters += 1;
+                self.poll_iters += 1;
             }
             if self.now >= guard {
-                hit_guard = true;
-                break;
+                self.hit_guard = true;
+                return false;
             }
         }
+        false
+    }
+
+    /// Folds the memory-hierarchy and Constable counters into the stats
+    /// and builds the run's [`SimResult`]. Call exactly once, after
+    /// [`Core::run_slice`] has returned `false` (done by [`Core::run`] and
+    /// by the batched driver).
+    pub(crate) fn seal_result(&mut self) -> SimResult {
         self.stats.cycles = self.now;
         // Fold hierarchy counters into the core stats.
         let h = self.mem.stats();
@@ -658,10 +786,19 @@ impl<'p> Core<'p> {
         SimResult {
             stats: self.stats.clone(),
             retired_per_thread: self.threads.iter().map(|t| t.retired).collect(),
-            hit_cycle_guard: hit_guard,
+            hit_cycle_guard: self.hit_guard,
             first_mismatch: self.first_mismatch,
-            watchdog,
+            watchdog: self.watchdog_snap.take(),
         }
+    }
+
+    /// Oldest functional-record sequence number thread `tid` can still
+    /// re-read (the front of its pending ring, or the pull point when
+    /// nothing is in flight). A shared record tape may be trimmed up to
+    /// the minimum frontier across its live consumers.
+    pub(crate) fn record_frontier(&self, tid: usize) -> u64 {
+        let th = &self.threads[tid];
+        th.pending.front().map_or(th.pulled, |r| r.seq)
     }
 
     /// Captures the machine state the watchdog/deadline aborted on (cold
@@ -779,7 +916,9 @@ impl<'p> Core<'p> {
             }
             // Correct path: pull the next functional record.
             while th.pending.len() <= th.cursor {
-                let rec = th.machine.step();
+                let rec = th.source.next(th.pulled);
+                debug_assert_eq!(rec.seq, th.pulled, "record source out of sync");
+                th.pulled += 1;
                 th.pending.push_back(rec);
             }
             let rec = th.pending[th.cursor];
@@ -1930,7 +2069,7 @@ impl<'p> Core<'p> {
                     }
                     if self.cfg.track_per_pc {
                         *self.stats.vp_wrong_pcs.entry(pc).or_insert(0) += 1;
-                        if std::env::var_os("SIM_VP_DEBUG").is_some() {
+                        if self.vp_debug {
                             let u = &self.window[tag];
                             eprintln!(
                                 "vp_wrong pc={:#x} predicted={:#x} actual={:#x} delta={} inflight_now={}",

@@ -16,6 +16,7 @@
 //! println!("IPC = {:.3}", result.ipc());
 //! ```
 
+mod batch;
 mod config;
 mod core;
 mod fault;
@@ -26,6 +27,7 @@ mod stats;
 mod trace;
 mod uop;
 
+pub use crate::batch::CoreBatch;
 pub use crate::core::{Core, SimResult};
 pub use config::CoreConfig;
 pub use fault::{FreezeCause, FrozenSnapshot, GoldenMismatch, SimError};
