@@ -127,13 +127,51 @@ if [[ "${1:-}" != "--fast" ]]; then
         exit 1
     fi
 
+    # Checkpoint kill-and-resume smoke: a full-length sweep writing mid-run
+    # snapshots is SIGKILLed the moment its first checkpoint lands on disk.
+    # The rerun over the same store must resume at least one cell from its
+    # snapshot (not recompute it from instruction zero) and render figure
+    # text byte-identical to an uninterrupted store-less reference — the
+    # end-to-end lock on bit-exact crash recovery.
+    step "store smoke (SIGKILL mid-sweep, bit-exact resume)"
+    ckpt_dir=$(mktemp -d "${TMPDIR:-/tmp}/constable-ckpt-ci.XXXXXX")
+    trap 'rm -rf "$store_dir" "$iochaos_dir" "$ckpt_dir"' EXIT
+    ./target/release/experiments fig11 --subset 2 >"$ckpt_dir/ref.txt"
+    ./target/release/experiments fig11 --subset 2 \
+        --store-dir "$ckpt_dir/store" --ckpt-interval 4096 >/dev/null 2>&1 &
+    sweep_pid=$!
+    for _ in $(seq 1 500); do
+        compgen -G "$ckpt_dir/store/checkpoints/*.ckpt" >/dev/null && break
+        kill -0 "$sweep_pid" 2>/dev/null || break
+        sleep 0.01
+    done
+    kill -9 "$sweep_pid" 2>/dev/null || true
+    wait "$sweep_pid" 2>/dev/null || true
+    if ! compgen -G "$ckpt_dir/store/checkpoints/*.ckpt" >/dev/null; then
+        echo "FAIL: SIGKILL left no checkpoint behind (sweep finished before the kill?)" >&2
+        exit 1
+    fi
+    resume_err=$(./target/release/experiments fig11 --subset 2 \
+        --store-dir "$ckpt_dir/store" --ckpt-interval 4096 \
+        2>&1 >"$ckpt_dir/resumed.txt")
+    resumed=$(grep -Eo '[0-9]+ resumed' <<<"$resume_err" | grep -Eo '^[0-9]+' || echo 0)
+    if [[ "${resumed:-0}" -lt 1 ]]; then
+        echo "FAIL: rerun after SIGKILL resumed no cell (store summary: $resume_err)" >&2
+        exit 1
+    fi
+    if ! cmp -s "$ckpt_dir/ref.txt" "$ckpt_dir/resumed.txt"; then
+        echo "FAIL: resumed sweep produced different figure text than the reference" >&2
+        diff "$ckpt_dir/ref.txt" "$ckpt_dir/resumed.txt" >&2 || true
+        exit 1
+    fi
+
     # Job-server smoke: start the sweep server on an ephemeral port, run a
     # client figure request cold (computed) and again warm — the warm
     # answer must come entirely from the persistent store — then drain via
     # the shutdown frame and require a clean exit.
     step "server smoke (cold + warm figure over the wire)"
     srv_dir=$(mktemp -d "${TMPDIR:-/tmp}/constable-server-ci.XXXXXX")
-    trap 'rm -rf "$store_dir" "$iochaos_dir" "$srv_dir"; kill "${srv_pid:-}" 2>/dev/null || true' EXIT
+    trap 'rm -rf "$store_dir" "$iochaos_dir" "$ckpt_dir" "$srv_dir"; kill "${srv_pid:-}" 2>/dev/null || true' EXIT
     ./target/release/sweep-server --addr 127.0.0.1:0 --quick --subset 2 \
         --store-dir "$srv_dir/store" >"$srv_dir/server.log" 2>&1 &
     srv_pid=$!
@@ -220,8 +258,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     fi
 
     # Quick scheduler-bench smoke: event-driven throughput (fresh, scratch-
-    # recycled, traced, and the SMT2 pairings opened up by the parity-free
-    # frontend), then the regression gate against the committed snapshot —
+    # recycled, traced, mid-run-checkpointed, and the SMT2 pairings opened
+    # up by the parity-free frontend), then the regression gate against the
+    # committed snapshot —
     # which carries `scheduler/event/smt2` rows, so an SMT2-specific
     # regression trips the gate like any other. The tolerance is a generous
     # tripwire: the smoke runs 3 samples on a shared host, so only

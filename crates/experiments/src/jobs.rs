@@ -16,6 +16,7 @@
 //! server can dedupe in-flight work and answer repeats from the store with
 //! no key-translation layer.
 
+use crate::ckpt::{self, Checkpointer};
 use crate::configs::MachineKind;
 use crate::fault::{CellFailure, CellOutcome};
 use crate::persist;
@@ -226,14 +227,34 @@ impl JobContext {
         scratch: &mut SimScratch,
         deadline: Option<Instant>,
     ) -> CellOutcome {
+        self.run_cell_checkpointed(cell, scratch, deadline, None).0
+    }
+
+    /// [`run_cell`](JobContext::run_cell) with an optional mid-run
+    /// checkpoint channel: when `ckpt` is given, the run resumes from the
+    /// newest verified checkpoint for the cell's key (if any), snapshots
+    /// at every interval boundary, and — on a deadline abort — leaves the
+    /// latest snapshot in place so the *next* request for the cell resumes
+    /// instead of recomputing. Returns the outcome and whether the run
+    /// resumed from a checkpoint. Bit-identical to the direct path.
+    pub fn run_cell_checkpointed(
+        &self,
+        cell: &CellSpec,
+        scratch: &mut SimScratch,
+        deadline: Option<Instant>,
+        ckpt: Option<&Checkpointer>,
+    ) -> (CellOutcome, bool) {
         let Some(indices) = self.resolve(&cell.workload) else {
-            return Err(CellFailure::from_panic(
-                &cell.workload,
-                0,
-                self.n,
-                format!("unknown workload {:?}", cell.workload),
+            return (
+                Err(CellFailure::from_panic(
+                    &cell.workload,
+                    0,
+                    self.n,
+                    format!("unknown workload {:?}", cell.workload),
+                    false,
+                )),
                 false,
-            ));
+            );
         };
         let mut cfg = self.config_for(cell, &indices);
         let fp = cfg.fingerprint();
@@ -243,14 +264,23 @@ impl JobContext {
         let category = self.specs[indices[0]].category;
 
         let s = std::mem::take(scratch);
-        let mut core =
-            Core::new_multi_with_scratch(programs.iter().map(|p| p.as_ref()).collect(), cfg, s);
-        if let Some(at) = deadline {
-            core.set_deadline(at);
-        }
-        let result = core.run(per_thread);
-        *scratch = core.into_scratch();
-        match result.verify() {
+        let (result, resumed) = if let Some(ckpt) = ckpt {
+            let refs: Vec<&Program> = programs.iter().map(|p| p.as_ref()).collect();
+            let (result, s, resumed) =
+                ckpt::run_checkpointed(&refs, &cfg, s, per_thread, ckpt, deadline);
+            *scratch = s;
+            (result, resumed)
+        } else {
+            let mut core =
+                Core::new_multi_with_scratch(programs.iter().map(|p| p.as_ref()).collect(), cfg, s);
+            if let Some(at) = deadline {
+                core.set_deadline(at);
+            }
+            let result = core.run(per_thread);
+            *scratch = core.into_scratch();
+            (result, false)
+        };
+        let outcome = match result.verify() {
             Ok(()) => Ok(RunOutcome {
                 workload: cell.workload.clone(),
                 category,
@@ -263,7 +293,8 @@ impl JobContext {
                 &e,
                 false,
             )),
-        }
+        };
+        (outcome, resumed)
     }
 }
 

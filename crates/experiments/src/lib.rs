@@ -45,6 +45,7 @@
 //! by `cargo bench -p bench --bench sweep`.
 
 pub mod chaos;
+pub mod ckpt;
 pub mod configs;
 pub mod fault;
 pub mod figures;
@@ -55,6 +56,7 @@ pub mod sweep;
 pub mod wire;
 
 pub use chaos::{ChaosFault, ChaosPlan};
+pub use ckpt::{run_checkpointed, Checkpointer, SharedStore, CKPT_INTERVAL_DEFAULT};
 pub use configs::MachineKind;
 pub use fault::{CellFailure, CellOutcome};
 pub use jobs::{figure_cells, figure_kinds, sweep_cells, CellSpec, JobContext};

@@ -84,6 +84,7 @@ fn main() {
     let mut chaos = env_seed("SIM_CHAOS").map(ChaosPlan::new);
     let mut store_dir: Option<String> = std::env::var("SIM_STORE").ok().filter(|s| !s.is_empty());
     let mut io_chaos: Option<u64> = env_seed("SIM_IO_CHAOS");
+    let mut ckpt_interval: Option<u64> = experiments::ckpt::interval_from_env();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -106,6 +107,15 @@ fn main() {
                     args.get(i)
                         .and_then(|s| s.parse().ok())
                         .expect("--io-chaos requires a u64 seed"),
+                );
+            }
+            "--ckpt-interval" => {
+                i += 1;
+                ckpt_interval = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .expect("--ckpt-interval requires a positive loop-iteration count"),
                 );
             }
             "--subset" => {
@@ -139,7 +149,7 @@ fn main() {
         eprintln!(
             "usage: experiments -- <figure-id>|all [--quick] [--subset N] [--uncached] \
              [--no-batch] [--keep-going|--fail-fast] [--chaos <seed>] [--store-dir <path>] \
-             [--io-chaos <seed>]"
+             [--io-chaos <seed>] [--ckpt-interval <iters>]"
         );
         eprintln!("       experiments -- cell <workload> <machine-slug> [--depth-scale X] [--quick|--len N]");
         eprintln!(
@@ -162,6 +172,12 @@ fn main() {
     }
     if io_chaos.is_some() && store_dir.is_none() {
         eprintln!("--io-chaos injects storage faults; it requires --store-dir (or SIM_STORE)");
+        std::process::exit(2);
+    }
+    if ckpt_interval.is_some() && store_dir.is_none() {
+        eprintln!(
+            "--ckpt-interval persists mid-run snapshots; it requires --store-dir (or SIM_STORE)"
+        );
         std::process::exit(2);
     }
     let specs = match subset {
@@ -191,6 +207,10 @@ fn main() {
             Ok(store) => {
                 eprintln!("[store: {dir} ({} record(s))]", store.len());
                 session = session.with_store(store);
+                if let Some(iv) = ckpt_interval {
+                    eprintln!("[ckpt: snapshot every {iv} loop iterations]");
+                    session = session.with_checkpoint_interval(iv);
+                }
             }
             Err(e) => {
                 // An unusable store directory degrades to a store-less
@@ -234,8 +254,15 @@ fn main() {
     session.finish_store();
     if let Some(stats) = session.store_stats() {
         eprintln!(
-            "[store: {} hits, {} misses, {} writes, {} quarantined]",
-            stats.hits, stats.misses, stats.writes, stats.quarantined
+            "[store: {} hits, {} misses, {} writes, {} quarantined; \
+             ckpt {} written, {} resumed, {} missed]",
+            stats.hits,
+            stats.misses,
+            stats.writes,
+            stats.quarantined,
+            stats.ckpt_writes,
+            stats.ckpt_hits,
+            stats.ckpt_misses
         );
     }
     let failures = session.failures();

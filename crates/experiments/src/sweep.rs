@@ -28,6 +28,7 @@
 //! memoized output must be byte-identical.
 
 use crate::chaos::{ChaosFault, ChaosPlan};
+use crate::ckpt::{self, Checkpointer, SharedStore};
 use crate::configs::MachineKind;
 use crate::fault::{CellFailure, CellOutcome};
 use crate::persist;
@@ -227,8 +228,14 @@ pub struct SweepSession<'s> {
     /// answered from disk (after checksum + digest verification) before
     /// any pool time is spent, and freshly computed clean cells are
     /// written back. Store damage quarantines and recomputes — it never
-    /// fails a figure.
-    store: Mutex<Option<ResultStore>>,
+    /// fails a figure. Shared (`Arc`) so per-cell [`Checkpointer`]s on the
+    /// pool can reach the same handle.
+    store: SharedStore,
+    /// Mid-run checkpoint interval (core loop iterations per slice), if
+    /// this session checkpoints long cells. Requires an attached store;
+    /// forces every missing cell onto the scalar path (lockstep batches
+    /// share tapes across members and cannot snapshot one member alone).
+    ckpt_interval: Option<u64>,
     /// Every quarantined cell of this session, in discovery order — the
     /// source of the binary's final quarantine table.
     failures: Mutex<Vec<CellFailure>>,
@@ -254,7 +261,8 @@ impl<'s> SweepSession<'s> {
                 smt2: Mutex::new(HashMap::new()),
             }),
             chaos: None,
-            store: Mutex::new(None),
+            store: Arc::new(Mutex::new(None)),
+            ckpt_interval: None,
             failures: Mutex::new(Vec::new()),
             batch: true,
         }
@@ -270,7 +278,8 @@ impl<'s> SweepSession<'s> {
             n,
             cache: None,
             chaos: None,
-            store: Mutex::new(None),
+            store: Arc::new(Mutex::new(None)),
+            ckpt_interval: None,
             failures: Mutex::new(Vec::new()),
             batch: false,
         }
@@ -301,6 +310,23 @@ impl<'s> SweepSession<'s> {
     /// The chaos plan, if this session injects faults.
     pub fn chaos(&self) -> Option<ChaosPlan> {
         self.chaos
+    }
+
+    /// Enables mid-run checkpointing of missing cells every `interval`
+    /// core loop iterations. Only effective once a store is attached
+    /// ([`with_store`](SweepSession::with_store)) — checkpoints live in
+    /// the store's `checkpoints/` tier. While checkpointing, every
+    /// missing cell runs scalar: a lockstep batch shares functional
+    /// record tapes across members, so one member cannot snapshot (or
+    /// resume) independently of its siblings. Results stay bit-identical
+    /// — slicing never changes what the model computes.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        assert!(
+            self.cache.is_some(),
+            "checkpointing requires the cached (pooled) session"
+        );
+        self.ckpt_interval = Some(interval.max(1));
+        self
     }
 
     /// Attaches a persistent result store. Cached sessions only — the
@@ -432,6 +458,29 @@ impl<'s> SweepSession<'s> {
         if let Err(e) = store.put(&key, &payload, digest) {
             eprintln!("[store: write failed for {}: {e}]", outcome.workload);
         }
+    }
+
+    /// Whether this session checkpoints missing cells mid-run: an interval
+    /// is set *and* a store is attached to keep the snapshots in.
+    fn checkpointing(&self) -> bool {
+        self.ckpt_interval.is_some() && self.store.lock().expect("store lock").is_some()
+    }
+
+    /// Builds the per-cell checkpoint handle: the same stable store key the
+    /// finished result will be filed under (logical config — before
+    /// watchdog instrumentation), the shared store, and the chaos
+    /// kill-boundary (if this cell drew one).
+    fn checkpointer(
+        &self,
+        specs: &[&WorkloadSpec],
+        cfg: &CoreConfig,
+        name: &str,
+        fp: u64,
+    ) -> Checkpointer {
+        let key = persist::store_key(specs, cfg, self.n);
+        let interval = self.ckpt_interval.expect("checkpointing() gated");
+        Checkpointer::new(Arc::clone(&self.store), key, interval)
+            .with_kill_at(self.chaos.and_then(|c| c.ckpt_kill_for(name, fp)))
     }
 
     /// Every cell quarantined so far, in discovery order.
@@ -806,15 +855,17 @@ impl<'s> SweepSession<'s> {
         }
         if !missing.is_empty() {
             let n = self.n;
+            let ckpt_on = self.checkpointing();
             // Fetch once, simulate many: group the surviving flat list by
             // workload — every group member runs the same program, so its
             // functional record stream is shared state, not per-cell work.
             // Groups of ≥2 execute as lockstep [`CoreBatch`] jobs off one
             // shared tape (chunked so a huge grid still load-balances
-            // across workers); chaos-faulted cells and singletons run on
-            // the scalar path. Store/memo hits never get here — they were
-            // retained out of `missing` above — so a warm-peeled member
-            // shrinks its batch without touching the siblings' inputs.
+            // across workers); chaos-faulted cells, singletons, and every
+            // cell of a checkpointing session run on the scalar path.
+            // Store/memo hits never get here — they were retained out of
+            // `missing` above — so a warm-peeled member shrinks its batch
+            // without touching the siblings' inputs.
             let mut groups: Vec<(usize, Vec<KeyedCell>)> = Vec::new();
             for (key, cfg) in missing {
                 match groups.iter_mut().find(|(w, _)| *w == key.0) {
@@ -832,7 +883,7 @@ impl<'s> SweepSession<'s> {
                     members.into_iter().partition(|&((_, fp), _)| {
                         self.chaos.is_some_and(|c| c.fault_for(&name, fp).is_some())
                     });
-                if !self.batch || lockstep.len() == 1 {
+                if !self.batch || ckpt_on || lockstep.len() == 1 {
                     scalar.append(&mut lockstep);
                 }
                 for (key, cfg) in scalar {
@@ -841,9 +892,11 @@ impl<'s> SweepSession<'s> {
                     let job_cfg = cfg.clone();
                     let fp = key.1;
                     let fault = self.chaos.and_then(|c| c.fault_for(&name, fp));
+                    let ckpt = (ckpt_on && fault.is_none())
+                        .then(|| self.checkpointer(&[&self.specs[i]], &cfg, &name, fp));
                     let job: BatchJob<Vec<CellOutcome>> = Box::new(move |scratch| {
                         vec![run_pooled(
-                            &program, &name, category, job_cfg, n, fp, fault, scratch,
+                            &program, &name, category, job_cfg, n, fp, fault, ckpt, scratch,
                         )]
                     });
                     jobs.push(job);
@@ -888,13 +941,18 @@ impl<'s> SweepSession<'s> {
                         // The job panicked on its worker: wrap the payload
                         // in a quarantine bundle for every member (scalar
                         // jobs have one), re-asking the chaos plan whether
-                        // the cell was scheduled for an injected panic.
+                        // the cell was scheduled for an injected panic —
+                        // classic, or a checkpoint-boundary kill.
                         for (key, _) in keys {
                             let (i, fp) = key;
                             let name = &self.specs[i].name;
-                            let injected = self
-                                .chaos
-                                .is_some_and(|c| c.fault_for(name, fp) == Some(ChaosFault::Panic));
+                            // (`ckpt_on`, not `self.checkpointing()`: the
+                            // latter locks the store, which this thread
+                            // already holds via `store_guard`.)
+                            let injected = self.chaos.is_some_and(|c| {
+                                c.fault_for(name, fp) == Some(ChaosFault::Panic)
+                                    || (ckpt_on && c.ckpt_kill_for(name, fp).is_some())
+                            });
                             let cell = Err(CellFailure::from_panic(
                                 name,
                                 fp,
@@ -998,6 +1056,7 @@ impl<'s> SweepSession<'s> {
         }
         if !missing.is_empty() {
             let n = self.n;
+            let ckpt_on = self.checkpointing();
             // Same grouping as `run_config_sets`, keyed by pair: members
             // of one pair share both programs, so lockstep batches share
             // two record tapes (one per hardware thread).
@@ -1019,7 +1078,7 @@ impl<'s> SweepSession<'s> {
                     members.into_iter().partition(|&((_, _, fp), _)| {
                         self.chaos.is_some_and(|c| c.fault_for(&pair, fp).is_some())
                     });
-                if !self.batch || lockstep.len() == 1 {
+                if !self.batch || ckpt_on || lockstep.len() == 1 {
                     scalar.append(&mut lockstep);
                 }
                 for (key, cfg) in scalar {
@@ -1029,9 +1088,12 @@ impl<'s> SweepSession<'s> {
                     let job_cfg = cfg.clone();
                     let fp = key.2;
                     let fault = self.chaos.and_then(|c| c.fault_for(&pair, fp));
+                    let ckpt = (ckpt_on && fault.is_none()).then(|| {
+                        self.checkpointer(&[&self.specs[i], &self.specs[j]], &cfg, &pair, fp)
+                    });
                     let job: BatchJob<Vec<CellOutcome>> = Box::new(move |scratch| {
                         vec![run_pooled_smt2(
-                            &pa, &pb, &pair, category, job_cfg, n, fp, fault, scratch,
+                            &pa, &pb, &pair, category, job_cfg, n, fp, fault, ckpt, scratch,
                         )]
                     });
                     jobs.push(job);
@@ -1083,9 +1145,12 @@ impl<'s> SweepSession<'s> {
                         for (key, _) in keys {
                             let (i, j, fp) = key;
                             let pair = format!("{}+{}", self.specs[i].name, self.specs[j].name);
-                            let injected = self
-                                .chaos
-                                .is_some_and(|c| c.fault_for(&pair, fp) == Some(ChaosFault::Panic));
+                            // `ckpt_on`, not `self.checkpointing()` — the
+                            // store lock is already held here.
+                            let injected = self.chaos.is_some_and(|c| {
+                                c.fault_for(&pair, fp) == Some(ChaosFault::Panic)
+                                    || (ckpt_on && c.ckpt_kill_for(&pair, fp).is_some())
+                            });
                             let cell = Err(CellFailure::from_panic(
                                 &pair,
                                 fp,
@@ -1157,6 +1222,7 @@ fn run_pooled(
     n: RunLength,
     fp: u64,
     fault: Option<ChaosFault>,
+    ckpt: Option<Checkpointer>,
     scratch: &mut SimScratch,
 ) -> CellOutcome {
     if fault == Some(ChaosFault::Panic) {
@@ -1169,9 +1235,19 @@ fn run_pooled(
         cfg.wedge_after_retire = Some(n.0 / 2);
     }
     let s = std::mem::take(scratch);
-    let mut core = Core::new_multi_with_scratch(vec![program], cfg, s);
-    let mut result = core.run(n.0);
-    *scratch = core.into_scratch();
+    let mut result = if let Some(ckpt) = &ckpt {
+        // Checkpointed path: bounded slices with a durable snapshot at
+        // every boundary, resuming from disk if a snapshot exists.
+        // Bit-identical to the monolithic run below.
+        let (result, s, _resumed) = ckpt::run_checkpointed(&[program], &cfg, s, n.0, ckpt, None);
+        *scratch = s;
+        result
+    } else {
+        let mut core = Core::new_multi_with_scratch(vec![program], cfg, s);
+        let result = core.run(n.0);
+        *scratch = core.into_scratch();
+        result
+    };
     if fault == Some(ChaosFault::CorruptDigest) {
         // Simulated digest corruption: trip the §8.5 verification path
         // without touching the (shared, memoized) simulation inputs.
@@ -1201,6 +1277,7 @@ fn run_pooled_smt2(
     n: RunLength,
     fp: u64,
     fault: Option<ChaosFault>,
+    ckpt: Option<Checkpointer>,
     scratch: &mut SimScratch,
 ) -> CellOutcome {
     if fault == Some(ChaosFault::Panic) {
@@ -1211,9 +1288,16 @@ fn run_pooled_smt2(
         cfg.wedge_after_retire = Some(n.0 / 4);
     }
     let s = std::mem::take(scratch);
-    let mut core = Core::new_multi_with_scratch(vec![pa, pb], cfg, s);
-    let mut result = core.run(n.0 / 2);
-    *scratch = core.into_scratch();
+    let mut result = if let Some(ckpt) = &ckpt {
+        let (result, s, _resumed) = ckpt::run_checkpointed(&[pa, pb], &cfg, s, n.0 / 2, ckpt, None);
+        *scratch = s;
+        result
+    } else {
+        let mut core = Core::new_multi_with_scratch(vec![pa, pb], cfg, s);
+        let result = core.run(n.0 / 2);
+        *scratch = core.into_scratch();
+        result
+    };
     if fault == Some(ChaosFault::CorruptDigest) {
         result.stats.golden_mismatches += 1;
     }

@@ -1,0 +1,214 @@
+//! Crash-safe mid-run checkpointing, end to end: interval snapshots during
+//! a sweep, chaos kills at checkpoint boundaries with bit-exact resume, and
+//! deadline-aborted cells resuming from their last snapshot. The invariant
+//! throughout: a run assembled from checkpoint + restore produces exactly
+//! the digest a straight run produces — checkpoints buy wall-clock, never
+//! drift.
+
+use constable::IdealOracle;
+use experiments::jobs::{CellSpec, JobContext};
+use experiments::{ChaosPlan, Checkpointer, MachineKind, RunLength, SweepSession};
+use result_store::ResultStore;
+use sim_core::SimScratch;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const N: RunLength = RunLength(4_000);
+/// Small enough that every quick cell crosses several checkpoint
+/// boundaries (a 4k-instruction run exceeds 8k core loop iterations —
+/// the deadline tests rely on the same floor).
+const INTERVAL: u64 = 1_024;
+
+fn tmp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("constable-ckpt-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path) -> ResultStore {
+    ResultStore::open(dir, None).expect("store opens")
+}
+
+fn ckpt_files(dir: &Path) -> Vec<PathBuf> {
+    match fs::read_dir(dir.join("checkpoints")) {
+        Ok(rd) => rd.map(|e| e.unwrap().path()).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Reference digests: the suite without any store or checkpointing.
+fn straight_digests(specs: &[sim_workload::WorkloadSpec]) -> Vec<(String, u64)> {
+    SweepSession::new(specs, N)
+        .suite(MachineKind::Baseline)
+        .expect("clean reference suite")
+        .into_iter()
+        .map(|o| (o.workload.clone(), o.result.stats_digest()))
+        .collect()
+}
+
+#[test]
+fn checkpointed_sweep_is_bit_identical_and_gcs_its_snapshots() {
+    let specs = sim_workload::suite_subset(2);
+    let reference = straight_digests(&specs);
+
+    let dir = tmp_store("clean");
+    let session = SweepSession::new(&specs, N)
+        .with_store(open(&dir))
+        .with_checkpoint_interval(INTERVAL);
+    let runs = session
+        .suite(MachineKind::Baseline)
+        .expect("clean checkpointed suite");
+    let got: Vec<(String, u64)> = runs
+        .iter()
+        .map(|o| (o.workload.clone(), o.result.stats_digest()))
+        .collect();
+    assert_eq!(
+        got, reference,
+        "interval checkpointing must not change a single bit of any run"
+    );
+    let stats = session.store_stats().expect("store attached");
+    assert!(
+        stats.ckpt_writes > 0,
+        "every quick cell must cross at least one checkpoint boundary"
+    );
+    drop(session);
+    assert_eq!(
+        ckpt_files(&dir),
+        Vec::<PathBuf>::new(),
+        "a finished result supersedes (GCs) its mid-run checkpoint"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_kill_at_a_checkpoint_boundary_resumes_bit_exactly() {
+    let specs = sim_workload::suite_subset(2);
+    let reference = straight_digests(&specs);
+    let victim = specs[0].name.clone();
+    let fp = MachineKind::Baseline
+        .config(IdealOracle::default())
+        .fingerprint();
+    // The kill stream is pure, so the test can pick its scenario: a seed
+    // that kills the victim cell right after its first checkpoint lands.
+    let seed = (0..10_000u64)
+        .find(|&s| ChaosPlan::new(s).ckpt_kill_for(&victim, fp) == Some(0))
+        .expect("a kill-at-boundary-0 seed exists in the first 10k");
+
+    let dir = tmp_store("kill");
+    let session = SweepSession::new(&specs, N)
+        .with_store(open(&dir))
+        .with_checkpoint_interval(INTERVAL)
+        .with_chaos(ChaosPlan::new(seed));
+    let cells = session.suite_cells(MachineKind::Baseline);
+    let killed = cells
+        .iter()
+        .find_map(|c| c.as_ref().err().filter(|f| f.workload == victim))
+        .expect("the victim cell must die at its checkpoint boundary");
+    assert_eq!(killed.kind, "panic");
+    assert!(
+        killed.injected,
+        "a checkpoint-boundary kill must classify as chaos-injected"
+    );
+    assert!(
+        killed.detail.contains("checkpoint boundary"),
+        "{}",
+        killed.detail
+    );
+    drop(session);
+    assert!(
+        !ckpt_files(&dir).is_empty(),
+        "the killed cell must leave its snapshot behind to resume from"
+    );
+
+    // A fresh process (modeled as a fresh session off the same store, no
+    // chaos) must *resume* the victim — not recompute it — and land on
+    // exactly the straight run's digest.
+    let session = SweepSession::new(&specs, N)
+        .with_store(open(&dir))
+        .with_checkpoint_interval(INTERVAL);
+    let runs = session
+        .suite(MachineKind::Baseline)
+        .expect("rerun completes every cell");
+    let got: Vec<(String, u64)> = runs
+        .iter()
+        .map(|o| (o.workload.clone(), o.result.stats_digest()))
+        .collect();
+    assert_eq!(
+        got, reference,
+        "a resumed run must be byte-identical to a straight run"
+    );
+    let stats = session.store_stats().expect("store attached");
+    assert!(
+        stats.ckpt_hits >= 1,
+        "the rerun must resume from the kill's snapshot (ckpt_hits {})",
+        stats.ckpt_hits
+    );
+    drop(session);
+    assert_eq!(
+        ckpt_files(&dir),
+        Vec::<PathBuf>::new(),
+        "completing the resumed cell GCs its snapshot"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_abort_keeps_the_snapshot_and_the_next_request_resumes() {
+    // Long enough that a tight-but-live deadline reliably expires mid-run
+    // (a debug-build run of this length takes well over the deadline)
+    // while several checkpoint boundaries land first.
+    let n = RunLength(60_000);
+    let specs = sim_workload::suite_subset(2);
+    let ctx = JobContext::new(specs.clone(), n);
+    let cell = CellSpec::new(specs[0].name.clone(), MachineKind::Baseline);
+    let key = ctx.store_key_for(&cell).expect("cell resolves");
+
+    // Straight reference, no checkpointing.
+    let mut scratch = SimScratch::new();
+    let reference = ctx
+        .run_cell(&cell, &mut scratch, None)
+        .expect("clean straight run")
+        .result
+        .stats_digest();
+
+    let dir = tmp_store("deadline");
+    let store = Arc::new(Mutex::new(Some(open(&dir))));
+    let ckpt = Checkpointer::new(Arc::clone(&store), key.clone(), INTERVAL);
+
+    // A deadline that expires mid-run aborts the cell as "deadline" — but
+    // only after the snapshots before the abort point landed on disk.
+    let (out, resumed) = ctx.run_cell_checkpointed(
+        &cell,
+        &mut scratch,
+        Some(Instant::now() + Duration::from_millis(40)),
+        Some(&ckpt),
+    );
+    let err = out.expect_err("a mid-run deadline must fail the cell");
+    assert_eq!(err.kind, "deadline");
+    assert!(!resumed, "nothing to resume from on the first attempt");
+    assert!(
+        !ckpt_files(&dir).is_empty(),
+        "a deadline abort must keep its snapshot — it is the resume point"
+    );
+
+    // The retry (generous deadline, coarse interval so the tail runs in
+    // one slice) resumes from the snapshot and finishes with exactly the
+    // straight run's digest.
+    let retry = Checkpointer::new(Arc::clone(&store), key.clone(), 1 << 20);
+    let (out, resumed) = ctx.run_cell_checkpointed(
+        &cell,
+        &mut scratch,
+        Some(Instant::now() + Duration::from_secs(3600)),
+        Some(&retry),
+    );
+    let run = out.expect("retry completes");
+    assert!(resumed, "the retry must resume, not recompute");
+    assert_eq!(
+        run.result.stats_digest(),
+        reference,
+        "resume after a deadline abort must be bit-exact"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -18,7 +18,9 @@ fn run(store: Option<&Path>, extra: &[&str]) -> Output {
     cmd.args(extra);
     // The binary also reads these from the environment; tests must not
     // inherit a store from the invoking shell.
-    cmd.env_remove("SIM_STORE").env_remove("SIM_IO_CHAOS");
+    cmd.env_remove("SIM_STORE")
+        .env_remove("SIM_IO_CHAOS")
+        .env_remove("SIM_CKPT_INTERVAL");
     cmd.output().expect("binary runs")
 }
 

@@ -97,6 +97,37 @@ impl IoChaosPlan {
             0
         }
     }
+
+    /// Bytes to tear off the freshly **compacted** journal, if scheduled
+    /// (roughly 1/2 of seeds). Compaction rewrites the whole index through
+    /// tmp → fsync → rename — a write path the per-put and close-time
+    /// faults never touched — so a torn compacted journal exercises replay
+    /// recovery over exactly the bytes compaction produced.
+    pub fn compaction_tear(&self) -> Option<u64> {
+        let r = self.roll(6, 0);
+        if r & 1 == 0 {
+            Some(1 + r % 24)
+        } else {
+            None
+        }
+    }
+
+    /// Fault (if any) to inject right after the mid-run checkpoint object
+    /// for `key_hash` is durably written. An independent stream from
+    /// [`IoChaosPlan::fault_for_put`], so a damaged checkpoint and a
+    /// damaged result for the same cell are separate — and separately
+    /// reproducible — events.
+    pub fn fault_for_checkpoint(&self, key_hash: u64) -> Option<IoFault> {
+        let r = self.roll(7, key_hash);
+        if r % 16 >= self.rate_num {
+            return None;
+        }
+        Some(if r & 0x10000 == 0 {
+            IoFault::BitFlip
+        } else {
+            IoFault::TornWrite
+        })
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +164,31 @@ mod tests {
         let hit = flips + tears;
         assert!((128..=384).contains(&hit), "rate off: {hit}/1024");
         assert!(flips > 0 && tears > 0);
+    }
+
+    #[test]
+    fn compaction_and_checkpoint_streams_are_independent_and_deterministic() {
+        let a = IoChaosPlan::new(7);
+        let b = IoChaosPlan::new(7);
+        assert_eq!(a.compaction_tear(), b.compaction_tear());
+        if let Some(t) = a.compaction_tear() {
+            assert!((1..=24).contains(&t));
+        }
+        // The compaction stream is a per-seed coin flip, not a constant.
+        let plans = || (0..64u64).map(IoChaosPlan::new);
+        assert!(plans().any(|p| p.compaction_tear().is_some()));
+        assert!(plans().any(|p| p.compaction_tear().is_none()));
+        // Checkpoint faults are a separate stream from result-put faults
+        // at the same rate: same seed + key, different schedule somewhere.
+        let mut diverged = false;
+        let mut hit = 0;
+        for k in 0..1024u64 {
+            assert_eq!(a.fault_for_checkpoint(k), b.fault_for_checkpoint(k));
+            diverged |= a.fault_for_checkpoint(k) != a.fault_for_put(k);
+            hit += u32::from(a.fault_for_checkpoint(k).is_some());
+        }
+        assert!(diverged);
+        assert!((128..=384).contains(&hit));
     }
 
     #[test]

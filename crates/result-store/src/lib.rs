@@ -43,7 +43,8 @@ pub use journal::{Journal, JournalEntry, JournalOp};
 pub use key::StoreKey;
 pub use record::{RecordHeader, FORMAT_VERSION};
 pub use store::{
-    process_alive, GetOutcome, OpenMode, ResultStore, StoreDefect, StoreDefectKind, StoreStats,
+    probe_process, process_alive, stale_verdict, GetOutcome, Liveness, OpenMode, ResultStore,
+    StoreDefect, StoreDefectKind, StoreStats,
 };
 
 /// Version of the **key** byte layout: the tuple

@@ -7,6 +7,7 @@
 //! LOCK          pid lock file (create_new; stale locks stolen)
 //! journal.log   append-only index (see `journal`)
 //! objects/      one record file per cell, named <key-hash>.rec
+//! checkpoints/  mid-run checkpoints, named <key-hash>.ckpt (not indexed)
 //! quarantine/   damaged record files, moved aside with forensics
 //! tmp/          staging for atomic writes (tmp → fsync → rename)
 //! ```
@@ -107,6 +108,9 @@ pub struct StoreStats {
     pub quarantined: u64,
     pub collisions: u64,
     pub compactions: u64,
+    pub ckpt_hits: u64,
+    pub ckpt_misses: u64,
+    pub ckpt_writes: u64,
 }
 
 const LOCK_FILE: &str = "LOCK";
@@ -178,6 +182,22 @@ impl ResultStore {
         if journal.wants_compaction() {
             journal.compact(&root.join("tmp"))?;
             stats.compactions += 1;
+            // Chaos coverage for the compaction write path: the rewritten
+            // journal is brand-new bytes the per-put fault streams never
+            // touch, so a scheduled tear here is the only way replay
+            // recovery gets exercised over a *compacted* index. The next
+            // open truncates the torn tail back to health; index entries
+            // lost to the tear degrade to recomputes (the object files are
+            // the ground truth and stay in place).
+            if let Some(tear) = chaos.as_ref().and_then(IoChaosPlan::compaction_tear) {
+                let len = journal.raw_len()?;
+                if len > tear {
+                    let path = root.join(crate::journal::JOURNAL_FILE);
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(len - tear)?;
+                    f.sync_all()?;
+                }
+            }
         }
 
         Ok(ResultStore {
@@ -234,6 +254,32 @@ impl ResultStore {
 
     fn object_path(&self, key: &StoreKey) -> PathBuf {
         self.root.join("objects").join(key.object_name())
+    }
+
+    fn checkpoint_path(&self, key: &StoreKey) -> PathBuf {
+        self.root.join("checkpoints").join(key.checkpoint_name())
+    }
+
+    /// Stages `rec` in `tmp/` under a process-and-write-unique name,
+    /// fsyncs, and renames it over `final_path` — the one atomic-write
+    /// path both result and checkpoint objects go through.
+    fn write_atomic(&self, object_name: &str, rec: &[u8], final_path: &Path) -> io::Result<()> {
+        // Unique to this process *and* this write, so two processes (or
+        // two puts of colliding hashes) sharing the store can never
+        // scribble over each other's staging file mid-fsync.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp_path = self.root.join("tmp").join(format!(
+            "{}.{}.{}",
+            object_name,
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(rec)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, final_path)
     }
 
     fn defect(
@@ -349,49 +395,163 @@ impl ResultStore {
         let payload_checksum = sim_mem::TraceDigest::of_bytes(payload);
 
         let final_path = self.object_path(key);
-        // Stage under a name unique to this process *and* this write, so
-        // two processes (or two puts of colliding hashes) sharing the store
-        // can never scribble over each other's staging file mid-fsync.
-        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let tmp_path = self.root.join("tmp").join(format!(
-            "{}.{}.{}",
-            key.object_name(),
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-        ));
-        {
-            let mut f = File::create(&tmp_path)?;
-            f.write_all(&rec)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
+        self.write_atomic(&key.object_name(), &rec, &final_path)?;
 
         if let Some(plan) = self.chaos {
-            match plan.fault_for_put(key_hash) {
-                Some(IoFault::TornWrite) => {
-                    let tear = plan.tear_len(key_hash).min(rec.len() as u64 - 1);
-                    let f = OpenOptions::new().write(true).open(&final_path)?;
-                    f.set_len(rec.len() as u64 - tear)?;
-                    f.sync_all()?;
-                }
-                Some(IoFault::BitFlip) => {
-                    let mut bytes = fs::read(&final_path)?;
-                    let body_start = HEADER_LEN + key.bytes().len();
-                    if bytes.len() > body_start {
-                        let span = (bytes.len() - body_start) as u64 * 8;
-                        let bit = plan.flip_bit_index(key_hash) % span;
-                        bytes[body_start + (bit / 8) as usize] ^= 1 << (bit % 8);
-                        fs::write(&final_path, &bytes)?;
-                    }
-                }
-                None => {}
+            if let Some(fault) = plan.fault_for_put(key_hash) {
+                inject_object_fault(
+                    &plan,
+                    &final_path,
+                    rec.len(),
+                    HEADER_LEN + key.bytes().len(),
+                    key_hash,
+                    fault,
+                )?;
             }
         }
 
         self.journal
             .append(JournalEntry::put(key_hash, payload_checksum, stats_digest))?;
         self.stats.writes += 1;
+        // The finished result supersedes any mid-run checkpoint for this
+        // cell: garbage-collect it so `checkpoints/` only ever holds state
+        // for cells that are still in flight.
+        let _ = fs::remove_file(self.checkpoint_path(key));
         Ok(())
+    }
+
+    /// Durable write of a mid-run checkpoint: staged in `tmp/`, fsynced,
+    /// renamed into `checkpoints/`. Same self-verifying record format as
+    /// results (embedded key bytes, payload checksum), with `state_digest`
+    /// riding in the header's digest slot so the resuming process can
+    /// cross-check the decoded state. A newer checkpoint for the same key
+    /// atomically replaces the older one, and the cell's final
+    /// [`ResultStore::put`] garbage-collects it.
+    ///
+    /// Checkpoints are deliberately **not** journaled: the record file is
+    /// self-verifying, a lost checkpoint only ever costs recomputation
+    /// from the start, and keeping them out of the index means a
+    /// checkpoint-heavy sweep never inflates journal compaction.
+    pub fn put_checkpoint(
+        &mut self,
+        key: &StoreKey,
+        payload: &[u8],
+        state_digest: u64,
+    ) -> io::Result<()> {
+        let key_hash = key.hash();
+        let rec = record::encode_record(key.bytes(), payload, state_digest);
+        let final_path = self.checkpoint_path(key);
+        self.write_atomic(&key.checkpoint_name(), &rec, &final_path)?;
+
+        if let Some(plan) = self.chaos {
+            if let Some(fault) = plan.fault_for_checkpoint(key_hash) {
+                inject_object_fault(
+                    &plan,
+                    &final_path,
+                    rec.len(),
+                    HEADER_LEN + key.bytes().len(),
+                    key_hash,
+                    fault,
+                )?;
+            }
+        }
+
+        self.stats.ckpt_writes += 1;
+        Ok(())
+    }
+
+    /// Verified read of a mid-run checkpoint. Absence is a plain miss
+    /// (checkpoints are not index entries, so nothing ever promised one
+    /// exists); damage quarantines the file — without touching the journal
+    /// — and reports forensics, and the caller recomputes from the start.
+    pub fn get_checkpoint(&mut self, key: &StoreKey) -> GetOutcome {
+        let key_hash = key.hash();
+        let path = self.checkpoint_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.stats.ckpt_misses += 1;
+                return GetOutcome::Miss;
+            }
+            Err(_) => {
+                let defect = self.checkpoint_defect(
+                    StoreDefectKind::Unreadable,
+                    key_hash,
+                    path.clone(),
+                    0,
+                    0,
+                    0,
+                );
+                self.quarantine_checkpoint(&path);
+                self.stats.ckpt_misses += 1;
+                return GetOutcome::Defect(defect);
+            }
+        };
+        match record::decode_record(&bytes) {
+            Ok((header, rec_key, payload)) => {
+                if rec_key != key.bytes() {
+                    self.stats.collisions += 1;
+                    self.stats.ckpt_misses += 1;
+                    return GetOutcome::Miss;
+                }
+                self.stats.ckpt_hits += 1;
+                GetOutcome::Hit {
+                    payload: payload.to_vec(),
+                    stats_digest: header.stats_digest,
+                }
+            }
+            Err(err) => {
+                let (kind, offset, expected, actual) = classify(&err, bytes.len());
+                let defect =
+                    self.checkpoint_defect(kind, key_hash, path.clone(), offset, expected, actual);
+                self.quarantine_checkpoint(&path);
+                self.stats.ckpt_misses += 1;
+                GetOutcome::Defect(defect)
+            }
+        }
+    }
+
+    /// Drops the checkpoint for `key`, if any (e.g. after a caller-side
+    /// digest mismatch on the decoded state). Best-effort.
+    pub fn remove_checkpoint(&mut self, key: &StoreKey) {
+        let _ = fs::remove_file(self.checkpoint_path(key));
+    }
+
+    fn checkpoint_defect(
+        &self,
+        kind: StoreDefectKind,
+        key_hash: u64,
+        path: PathBuf,
+        offset: u64,
+        expected: u64,
+        actual: u64,
+    ) -> StoreDefect {
+        let injected = self
+            .chaos
+            .as_ref()
+            .is_some_and(|p| p.fault_for_checkpoint(key_hash).is_some());
+        StoreDefect {
+            kind,
+            key_hash,
+            path,
+            offset,
+            expected,
+            actual,
+            injected,
+        }
+    }
+
+    /// Moves a damaged checkpoint into `quarantine/`. Unlike
+    /// [`ResultStore::quarantine_object`] there is no index entry to drop.
+    fn quarantine_checkpoint(&mut self, path: &Path) {
+        if path.exists() {
+            let dest = self
+                .root
+                .join("quarantine")
+                .join(path.file_name().unwrap_or_default());
+            let _ = fs::rename(path, &dest);
+        }
+        self.stats.quarantined += 1;
     }
 
     /// Caller-detected damage (e.g. the decoded payload's recomputed stats
@@ -449,6 +609,7 @@ impl Drop for ResultStore {
 fn create_layout(root: &Path) -> io::Result<()> {
     fs::create_dir_all(root)?;
     fs::create_dir_all(root.join("objects"))?;
+    fs::create_dir_all(root.join("checkpoints"))?;
     fs::create_dir_all(root.join("quarantine"))?;
     fs::create_dir_all(root.join("tmp"))?;
     Ok(())
@@ -495,6 +656,38 @@ fn classify(err: &RecordError, file_len: usize) -> (StoreDefectKind, u64, u64, u
     }
 }
 
+/// Applies a scheduled post-write fault to a durably-written object file.
+/// Shared by result and checkpoint puts so both object kinds see identical
+/// damage shapes: a torn tail (never past the first byte) or one flipped
+/// payload bit at a seed-derived index.
+fn inject_object_fault(
+    plan: &IoChaosPlan,
+    path: &Path,
+    rec_len: usize,
+    body_start: usize,
+    key_hash: u64,
+    fault: IoFault,
+) -> io::Result<()> {
+    match fault {
+        IoFault::TornWrite => {
+            let tear = plan.tear_len(key_hash).min(rec_len as u64 - 1);
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(rec_len as u64 - tear)?;
+            f.sync_all()?;
+        }
+        IoFault::BitFlip => {
+            let mut bytes = fs::read(path)?;
+            if bytes.len() > body_start {
+                let span = (bytes.len() - body_start) as u64 * 8;
+                let bit = plan.flip_bit_index(key_hash) % span;
+                bytes[body_start + (bit / 8) as usize] ^= 1 << (bit % 8);
+                fs::write(path, &bytes)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Takes the store's pid lock, retrying briefly and stealing locks whose
 /// owning process no longer exists.
 fn acquire_lock(root: &Path, chaos: Option<&IoChaosPlan>) -> io::Result<()> {
@@ -530,32 +723,86 @@ fn acquire_lock(root: &Path, chaos: Option<&IoChaosPlan>) -> io::Result<()> {
     ))
 }
 
+/// A lock whose owner cannot be proven alive or dead is stolen only after
+/// it has sat unmodified this long.
+const LOCK_STALE_AGE: Duration = Duration::from_secs(600);
+
+/// What a liveness probe could establish about a lock owner's pid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// The process demonstrably exists.
+    Alive,
+    /// The process demonstrably does not exist.
+    Dead,
+    /// The platform could not tell (no `/proc`, probe denied, non-Linux).
+    Unknown,
+}
+
+/// Probes whether a process with this pid exists. On Linux `/proc/<pid>`
+/// is authoritative — but only when procfs itself is readable: inside
+/// containers with a masked or absent `/proc`, or when the probe errors
+/// for any reason other than clean absence, the answer is [`Liveness::Unknown`]
+/// rather than a false `Dead`. Elsewhere there is no dependency-free
+/// probe, so the answer is always `Unknown`.
+#[cfg(target_os = "linux")]
+pub fn probe_process(pid: u32) -> Liveness {
+    match fs::metadata(format!("/proc/{pid}")) {
+        Ok(_) => Liveness::Alive,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            // Absence is only meaningful if procfs is actually mounted;
+            // check against a path guaranteed to exist when it is.
+            if Path::new("/proc/self").exists() {
+                Liveness::Dead
+            } else {
+                Liveness::Unknown
+            }
+        }
+        Err(_) => Liveness::Unknown,
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn probe_process(_pid: u32) -> Liveness {
+    Liveness::Unknown
+}
+
+/// Whether a process with this pid might still exist. `Unknown` counts as
+/// alive: a lock is never stolen from a process that could be running.
+pub fn process_alive(pid: u32) -> bool {
+    probe_process(pid) != Liveness::Dead
+}
+
+/// Pure steal policy: proven-dead owners are stolen immediately; owners
+/// that might be alive are stolen only once the lock file has gone
+/// unmodified longer than [`LOCK_STALE_AGE`] — the bounded-age fallback
+/// that keeps crash recovery working where `/proc` is unreadable, without
+/// ever racing a live-but-unprovable holder.
+pub fn stale_verdict(owner: Liveness, lock_age: Option<Duration>) -> bool {
+    match owner {
+        Liveness::Alive => false,
+        Liveness::Dead => true,
+        Liveness::Unknown => lock_age.is_some_and(|age| age > LOCK_STALE_AGE),
+    }
+}
+
 /// A lock is stale when its owning pid no longer exists (or the lock file
 /// itself is torn/empty — a crash between create and write).
 fn lock_is_stale(path: &Path) -> bool {
     match fs::read_to_string(path) {
         Ok(s) => match s.trim().parse::<u32>() {
-            Ok(pid) => pid != std::process::id() && !process_alive(pid),
+            Ok(pid) if pid == std::process::id() => false,
+            Ok(pid) => {
+                let age = fs::metadata(path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok());
+                stale_verdict(probe_process(pid), age)
+            }
             Err(_) => true,
         },
         // Vanished between the create_new failure and this read.
         Err(_) => false,
     }
-}
-
-/// Whether a process with this pid exists, as far as this platform can
-/// tell. On Linux `/proc/<pid>` is authoritative. Elsewhere there is no
-/// dependency-free probe, so the answer is conservatively `true`: a lock
-/// is never stolen from a process that might still be alive (the worst
-/// case is a lock-timeout error the operator resolves by deleting LOCK).
-#[cfg(target_os = "linux")]
-pub fn process_alive(pid: u32) -> bool {
-    Path::new(&format!("/proc/{pid}")).exists()
-}
-
-#[cfg(not(target_os = "linux"))]
-pub fn process_alive(_pid: u32) -> bool {
-    true
 }
 
 #[cfg(test)]
@@ -803,6 +1050,145 @@ mod tests {
         assert!(process_alive(std::process::id()));
         #[cfg(target_os = "linux")]
         assert!(!process_alive(4_194_999));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_is_gced_by_the_final_result() {
+        let root = tmp_root("ckpt");
+        let k = key(42);
+        {
+            let mut s = ResultStore::open(&root, None).unwrap();
+            assert!(matches!(s.get_checkpoint(&k), GetOutcome::Miss));
+            s.put_checkpoint(&k, b"mid-run state v1", 0xAA).unwrap();
+        }
+        // Checkpoints are not index entries: a fresh open sees an empty
+        // store but still serves the checkpoint.
+        let mut s = ResultStore::open(&root, None).unwrap();
+        assert_eq!(s.len(), 0);
+        match s.get_checkpoint(&k) {
+            GetOutcome::Hit {
+                payload,
+                stats_digest,
+            } => {
+                assert_eq!(payload, b"mid-run state v1");
+                assert_eq!(stats_digest, 0xAA);
+            }
+            other => panic!("expected checkpoint hit, got {other:?}"),
+        }
+        // A newer checkpoint atomically replaces the older one in place.
+        s.put_checkpoint(&k, b"mid-run state v2", 0xBB).unwrap();
+        match s.get_checkpoint(&k) {
+            GetOutcome::Hit {
+                payload,
+                stats_digest,
+            } => {
+                assert_eq!(payload, b"mid-run state v2");
+                assert_eq!(stats_digest, 0xBB);
+            }
+            other => panic!("expected checkpoint hit, got {other:?}"),
+        }
+        // The finished result supersedes and garbage-collects it.
+        s.put(&k, b"final result", 0xCC).unwrap();
+        assert!(!root.join("checkpoints").join(k.checkpoint_name()).exists());
+        assert!(matches!(s.get_checkpoint(&k), GetOutcome::Miss));
+        assert!(matches!(s.get(&k), GetOutcome::Hit { .. }));
+        let st = s.stats();
+        assert_eq!((st.ckpt_writes, st.ckpt_hits, st.ckpt_misses), (1, 2, 1));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn damaged_checkpoint_is_quarantined_and_recomputes_as_miss() {
+        let root = tmp_root("ckpt-damage");
+        let mut s = ResultStore::open(&root, None).unwrap();
+        let k = key(7);
+        s.put_checkpoint(&k, b"resumable state", 0x7).unwrap();
+        // Bit-rot one payload byte on disk.
+        let path = root.join("checkpoints").join(k.checkpoint_name());
+        let mut bytes = fs::read(&path).unwrap();
+        let body = HEADER_LEN + k.bytes().len();
+        bytes[body + 1] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        match s.get_checkpoint(&k) {
+            GetOutcome::Defect(d) => {
+                assert_eq!(d.kind, StoreDefectKind::Corrupt);
+                assert!(!d.injected);
+            }
+            other => panic!("expected defect, got {other:?}"),
+        }
+        assert!(!path.exists(), "damaged checkpoint leaves checkpoints/");
+        assert!(root.join("quarantine").join(k.checkpoint_name()).exists());
+        // The journal was never touched — quarantining a checkpoint must
+        // not append a delete for an index entry that does not exist — and
+        // the retry is a plain miss (recompute from the start).
+        assert_eq!(s.len(), 0);
+        assert!(matches!(s.get_checkpoint(&k), GetOutcome::Miss));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_chaos_tears_the_compacted_journal_and_reopen_heals() {
+        let root = tmp_root("compact-chaos");
+        {
+            let mut s = ResultStore::open(&root, None).unwrap();
+            // Pile up dead journal weight: 4 live keys overwritten 40×.
+            for round in 0..40u64 {
+                for n in 0..4u64 {
+                    s.put(&key(n), format!("r{round}").as_bytes(), round)
+                        .unwrap();
+                }
+            }
+        }
+        let plan = (0..64u64)
+            .map(IoChaosPlan::new)
+            .find(|p| p.compaction_tear().is_some())
+            .unwrap();
+        {
+            let mut s = ResultStore::open(&root, Some(plan)).unwrap();
+            assert!(s.take_open_defects().is_empty());
+            assert_eq!(s.stats().compactions, 1, "dead weight must compact");
+            // The in-memory index predates the tear: every key still hits.
+            for n in 0..4u64 {
+                assert!(matches!(s.get(&key(n)), GetOutcome::Hit { .. }));
+            }
+        }
+        // The torn compacted journal is what the next open must heal.
+        let mut s = ResultStore::open(&root, None).unwrap();
+        let defects = s.take_open_defects();
+        assert_eq!(defects.len(), 1);
+        assert_eq!(defects[0].kind, StoreDefectKind::JournalTail);
+        // The tear (1..=24 bytes) clips one 33-byte entry: exactly one key
+        // degrades to a recompute, the rest still hit, nothing panics.
+        let hits = (0..4u64)
+            .filter(|&n| matches!(s.get(&key(n)), GetOutcome::Hit { .. }))
+            .count();
+        assert_eq!(hits, 3);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn lock_staleness_degrades_gracefully_without_proc() {
+        // Proven states ignore age entirely.
+        assert!(!stale_verdict(
+            Liveness::Alive,
+            Some(Duration::from_secs(7200))
+        ));
+        assert!(stale_verdict(Liveness::Dead, None));
+        // Unknown owner (masked /proc, denied probe, non-Linux): never
+        // steal a young lock; steal only past the bounded age.
+        assert!(!stale_verdict(Liveness::Unknown, None));
+        assert!(!stale_verdict(
+            Liveness::Unknown,
+            Some(Duration::from_secs(30))
+        ));
+        assert!(!stale_verdict(Liveness::Unknown, Some(LOCK_STALE_AGE)));
+        assert!(stale_verdict(
+            Liveness::Unknown,
+            Some(LOCK_STALE_AGE + Duration::from_secs(1))
+        ));
+        // And the probe agrees with /proc where it is readable.
+        #[cfg(target_os = "linux")]
+        assert_eq!(probe_process(std::process::id()), Liveness::Alive);
     }
 
     #[test]

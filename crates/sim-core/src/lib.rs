@@ -17,6 +17,7 @@
 //! ```
 
 mod batch;
+mod ckpt;
 mod config;
 mod core;
 mod fault;
@@ -29,6 +30,7 @@ mod uop;
 
 pub use crate::batch::CoreBatch;
 pub use crate::core::{Core, SimResult};
+pub use ckpt::{CkptError, CKPT_FORMAT_VERSION};
 pub use config::CoreConfig;
 pub use fault::{FreezeCause, FrozenSnapshot, GoldenMismatch, SimError};
 pub use hash::FastHashMap;

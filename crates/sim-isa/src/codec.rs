@@ -1,0 +1,409 @@
+//! Stable little-endian byte codec for checkpoint serialization.
+//!
+//! Every crate that contributes state to a simulation checkpoint encodes it
+//! through [`Enc`] and decodes it through [`Dec`]. The discipline mirrors
+//! the result-store record codec: fixed little-endian widths, no
+//! self-describing framing (the layout *is* the format, pinned by
+//! `CKPT_FORMAT_VERSION` in `sim-core` and a drift-guard test), and
+//! bounds-checked reads that fail loudly instead of wrapping.
+//!
+//! `Dec` never panics on malformed input: a truncated or out-of-range field
+//! surfaces as a [`CodecError`] so a damaged checkpoint can be quarantined
+//! rather than poison the process.
+
+use crate::{DynInst, MemAccess, Pc};
+
+/// Error produced when decoding malformed checkpoint bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the field at byte offset `at` was complete.
+    Truncated { at: usize },
+    /// A `bool` field held a byte other than 0 or 1.
+    BadBool { at: usize, byte: u8 },
+    /// A tag byte (e.g. an `Option` discriminant) held an invalid value.
+    BadTag { at: usize, byte: u8 },
+    /// A length prefix exceeded the remaining buffer (corruption guard).
+    BadLength { at: usize, len: u64 },
+    /// Bytes remained after the final field of a complete decode.
+    TrailingBytes { remaining: usize },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { at } => write!(f, "truncated at byte {at}"),
+            CodecError::BadBool { at, byte } => {
+                write!(f, "invalid bool byte {byte:#04x} at {at}")
+            }
+            CodecError::BadTag { at, byte } => {
+                write!(f, "invalid tag byte {byte:#04x} at {at}")
+            }
+            CodecError::BadLength { at, len } => {
+                write!(f, "length {len} at byte {at} exceeds buffer")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Creates an encoder with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Enc {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encodes a `usize` as a fixed 8-byte value (platform-independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Encodes an optional value: 1-byte presence tag, then the payload.
+    pub fn opt<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+
+    /// Encodes a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends raw bytes with no length prefix (caller knows the width).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Encodes a length prefix for a sequence the caller then writes.
+    pub fn seq_len(&mut self, len: usize) {
+        self.usize(len);
+    }
+}
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the buffer was fully consumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                remaining: self.buf.len() - self.pos,
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let at = self.pos;
+        let end = at.checked_add(n).ok_or(CodecError::Truncated { at })?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated { at });
+        }
+        self.pos = end;
+        Ok(&self.buf[at..end])
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i8(&mut self) -> Result<i8, CodecError> {
+        Ok(self.take(1)?[0] as i8)
+    }
+
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Decodes a fixed 8-byte `usize`, rejecting values that overflow the
+    /// platform word or the remaining buffer length heuristic is left to
+    /// the caller via [`Dec::seq_len`].
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::BadLength { at, len: v })
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            byte => Err(CodecError::BadBool { at, byte }),
+        }
+    }
+
+    /// Decodes an optional value written by [`Enc::opt`].
+    pub fn opt<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, CodecError>,
+    ) -> Result<Option<T>, CodecError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            byte => Err(CodecError::BadTag { at, byte }),
+        }
+    }
+
+    /// Decodes a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.seq_len()?;
+        self.take(len)
+    }
+
+    /// Reads `n` raw bytes (no length prefix).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Decodes a sequence length prefix, rejecting lengths that cannot fit
+    /// in the remaining buffer even at one byte per element — the cheap
+    /// corruption guard that keeps a flipped length bit from triggering a
+    /// multi-gigabyte allocation.
+    pub fn seq_len(&mut self) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let v = self.u64()?;
+        let len = usize::try_from(v).map_err(|_| CodecError::BadLength { at, len: v })?;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength { at, len: v });
+        }
+        Ok(len)
+    }
+}
+
+impl DynInst {
+    /// Encodes this executed-instruction record (checkpoint replay buffer).
+    pub fn encode(&self, e: &mut Enc) {
+        let DynInst {
+            seq,
+            sidx,
+            pc,
+            next_pc,
+            taken,
+            mem,
+            dst_value,
+        } = self;
+        e.u64(*seq);
+        e.u32(*sidx);
+        e.u64(pc.0);
+        e.u64(next_pc.0);
+        e.bool(*taken);
+        e.opt(mem, |e, m| {
+            e.u64(m.addr);
+            e.u64(m.value);
+            e.u8(m.size);
+        });
+        e.u64(*dst_value);
+    }
+
+    /// Decodes a record written by [`DynInst::encode`].
+    pub fn decode(d: &mut Dec<'_>) -> Result<DynInst, CodecError> {
+        Ok(DynInst {
+            seq: d.u64()?,
+            sidx: d.u32()?,
+            pc: Pc(d.u64()?),
+            next_pc: Pc(d.u64()?),
+            taken: d.bool()?,
+            mem: d.opt(|d| {
+                Ok(MemAccess {
+                    addr: d.u64()?,
+                    value: d.u64()?,
+                    size: d.u8()?,
+                })
+            })?,
+            dst_value: d.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(0xab);
+        e.u16(0xbeef);
+        e.u32(0xdead_beef);
+        e.u64(0x0123_4567_89ab_cdef);
+        e.i8(-7);
+        e.i64(-42);
+        e.usize(12345);
+        e.bool(true);
+        e.bool(false);
+        e.bytes(b"hello");
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xab);
+        assert_eq!(d.u16().unwrap(), 0xbeef);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(d.i8().unwrap(), -7);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.usize().unwrap(), 12345);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.bytes().unwrap(), b"hello");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_read_errors_instead_of_panicking() {
+        let mut d = Dec::new(&[1, 2, 3]);
+        assert!(matches!(d.u64(), Err(CodecError::Truncated { at: 0 })));
+    }
+
+    #[test]
+    fn bad_bool_and_trailing_bytes_are_detected() {
+        let mut d = Dec::new(&[7]);
+        assert!(matches!(
+            d.bool(),
+            Err(CodecError::BadBool { at: 0, byte: 7 })
+        ));
+        let d = Dec::new(&[0, 0]);
+        assert!(matches!(
+            d.finish(),
+            Err(CodecError::TrailingBytes { remaining: 2 })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.seq_len(), Err(CodecError::BadLength { .. })));
+    }
+
+    #[test]
+    fn dyninst_roundtrip_with_and_without_mem() {
+        let with_mem = DynInst {
+            seq: 42,
+            sidx: 7,
+            pc: Pc(0x40_0010),
+            next_pc: Pc(0x40_0014),
+            taken: true,
+            mem: Some(MemAccess {
+                addr: 0x7fff_0040,
+                value: 99,
+                size: 8,
+            }),
+            dst_value: 99,
+        };
+        let without = DynInst {
+            mem: None,
+            ..with_mem
+        };
+        for rec in [with_mem, without] {
+            let mut e = Enc::new();
+            rec.encode(&mut e);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            let back = DynInst::decode(&mut d).unwrap();
+            d.finish().unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+}

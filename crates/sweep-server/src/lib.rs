@@ -36,7 +36,7 @@ pub mod supervisor;
 
 use chaos::{NetChaosPlan, NetFault, WireFault};
 use experiments::wire::{self, CellReply, CellStatus, Frame};
-use experiments::{decode_outcome, CellSpec, JobContext, RunLength};
+use experiments::{decode_outcome, CellSpec, JobContext, RunLength, SharedStore};
 use queue::BoundedQueue;
 use result_store::{GetOutcome, ResultStore, StoreKey};
 use std::collections::{HashMap, HashSet};
@@ -80,6 +80,11 @@ pub struct ServerConfig {
     pub store_dir: Option<PathBuf>,
     /// Storage-fault injection seed (requires `store_dir`).
     pub io_chaos: Option<u64>,
+    /// Mid-run checkpoint interval in core loop iterations (requires
+    /// `store_dir`). A deadline-aborted cell keeps its latest snapshot and
+    /// the next request for it — including one served by the *next* server
+    /// incarnation on the same directory — resumes instead of recomputing.
+    pub ckpt_interval: Option<u64>,
     /// Wire/worker fault injection seed.
     pub net_chaos: Option<u64>,
     /// How long a connection may sit idle between frames before it is
@@ -103,6 +108,7 @@ impl Default for ServerConfig {
             subset: None,
             store_dir: None,
             io_chaos: None,
+            ckpt_interval: None,
             net_chaos: None,
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
@@ -116,6 +122,7 @@ impl Default for ServerConfig {
 pub struct Counters {
     pub computed: AtomicU64,
     pub store_hits: AtomicU64,
+    pub resumed: AtomicU64,
     pub failed: AtomicU64,
     pub watchdog_aborts: AtomicU64,
     pub deadline_aborts: AtomicU64,
@@ -131,6 +138,10 @@ pub struct Counters {
 pub struct ExitReport {
     pub computed: u64,
     pub store_hits: u64,
+    /// Cells that resumed from a mid-run checkpoint instead of starting
+    /// over (deadline-aborted earlier, possibly by a previous server
+    /// incarnation on the same store directory).
+    pub resumed: u64,
     pub failed: u64,
     pub watchdog_aborts: u64,
     pub deadline_aborts: u64,
@@ -161,7 +172,10 @@ pub struct Shared {
     pub queue: BoundedQueue<Task>,
     /// key hash → the reply senders of every request waiting on that cell.
     pub inflight: Mutex<HashMap<u64, Vec<mpsc::Sender<CellReply>>>>,
-    pub store: Mutex<Option<ResultStore>>,
+    pub store: SharedStore,
+    /// Checkpoint interval for worker shards; `None` when the server has
+    /// no store (a checkpoint without a place to live is a no-op).
+    pub ckpt_interval: Option<u64>,
     pub chaos: Option<NetChaosPlan>,
     pub draining: AtomicBool,
     pub queue_closed: AtomicBool,
@@ -252,7 +266,8 @@ impl Server {
             ctx: JobContext::new(specs, cfg.run_length),
             queue: BoundedQueue::new(cfg.queue_capacity),
             inflight: Mutex::new(HashMap::new()),
-            store: Mutex::new(store),
+            ckpt_interval: cfg.ckpt_interval.filter(|_| store.is_some()),
+            store: Arc::new(Mutex::new(store)),
             chaos: cfg.net_chaos.map(NetChaosPlan::new),
             draining: AtomicBool::new(false),
             queue_closed: AtomicBool::new(false),
@@ -351,6 +366,7 @@ fn run_loop(
     ExitReport {
         computed: c.computed.load(Ordering::Relaxed),
         store_hits: c.store_hits.load(Ordering::Relaxed),
+        resumed: c.resumed.load(Ordering::Relaxed),
         failed,
         watchdog_aborts: watchdog,
         deadline_aborts: c.deadline_aborts.load(Ordering::Relaxed),

@@ -3,7 +3,8 @@
 //! ```text
 //! sweep-server [--addr HOST:PORT] [--shards N] [--queue N] [--retries N]
 //!              [--quick|--len N] [--subset N]
-//!              [--store-dir PATH] [--io-chaos SEED] [--net-chaos SEED]
+//!              [--store-dir PATH] [--ckpt-interval ITERS]
+//!              [--io-chaos SEED] [--net-chaos SEED]
 //!              [--idle-timeout-ms N] [--write-timeout-ms N]
 //! ```
 //!
@@ -23,8 +24,8 @@ use sweep_server::{signal, Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: sweep-server [--addr HOST:PORT] [--shards N] [--queue N] [--retries N] \
-         [--quick|--len N] [--subset N] [--store-dir PATH] [--io-chaos SEED] \
-         [--net-chaos SEED] [--idle-timeout-ms N] [--write-timeout-ms N]"
+         [--quick|--len N] [--subset N] [--store-dir PATH] [--ckpt-interval ITERS] \
+         [--io-chaos SEED] [--net-chaos SEED] [--idle-timeout-ms N] [--write-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -49,6 +50,8 @@ fn main() {
     let mut cfg = ServerConfig {
         run_length: RunLength::quick(),
         watch_sigterm: sigterm_ok,
+        // Same environment knob as the sweep binary; the flag overrides.
+        ckpt_interval: experiments::ckpt::interval_from_env(),
         ..ServerConfig::default()
     };
     let mut i = 0;
@@ -67,6 +70,14 @@ fn main() {
                     &mut i,
                     "--store-dir",
                 )));
+            }
+            "--ckpt-interval" => {
+                let iv: u64 = parse(&args, &mut i, "--ckpt-interval");
+                if iv == 0 {
+                    eprintln!("--ckpt-interval requires a positive loop-iteration count");
+                    usage();
+                }
+                cfg.ckpt_interval = Some(iv);
             }
             "--io-chaos" => cfg.io_chaos = Some(parse(&args, &mut i, "--io-chaos")),
             "--net-chaos" => cfg.net_chaos = Some(parse(&args, &mut i, "--net-chaos")),
@@ -90,6 +101,10 @@ fn main() {
         eprintln!("--io-chaos injects storage faults; it requires --store-dir");
         std::process::exit(2);
     }
+    if cfg.ckpt_interval.is_some() && cfg.store_dir.is_none() {
+        eprintln!("--ckpt-interval persists snapshots; it requires --store-dir");
+        std::process::exit(2);
+    }
 
     let handle = match Server::spawn(cfg) {
         Ok(h) => h,
@@ -101,11 +116,12 @@ fn main() {
     println!("listening on {}", handle.addr());
     let report = handle.join();
     eprintln!(
-        "[sweep-server] drained: {} computed, {} from store, {} failed ({} watchdog, {} \
-         deadline), {} sheds, {} shard restarts ({} injected panics), {} requests on {} \
-         connections",
+        "[sweep-server] drained: {} computed, {} from store, {} resumed, {} failed ({} \
+         watchdog, {} deadline), {} sheds, {} shard restarts ({} injected panics), {} \
+         requests on {} connections",
         report.computed,
         report.store_hits,
+        report.resumed,
         report.failed,
         report.watchdog_aborts,
         report.deadline_aborts,

@@ -13,7 +13,7 @@
 use crate::queue::Popped;
 use crate::{failure_reply, Shared, Task};
 use experiments::wire::{CellReply, CellStatus};
-use experiments::{encode_outcome, CellOutcome};
+use experiments::{encode_outcome, CellOutcome, Checkpointer};
 use sim_core::SimScratch;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -69,7 +69,22 @@ fn worker_loop(shared: &Arc<Shared>, slot: &Arc<Mutex<Option<Task>>>) {
                 panic!("net-chaos: injected worker panic on {}", task.cell);
             }
         }
-        let outcome = shared.ctx.run_cell(&task.cell, &mut scratch, task.deadline);
+        // With a checkpoint interval configured, the cell snapshots at
+        // every slice boundary and resumes from the newest verified
+        // snapshot for its key — left behind by a deadline abort, possibly
+        // in a previous server incarnation on the same store directory.
+        let ckpt = shared
+            .ckpt_interval
+            .map(|iv| Checkpointer::new(Arc::clone(&shared.store), task.key.clone(), iv));
+        let (outcome, resumed) = shared.ctx.run_cell_checkpointed(
+            &task.cell,
+            &mut scratch,
+            task.deadline,
+            ckpt.as_ref(),
+        );
+        if resumed {
+            shared.counters.resumed.fetch_add(1, Ordering::Relaxed);
+        }
         let reply = conclude(shared, &task, outcome);
         *slot.lock().expect("slot lock") = None;
         shared.deliver(task.key.hash(), reply);

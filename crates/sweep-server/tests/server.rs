@@ -159,6 +159,83 @@ fn expired_deadline_comes_back_as_a_deadline_failure_datum() {
 }
 
 #[test]
+fn deadline_abort_checkpoints_and_the_next_server_incarnation_resumes() {
+    let n = experiments::RunLength(150_000);
+    let job = |deadline_ms: u32| Frame::Job {
+        workload: "sysmark-chrome.t1".into(),
+        slug: "baseline".into(),
+        deadline_ms,
+    };
+
+    // Reference digest: the same cell on a checkpoint-free server.
+    let reference = {
+        let handle = Server::spawn(ServerConfig {
+            run_length: n,
+            ..base_config()
+        })
+        .expect("spawn reference");
+        let r = wire::run_request(&handle.addr(), &job(0), 3).expect("reference request");
+        assert_eq!(r.computed, 1, "{:?}", r.cells);
+        let digest = r.cells[0].stats_digest;
+        handle.drain();
+        assert_eq!(handle.join().exit_code, 0);
+        digest
+    };
+
+    // Server A checkpoints every 1024 loop iterations; a tight-but-live
+    // deadline expires mid-run, after several snapshots landed on disk.
+    let dir = tmp_dir("ckpt-resume");
+    let handle = Server::spawn(ServerConfig {
+        run_length: n,
+        store_dir: Some(dir.clone()),
+        ckpt_interval: Some(1024),
+        ..base_config()
+    })
+    .expect("spawn server A");
+    let r = wire::run_request(&handle.addr(), &job(75), 3).expect("deadline request");
+    assert_eq!(r.failed, 1, "{:?}", r.cells);
+    assert_eq!(r.cells[0].fail_kind, "deadline", "{:?}", r.cells[0]);
+    handle.drain();
+    let report = handle.join();
+    assert!(report.deadline_aborts >= 1, "{report:?}");
+    assert_eq!(report.resumed, 0, "nothing to resume from on a cold store");
+    let ckpt_dir = dir.join("checkpoints");
+    assert!(
+        std::fs::read_dir(&ckpt_dir)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false),
+        "the drained server must leave the aborted cell's snapshot behind"
+    );
+
+    // Server B — a fresh incarnation on the same directory — resumes the
+    // cell instead of recomputing, and lands on exactly the reference
+    // digest. (Coarse interval: the short tail needs no new snapshots.)
+    let handle = Server::spawn(ServerConfig {
+        run_length: n,
+        store_dir: Some(dir.clone()),
+        ckpt_interval: Some(1 << 20),
+        ..base_config()
+    })
+    .expect("spawn server B");
+    let r = wire::run_request(&handle.addr(), &job(0), 3).expect("resume request");
+    assert_eq!(r.computed, 1, "{:?}", r.cells);
+    assert_eq!(
+        r.cells[0].stats_digest, reference,
+        "a resumed cell must be bit-identical to a straight run"
+    );
+    handle.drain();
+    let report = handle.join();
+    assert_eq!(report.exit_code, 0, "{report:?}");
+    assert_eq!(report.resumed, 1, "the cell must resume, not recompute");
+    assert_eq!(
+        std::fs::read_dir(&ckpt_dir).map(|d| d.count()).unwrap_or(0),
+        0,
+        "the finished result supersedes (GCs) the snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn overload_is_shed_with_retry_after_not_a_wedge() {
     let handle = Server::spawn(ServerConfig {
         queue_capacity: 1,
